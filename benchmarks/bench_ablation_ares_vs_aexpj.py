@@ -1,0 +1,111 @@
+"""Ablation — A-Res vs A-ExpJ weighted reservoir sampling.
+
+Both implement Efraimidis-Spirakis weighted sampling without replacement
+(Section V-B); A-ExpJ replaces the per-item random draw with exponential
+jumps once the reservoir fills.  Checks that the two produce samples from
+the same distribution family and quantifies the update-cost difference
+that justifies keeping both implementations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.harness import time_consumer
+from repro.bench.tables import format_table
+from repro.core.decay import ForwardDecay
+from repro.core.functions import PolynomialG
+from repro.sampling.weighted_reservoir import (
+    ExpJumpsReservoirSampler,
+    WeightedReservoirSampler,
+)
+
+K = 50
+
+
+def _weighted_items(trace):
+    decay = ForwardDecay(PolynomialG(beta=2.0), landmark=-1.0)
+    return [(row[3], decay.static_weight(row[1])) for row in trace]
+
+
+def test_ablation_ares_vs_aexpj(tcp_trace, record_figure):
+    items = _weighted_items(tcp_trace)
+
+    ares = WeightedReservoirSampler(K, rng=random.Random(1))
+
+    def ares_update(pair):
+        ares.update(pair[0], pair[1])
+
+    aexpj = ExpJumpsReservoirSampler(K, rng=random.Random(1))
+
+    def aexpj_update(pair):
+        aexpj.update(pair[0], pair[1])
+
+    results = [
+        time_consumer("A-Res (per-item key)", ares_update, items),
+        time_consumer("A-ExpJ (exponential jumps)", aexpj_update, items),
+    ]
+    table = format_table(
+        f"Ablation: weighted reservoir update cost (k={K})",
+        ["algorithm", "ns/update"],
+        [[r.name, f"{r.ns_per_tuple:,.0f}"] for r in results],
+    )
+    record_figure("ablation_ares_vs_aexpj", table)
+
+    # A-ExpJ skips random draws between insertions; on a long stream with a
+    # small reservoir it must not be slower than A-Res by any real margin.
+    ares_cost, aexpj_cost = (r.ns_per_tuple for r in results)
+    assert aexpj_cost < 1.5 * ares_cost
+    # Both hold exactly k items at the end.
+    assert len(ares.sample()) == K
+    assert len(aexpj.sample()) == K
+
+
+def test_ablation_same_distribution():
+    """Both algorithms weight recent (heavier) items the same way."""
+    stream = [(value, float(value)) for value in range(1, 201)]
+    hits_ares: dict[int, int] = {}
+    hits_aexpj: dict[int, int] = {}
+    repetitions = 300
+    for seed in range(repetitions):
+        ares = WeightedReservoirSampler(10, rng=random.Random(seed))
+        aexpj = ExpJumpsReservoirSampler(10, rng=random.Random(seed + 10_000))
+        for item, weight in stream:
+            ares.update(item, weight)
+            aexpj.update(item, weight)
+        for item in ares.sample():
+            hits_ares[item] = hits_ares.get(item, 0) + 1
+        for item in aexpj.sample():
+            hits_aexpj[item] = hits_aexpj.get(item, 0) + 1
+    # The heaviest decile should be sampled far more often than the
+    # lightest decile, identically for both algorithms (within noise).
+    heavy_ares = sum(hits_ares.get(v, 0) for v in range(181, 201))
+    light_ares = sum(hits_ares.get(v, 0) for v in range(1, 21))
+    heavy_aexpj = sum(hits_aexpj.get(v, 0) for v in range(181, 201))
+    light_aexpj = sum(hits_aexpj.get(v, 0) for v in range(1, 21))
+    assert heavy_ares > 5 * max(1, light_ares)
+    assert heavy_aexpj > 5 * max(1, light_aexpj)
+    assert 0.7 < heavy_ares / heavy_aexpj < 1.4
+
+
+@pytest.mark.parametrize("algorithm", ["ares", "aexpj"])
+def test_ablation_reservoir_throughput(benchmark, tcp_trace, algorithm):
+    items = _weighted_items(tcp_trace)
+
+    if algorithm == "ares":
+        def run_once():
+            sampler = WeightedReservoirSampler(K, rng=random.Random(3))
+            for item, weight in items:
+                sampler.update(item, weight)
+            return len(sampler)
+    else:
+        def run_once():
+            sampler = ExpJumpsReservoirSampler(K, rng=random.Random(3))
+            for item, weight in items:
+                sampler.update(item, weight)
+            return len(sampler)
+
+    size = benchmark(run_once)
+    assert size == K

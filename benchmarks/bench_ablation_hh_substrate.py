@@ -1,0 +1,85 @@
+"""Ablation — heavy-hitter substrate: SpaceSaving vs Count-Min + heap.
+
+Theorem 2 reduces decayed heavy hitters to weighted heavy hitters; the
+paper uses SpaceSaving, but any weighted frequent-items structure slots
+in.  This bench compares SpaceSaving against a Count-Min sketch with a
+candidate heap on the same forward-decayed workload: cost, space, and
+whether both surface the same top destinations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import time_consumer
+from repro.bench.tables import format_bytes, format_table
+from repro.sketches.countmin import CountMinHeavyHitters
+from repro.sketches.spacesaving import WeightedSpaceSaving
+
+EPSILON = 0.005
+PHI = 0.02
+
+
+def _weighted_items(trace):
+    return [(row[3], (row[1] % 60.0) ** 2 + 1.0) for row in trace]
+
+
+def test_ablation_hh_substrates(tcp_trace, record_figure):
+    items = _weighted_items(tcp_trace)
+
+    spacesaving = WeightedSpaceSaving.from_epsilon(EPSILON)
+
+    def ss_update(pair):
+        spacesaving.update(pair[0], pair[1])
+
+    countmin = CountMinHeavyHitters(epsilon=EPSILON, delta=0.01,
+                                    phi_track=PHI / 2, seed=5)
+
+    def cm_update(pair):
+        countmin.update(pair[0], pair[1])
+
+    results = [
+        time_consumer("SpaceSaving (paper)", ss_update, items,
+                      state_bytes=spacesaving.state_size_bytes),
+        time_consumer("Count-Min + candidate heap", cm_update, items,
+                      state_bytes=countmin.state_size_bytes),
+    ]
+    table = format_table(
+        f"Ablation: weighted HH substrates (eps={EPSILON})",
+        ["structure", "ns/update", "state"],
+        [[r.name, f"{r.ns_per_tuple:,.0f}",
+          format_bytes(r.state_bytes_total)] for r in results],
+    )
+    record_figure("ablation_hh_substrate", table)
+
+    ss_top = [c.item for c in spacesaving.heavy_hitters(PHI)[:5]]
+    cm_top = [item for item, __ in countmin.heavy_hitters(PHI)[:5]]
+    # The same heaviest destinations, in the same order at the very top.
+    assert ss_top[0] == cm_top[0]
+    assert set(ss_top[:3]) == set(cm_top[:3])
+    # SpaceSaving's counter list is far smaller than the Count-Min grid —
+    # why the paper's choice wins on the per-group space axis (Fig 4(c)).
+    ss_result, cm_result = results
+    assert ss_result.state_bytes_total < cm_result.state_bytes_total / 4
+
+
+@pytest.mark.parametrize("substrate", ["spacesaving", "countmin"])
+def test_ablation_hh_substrate_throughput(benchmark, tcp_trace, substrate):
+    items = _weighted_items(tcp_trace)
+
+    if substrate == "spacesaving":
+        def run_once():
+            summary = WeightedSpaceSaving.from_epsilon(EPSILON)
+            for item, weight in items:
+                summary.update(item, weight)
+            return len(summary)
+    else:
+        def run_once():
+            summary = CountMinHeavyHitters(epsilon=EPSILON, delta=0.01,
+                                           phi_track=PHI / 2, seed=5)
+            for item, weight in items:
+                summary.update(item, weight)
+            return summary.total_weight
+
+    result = benchmark(run_once)
+    assert result > 0

@@ -1,0 +1,83 @@
+"""Ablation — quantile substrate: q-digest vs Greenwald-Khanna.
+
+Theorem 3 plugs *any* weighted quantile summary into forward decay.  The
+library ships two: the q-digest (bounded integer universe, losslessly
+mergeable — the paper's citation) and weighted GK (arbitrary ordered
+values, approximate merge).  This bench quantifies the trade: update cost,
+state, and answer agreement on the same decayed stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import time_consumer
+from repro.bench.tables import format_bytes, format_table
+from repro.core.decay import ForwardDecay
+from repro.core.functions import PolynomialG
+from repro.core.quantiles import DecayedQuantiles
+
+DECAY = ForwardDecay(PolynomialG(beta=2.0), landmark=-1.0)
+EPSILON = 0.02
+
+
+def _values(trace):
+    return [(row[6], row[1]) for row in trace]  # (len, ts)
+
+
+def test_ablation_quantile_backends(tcp_trace, record_figure):
+    pairs = _values(tcp_trace)
+
+    qdigest = DecayedQuantiles(DECAY, epsilon=EPSILON, universe_bits=11)
+
+    def qdigest_update(pair):
+        qdigest.update(pair[0], pair[1])
+
+    gk = DecayedQuantiles(DECAY, epsilon=EPSILON, backend="gk")
+
+    def gk_update(pair):
+        gk.update(pair[0], pair[1])
+
+    results = [
+        time_consumer("q-digest (universe 2^11)", qdigest_update, pairs,
+                      state_bytes=qdigest.state_size_bytes),
+        time_consumer("Greenwald-Khanna (any floats)", gk_update, pairs,
+                      state_bytes=gk.state_size_bytes),
+    ]
+    medians = (qdigest.median(), gk.median())
+    rows = [
+        [r.name, f"{r.ns_per_tuple:,.0f}", format_bytes(r.state_bytes_total)]
+        for r in results
+    ]
+    rows.append(["-> decayed median (packet length)", medians[0], medians[1]])
+    table = format_table(
+        f"Ablation: quantile substrates under forward decay (eps={EPSILON})",
+        ["backend", "ns/update", "state"],
+        rows,
+    )
+    record_figure("ablation_quantile_backend", table)
+
+    # Both report the same decayed median from the small packet-length
+    # catalogue {40, 120, 576, 1500} (within one catalogue step).
+    catalogue = [40, 120, 576, 1500]
+    position = {v: i for i, v in enumerate(catalogue)}
+    assert abs(position[int(medians[0])] - position[int(medians[1])]) <= 1
+    # Neither backend stores anything near the input size.
+    for result in results:
+        assert result.state_bytes_total < len(pairs) * 8 / 4
+
+
+@pytest.mark.parametrize("backend", ["qdigest", "gk"])
+def test_ablation_quantile_backend_throughput(benchmark, tcp_trace, backend):
+    pairs = _values(tcp_trace)
+
+    def run_once():
+        summary = DecayedQuantiles(
+            DECAY, epsilon=EPSILON, universe_bits=11, backend=backend
+        )
+        for value, ts in pairs:
+            summary.update(value, ts)
+        return summary.median()
+
+    median = benchmark(run_once)
+    assert median > 0

@@ -1,0 +1,86 @@
+"""Ablation — cost of the Section VI-A exponential renormalization.
+
+Exponential forward decay stores ``exp(alpha * (t_i - L))`` which grows
+without bound; the library transparently shifts the internal landmark when
+the overflow guard trips.  This bench measures the per-update overhead of
+aggressive renormalization (a tiny guard threshold forcing frequent
+shifts) against the default (shifts essentially never) — and checks the
+answers agree, which is the whole point of Section VI-A.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import time_consumer
+from repro.bench.tables import format_table
+from repro.core.aggregates import DecayedSum
+from repro.core.decay import ForwardDecay
+from repro.core.functions import ExponentialG
+from repro.core.landmark import OverflowGuard
+
+ALPHA = 0.5
+N_ITEMS = 20_000
+
+
+def _stream():
+    # Long horizon so raw weights would overflow without renormalization:
+    # alpha * t reaches 10,000 >> log(float max) ~ 709.
+    return [(t * 1.0, 1.0) for t in range(1, N_ITEMS + 1)]
+
+
+def test_ablation_renormalization_correctness_and_cost(record_figure):
+    stream = _stream()
+    decay = ForwardDecay(ExponentialG(alpha=ALPHA), landmark=0.0)
+
+    default_sum = DecayedSum(decay)
+    aggressive_sum = DecayedSum(decay, guard=OverflowGuard(threshold=1e6))
+
+    def default_update(pair):
+        default_sum.update(pair[0], pair[1])
+
+    def aggressive_update(pair):
+        aggressive_sum.update(pair[0], pair[1])
+
+    results = [
+        time_consumer("default guard (rare shifts)", default_update, stream),
+        time_consumer("tiny guard (frequent shifts)", aggressive_update, stream),
+    ]
+    shifts = [
+        default_sum._engine.shifts,  # noqa: SLF001 - ablation introspection
+        aggressive_sum._engine.shifts,  # noqa: SLF001
+    ]
+    table = format_table(
+        f"Ablation: exponential renormalization (alpha={ALPHA}, {N_ITEMS} items)",
+        ["configuration", "ns/update", "landmark shifts"],
+        [[r.name, f"{r.ns_per_tuple:,.0f}", s] for r, s in zip(results, shifts)],
+    )
+    record_figure("ablation_renormalization", table)
+
+    # The stream's weight range (exp(0.5 * 20000)) forces shifts in both
+    # configurations, but the tiny guard shifts far more often.
+    assert shifts[0] > 0
+    assert shifts[1] > 10 * shifts[0]
+    # Correctness: both agree on the decayed sum (Section VI-A invariance).
+    query_time = float(N_ITEMS)
+    assert default_sum.query(query_time) == pytest.approx(
+        aggressive_sum.query(query_time), rel=1e-9
+    )
+    # Renormalization is cheap: even shifting constantly costs < 10x.
+    assert results[1].ns_per_tuple < 10.0 * results[0].ns_per_tuple
+
+
+@pytest.mark.parametrize("guard_threshold", [None, 1e6])
+def test_ablation_renormalization_throughput(benchmark, guard_threshold):
+    stream = _stream()
+    decay = ForwardDecay(ExponentialG(alpha=ALPHA), landmark=0.0)
+
+    def run_once():
+        guard = OverflowGuard(threshold=guard_threshold) if guard_threshold else None
+        aggregate = DecayedSum(decay, guard=guard)
+        for t, v in stream:
+            aggregate.update(t, v)
+        return aggregate.query(float(N_ITEMS))
+
+    value = benchmark(run_once)
+    assert value > 0

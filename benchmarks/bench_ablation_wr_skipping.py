@@ -1,0 +1,101 @@
+"""Ablation — with-replacement sampling: per-item coins vs threshold jumps.
+
+The paper notes after Theorem 5 that the with-replacement sampler "can be
+accelerated by using an appropriate random distribution to determine the
+total weight of subsequent items to skip over".  This bench quantifies the
+speedup of that acceleration (one random draw per *replacement* instead of
+per item-slot pair) and confirms both variants sample the same
+distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.bench.harness import time_consumer
+from repro.bench.tables import format_table
+from repro.core.decay import ForwardDecay
+from repro.core.functions import PolynomialG
+from repro.sampling.with_replacement import DecayedSamplerWithReplacement
+
+S = 20
+
+
+def _stream(trace):
+    return [(row[3], row[1] + 1.0) for row in trace]  # (destIP, ts offset)
+
+
+def test_ablation_wr_skipping_cost(tcp_trace, record_figure):
+    decay = ForwardDecay(PolynomialG(beta=2.0), landmark=0.0)
+    items = _stream(tcp_trace)
+
+    plain = DecayedSamplerWithReplacement(decay, S, rng=random.Random(1))
+
+    def plain_update(pair):
+        plain.update(pair[0], pair[1])
+
+    skipping = DecayedSamplerWithReplacement(
+        decay, S, rng=random.Random(1), use_skipping=True
+    )
+
+    def skipping_update(pair):
+        skipping.update(pair[0], pair[1])
+
+    results = [
+        time_consumer("per-item coin flips", plain_update, items),
+        time_consumer("threshold jumps (accelerated)", skipping_update, items),
+    ]
+    table = format_table(
+        f"Ablation: with-replacement sampler update cost (s={S})",
+        ["variant", "ns/update"],
+        [[r.name, f"{r.ns_per_tuple:,.0f}"] for r in results],
+    )
+    record_figure("ablation_wr_skipping", table)
+
+    plain_cost, skip_cost = (r.ns_per_tuple for r in results)
+    # With s=20 slots the accelerated variant avoids 20 random draws per
+    # item; it must be clearly faster.
+    assert skip_cost < 0.8 * plain_cost
+
+
+def test_ablation_wr_same_distribution():
+    decay = ForwardDecay(PolynomialG(beta=1.0), landmark=0.0)
+    stream = [(v, float(v)) for v in range(1, 41)]
+    hits_plain: Counter = Counter()
+    hits_skip: Counter = Counter()
+    for seed in range(1_500):
+        plain = DecayedSamplerWithReplacement(decay, 1,
+                                              rng=random.Random(seed))
+        skip = DecayedSamplerWithReplacement(decay, 1,
+                                             rng=random.Random(seed + 50_000),
+                                             use_skipping=True)
+        for item, t in stream:
+            plain.update(item, t)
+            skip.update(item, t)
+        hits_plain[plain.sample()[0]] += 1
+        hits_skip[skip.sample()[0]] += 1
+    # Compare the heavy tail mass of the two empirical distributions.
+    heavy_plain = sum(hits_plain[v] for v in range(30, 41))
+    heavy_skip = sum(hits_skip[v] for v in range(30, 41))
+    assert 0.85 < heavy_plain / heavy_skip < 1.18
+
+
+@pytest.mark.parametrize("variant", ["plain", "skipping"])
+def test_ablation_wr_throughput(benchmark, tcp_trace, variant):
+    decay = ForwardDecay(PolynomialG(beta=2.0), landmark=0.0)
+    items = _stream(tcp_trace)
+
+    def run_once():
+        sampler = DecayedSamplerWithReplacement(
+            decay, S, rng=random.Random(3),
+            use_skipping=(variant == "skipping"),
+        )
+        for item, t in items:
+            sampler.update(item, t)
+        return sampler.items_processed
+
+    processed = benchmark(run_once)
+    assert processed == len(items)

@@ -1,0 +1,51 @@
+"""Figure 1 — the relative decay property of monomial forward decay.
+
+The paper's Figure 1 plots ``g(n) = n**2`` forward decay at two horizons
+and shows the weight assigned to an item depends only on its *relative*
+position between the landmark and the query time (Lemma 1).  This bench
+prints the weight-vs-relative-age series at both horizons and checks the
+columns coincide; the benchmark times bulk weight evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runners import run_fig1_relative_decay
+from repro.bench.tables import format_table
+from repro.core.decay import ForwardDecay
+from repro.core.functions import PolynomialG
+
+GAMMAS = [i / 10 for i in range(11)]
+HORIZONS = (60.0, 120.0, 3600.0)
+
+
+def test_fig1_relative_decay_series(record_figure):
+    data = run_fig1_relative_decay(beta=2.0, horizons=HORIZONS, gammas=GAMMAS)
+    rows = []
+    for index, gamma in enumerate(GAMMAS):
+        rows.append(
+            [gamma] + [data["series"][h][index] for h in HORIZONS]
+        )
+    table = format_table(
+        "Figure 1: weight vs relative age, g(n) = n^2 (columns must match)",
+        ["gamma"] + [f"t = {h:g}s" for h in HORIZONS],
+        rows,
+    )
+    record_figure("fig1_relative_decay", table)
+    # Lemma 1: weight at relative age gamma is gamma**2 at every horizon.
+    for horizon in HORIZONS:
+        for gamma, weight in zip(GAMMAS, data["series"][horizon]):
+            assert abs(weight - gamma**2) < 1e-9
+
+
+def test_fig1_weight_evaluation_cost(benchmark):
+    decay = ForwardDecay(PolynomialG(beta=2.0), landmark=0.0)
+    timestamps = [float(t) for t in range(1, 10_001)]
+
+    def evaluate_weights() -> float:
+        total = 0.0
+        for t in timestamps:
+            total += decay.weight(t, 10_000.0)
+        return total
+
+    total = benchmark(evaluate_weights)
+    assert 0.0 < total < len(timestamps)

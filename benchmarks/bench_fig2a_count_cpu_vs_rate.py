@@ -1,0 +1,69 @@
+"""Figure 2(a) — count/sum CPU load vs stream rate (two-level engine).
+
+Paper shape: forward-decayed aggregates (quadratic and exponential) cost a
+little more than undecayed processing; the Exponential-Histogram backward
+baseline is appreciably more expensive and nearly saturates at 400k pkt/s.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import time_query
+from repro.bench.runners import FIG2_RATES, _count_sum_queries, run_fig2_count_sum
+from repro.bench.tables import format_table
+from repro.dsms.engine import QueryEngine
+from repro.dsms.parser import parse_query
+from repro.dsms.udaf import default_registry
+from repro.workloads.netflow import PACKET_SCHEMA
+
+METHOD_QUERIES = dict(_count_sum_queries(eh_epsilon=0.1))
+
+
+def test_fig2a_cpu_load_vs_rate(tcp_trace, record_figure):
+    data = run_fig2_count_sum(trace=tcp_trace, rates=FIG2_RATES, two_level=True)
+    rows = []
+    for method in data["methods"]:
+        loads = data["loads"][method.name]
+        rows.append(
+            [method.name, f"{method.ns_per_tuple:,.0f}"]
+            + [f"{point['load_percent']:.1f}%" for point in loads]
+        )
+    table = format_table(
+        "Figure 2(a): count/sum CPU load vs stream rate (two-level engine)",
+        ["method", "ns/tuple"] + [f"{int(r/1000)}k pkt/s" for r in FIG2_RATES],
+        rows,
+    )
+    record_figure("fig2a_count_cpu_vs_rate", table)
+
+    by_name = {m.name: m for m in data["methods"]}
+    no_decay = by_name["no decay"].ns_per_tuple
+    fwd_poly = by_name["fwd poly"].ns_per_tuple
+    fwd_exp = by_name["fwd exp"].ns_per_tuple
+    backward = by_name["bwd EH (eps=0.1)"].ns_per_tuple
+    # Forward decay is a small constant over undecayed processing...
+    assert fwd_poly < 4.0 * no_decay
+    assert fwd_exp < 5.0 * no_decay
+    # ...while the backward baseline is appreciably more expensive than both.
+    assert backward > 1.5 * fwd_poly
+    assert backward > 1.5 * fwd_exp
+    # The backward method saturates first as the rate grows.
+    backward_top = data["loads"]["bwd EH (eps=0.1)"][-1]
+    forward_top = data["loads"]["fwd poly"][-1]
+    assert backward_top["offered_percent"] > forward_top["offered_percent"]
+
+
+@pytest.mark.parametrize("method", list(METHOD_QUERIES))
+def test_fig2a_per_method_cost(benchmark, tcp_trace, method):
+    sql = METHOD_QUERIES[method]
+    registry = default_registry(eh_epsilon=0.1)
+    query = parse_query(sql, registry)
+
+    def run_once():
+        engine = QueryEngine(query, PACKET_SCHEMA, two_level=True)
+        for row in tcp_trace:
+            engine.process(row)
+        return engine.group_count
+
+    groups = benchmark(run_once)
+    assert groups > 0

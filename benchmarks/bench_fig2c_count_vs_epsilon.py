@@ -1,0 +1,68 @@
+"""Figure 2(c) — throughput vs the EH accuracy parameter epsilon.
+
+Paper shape: undecayed and forward-decayed throughput does not depend on
+epsilon; the Exponential-Histogram backward method slows as epsilon
+shrinks and at epsilon = 0.01 approaches 100% CPU and drops tuples at a
+100k pkt/s offered rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runners import EPSILON_SWEEP, run_fig2c_epsilon_sweep
+from repro.bench.tables import format_table
+from repro.dsms.engine import QueryEngine
+from repro.dsms.parser import parse_query
+from repro.dsms.udaf import default_registry
+from repro.workloads.netflow import PACKET_SCHEMA
+
+EH_SQL = (
+    "select tb, destIP, destPort, eh_count(ts) as c, eh_sum(ts, len) as s "
+    "from TCP group by time/60 as tb, destIP, destPort"
+)
+
+
+def test_fig2c_throughput_vs_epsilon(tcp_trace, record_figure):
+    data = run_fig2c_epsilon_sweep(trace=tcp_trace, epsilons=EPSILON_SWEEP)
+    rows = []
+    for method in data["flat_methods"] + data["eh_methods"]:
+        load = data["loads"][method.name][0]
+        rows.append(
+            [
+                method.name,
+                f"{method.ns_per_tuple:,.0f}",
+                f"{data['throughputs'][method.name]:,.0f}",
+                f"{load['load_percent']:.1f}%",
+                f"{load['drop_fraction'] * 100:.1f}%",
+            ]
+        )
+    table = format_table(
+        "Figure 2(c): throughput vs epsilon at 100k pkt/s offered",
+        ["method", "ns/tuple", "tuples/s sustainable", "CPU load", "drops"],
+        rows,
+    )
+    record_figure("fig2c_count_vs_epsilon", table)
+
+    # Forward/undecayed methods do not depend on epsilon (single methods,
+    # measured once); EH cost must grow monotonically-ish as eps shrinks:
+    eh_costs = [m.ns_per_tuple for m in data["eh_methods"]]
+    assert eh_costs[-1] > eh_costs[0], "EH at eps=0.01 should cost more than at 0.1"
+    # And every EH variant is slower than the forward methods.
+    fwd_cost = max(m.ns_per_tuple for m in data["flat_methods"])
+    assert min(eh_costs) > fwd_cost
+
+
+@pytest.mark.parametrize("epsilon", EPSILON_SWEEP)
+def test_fig2c_eh_cost_per_epsilon(benchmark, tcp_trace, epsilon):
+    registry = default_registry(eh_epsilon=epsilon)
+    query = parse_query(EH_SQL, registry)
+
+    def run_once():
+        engine = QueryEngine(query, PACKET_SCHEMA)
+        for row in tcp_trace:
+            engine.process(row)
+        return engine.group_count
+
+    groups = benchmark(run_once)
+    assert groups > 0

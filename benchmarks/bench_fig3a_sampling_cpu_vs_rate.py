@@ -1,0 +1,58 @@
+"""Figure 3(a) — sampling CPU load vs stream rate.
+
+Paper shape: undecayed reservoir sampling, priority sampling with forward
+exponential weights, and Aggarwal's backward-exponential reservoir all
+scale well and stay within a small factor of each other — forward decay's
+extra flexibility (arbitrary timestamps and arrival orders) costs
+essentially nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runners import FIG2_RATES, _sampling_queries, run_fig3a_sampling_rates
+from repro.bench.tables import format_table
+from repro.dsms.engine import QueryEngine
+from repro.dsms.parser import parse_query
+from repro.dsms.udaf import default_registry
+from repro.workloads.netflow import PACKET_SCHEMA
+
+METHOD_QUERIES = dict(_sampling_queries())
+
+
+def test_fig3a_sampling_cpu_vs_rate(tcp_trace, record_figure):
+    data = run_fig3a_sampling_rates(trace=tcp_trace, rates=FIG2_RATES)
+    rows = []
+    for method in data["methods"]:
+        loads = data["loads"][method.name]
+        rows.append(
+            [method.name, f"{method.ns_per_tuple:,.0f}"]
+            + [f"{point['load_percent']:.1f}%" for point in loads]
+        )
+    table = format_table(
+        "Figure 3(a): sampling CPU load vs stream rate (k = 100)",
+        ["method", "ns/tuple"] + [f"{int(r/1000)}k pkt/s" for r in FIG2_RATES],
+        rows,
+    )
+    record_figure("fig3a_sampling_cpu_vs_rate", table)
+
+    costs = [m.ns_per_tuple for m in data["methods"]]
+    # All three samplers are within a small factor of one another — the
+    # paper reports comparable CPU load for all algorithms.
+    assert max(costs) < 3.0 * min(costs)
+
+
+@pytest.mark.parametrize("method", list(METHOD_QUERIES))
+def test_fig3a_per_method_cost(benchmark, tcp_trace, method):
+    registry = default_registry(sample_size=100)
+    query = parse_query(METHOD_QUERIES[method], registry)
+
+    def run_once():
+        engine = QueryEngine(query, PACKET_SCHEMA)
+        for row in tcp_trace:
+            engine.process(row)
+        return engine.tuples_processed
+
+    processed = benchmark(run_once)
+    assert processed == len(tcp_trace)

@@ -1,0 +1,57 @@
+"""Figure 3(b) — sampling cost vs sample size.
+
+Paper shape: the cost of all three sampling methods is essentially
+independent of the sample size ``k`` (the reservoir/heap operations are
+O(log k) and replacements become rare as the stream grows).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runners import run_fig3b_sampling_sizes
+from repro.bench.tables import format_table
+from repro.dsms.engine import QueryEngine
+from repro.dsms.parser import parse_query
+from repro.dsms.udaf import default_registry
+from repro.workloads.netflow import PACKET_SCHEMA
+
+SIZES = (50, 100, 200, 500, 1000)
+PRIORITY_SQL = (
+    "select tb, prisamp(srcIP, exp((time % 60) * 0.1)) as samp "
+    "from TCP group by time/60 as tb"
+)
+
+
+def test_fig3b_cost_vs_sample_size(tcp_trace, record_figure):
+    data = run_fig3b_sampling_sizes(trace=tcp_trace, sizes=SIZES)
+    rows = []
+    for name, results in data["series"].items():
+        rows.append([name] + [f"{r.ns_per_tuple:,.0f}" for r in results])
+    table = format_table(
+        "Figure 3(b): sampling cost (ns/tuple) vs sample size",
+        ["method"] + [f"k={k}" for k in SIZES],
+        rows,
+    )
+    record_figure("fig3b_sampling_vs_size", table)
+
+    # Flatness: for every method, the largest k costs at most 2x the
+    # smallest k (the paper's lines are flat).
+    for name, results in data["series"].items():
+        costs = [r.ns_per_tuple for r in results]
+        assert max(costs) < 2.0 * min(costs), f"{name} not flat in k: {costs}"
+
+
+@pytest.mark.parametrize("k", SIZES)
+def test_fig3b_priority_cost_per_size(benchmark, tcp_trace, k):
+    registry = default_registry(sample_size=k)
+    query = parse_query(PRIORITY_SQL, registry)
+
+    def run_once():
+        engine = QueryEngine(query, PACKET_SCHEMA)
+        for row in tcp_trace:
+            engine.process(row)
+        return engine.tuples_processed
+
+    processed = benchmark(run_once)
+    assert processed == len(tcp_trace)

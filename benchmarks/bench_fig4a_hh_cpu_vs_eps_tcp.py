@@ -1,0 +1,39 @@
+"""Figure 4(a) — heavy-hitter CPU vs epsilon on TCP traffic @ 200k pkt/s.
+
+Paper shape: forward-decay CPU is fairly robust to epsilon; the backward
+sliding-window implementation grows as epsilon shrinks and approaches 100%
+CPU at epsilon = 0.01.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _fig4_common import fig4_cpu_panel
+from repro.bench.runners import EPSILON_SWEEP
+from repro.dsms.engine import QueryEngine
+from repro.dsms.parser import parse_query
+from repro.dsms.udaf import default_registry
+from repro.workloads.netflow import PACKET_SCHEMA
+
+BACKWARD_SQL = "select tb, sw_hh(destIP, ts) as hh from TCP group by time/60 as tb"
+
+
+def test_fig4a_cpu_vs_epsilon_tcp(tcp_trace, record_figure):
+    fig4_cpu_panel(tcp_trace, "tcp", 200_000.0, record_figure,
+                   "fig4a_hh_cpu_vs_eps_tcp")
+
+
+@pytest.mark.parametrize("epsilon", EPSILON_SWEEP)
+def test_fig4a_backward_cost_per_epsilon(benchmark, tcp_trace, epsilon):
+    registry = default_registry(hh_epsilon=epsilon)
+    query = parse_query(BACKWARD_SQL, registry)
+
+    def run_once():
+        engine = QueryEngine(query, PACKET_SCHEMA)
+        for row in tcp_trace:
+            engine.process(row)
+        return engine.tuples_processed
+
+    processed = benchmark(run_once)
+    assert processed == len(tcp_trace)

@@ -1,0 +1,41 @@
+"""Figure 4(b) — heavy-hitter CPU vs epsilon on UDP traffic @ 170k pkt/s.
+
+Paper shape: behaviour mirrors the TCP panel despite the different traffic
+characteristics — forward robust to epsilon, backward growing and
+dominating.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _fig4_common import fig4_cpu_panel
+from repro.dsms.engine import QueryEngine
+from repro.dsms.parser import parse_query
+from repro.dsms.udaf import default_registry
+from repro.workloads.netflow import PACKET_SCHEMA
+
+FWD_SQL = (
+    "select tb, fwd_hh(destIP, exp((time % 60) * 0.1)) as hh "
+    "from UDP group by time/60 as tb"
+)
+
+
+def test_fig4b_cpu_vs_epsilon_udp(udp_trace, record_figure):
+    fig4_cpu_panel(udp_trace, "udp", 170_000.0, record_figure,
+                   "fig4b_hh_cpu_vs_eps_udp")
+
+
+@pytest.mark.parametrize("epsilon", (0.1, 0.01))
+def test_fig4b_forward_cost_per_epsilon(benchmark, udp_trace, epsilon):
+    registry = default_registry(hh_epsilon=epsilon)
+    query = parse_query(FWD_SQL, registry)
+
+    def run_once():
+        engine = QueryEngine(query, PACKET_SCHEMA)
+        for row in udp_trace:
+            engine.process(row)
+        return engine.tuples_processed
+
+    processed = benchmark(run_once)
+    assert processed == len(udp_trace)

@@ -1,0 +1,67 @@
+"""Figure 5 — heavy-hitter CPU load vs stream rate.
+
+Paper shape: the weighted SpaceSaving UDAF (forward decay, quadratic or
+exponential) has small overhead over the unary-optimized undecayed
+version; the sliding-window backward-decay implementation is much more
+expensive, reaching ~90% CPU at 200k pkt/s and dropping tuples beyond.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runners import FIG5_RATES, _hh_queries, run_fig5_hh_rates
+from repro.bench.tables import format_table
+from repro.dsms.engine import QueryEngine
+from repro.dsms.parser import parse_query
+from repro.dsms.udaf import default_registry
+from repro.workloads.netflow import PACKET_SCHEMA
+
+METHOD_QUERIES = dict(_hh_queries())
+
+
+def test_fig5_hh_cpu_vs_rate(tcp_trace, record_figure):
+    data = run_fig5_hh_rates(trace=tcp_trace, rates=FIG5_RATES, epsilon=0.01)
+    rows = []
+    for method in data["methods"]:
+        loads = data["loads"][method.name]
+        rows.append(
+            [method.name, f"{method.ns_per_tuple:,.0f}"]
+            + [f"{point['load_percent']:.1f}%" for point in loads]
+        )
+    table = format_table(
+        "Figure 5: heavy-hitter CPU load vs stream rate (eps = 0.01)",
+        ["method", "ns/tuple"] + [f"{int(r/1000)}k pkt/s" for r in FIG5_RATES],
+        rows,
+    )
+    record_figure("fig5_hh_cpu_vs_rate", table)
+
+    by_name = {m.name: m for m in data["methods"]}
+    unary = by_name["unary HH (no decay)"].ns_per_tuple
+    fwd_poly = by_name["fwd poly HH"].ns_per_tuple
+    fwd_exp = by_name["fwd exp HH"].ns_per_tuple
+    backward = by_name["bwd sliding-window HH"].ns_per_tuple
+    # Small overhead of the weighted version over the unary-optimized one,
+    # and little variation between forward decay functions.
+    assert fwd_poly < 2.5 * unary
+    assert fwd_exp < 3.0 * unary
+    # The backward implementation is much more expensive than any forward one.
+    assert backward > 2.0 * max(fwd_poly, fwd_exp, unary)
+    # At the top rate, backward is the closest to (or past) saturation.
+    top = {name: data["loads"][name][-1]["offered_percent"] for name in by_name}
+    assert top["bwd sliding-window HH"] == max(top.values())
+
+
+@pytest.mark.parametrize("method", list(METHOD_QUERIES))
+def test_fig5_per_method_cost(benchmark, tcp_trace, method):
+    registry = default_registry(hh_epsilon=0.01)
+    query = parse_query(METHOD_QUERIES[method], registry)
+
+    def run_once():
+        engine = QueryEngine(query, PACKET_SCHEMA)
+        for row in tcp_trace:
+            engine.process(row)
+        return engine.tuples_processed
+
+    processed = benchmark(run_once)
+    assert processed == len(tcp_trace)

@@ -1,0 +1,85 @@
+"""Forward Decay: a practical time decay model for streaming systems.
+
+A full reproduction of Cormode, Shkapenyuk, Srivastava & Xu (ICDE 2009):
+
+* :mod:`repro.core` — the forward-decay model, decayed aggregates (count,
+  sum, average, variance, min/max, arbitrary algebraic), decayed heavy
+  hitters, quantiles and count-distinct;
+* :mod:`repro.sampling` — decayed sampling with/without replacement,
+  weighted reservoirs, priority sampling, and the Aggarwal baseline;
+* :mod:`repro.sketches` — the summary substrate (SpaceSaving, q-digest,
+  Exponential Histograms, Deterministic Waves, sliding-window heavy
+  hitters, KMV, dominance norms);
+* :mod:`repro.dsms` — a GS-style stream database: GSQL-like queries,
+  two-level aggregation, UDAFs, and a load-shedding runtime;
+* :mod:`repro.workloads` — synthetic network-traffic and value-stream
+  generators standing in for the paper's live packet taps;
+* :mod:`repro.bench` — the experiment harness regenerating every figure.
+
+Quickstart::
+
+    from repro import ForwardDecay, PolynomialG, DecayedCount
+
+    decay = ForwardDecay(PolynomialG(beta=2), landmark=100.0)
+    count = DecayedCount(decay)
+    for t in (105, 107, 103, 108, 104):
+        count.update(t)
+    print(count.query(query_time=110))   # 1.63, as in Example 2
+"""
+
+from repro.core import (
+    BackwardDecay,
+    DecayedAlgebraic,
+    DecayedAverage,
+    DecayedCount,
+    DecayedDistinctCount,
+    DecayedHeavyHitters,
+    DecayedKMeans,
+    DecayedMax,
+    DecayedMin,
+    DecayedQuantiles,
+    DecayedSum,
+    DecayedVariance,
+    ExactDecayedDistinct,
+    ExponentialF,
+    ExponentialG,
+    ForwardDecay,
+    LandmarkWindowG,
+    NoDecayF,
+    NoDecayG,
+    PolynomialF,
+    PolynomialG,
+    SlidingWindowF,
+    forward_equals_backward_exp,
+    merge_all,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ForwardDecay",
+    "BackwardDecay",
+    "forward_equals_backward_exp",
+    "NoDecayG",
+    "PolynomialG",
+    "ExponentialG",
+    "LandmarkWindowG",
+    "NoDecayF",
+    "SlidingWindowF",
+    "ExponentialF",
+    "PolynomialF",
+    "DecayedCount",
+    "DecayedSum",
+    "DecayedAverage",
+    "DecayedVariance",
+    "DecayedMin",
+    "DecayedMax",
+    "DecayedAlgebraic",
+    "DecayedHeavyHitters",
+    "DecayedKMeans",
+    "DecayedQuantiles",
+    "DecayedDistinctCount",
+    "ExactDecayedDistinct",
+    "merge_all",
+    "__version__",
+]

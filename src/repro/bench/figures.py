@@ -1,0 +1,194 @@
+"""One-call figure regeneration: figure id -> formatted table text.
+
+Used by the command-line interface (``python -m repro figure fig2a``) and
+handy in notebooks; the ``benchmarks/`` suite runs the same drivers with
+shape assertions on top.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.bench.runners import (
+    EPSILON_SWEEP,
+    FIG2_RATES,
+    FIG5_RATES,
+    build_trace,
+    run_fig1_relative_decay,
+    run_fig2_count_sum,
+    run_fig2c_epsilon_sweep,
+    run_fig2d_space,
+    run_fig3a_sampling_rates,
+    run_fig3b_sampling_sizes,
+    run_fig4_hh_epsilon,
+    run_fig5_hh_rates,
+)
+from repro.bench.tables import format_bytes, format_table
+from repro.core.errors import ParameterError
+
+__all__ = ["FIGURE_IDS", "figure_table"]
+
+
+def _fig1(trace: Sequence[tuple]) -> str:
+    gammas = [i / 10 for i in range(11)]
+    horizons = (60.0, 120.0, 3600.0)
+    data = run_fig1_relative_decay(beta=2.0, horizons=horizons, gammas=gammas)
+    rows = [
+        [gamma] + [data["series"][h][i] for h in horizons]
+        for i, gamma in enumerate(gammas)
+    ]
+    return format_table(
+        "Figure 1: weight vs relative age, g(n) = n^2",
+        ["gamma"] + [f"t = {h:g}s" for h in horizons],
+        rows,
+    )
+
+
+def _fig2(trace: Sequence[tuple], two_level: bool) -> str:
+    data = run_fig2_count_sum(trace=trace, rates=FIG2_RATES, two_level=two_level)
+    rows = [
+        [m.name, f"{m.ns_per_tuple:,.0f}"]
+        + [f"{p['load_percent']:.1f}%" for p in data["loads"][m.name]]
+        for m in data["methods"]
+    ]
+    mode = "two-level engine" if two_level else "splitting disabled"
+    label = "a" if two_level else "b"
+    return format_table(
+        f"Figure 2({label}): count/sum CPU load vs stream rate ({mode})",
+        ["method", "ns/tuple"] + [f"{int(r/1000)}k pkt/s" for r in FIG2_RATES],
+        rows,
+    )
+
+
+def _fig2c(trace: Sequence[tuple]) -> str:
+    data = run_fig2c_epsilon_sweep(trace=trace, epsilons=EPSILON_SWEEP)
+    rows = []
+    for m in data["flat_methods"] + data["eh_methods"]:
+        load = data["loads"][m.name][0]
+        rows.append([
+            m.name,
+            f"{m.ns_per_tuple:,.0f}",
+            f"{data['throughputs'][m.name]:,.0f}",
+            f"{load['load_percent']:.1f}%",
+            f"{load['drop_fraction'] * 100:.1f}%",
+        ])
+    return format_table(
+        "Figure 2(c): throughput vs epsilon at 100k pkt/s offered",
+        ["method", "ns/tuple", "tuples/s sustainable", "CPU load", "drops"],
+        rows,
+    )
+
+
+def _fig2d(trace: Sequence[tuple]) -> str:
+    data = run_fig2d_space(epsilons=EPSILON_SWEEP)
+    rows = [
+        [m.name, m.groups, format_bytes(m.state_bytes_per_group)]
+        for m in data["methods"] + data["eh_methods"]
+    ]
+    return format_table(
+        "Figure 2(d): aggregate state per group",
+        ["method", "groups", "state / group"],
+        rows,
+    )
+
+
+def _fig3a(trace: Sequence[tuple]) -> str:
+    data = run_fig3a_sampling_rates(trace=trace, rates=FIG2_RATES)
+    rows = [
+        [m.name, f"{m.ns_per_tuple:,.0f}"]
+        + [f"{p['load_percent']:.1f}%" for p in data["loads"][m.name]]
+        for m in data["methods"]
+    ]
+    return format_table(
+        "Figure 3(a): sampling CPU load vs stream rate (k = 100)",
+        ["method", "ns/tuple"] + [f"{int(r/1000)}k pkt/s" for r in FIG2_RATES],
+        rows,
+    )
+
+
+def _fig3b(trace: Sequence[tuple]) -> str:
+    sizes = (50, 100, 200, 500, 1000)
+    data = run_fig3b_sampling_sizes(trace=trace, sizes=sizes)
+    rows = [
+        [name] + [f"{r.ns_per_tuple:,.0f}" for r in results]
+        for name, results in data["series"].items()
+    ]
+    return format_table(
+        "Figure 3(b): sampling cost (ns/tuple) vs sample size",
+        ["method"] + [f"k={k}" for k in sizes],
+        rows,
+    )
+
+
+def _fig4(trace: Sequence[tuple], proto: str, rate: float, metric: str) -> str:
+    data = run_fig4_hh_epsilon(proto=proto, rate=rate, trace=trace)
+    rows = []
+    for name, results in data["series"].items():
+        if metric == "cpu":
+            cells = [f"{r.ns_per_tuple:,.0f}" for r in results]
+        else:
+            cells = [format_bytes(r.state_bytes_per_group) for r in results]
+        rows.append([name] + cells)
+    what = "ns/tuple" if metric == "cpu" else "state per group"
+    return format_table(
+        f"Figure 4 {metric} panel ({proto.upper()}): {what} vs epsilon",
+        ["method"] + [f"eps={e:g}" for e in data["epsilons"]],
+        rows,
+    )
+
+
+def _fig5(trace: Sequence[tuple]) -> str:
+    data = run_fig5_hh_rates(trace=trace, rates=FIG5_RATES, epsilon=0.01)
+    rows = [
+        [m.name, f"{m.ns_per_tuple:,.0f}"]
+        + [f"{p['load_percent']:.1f}%" for p in data["loads"][m.name]]
+        for m in data["methods"]
+    ]
+    return format_table(
+        "Figure 5: heavy-hitter CPU load vs stream rate (eps = 0.01)",
+        ["method", "ns/tuple"] + [f"{int(r/1000)}k pkt/s" for r in FIG5_RATES],
+        rows,
+    )
+
+
+_BUILDERS: dict[str, Callable[[Sequence[tuple]], str]] = {
+    "fig1": _fig1,
+    "fig2a": lambda trace: _fig2(trace, two_level=True),
+    "fig2b": lambda trace: _fig2(trace, two_level=False),
+    "fig2c": _fig2c,
+    "fig2d": _fig2d,
+    "fig3a": _fig3a,
+    "fig3b": _fig3b,
+    "fig4a": lambda trace: _fig4(trace, "tcp", 200_000.0, "cpu"),
+    "fig4b": lambda trace: _fig4(trace, "udp", 170_000.0, "cpu"),
+    "fig4c": lambda trace: _fig4(trace, "tcp", 200_000.0, "space"),
+    "fig4d": lambda trace: _fig4(trace, "udp", 170_000.0, "space"),
+    "fig5": _fig5,
+}
+
+#: Valid figure identifiers, in paper order.
+FIGURE_IDS: tuple[str, ...] = tuple(_BUILDERS)
+
+
+def figure_table(
+    figure_id: str,
+    trace: Sequence[tuple] | None = None,
+    trace_seconds: float = 4.0,
+    trace_rate: float = 5_000.0,
+) -> str:
+    """Regenerate one paper figure and return its formatted table.
+
+    ``trace`` may be supplied (e.g. loaded from a file); otherwise a
+    synthetic one is generated with the given duration/rate.  UDP panels
+    automatically switch the generated trace's protocol.
+    """
+    if figure_id not in _BUILDERS:
+        raise ParameterError(
+            f"unknown figure {figure_id!r}; valid: {', '.join(FIGURE_IDS)}"
+        )
+    if trace is None:
+        proto = "udp" if figure_id in ("fig4b", "fig4d") else "tcp"
+        trace = build_trace(
+            duration_sec=trace_seconds, rate_per_sec=trace_rate, proto=proto
+        )
+    return _BUILDERS[figure_id](trace)

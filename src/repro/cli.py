@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands make the library usable without writing Python:
+
+``trace``
+    Generate a synthetic packet trace as CSV::
+
+        python -m repro trace --duration 10 --rate 5000 --out trace.csv
+
+``query``
+    Run a GSQL-like query over a CSV trace and print result rows::
+
+        python -m repro query "select tb, destIP, count(*) as c from TCP
+            group by time/60 as tb, destIP" --trace trace.csv
+
+``figure``
+    Regenerate one of the paper's figures as a text table::
+
+        python -m repro figure fig5
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Sequence
+
+from repro.bench.figures import FIGURE_IDS, figure_table
+from repro.core.errors import DecayError
+from repro.dsms.engine import run_query
+from repro.dsms.parser import parse_query
+from repro.dsms.schema import Schema
+from repro.dsms.udaf import default_registry
+from repro.workloads.netflow import PACKET_SCHEMA, PacketTraceConfig, PacketTraceGenerator
+
+__all__ = ["main"]
+
+
+def write_trace_csv(rows: Sequence[tuple], schema: Schema, path: str) -> None:
+    """Write a trace as CSV with a schema-derived header."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(schema.names())
+        writer.writerows(rows)
+
+
+def read_trace_csv(path: str, schema: Schema) -> list[tuple]:
+    """Read a CSV trace back into typed tuples matching ``schema``."""
+    converters = [field.type.python_type() for field in schema.fields]
+    rows: list[tuple] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != schema.names():
+            raise DecayError(
+                f"trace header {header!r} does not match schema {schema.names()}"
+            )
+        for record in reader:
+            rows.append(tuple(conv(v) for conv, v in zip(converters, record)))
+    return rows
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = PacketTraceConfig(
+        duration_sec=args.duration,
+        rate_per_sec=args.rate,
+        tcp_fraction=1.0 if args.proto == "tcp" else
+        (0.0 if args.proto == "udp" else 0.8),
+        num_dest_ips=args.dest_ips,
+        seed=args.seed,
+        jitter_sec=args.jitter,
+    )
+    trace = PacketTraceGenerator(config).materialize()
+    write_trace_csv(trace, PACKET_SCHEMA, args.out)
+    print(f"wrote {len(trace):,} packets to {args.out}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    registry = default_registry(
+        hh_epsilon=args.epsilon,
+        eh_epsilon=args.epsilon,
+        sample_size=args.sample_size,
+    )
+    query = parse_query(args.sql, registry)
+    trace = read_trace_csv(args.trace, PACKET_SCHEMA)
+    count = 0
+    for row in run_query(query, PACKET_SCHEMA, trace,
+                         two_level=not args.single_level):
+        print(row)
+        count += 1
+        if args.limit and count >= args.limit:
+            break
+    print(f"-- {count} row(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    trace = read_trace_csv(args.trace, PACKET_SCHEMA) if args.trace else None
+    table = figure_table(
+        args.figure,
+        trace=trace,
+        trace_seconds=args.duration,
+        trace_rate=args.rate,
+    )
+    print(table)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Forward Decay (ICDE 2009) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    trace = commands.add_parser("trace", help="generate a synthetic packet trace")
+    trace.add_argument("--duration", type=float, default=10.0,
+                       help="trace length in seconds")
+    trace.add_argument("--rate", type=float, default=5_000.0,
+                       help="packets per second")
+    trace.add_argument("--proto", choices=["tcp", "udp", "mixed"],
+                       default="mixed", help="protocol mix")
+    trace.add_argument("--dest-ips", type=int, default=5_000,
+                       help="distinct destination population")
+    trace.add_argument("--jitter", type=float, default=0.0,
+                       help="out-of-order timestamp jitter (seconds)")
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--out", required=True, help="output CSV path")
+    trace.set_defaults(handler=_cmd_trace)
+
+    query = commands.add_parser("query", help="run a GSQL query over a trace")
+    query.add_argument("sql", help="the query text")
+    query.add_argument("--trace", required=True, help="CSV trace path")
+    query.add_argument("--single-level", action="store_true",
+                       help="disable two-level aggregate splitting")
+    query.add_argument("--epsilon", type=float, default=0.01,
+                       help="accuracy for sketch-backed aggregates")
+    query.add_argument("--sample-size", type=int, default=100,
+                       help="k for sampler UDAFs")
+    query.add_argument("--limit", type=int, default=0,
+                       help="print at most this many rows (0 = all)")
+    query.set_defaults(handler=_cmd_query)
+
+    figure = commands.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("figure", choices=list(FIGURE_IDS))
+    figure.add_argument("--trace", default=None,
+                        help="optional CSV trace to measure on")
+    figure.add_argument("--duration", type=float, default=4.0,
+                        help="generated-trace length (seconds)")
+    figure.add_argument("--rate", type=float, default=5_000.0,
+                        help="generated-trace rate (packets/second)")
+    figure.set_defaults(handler=_cmd_figure)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except DecayError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, as Unix
+        # tools do.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

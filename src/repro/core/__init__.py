@@ -1,0 +1,143 @@
+"""Core forward-decay model and decayed aggregates (the paper's contribution).
+
+This subpackage implements Sections II-IV and VI of the paper:
+
+* decay functions and weight models (:mod:`repro.core.functions`,
+  :mod:`repro.core.decay`);
+* landmark policies and exponential renormalization
+  (:mod:`repro.core.landmark`);
+* constant-space decayed aggregates — count, sum, average, variance,
+  min/max, arbitrary algebraic summations (:mod:`repro.core.aggregates`);
+* holistic decayed aggregates — heavy hitters, quantiles, count-distinct
+  (:mod:`repro.core.heavy_hitters`, :mod:`repro.core.quantiles`,
+  :mod:`repro.core.distinct`);
+* distributed merging (:mod:`repro.core.merge`).
+"""
+
+from repro.core.clustering import Cluster, DecayedKMeans
+from repro.core.aggregates import (
+    DecayedAggregate,
+    DecayedAlgebraic,
+    DecayedAverage,
+    DecayedCount,
+    DecayedMax,
+    DecayedMin,
+    DecayedSum,
+    DecayedVariance,
+)
+from repro.core.decay import (
+    BackwardDecay,
+    DecayModel,
+    ForwardDecay,
+    forward_equals_backward_exp,
+    validate_decay_axioms,
+)
+from repro.core.distinct import DecayedDistinctCount, ExactDecayedDistinct
+from repro.core.errors import (
+    DecayError,
+    EmptySummaryError,
+    LandmarkError,
+    MergeError,
+    OverflowGuardError,
+    ParameterError,
+    QueryError,
+    SchemaError,
+    TimestampError,
+)
+from repro.core.functions import (
+    ExponentialF,
+    ExponentialG,
+    GeneralPolynomialG,
+    LandmarkWindowG,
+    LogarithmicG,
+    NoDecayF,
+    NoDecayG,
+    PolynomialF,
+    PolynomialG,
+    SlidingWindowF,
+    SubPolynomialF,
+    SuperExponentialF,
+)
+from repro.core.heavy_hitters import DecayedHeavyHitters, HeavyHitter
+from repro.core.landmark import (
+    EpochLandmark,
+    FixedLandmark,
+    LandmarkPolicy,
+    OverflowGuard,
+    QueryStartLandmark,
+    exponential_shift_factor,
+    shift_exponential_weight,
+)
+from repro.core.merge import Mergeable, merge_all
+from repro.core.quantiles import DecayedQuantiles
+from repro.core.serde import dump_decay, dump_summary, load_decay, load_summary
+from repro.core.window import ClosedWindow, TumblingLandmarkWindows
+
+__all__ = [
+    # decay model
+    "DecayModel",
+    "ForwardDecay",
+    "BackwardDecay",
+    "forward_equals_backward_exp",
+    "validate_decay_axioms",
+    # g functions
+    "NoDecayG",
+    "PolynomialG",
+    "GeneralPolynomialG",
+    "ExponentialG",
+    "LandmarkWindowG",
+    "LogarithmicG",
+    # f functions
+    "NoDecayF",
+    "SlidingWindowF",
+    "ExponentialF",
+    "PolynomialF",
+    "SuperExponentialF",
+    "SubPolynomialF",
+    # landmarks
+    "LandmarkPolicy",
+    "FixedLandmark",
+    "QueryStartLandmark",
+    "EpochLandmark",
+    "OverflowGuard",
+    "exponential_shift_factor",
+    "shift_exponential_weight",
+    # aggregates
+    "DecayedAggregate",
+    "DecayedCount",
+    "DecayedSum",
+    "DecayedAverage",
+    "DecayedVariance",
+    "DecayedMin",
+    "DecayedMax",
+    "DecayedAlgebraic",
+    # holistic
+    "DecayedHeavyHitters",
+    "DecayedKMeans",
+    "Cluster",
+    "HeavyHitter",
+    "DecayedQuantiles",
+    "DecayedDistinctCount",
+    "ExactDecayedDistinct",
+    # merging
+    "Mergeable",
+    "merge_all",
+    # landmark windows
+    "TumblingLandmarkWindows",
+    "ClosedWindow",
+    # checkpointing
+    "dump_summary",
+    "load_summary",
+    "dump_decay",
+    "load_decay",
+    # errors
+    "DecayError",
+    "ParameterError",
+    "LandmarkError",
+    "TimestampError",
+    "EmptySummaryError",
+    "MergeError",
+    "QueryError",
+    "SchemaError",
+    "OverflowGuardError",
+]

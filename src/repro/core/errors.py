@@ -1,0 +1,63 @@
+"""Exception hierarchy for the forward-decay library.
+
+All library-specific errors derive from :class:`DecayError`, so callers can
+catch a single base class at an integration boundary while still being able
+to discriminate finer-grained failures (bad timestamps, bad landmarks,
+invalid parameters, ...) when they need to.
+"""
+
+from __future__ import annotations
+
+
+class DecayError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ParameterError(DecayError, ValueError):
+    """A decay function or summary was configured with an invalid parameter.
+
+    Examples: a non-positive exponential rate, a zero-size reservoir, an
+    error bound outside ``(0, 1)``.
+    """
+
+
+class LandmarkError(DecayError, ValueError):
+    """An item or query time is inconsistent with the configured landmark.
+
+    Forward decay (Definition 3 of the paper) requires ``t_i > L`` for every
+    arrival and ``t >= t_i`` for query times; violations raise this error.
+    """
+
+
+class TimestampError(DecayError, ValueError):
+    """A timestamp is malformed (NaN, infinite) or violates query ordering."""
+
+
+class EmptySummaryError(DecayError, RuntimeError):
+    """A query (quantile, sample, min/max, ...) was posed to an empty summary."""
+
+
+class MergeError(DecayError, ValueError):
+    """Two summaries are incompatible for merging.
+
+    Summaries can only be merged when they agree on the decay function,
+    landmark, and structural parameters (Section VI-B of the paper).
+    """
+
+
+class QueryError(DecayError, ValueError):
+    """A DSMS query is syntactically or semantically invalid."""
+
+
+class SchemaError(DecayError, ValueError):
+    """A tuple or expression does not conform to the stream schema."""
+
+
+class OverflowGuardError(DecayError, OverflowError):
+    """An internal ``g(t_i - L)`` weight exceeded the representable range.
+
+    Section VI-A of the paper: exponential forward decay accumulates values
+    ``exp(alpha * (t_i - L))`` that can overflow floats; the fix is to
+    renormalize against a newer landmark.  This error signals that the guard
+    threshold was exceeded and no automatic renormalization was enabled.
+    """

@@ -1,0 +1,155 @@
+"""Forward-decayed heavy hitters (Section IV-C, Theorem 2).
+
+Definition 7 of the paper: the decayed count of a value ``v`` is
+``d_v = sum_{v_i = v} g(t_i - L) / g(t - L)``, and the ``phi``-heavy hitters
+are all values with ``d_v >= phi * C`` where ``C`` is the total decayed
+count.  The ``g(t - L)`` normalizer cancels on both sides, so this is a
+*weighted* heavy-hitters problem over the static arrival weights
+``g(t_i - L)`` — solved here with the weighted SpaceSaving summary in
+``O(1/eps)`` counters and ``O(log 1/eps)`` time per update, exactly the
+bounds of Theorem 2.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, NamedTuple
+
+from repro.core.decay import ForwardDecay
+from repro.core.errors import EmptySummaryError, MergeError, ParameterError
+from repro.core.landmark import OverflowGuard
+from repro.core.weights import ForwardWeightEngine
+from repro.sketches.spacesaving import WeightedSpaceSaving
+
+__all__ = ["DecayedHeavyHitters", "HeavyHitter"]
+
+
+class HeavyHitter(NamedTuple):
+    """One reported heavy hitter."""
+
+    item: Hashable
+    decayed_count: float
+    """Estimated decayed count ``d_v`` at the query time."""
+    error_bound: float
+    """Maximum overestimation of ``decayed_count`` (same scaling)."""
+
+
+class DecayedHeavyHitters:
+    """Streaming ``phi``-heavy hitters under any forward decay function.
+
+    Parameters
+    ----------
+    decay:
+        Forward-decay model supplying ``g`` and the landmark ``L``.
+    epsilon:
+        Additive error on decayed counts, as a fraction of the total
+        decayed count ``C``: the summary reports all items with
+        ``d_v >= phi * C`` and none with ``d_v < (phi - epsilon) * C``.
+
+    Guarantees (Theorem 2): space ``O(1/epsilon)`` counters, update time
+    ``O(log 1/epsilon)``.  Out-of-order arrivals are handled natively and
+    summaries over disjoint substreams merge (Section VI-B).
+    """
+
+    def __init__(
+        self,
+        decay: ForwardDecay,
+        epsilon: float = 0.01,
+        guard: OverflowGuard | None = None,
+    ):
+        if not 0.0 < epsilon < 1.0:
+            raise ParameterError(f"epsilon must be in (0, 1), got {epsilon!r}")
+        self.epsilon = epsilon
+        self._sketch = WeightedSpaceSaving.from_epsilon(epsilon)
+        self._engine = ForwardWeightEngine(decay, self._sketch.scale, guard)
+        self._items = 0
+        self._max_time = float("-inf")
+
+    @property
+    def decay(self) -> ForwardDecay:
+        """The decay model this summary was built with."""
+        return self._engine.decay
+
+    @property
+    def items_processed(self) -> int:
+        """Number of updates folded in (including via merges)."""
+        return self._items
+
+    def update(self, item: Hashable, timestamp: float, count: float = 1.0) -> None:
+        """Record an occurrence of ``item`` at ``timestamp``.
+
+        ``count`` supports pre-aggregated input (e.g. a packet of ``count``
+        bytes when tracking decayed byte counts): the effective weight is
+        ``count * g(t_i - L)``.
+        """
+        if count < 0:
+            raise ParameterError(f"count must be >= 0, got {count!r}")
+        weight = self._engine.arrival_weight(timestamp)
+        self._sketch.update(item, weight * count)
+        self._items += 1
+        if timestamp > self._max_time:
+            self._max_time = timestamp
+
+    def decayed_total(self, query_time: float | None = None) -> float:
+        """The total decayed count ``C`` at ``query_time`` (Definition 5)."""
+        if self._items == 0:
+            raise EmptySummaryError("heavy-hitter summary has seen no items")
+        if query_time is None:
+            query_time = self._max_time
+        return self._sketch.total_weight / self._engine.normalizer(query_time)
+
+    def decayed_count(self, item: Hashable, query_time: float | None = None) -> float:
+        """Estimated decayed count ``d_v`` of one item (0 if unmonitored)."""
+        if self._items == 0:
+            raise EmptySummaryError("heavy-hitter summary has seen no items")
+        if query_time is None:
+            query_time = self._max_time
+        return self._sketch.estimate(item) / self._engine.normalizer(query_time)
+
+    def heavy_hitters(
+        self, phi: float, query_time: float | None = None
+    ) -> list[HeavyHitter]:
+        """All items with estimated decayed count ``>= phi * C``.
+
+        Contains every true ``phi``-heavy hitter; may additionally contain
+        items with ``d_v >= (phi - epsilon) * C`` (Theorem 2's guarantee).
+        Results are sorted by descending decayed count.
+        """
+        if self._items == 0:
+            raise EmptySummaryError("heavy-hitter summary has seen no items")
+        if query_time is None:
+            query_time = self._max_time
+        normalizer = self._engine.normalizer(query_time)
+        return [
+            HeavyHitter(c.item, c.count / normalizer, c.error / normalizer)
+            for c in self._sketch.heavy_hitters(phi)
+        ]
+
+    def top_k(self, k: int, query_time: float | None = None) -> list[HeavyHitter]:
+        """The ``k`` items with the largest estimated decayed counts."""
+        if self._items == 0:
+            raise EmptySummaryError("heavy-hitter summary has seen no items")
+        if query_time is None:
+            query_time = self._max_time
+        normalizer = self._engine.normalizer(query_time)
+        return [
+            HeavyHitter(c.item, c.count / normalizer, c.error / normalizer)
+            for c in self._sketch.top_k(k)
+        ]
+
+    def merge(self, other: "DecayedHeavyHitters") -> None:
+        """Fold in a summary of a disjoint substream (Section VI-B)."""
+        if not isinstance(other, DecayedHeavyHitters):
+            raise MergeError(f"cannot merge {type(other).__name__}")
+        if other.epsilon != self.epsilon:
+            raise MergeError(
+                f"epsilon mismatch: {self.epsilon} vs {other.epsilon}"
+            )
+        factor = self._engine.align_for_merge(other._engine)
+        self._sketch.merge(other._sketch, factor)
+        self._items += other._items
+        if other._max_time > self._max_time:
+            self._max_time = other._max_time
+
+    def state_size_bytes(self) -> int:
+        """Approximate summary footprint (Figure 4(c)/(d) accounting)."""
+        return self._sketch.state_size_bytes()

@@ -1,0 +1,158 @@
+"""Landmark selection and exponential renormalization (Section VI-A).
+
+Forward decay stores per-item quantities ``g(t_i - L)`` and only divides by
+``g(t - L)`` at query time.  For polynomial ``g`` these values stay small,
+but for exponential ``g`` they grow as ``exp(alpha * (t_i - L))`` and will
+eventually overflow IEEE doubles.  Section VI-A observes that, because the
+stored state is a *linear combination* of ``g`` values, it can be rescaled
+against a newer landmark ``L'`` by multiplying through by
+``exp(-alpha * (L' - L))`` — the final decayed answers are unchanged.
+
+This module provides:
+
+* landmark policies (:class:`QueryStartLandmark`, :class:`EpochLandmark`,
+  :class:`FixedLandmark`) encapsulating the "how do I pick L" advice of
+  Section III-B;
+* :func:`exponential_shift_factor` / :func:`shift_exponential_weight`, the
+  renormalization primitives;
+* :class:`OverflowGuard`, a watchdog that decides *when* to renormalize.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.errors import OverflowGuardError, ParameterError
+from repro.core.functions import ExponentialG
+
+__all__ = [
+    "LandmarkPolicy",
+    "FixedLandmark",
+    "QueryStartLandmark",
+    "EpochLandmark",
+    "exponential_shift_factor",
+    "shift_exponential_weight",
+    "OverflowGuard",
+]
+
+
+class LandmarkPolicy(ABC):
+    """Strategy for choosing the landmark ``L`` of a forward-decay query."""
+
+    @abstractmethod
+    def landmark_for(self, query_start_time: float) -> float:
+        """Return the landmark to use for a query issued at the given time."""
+
+
+@dataclass(frozen=True)
+class FixedLandmark(LandmarkPolicy):
+    """Always use an explicitly supplied landmark (e.g. a known epoch)."""
+
+    landmark: float
+
+    def landmark_for(self, query_start_time: float) -> float:
+        return self.landmark
+
+
+@dataclass(frozen=True)
+class QueryStartLandmark(LandmarkPolicy):
+    """Use the query's start time, the paper's recommended default.
+
+    Section III-B: with the relative-decay property, anchoring ``L`` at the
+    query start makes items with the same relative position in the query's
+    lifetime receive the same weight.  A small ``slack`` can be subtracted
+    so that tuples observed in the same instant the query starts still have
+    ``t_i > L`` strictly.
+    """
+
+    slack: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slack < 0:
+            raise ParameterError(f"slack must be >= 0, got {self.slack!r}")
+
+    def landmark_for(self, query_start_time: float) -> float:
+        return query_start_time - self.slack
+
+
+@dataclass(frozen=True)
+class EpochLandmark(LandmarkPolicy):
+    """Anchor at the start of the current fixed-width epoch.
+
+    This reproduces the GSQL idiom of the paper's example query, where
+    ``time % 60`` measures the offset from the start of the current minute:
+    the landmark is the latest multiple of ``width`` at or before the query
+    start.
+    """
+
+    width: float
+
+    def __post_init__(self) -> None:
+        if not self.width > 0:
+            raise ParameterError(f"width must be > 0, got {self.width!r}")
+
+    def landmark_for(self, query_start_time: float) -> float:
+        return math.floor(query_start_time / self.width) * self.width
+
+
+def exponential_shift_factor(g: ExponentialG, old_landmark: float, new_landmark: float) -> float:
+    """Return the factor converting ``g``-weights from ``L`` to ``L'``.
+
+    For ``g(n) = exp(alpha n)`` the stored weight relative to ``L`` is
+    ``exp(alpha (t_i - L))``; multiplying by
+    ``exp(-alpha (L' - L))`` yields ``exp(alpha (t_i - L'))``, the weight
+    relative to ``L'``.  ``new_landmark`` may be earlier or later than
+    ``old_landmark`` (the factor is just ``> 1`` in the former case).
+    """
+    return math.exp(-g.alpha * (new_landmark - old_landmark))
+
+
+def shift_exponential_weight(
+    weight: float, g: ExponentialG, old_landmark: float, new_landmark: float
+) -> float:
+    """Rescale a single stored weight to a new landmark (Section VI-A)."""
+    return weight * exponential_shift_factor(g, old_landmark, new_landmark)
+
+
+@dataclass
+class OverflowGuard:
+    """Watchdog deciding when exponential weights need renormalization.
+
+    The guard trips when a stored weight (or accumulated sum) exceeds
+    ``threshold`` — by default the square root of the float maximum, which
+    leaves ample headroom for sums of many weights and for squaring in
+    variance computations.
+
+    Summaries call :meth:`check` on the largest magnitude they hold; if it
+    returns ``True`` they should shift their state to a newer landmark
+    (typically the current time) using :func:`shift_exponential_weight` and
+    then :meth:`record_shift` here.  With ``strict=True`` the guard raises
+    :class:`~repro.core.errors.OverflowGuardError` instead of returning,
+    for callers that cannot renormalize.
+    """
+
+    threshold: float = math.sqrt(sys.float_info.max)
+    strict: bool = False
+    shifts: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.threshold > 0:
+            raise ParameterError(f"threshold must be > 0, got {self.threshold!r}")
+
+    def check(self, magnitude: float) -> bool:
+        """Return ``True`` if ``magnitude`` calls for renormalization."""
+        if magnitude > self.threshold or math.isinf(magnitude):
+            if self.strict:
+                raise OverflowGuardError(
+                    f"weight magnitude {magnitude!r} exceeded guard threshold "
+                    f"{self.threshold!r} and strict mode disallows renormalization"
+                )
+            return True
+        return False
+
+    def record_shift(self) -> None:
+        """Count a performed renormalization (exposed for tests/benchmarks)."""
+        self.shifts += 1

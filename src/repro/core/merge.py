@@ -1,0 +1,55 @@
+"""Distributed combination of forward-decayed summaries (Section VI-B).
+
+Forward decay extends naturally to distributed and parallel settings: given
+summaries computed at separate sites *for the same decay function and
+landmark*, they merge into a summary of the union of the inputs.  Every
+summary class in this library exposes a ``merge(other)`` method with those
+semantics; this module adds the small amount of glue for combining many of
+them at once (e.g. per-core partial summaries, or per-site summaries in a
+sensor network).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, TypeVar, runtime_checkable
+
+from repro.core.errors import MergeError
+
+__all__ = ["Mergeable", "merge_all"]
+
+
+@runtime_checkable
+class Mergeable(Protocol):
+    """Anything exposing the library's merge protocol."""
+
+    def merge(self, other: "Mergeable") -> None:
+        """Fold ``other`` into ``self``; ``other`` is left unmodified."""
+        ...
+
+
+M = TypeVar("M", bound=Mergeable)
+
+
+def merge_all(summaries: Iterable[M]) -> M:
+    """Merge an iterable of compatible summaries into its first element.
+
+    Returns the first summary after folding all the others into it, so the
+    typical distributed pattern is::
+
+        combined = merge_all(site_summaries)
+        answer = combined.query(query_time)
+
+    Raises
+    ------
+    MergeError
+        If the iterable is empty, or any pair is incompatible (different
+        decay functions, landmarks, or structural parameters).
+    """
+    iterator = iter(summaries)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise MergeError("merge_all requires at least one summary") from None
+    for other in iterator:
+        first.merge(other)
+    return first

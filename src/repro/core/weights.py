@@ -1,0 +1,183 @@
+"""The forward-decay weight engine shared by all decayed summaries.
+
+Every decayed summary in this library stores state that is *linear* in the
+arrival weights ``g(t_i - L)``.  This module centralizes the three pieces of
+bookkeeping they all need:
+
+* computing the arrival weight of an item (Definition 3's numerator);
+* the Section VI-A renormalization for exponential ``g``: when a weight
+  would overflow the guard threshold, shift the internal landmark forward
+  and rescale all linear state by ``exp(-alpha * (L' - L))``;
+* aligning two engines' internal landmarks before a merge (Section VI-B),
+  returning the factor that converts the peer's stored state.
+
+Summaries own their state; the engine calls back into a ``scale_state``
+callable they provide whenever a landmark shift rescales the world.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.core.decay import ForwardDecay
+from repro.core.errors import MergeError
+from repro.core.functions import ExponentialG
+from repro.core.landmark import OverflowGuard
+
+__all__ = ["ForwardWeightEngine"]
+
+ScaleState = Callable[[float], None]
+
+
+class ForwardWeightEngine:
+    """Arrival-weight computation with transparent exponential renormalization.
+
+    Parameters
+    ----------
+    decay:
+        The forward-decay model (function ``g`` plus nominal landmark ``L``).
+    scale_state:
+        Callback invoked with a factor ``< 1`` whenever the engine shifts
+        its internal landmark; the owner must multiply all its linear state
+        by that factor.
+    guard:
+        Overflow watchdog; defaults to a fresh :class:`OverflowGuard`.
+    """
+
+    __slots__ = ("decay", "_g", "_scale_state", "_guard", "_landmark",
+                 "_exp_alpha", "_log_threshold")
+
+    def __init__(
+        self,
+        decay: ForwardDecay,
+        scale_state: ScaleState,
+        guard: OverflowGuard | None = None,
+    ):
+        self.decay = decay
+        self._g = decay.g
+        self._scale_state = scale_state
+        self._guard = guard if guard is not None else OverflowGuard()
+        self._landmark = decay.landmark
+        self._exp_alpha = decay.g.alpha if isinstance(decay.g, ExponentialG) else None
+        self._log_threshold = math.log(self._guard.threshold)
+
+    @property
+    def internal_landmark(self) -> float:
+        """The engine's current (possibly advanced) landmark."""
+        return self._landmark
+
+    def restore_landmark(self, landmark: float) -> None:
+        """Set the internal landmark directly (checkpoint restoration).
+
+        Only for deserialization: the caller must restore state that was
+        saved against exactly this landmark.  No rescaling happens here.
+        """
+        self._landmark = landmark
+
+    @property
+    def shifts(self) -> int:
+        """Number of renormalizations performed so far."""
+        return self._guard.shifts
+
+    def arrival_weight(self, timestamp: float) -> float:
+        """Return ``g(t_i - L_internal)``, renormalizing first if needed.
+
+        For exponential ``g`` the offset may be negative (out-of-order items
+        older than an advanced internal landmark); the weight is then simply
+        ``< 1``, which is correct after the state rescaling that moved the
+        landmark.
+        """
+        if self._exp_alpha is not None:
+            exponent = self._exp_alpha * (timestamp - self._landmark)
+            if exponent > self._log_threshold:
+                self._shift_to(timestamp)
+                exponent = 0.0
+            return math.exp(exponent)
+        return self.decay.static_weight(timestamp)
+
+    def arrival_weights(self, timestamps) -> "object":
+        """Vectorized :meth:`arrival_weight` over a numpy timestamp array.
+
+        Returns a float64 array of ``g(t_i - L_internal)``.  For
+        exponential ``g`` the internal landmark is shifted once per batch
+        (to the batch maximum) when any exponent would exceed the guard
+        threshold, so no element overflows.  Non-exponential functions are
+        dispatched to closed-form numpy expressions where the library
+        knows the class, falling back to a scalar loop otherwise.
+        """
+        import numpy as np
+
+        from repro.core.errors import LandmarkError, TimestampError
+        from repro.core.functions import (
+            GeneralPolynomialG,
+            LandmarkWindowG,
+            LogarithmicG,
+            NoDecayG,
+            PolynomialG,
+        )
+
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if ts.size == 0:
+            return np.empty(0, dtype=np.float64)
+        if not np.isfinite(ts).all():
+            raise TimestampError("timestamps must be finite")
+        if self._exp_alpha is not None:
+            max_time = float(ts.max())
+            if self._exp_alpha * (max_time - self._landmark) > self._log_threshold:
+                self._shift_to(max_time)
+            return np.exp(self._exp_alpha * (ts - self._landmark))
+        offsets = ts - self._landmark
+        if (offsets < 0).any():
+            raise LandmarkError(
+                "all timestamps must be at or after the landmark "
+                f"{self._landmark} for forward decay"
+            )
+        g = self._g
+        if isinstance(g, NoDecayG):
+            return np.ones_like(offsets)
+        if isinstance(g, PolynomialG):
+            return offsets**g.beta
+        if isinstance(g, LandmarkWindowG):
+            return (offsets > 0).astype(np.float64)
+        if isinstance(g, LogarithmicG):
+            return np.log1p(g.scale * offsets)
+        if isinstance(g, GeneralPolynomialG):
+            return np.polyval(list(reversed(g.coefficients)), offsets)
+        return np.array([g(float(n)) for n in offsets])
+
+    def normalizer(self, query_time: float) -> float:
+        """Return ``g(t - L_internal)`` (1.0 when ``g`` evaluates to zero)."""
+        if self._exp_alpha is not None:
+            return math.exp(self._exp_alpha * (query_time - self._landmark))
+        value = self.decay.normalizer(query_time)
+        return value if value != 0.0 else 1.0
+
+    def _shift_to(self, new_landmark: float) -> None:
+        factor = math.exp(self._exp_alpha * (self._landmark - new_landmark))
+        self._scale_state(factor)
+        self._landmark = new_landmark
+        self._guard.record_shift()
+
+    def check_compatible(self, other: "ForwardWeightEngine") -> None:
+        """Raise :class:`MergeError` unless both engines share (g, L)."""
+        if other._g != self._g or other.decay.landmark != self.decay.landmark:
+            raise MergeError(
+                "summaries must share the decay function and landmark to merge "
+                f"(self: {self._g!r} @ {self.decay.landmark}, "
+                f"other: {other._g!r} @ {other.decay.landmark})"
+            )
+
+    def align_for_merge(self, other: "ForwardWeightEngine") -> float:
+        """Prepare to merge a peer's state; return its conversion factor.
+
+        If the peer renormalized further ahead, this engine advances first
+        (rescaling its owner's state via the callback) so the returned
+        factor is always ``<= 1`` and cannot overflow.
+        """
+        self.check_compatible(other)
+        if self._exp_alpha is None:
+            return 1.0
+        if other._landmark > self._landmark:
+            self._shift_to(other._landmark)
+        return math.exp(self._exp_alpha * (other._landmark - self._landmark))

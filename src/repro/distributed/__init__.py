@@ -1,0 +1,25 @@
+"""Distributed execution of forward-decayed aggregation.
+
+Operationalizes Section VI-B (multi-site merging) and the Section IX
+outlook (MapReduce-style processing):
+
+* :mod:`repro.distributed.simulation` — per-site summaries with hash or
+  round-robin partitioning and snapshot merging;
+* :mod:`repro.distributed.mapreduce` — decayed aggregation as a simulated
+  map / combine / shuffle / reduce job.
+"""
+
+from repro.distributed.mapreduce import MapReduceResult, decayed_map_reduce
+from repro.distributed.simulation import (
+    DistributedAggregation,
+    hash_partitioner,
+    round_robin_partitioner,
+)
+
+__all__ = [
+    "DistributedAggregation",
+    "hash_partitioner",
+    "round_robin_partitioner",
+    "decayed_map_reduce",
+    "MapReduceResult",
+]

@@ -1,0 +1,124 @@
+"""Decayed aggregation as a MapReduce job (the Section IX direction).
+
+The paper closes by noting that forward decay "fits easily into
+distributed systems" and that integrating it with MapReduce/Hadoop/Sawzall
+"will be interesting to study".  This module implements that integration
+pattern over an in-process simulation of the MapReduce execution model:
+
+* **map**: each mapper processes an input split, emitting
+  ``(key, summary-update)`` pairs — here, folding items directly into a
+  per-key decayed summary (a combiner, in MapReduce terms; valid because
+  every summary in this library is associative and mergeable);
+* **shuffle**: per-key partial summaries are routed to reducers by key
+  hash;
+* **reduce**: each reducer merges the partial summaries of its keys.
+
+Because forward-decay weights are fixed at arrival, mappers need no clock
+agreement beyond the shared ``(g, landmark)``; splits may overlap in time,
+arrive out of order, or be processed at different speeds — the reduce
+output is identical to a sequential run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Hashable, Iterable, Sequence, TypeVar
+
+from repro.core.errors import ParameterError
+from repro.core.merge import Mergeable
+from repro.sketches.kmv import hash_to_unit
+
+__all__ = ["MapReduceResult", "decayed_map_reduce"]
+
+S = TypeVar("S", bound=Mergeable)
+Record = TypeVar("Record")
+
+
+class MapReduceResult(Generic[S]):
+    """Output of a decayed MapReduce run: per-key merged summaries."""
+
+    def __init__(self, summaries: dict[Hashable, S], mappers: int, reducers: int):
+        self._summaries = summaries
+        self.mappers = mappers
+        self.reducers = reducers
+
+    def __getitem__(self, key: Hashable) -> S:
+        return self._summaries[key]
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._summaries
+
+    def __len__(self) -> int:
+        return len(self._summaries)
+
+    def keys(self) -> list[Hashable]:
+        """All reduced keys."""
+        return list(self._summaries)
+
+    def items(self):
+        """``(key, summary)`` pairs."""
+        return self._summaries.items()
+
+
+def decayed_map_reduce(
+    splits: Sequence[Iterable[Record]],
+    key_of: Callable[[Record], Hashable],
+    summary_factory: Callable[[], S],
+    update: Callable[[S, Record], None],
+    reducers: int = 4,
+) -> MapReduceResult[S]:
+    """Run a decayed aggregation as a simulated MapReduce job.
+
+    Parameters
+    ----------
+    splits:
+        Input splits, one per mapper (e.g. per-file or per-hour shards).
+    key_of:
+        Grouping key of a record (the reduce key).
+    summary_factory:
+        Builds a fresh decayed summary; all instances must be mutually
+        mergeable (same decay function and landmark).
+    update:
+        Folds one record into a summary.
+    reducers:
+        Number of reduce partitions (affects only the simulated shuffle).
+
+    Returns per-key summaries identical to processing the concatenated
+    input sequentially.
+    """
+    if not splits:
+        raise ParameterError("need at least one input split")
+    if reducers < 1:
+        raise ParameterError(f"reducers must be >= 1, got {reducers!r}")
+
+    # Map phase (with combining): per-mapper, per-key partial summaries.
+    mapper_outputs: list[dict[Hashable, S]] = []
+    for split in splits:
+        partials: dict[Hashable, S] = {}
+        for record in split:
+            key = key_of(record)
+            summary = partials.get(key)
+            if summary is None:
+                summary = summary_factory()
+                partials[key] = summary
+            update(summary, record)
+        mapper_outputs.append(partials)
+
+    # Shuffle: route each (key, partial) to its reducer.
+    reducer_inputs: list[dict[Hashable, list[S]]] = [
+        {} for __ in range(reducers)
+    ]
+    for partials in mapper_outputs:
+        for key, summary in partials.items():
+            reducer = int(hash_to_unit(key) * reducers) % reducers
+            reducer_inputs[reducer].setdefault(key, []).append(summary)
+
+    # Reduce: merge each key's partials.
+    reduced: dict[Hashable, S] = {}
+    for bucket in reducer_inputs:
+        for key, partials_list in bucket.items():
+            first = partials_list[0]
+            for other in partials_list[1:]:
+                first.merge(other)
+            reduced[key] = first
+
+    return MapReduceResult(reduced, mappers=len(splits), reducers=reducers)

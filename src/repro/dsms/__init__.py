@@ -1,0 +1,68 @@
+"""A GS-style data stream management system (the paper's host substrate).
+
+The paper evaluates forward decay inside GS (Gigascope), AT&T's production
+network-stream database.  This subpackage is a from-scratch Python analogue
+exercising the same code paths the experiments measure:
+
+* :mod:`repro.dsms.schema` / :mod:`repro.dsms.expressions` — typed streams
+  and compiled scalar expressions;
+* :mod:`repro.dsms.parser` — the GSQL-like dialect (SELECT / FROM / WHERE /
+  GROUP BY with expressions, aggregates and UDAFs);
+* :mod:`repro.dsms.udaf` — the UDAF mechanism plus builtin aggregates and
+  adapters for every summary/sampler in the library;
+* :mod:`repro.dsms.engine` — two-level (partial + super) aggregation with
+  a fixed-size low-level hash table, tumbling time buckets;
+* :mod:`repro.dsms.runtime` — stream-rate simulation, CPU-load accounting
+  and load shedding.
+"""
+
+from repro.dsms.catalog import Catalog
+from repro.dsms.engine import QueryEngine, run_query
+from repro.dsms.expressions import (
+    BinaryOp,
+    BooleanOp,
+    Column,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+)
+from repro.dsms.parser import AggregateCall, GroupItem, Query, SelectItem, parse_query
+from repro.dsms.runtime import (
+    LoadReport,
+    LoadSheddingRuntime,
+    cpu_load_percent,
+    measure_per_tuple_cost,
+)
+from repro.dsms.schema import Field, FieldType, Schema
+from repro.dsms.udaf import Udaf, UdafRegistry, default_registry
+
+__all__ = [
+    "Schema",
+    "Field",
+    "FieldType",
+    "Expression",
+    "Column",
+    "Literal",
+    "BinaryOp",
+    "UnaryOp",
+    "Comparison",
+    "BooleanOp",
+    "FunctionCall",
+    "Query",
+    "SelectItem",
+    "GroupItem",
+    "AggregateCall",
+    "parse_query",
+    "Udaf",
+    "UdafRegistry",
+    "default_registry",
+    "Catalog",
+    "QueryEngine",
+    "run_query",
+    "LoadSheddingRuntime",
+    "LoadReport",
+    "measure_per_tuple_cost",
+    "cpu_load_percent",
+]

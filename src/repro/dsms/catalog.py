@@ -1,0 +1,83 @@
+"""Stream catalog: resolving ``FROM <name>`` to a schema.
+
+GS exposes multiple named feeds (the paper queries ``TCP``; Figure 4(b)
+uses the UDP feed).  A :class:`Catalog` maps stream names to schemas, so
+queries are validated and executed against the feed they name instead of a
+caller-supplied schema:
+
+    catalog = Catalog()
+    catalog.register("TCP", PACKET_SCHEMA)
+    catalog.register("UDP", PACKET_SCHEMA)
+    engine = catalog.engine_for(parse_query(sql, registry))
+
+Names are case-insensitive, matching the dialect's keyword handling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.errors import QueryError
+from repro.dsms.engine import QueryEngine, ResultRow
+from repro.dsms.parser import Query
+from repro.dsms.schema import Schema
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """A case-insensitive registry of named streams and their schemas."""
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, Schema] = {}
+
+    def register(self, name: str, schema: Schema) -> None:
+        """Register (or replace) a stream ``name`` with its ``schema``."""
+        if not name or not name.replace("_", "").isalnum():
+            raise QueryError(f"stream name must be an identifier, got {name!r}")
+        self._schemas[name.lower()] = schema
+
+    def schema_for(self, name: str) -> Schema:
+        """The schema of a registered stream; raises on unknown names."""
+        try:
+            return self._schemas[name.lower()]
+        except KeyError:
+            raise QueryError(
+                f"unknown stream {name!r}; registered: {self.names()}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._schemas
+
+    def names(self) -> list[str]:
+        """All registered stream names."""
+        return sorted(self._schemas)
+
+    def engine_for(self, query: Query, **engine_options) -> QueryEngine:
+        """Build a :class:`QueryEngine` against the query's FROM stream.
+
+        ``engine_options`` pass through to the engine constructor
+        (``two_level``, ``low_table_size``, ``emit_on_bucket_change``).
+        """
+        schema = self.schema_for(query.stream)
+        return QueryEngine(query, schema, **engine_options)
+
+    def run(
+        self, query: Query, rows: Iterable[tuple], **engine_options
+    ) -> Iterator[ResultRow]:
+        """Execute ``query`` over ``rows`` of its FROM stream.
+
+        Bucket results are emitted as they complete, then the remainder on
+        exhaustion — the streaming contract of
+        :func:`repro.dsms.engine.run_query`, with the schema resolved from
+        this catalog.
+        """
+        engine = self.engine_for(
+            query, emit_on_bucket_change=True, **engine_options
+        )
+        for row in rows:
+            engine.process(row)
+            pending = engine.drain()
+            if pending:
+                yield from pending
+        yield from engine.flush()

@@ -1,0 +1,311 @@
+"""Scalar expression AST for the GSQL-like dialect.
+
+Expressions cover what the paper's queries use: column references, integer
+and float literals, arithmetic (``+ - * / %``), comparisons, boolean
+connectives, and a few scalar functions (``exp``, ``log``, ``sqrt``,
+``pow``, ``abs``).  Notably, integer division and modulo are what GSQL
+decay queries are built from — ``time/60 as tb`` forms the time bucket and
+``time % 60`` the offset from the bucket's landmark, as in the paper's
+quadratic-decay example::
+
+    select tb, destIP, destPort,
+           sum(len*(time % 60)*(time % 60))/3600 from TCP
+    group by time/60 as tb, destIP, destPort
+
+For per-tuple speed every expression compiles to a Python closure over the
+schema's field positions (:meth:`Expression.compile`); the tree-walking
+:meth:`Expression.evaluate` exists for clarity and tests.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.errors import QueryError
+from repro.dsms.schema import Schema
+
+__all__ = [
+    "Expression",
+    "Column",
+    "Literal",
+    "BinaryOp",
+    "UnaryOp",
+    "Comparison",
+    "BooleanOp",
+    "FunctionCall",
+]
+
+Row = tuple
+Evaluator = Callable[[Row], object]
+
+_ARITHMETIC = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": None,  # handled specially: integer / integer -> floor division (GSQL)
+    "%": operator.mod,
+}
+
+_COMPARISONS = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_FUNCTIONS: dict[str, Callable] = {
+    "exp": math.exp,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "pow": math.pow,
+    "abs": abs,
+}
+
+
+def _gsql_divide(left, right):
+    """GSQL division: integer operands floor-divide (so ``time/60`` buckets)."""
+    if isinstance(left, int) and isinstance(right, int):
+        return left // right
+    return left / right
+
+
+class Expression(ABC):
+    """Base class of all scalar expressions."""
+
+    @abstractmethod
+    def evaluate(self, row: Row, schema: Schema) -> object:
+        """Tree-walking evaluation (reference semantics)."""
+
+    @abstractmethod
+    def compile(self, schema: Schema) -> Evaluator:
+        """Compile to a closure ``row -> value`` resolved against ``schema``."""
+
+    @abstractmethod
+    def columns(self) -> set[str]:
+        """Names of all columns referenced."""
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.sql()
+
+    @abstractmethod
+    def sql(self) -> str:
+        """Render back to (normalized) query text."""
+
+
+@dataclass(frozen=True)
+class Column(Expression):
+    """A reference to a stream field by name."""
+
+    name: str
+
+    def evaluate(self, row: Row, schema: Schema) -> object:
+        return row[schema.index_of(self.name)]
+
+    def compile(self, schema: Schema) -> Evaluator:
+        index = schema.index_of(self.name)
+        return lambda row: row[index]
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def sql(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant (int, float, or string)."""
+
+    value: object
+
+    def evaluate(self, row: Row, schema: Schema) -> object:
+        return self.value
+
+    def compile(self, schema: Schema) -> Evaluator:
+        value = self.value
+        return lambda row: value
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def sql(self) -> str:
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Arithmetic: ``left op right`` for op in ``+ - * / %``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise QueryError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, row: Row, schema: Schema) -> object:
+        left = self.left.evaluate(row, schema)
+        right = self.right.evaluate(row, schema)
+        if self.op == "/":
+            return _gsql_divide(left, right)
+        return _ARITHMETIC[self.op](left, right)
+
+    def compile(self, schema: Schema) -> Evaluator:
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        if self.op == "/":
+            return lambda row: _gsql_divide(left(row), right(row))
+        fn = _ARITHMETIC[self.op]
+        return lambda row: fn(left(row), right(row))
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} {self.op} {self.right.sql()})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary minus."""
+
+    op: str
+    operand: Expression
+
+    def __post_init__(self) -> None:
+        if self.op != "-":
+            raise QueryError(f"unknown unary operator {self.op!r}")
+
+    def evaluate(self, row: Row, schema: Schema) -> object:
+        return -self.operand.evaluate(row, schema)  # type: ignore[operator]
+
+    def compile(self, schema: Schema) -> Evaluator:
+        operand = self.operand.compile(schema)
+        return lambda row: -operand(row)  # type: ignore[operator]
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def sql(self) -> str:
+        return f"(-{self.operand.sql()})"
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """``left cmp right`` for cmp in ``= != <> < <= > >=``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISONS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Row, schema: Schema) -> object:
+        return _COMPARISONS[self.op](
+            self.left.evaluate(row, schema), self.right.evaluate(row, schema)
+        )
+
+    def compile(self, schema: Schema) -> Evaluator:
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        fn = _COMPARISONS[self.op]
+        return lambda row: fn(left(row), right(row))
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} {self.op} {self.right.sql()})"
+
+
+@dataclass(frozen=True)
+class BooleanOp(Expression):
+    """``AND`` / ``OR`` / ``NOT`` over boolean sub-expressions."""
+
+    op: str
+    operands: tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or", "not"):
+            raise QueryError(f"unknown boolean operator {self.op!r}")
+        if self.op == "not" and len(self.operands) != 1:
+            raise QueryError("NOT takes exactly one operand")
+        if self.op in ("and", "or") and len(self.operands) < 2:
+            raise QueryError(f"{self.op.upper()} needs at least two operands")
+
+    def evaluate(self, row: Row, schema: Schema) -> object:
+        if self.op == "not":
+            return not self.operands[0].evaluate(row, schema)
+        if self.op == "and":
+            return all(e.evaluate(row, schema) for e in self.operands)
+        return any(e.evaluate(row, schema) for e in self.operands)
+
+    def compile(self, schema: Schema) -> Evaluator:
+        compiled = [e.compile(schema) for e in self.operands]
+        if self.op == "not":
+            inner = compiled[0]
+            return lambda row: not inner(row)
+        if self.op == "and":
+            return lambda row: all(fn(row) for fn in compiled)
+        return lambda row: any(fn(row) for fn in compiled)
+
+    def columns(self) -> set[str]:
+        names: set[str] = set()
+        for expr in self.operands:
+            names |= expr.columns()
+        return names
+
+    def sql(self) -> str:
+        if self.op == "not":
+            return f"(NOT {self.operands[0].sql()})"
+        joiner = f" {self.op.upper()} "
+        return "(" + joiner.join(e.sql() for e in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A scalar builtin: ``exp``, ``log``, ``sqrt``, ``pow``, ``abs``."""
+
+    name: str
+    args: tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in _FUNCTIONS:
+            raise QueryError(
+                f"unknown scalar function {self.name!r}; "
+                f"available: {sorted(_FUNCTIONS)}"
+            )
+
+    def evaluate(self, row: Row, schema: Schema) -> object:
+        fn = _FUNCTIONS[self.name]
+        return fn(*(a.evaluate(row, schema) for a in self.args))
+
+    def compile(self, schema: Schema) -> Evaluator:
+        fn = _FUNCTIONS[self.name]
+        compiled = [a.compile(schema) for a in self.args]
+        if len(compiled) == 1:
+            single = compiled[0]
+            return lambda row: fn(single(row))
+        return lambda row: fn(*(c(row) for c in compiled))
+
+    def columns(self) -> set[str]:
+        names: set[str] = set()
+        for arg in self.args:
+            names |= arg.columns()
+        return names
+
+    def sql(self) -> str:
+        return f"{self.name}({', '.join(a.sql() for a in self.args)})"

@@ -1,0 +1,100 @@
+"""Stream schemas for the GS-style query engine.
+
+GS (Gigascope) exposes network feeds as typed streams queried with an
+SQL-like language.  A :class:`Schema` names and types the fields of one
+stream; tuples are plain Python tuples positionally aligned with the
+schema (the cheapest faithful representation for a per-tuple-cost study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from repro.core.errors import SchemaError
+
+__all__ = ["FieldType", "Field", "Schema"]
+
+
+class FieldType(Enum):
+    """Supported column types."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+
+    def python_type(self) -> type:
+        """The Python type values of this column must have."""
+        return {"int": int, "float": float, "str": str}[self.value]
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named, typed column of a stream."""
+
+    name: str
+    type: FieldType
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SchemaError(f"field name must be an identifier, got {self.name!r}")
+
+
+class Schema:
+    """An ordered collection of fields with O(1) name lookup."""
+
+    def __init__(self, fields: Sequence[Field]):
+        if not fields:
+            raise SchemaError("a schema needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate field names in {names}")
+        self.fields = tuple(fields)
+        self._index = {f.name: i for i, f in enumerate(fields)}
+
+    def index_of(self, name: str) -> int:
+        """Position of the named field; raises :class:`SchemaError` if absent."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown field {name!r}; schema has {list(self._index)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def names(self) -> list[str]:
+        """Field names in schema order."""
+        return [f.name for f in self.fields]
+
+    def validate(self, row: tuple) -> None:
+        """Check a tuple's arity and types against the schema.
+
+        Meant for ingest boundaries and tests; the hot engine path skips
+        validation, as a production DSMS would after parse time.
+        """
+        if len(row) != len(self.fields):
+            raise SchemaError(
+                f"arity mismatch: schema has {len(self.fields)} fields, "
+                f"row has {len(row)}"
+            )
+        for value, field in zip(row, self.fields):
+            expected = field.type.python_type()
+            if expected is float:
+                if not isinstance(value, (int, float)):
+                    raise SchemaError(
+                        f"field {field.name!r} expects a number, got {value!r}"
+                    )
+            elif not isinstance(value, expected):
+                raise SchemaError(
+                    f"field {field.name!r} expects {expected.__name__}, got {value!r}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cols = ", ".join(f"{f.name} {f.type.value}" for f in self.fields)
+        return f"Schema({cols})"

@@ -1,0 +1,666 @@
+"""User-defined aggregate functions (UDAFs) and the builtin aggregates.
+
+GS exposes a UDAF hook — arbitrary code run per selected tuple, with a
+final pass at output time — and the paper implements all its decayed
+holistic aggregates and samplers that way ("we also implemented weighted
+heavy hitters through the UDAF mechanism...").  This module reproduces the
+mechanism:
+
+* :class:`Udaf` — the interface: ``create`` / ``update`` / ``merge`` /
+  ``finalize`` plus space accounting;
+* builtin aggregates (``count``, ``sum``, ``min``, ``max``, ``avg``) which
+  are *mergeable* and therefore eligible for the engine's two-level split
+  (partial aggregation in the low level, super-aggregation above);
+* adapters wrapping the library's summaries and samplers as UDAFs
+  (weighted/unary SpaceSaving, sliding-window HH, exponential histograms,
+  priority/reservoir/weighted-reservoir/Aggarwal samplers).  Like the
+  paper's C UDAFs, these run at the high level only (``mergeable =
+  False``), which is exactly the configuration Figure 2(b) measures.
+
+A :class:`UdafRegistry` maps query-text names to factories; the parser
+treats any registered name used as a function call in the SELECT list as an
+aggregate.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.core.errors import EmptySummaryError, MergeError, QueryError
+from repro.sampling.aggarwal import AggarwalBiasedReservoir
+from repro.sampling.priority import PrioritySampler
+from repro.sampling.reservoir import ReservoirSampler
+from repro.sampling.weighted_reservoir import WeightedReservoirSampler
+from repro.sketches.exponential_histogram import (
+    DecayedEHCombiner,
+    ExponentialHistogramCount,
+    ExponentialHistogramSum,
+)
+from repro.core.functions import FFunction
+from repro.sketches.qdigest import QDigest
+from repro.sketches.spacesaving import UnarySpaceSaving, WeightedSpaceSaving
+from repro.sketches.swhh import SlidingWindowHeavyHitters
+
+__all__ = [
+    "Udaf",
+    "UdafRegistry",
+    "default_registry",
+    "CountUdaf",
+    "SumUdaf",
+    "MinUdaf",
+    "MaxUdaf",
+    "AvgUdaf",
+    "WeightedHHUdaf",
+    "UnaryHHUdaf",
+    "SlidingWindowHHUdaf",
+    "EHCountUdaf",
+    "EHSumUdaf",
+    "EHDecayedUdaf",
+    "WeightedQuantilesUdaf",
+    "DecayedDistinctUdaf",
+    "PrioritySampleUdaf",
+    "WeightedReservoirUdaf",
+    "ReservoirUdaf",
+    "AggarwalUdaf",
+]
+
+
+class Udaf(ABC):
+    """One aggregate function usable in the GSQL-like dialect.
+
+    ``mergeable`` declares whether partial states combine losslessly; only
+    mergeable aggregates participate in the engine's low-level partial
+    aggregation (the paper's two-level architecture).
+    """
+
+    #: Name used in query text (case-insensitive).
+    name: str = ""
+    #: Number of arguments expected (``-1`` = count(*) style, no args).
+    arity: int = 1
+    #: Whether partial states can be merged (two-level eligibility).
+    mergeable: bool = False
+
+    @abstractmethod
+    def create(self) -> object:
+        """Return a fresh per-group state."""
+
+    @abstractmethod
+    def update(self, state: object, args: tuple) -> None:
+        """Fold one tuple's evaluated arguments into ``state``."""
+
+    def merge(self, state: object, other: object) -> None:
+        """Fold partial state ``other`` into ``state`` (mergeable only)."""
+        raise MergeError(f"UDAF {self.name!r} does not support merging")
+
+    @abstractmethod
+    def finalize(self, state: object) -> object:
+        """Produce the output value from a final state."""
+
+    def state_size_bytes(self, state: object) -> int:
+        """Approximate per-group state footprint (Fig. 2(d)/4(c) accounting)."""
+        return 8
+
+
+# ---------------------------------------------------------------------------
+# Builtin (mergeable) aggregates — the two-level fast path
+# ---------------------------------------------------------------------------
+
+
+class CountUdaf(Udaf):
+    """``count(*)`` — undecayed tuple count (4-byte integer in the paper)."""
+
+    name = "count"
+    arity = -1
+    mergeable = True
+
+    def create(self) -> list:
+        return [0]
+
+    def update(self, state: list, args: tuple) -> None:
+        state[0] += 1
+
+    def merge(self, state: list, other: list) -> None:
+        state[0] += other[0]
+
+    def finalize(self, state: list) -> int:
+        return state[0]
+
+    def state_size_bytes(self, state: object) -> int:
+        return 4
+
+
+class SumUdaf(Udaf):
+    """``sum(expr)`` — covers undecayed *and* forward-decayed sums.
+
+    The paper's point: a polynomially decayed sum is just
+    ``sum(len * (time % 60) * (time % 60)) / 3600`` — plain arithmetic fed
+    to the ordinary sum aggregate, no engine changes required.
+    """
+
+    name = "sum"
+    arity = 1
+    mergeable = True
+
+    def create(self) -> list:
+        return [0.0]
+
+    def update(self, state: list, args: tuple) -> None:
+        state[0] += args[0]
+
+    def merge(self, state: list, other: list) -> None:
+        state[0] += other[0]
+
+    def finalize(self, state: list) -> float:
+        return state[0]
+
+
+class MinUdaf(Udaf):
+    """``min(expr)``."""
+
+    name = "min"
+    arity = 1
+    mergeable = True
+
+    def create(self) -> list:
+        return [None]
+
+    def update(self, state: list, args: tuple) -> None:
+        value = args[0]
+        if state[0] is None or value < state[0]:
+            state[0] = value
+
+    def merge(self, state: list, other: list) -> None:
+        if other[0] is not None and (state[0] is None or other[0] < state[0]):
+            state[0] = other[0]
+
+    def finalize(self, state: list) -> object:
+        return state[0]
+
+
+class MaxUdaf(Udaf):
+    """``max(expr)``."""
+
+    name = "max"
+    arity = 1
+    mergeable = True
+
+    def create(self) -> list:
+        return [None]
+
+    def update(self, state: list, args: tuple) -> None:
+        value = args[0]
+        if state[0] is None or value > state[0]:
+            state[0] = value
+
+    def merge(self, state: list, other: list) -> None:
+        if other[0] is not None and (state[0] is None or other[0] > state[0]):
+            state[0] = other[0]
+
+    def finalize(self, state: list) -> object:
+        return state[0]
+
+
+class AvgUdaf(Udaf):
+    """``avg(expr)`` — sum/count pair, mergeable."""
+
+    name = "avg"
+    arity = 1
+    mergeable = True
+
+    def create(self) -> list:
+        return [0.0, 0]
+
+    def update(self, state: list, args: tuple) -> None:
+        state[0] += args[0]
+        state[1] += 1
+
+    def merge(self, state: list, other: list) -> None:
+        state[0] += other[0]
+        state[1] += other[1]
+
+    def finalize(self, state: list) -> float | None:
+        return state[0] / state[1] if state[1] else None
+
+    def state_size_bytes(self, state: object) -> int:
+        return 16
+
+
+# ---------------------------------------------------------------------------
+# Library adapters (high-level-only UDAFs, like the paper's C UDAFs)
+# ---------------------------------------------------------------------------
+
+
+class WeightedHHUdaf(Udaf):
+    """``fwd_hh(item, weight)`` — forward-decayed heavy hitters.
+
+    The query supplies the static weight ``g(t_i - L)`` as an ordinary
+    expression (e.g. ``(time % 60) * (time % 60)`` for quadratic decay, or
+    ``exp(...)``), mirroring how the paper feeds weights to its UDAFs.
+    ``finalize`` returns the summary's ``(item, weight, error)`` counters.
+    """
+
+    name = "fwd_hh"
+    arity = 2
+
+    def __init__(self, epsilon: float = 0.01, phi: float = 0.05):
+        self.epsilon = epsilon
+        self.phi = phi
+
+    def create(self) -> WeightedSpaceSaving:
+        return WeightedSpaceSaving.from_epsilon(self.epsilon)
+
+    def update(self, state: WeightedSpaceSaving, args: tuple) -> None:
+        state.update(args[0], args[1])
+
+    def finalize(self, state: WeightedSpaceSaving) -> list[tuple]:
+        return [
+            (c.item, c.count, c.error) for c in state.heavy_hitters(self.phi)
+        ]
+
+    def state_size_bytes(self, state: WeightedSpaceSaving) -> int:
+        return state.state_size_bytes()
+
+
+class UnaryHHUdaf(Udaf):
+    """``unary_hh(item)`` — the undecayed heavy-hitter baseline."""
+
+    name = "unary_hh"
+    arity = 1
+
+    def __init__(self, epsilon: float = 0.01, phi: float = 0.05):
+        self.epsilon = epsilon
+        self.phi = phi
+
+    def create(self) -> UnarySpaceSaving:
+        return UnarySpaceSaving.from_epsilon(self.epsilon)
+
+    def update(self, state: UnarySpaceSaving, args: tuple) -> None:
+        state.update(args[0])
+
+    def finalize(self, state: UnarySpaceSaving) -> list[tuple]:
+        return [
+            (c.item, c.count, c.error) for c in state.heavy_hitters(self.phi)
+        ]
+
+    def state_size_bytes(self, state: UnarySpaceSaving) -> int:
+        return state.state_size_bytes()
+
+
+class SlidingWindowHHUdaf(Udaf):
+    """``sw_hh(item, time)`` — the backward-decay heavy-hitter baseline."""
+
+    name = "sw_hh"
+    arity = 2
+
+    def __init__(
+        self,
+        window: float = 60.0,
+        pane: float | None = None,
+        epsilon: float = 0.01,
+        phi: float = 0.05,
+    ):
+        self.window = window
+        self.pane = pane
+        self.epsilon = epsilon
+        self.phi = phi
+
+    def create(self) -> SlidingWindowHeavyHitters:
+        return SlidingWindowHeavyHitters(self.window, self.pane, self.epsilon)
+
+    def update(self, state: SlidingWindowHeavyHitters, args: tuple) -> None:
+        state.update(args[0], args[1])
+
+    def finalize(self, state: SlidingWindowHeavyHitters) -> list[tuple]:
+        if state.items_processed == 0:
+            return []
+        now = state.last_time
+        return state.heavy_hitters(self.phi, self.window, now)
+
+    def state_size_bytes(self, state: SlidingWindowHeavyHitters) -> int:
+        return state.state_size_bytes()
+
+
+class EHCountUdaf(Udaf):
+    """``eh_count(time)`` — backward-decay count baseline (Fig. 2).
+
+    Maintains one Exponential Histogram per group; ``finalize`` reports the
+    window count (the Cohen-Strauss combination for arbitrary decay is
+    exposed via :class:`DecayedEHCombiner` in the benchmarks).
+    """
+
+    name = "eh_count"
+    arity = 1
+
+    def __init__(self, epsilon: float = 0.1, window: float = 60.0):
+        self.epsilon = epsilon
+        self.window = window
+
+    def create(self) -> ExponentialHistogramCount:
+        return ExponentialHistogramCount(self.epsilon, self.window)
+
+    def update(self, state: ExponentialHistogramCount, args: tuple) -> None:
+        state.update(args[0])
+
+    def finalize(self, state: ExponentialHistogramCount) -> float:
+        return state.count(state.last_time)
+
+    def state_size_bytes(self, state: ExponentialHistogramCount) -> int:
+        return state.state_size_bytes()
+
+
+class EHSumUdaf(Udaf):
+    """``eh_sum(time, value)`` — backward-decay sum baseline (Fig. 2)."""
+
+    name = "eh_sum"
+    arity = 2
+
+    def __init__(self, epsilon: float = 0.1, window: float = 60.0):
+        self.epsilon = epsilon
+        self.window = window
+
+    def create(self) -> ExponentialHistogramSum:
+        return ExponentialHistogramSum(self.epsilon, self.window)
+
+    def update(self, state: ExponentialHistogramSum, args: tuple) -> None:
+        state.update(args[0], int(args[1]))
+
+    def finalize(self, state: ExponentialHistogramSum) -> float:
+        return state.sum(state.last_time)
+
+    def state_size_bytes(self, state: ExponentialHistogramSum) -> int:
+        return state.state_size_bytes()
+
+
+class EHDecayedUdaf(Udaf):
+    """``eh_decayed(time)`` — arbitrary backward decay at *query* time.
+
+    The selling point of the Exponential-Histogram baseline (and the reason
+    the paper benchmarks against it): one EH per group can answer the
+    decayed count for **any** backward decay function ``f`` chosen when the
+    result is read, via the Cohen-Strauss scaled-window combination.
+    ``finalize`` evaluates the configured ``f`` over the bucket staircase.
+    """
+
+    name = "eh_decayed"
+    arity = 1
+
+    def __init__(
+        self,
+        f: "FFunction | None" = None,
+        epsilon: float = 0.1,
+        window: float = 60.0,
+    ):
+        from repro.core.functions import PolynomialF
+
+        self.f = f if f is not None else PolynomialF(alpha=1.0)
+        self.epsilon = epsilon
+        self.window = window
+
+    def create(self) -> ExponentialHistogramCount:
+        return ExponentialHistogramCount(self.epsilon, self.window)
+
+    def update(self, state: ExponentialHistogramCount, args: tuple) -> None:
+        state.update(args[0])
+
+    def finalize(self, state: ExponentialHistogramCount) -> float:
+        if len(state) == 0:
+            return 0.0
+        combiner = DecayedEHCombiner(state)
+        return combiner.decayed_value(self.f, state.last_time)
+
+    def state_size_bytes(self, state: ExponentialHistogramCount) -> int:
+        return state.state_size_bytes()
+
+
+class WeightedQuantilesUdaf(Udaf):
+    """``fwd_quantiles(value, weight)`` — forward-decayed quantiles.
+
+    The query supplies the static weight ``g(t_i - L)`` like the other
+    forward UDAFs; ``finalize`` reports the configured ``phis`` over the
+    weighted q-digest (Theorem 3).  Values must be non-negative integers
+    below ``2**universe_bits``.
+    """
+
+    name = "fwd_quantiles"
+    arity = 2
+
+    def __init__(
+        self,
+        epsilon: float = 0.05,
+        universe_bits: int = 16,
+        phis: tuple[float, ...] = (0.25, 0.5, 0.75),
+    ):
+        self.epsilon = epsilon
+        self.universe_bits = universe_bits
+        self.phis = phis
+
+    def create(self) -> QDigest:
+        return QDigest.from_epsilon(self.epsilon, self.universe_bits)
+
+    def update(self, state: QDigest, args: tuple) -> None:
+        state.update(int(args[0]), args[1])
+
+    def finalize(self, state: QDigest) -> list[int]:
+        if state.total_weight == 0.0:
+            return []
+        return state.quantiles(self.phis)
+
+    def state_size_bytes(self, state: QDigest) -> int:
+        return state.state_size_bytes()
+
+
+class DecayedDistinctUdaf(Udaf):
+    """``fwd_distinct(item, time)`` — decayed count-distinct (Theorem 4).
+
+    Unlike the weight-expression UDAFs, count-distinct needs the *decay
+    model itself* (weights combine by max, in log space), so the UDAF is
+    configured with a :class:`~repro.core.decay.ForwardDecay` at
+    registration time and receives raw timestamps from the query.
+    """
+
+    name = "fwd_distinct"
+    arity = 2
+
+    def __init__(
+        self,
+        decay: "ForwardDecay | None" = None,
+        epsilon: float = 0.1,
+        exact: bool = False,
+        seed: int = 0,
+    ):
+        from repro.core.decay import ForwardDecay
+        from repro.core.functions import PolynomialG
+
+        # Default landmark -1: strictly below non-negative trace timestamps
+        # ("a lower bound on the smallest timestamp", Section III-B), so
+        # g(t_i - L) is always positive as the max-combine needs.
+        self.decay = decay if decay is not None else ForwardDecay(
+            PolynomialG(beta=2.0), landmark=-1.0
+        )
+        self.epsilon = epsilon
+        self.exact = exact
+        self.seed = seed
+
+    def create(self):
+        from repro.core.distinct import DecayedDistinctCount, ExactDecayedDistinct
+
+        if self.exact:
+            return ExactDecayedDistinct(self.decay)
+        return DecayedDistinctCount(self.decay, epsilon=self.epsilon,
+                                    seed=self.seed)
+
+    def update(self, state, args: tuple) -> None:
+        state.update(args[0], args[1])
+
+    def finalize(self, state) -> float:
+        try:
+            return state.query()
+        except EmptySummaryError:
+            return 0.0
+
+    def state_size_bytes(self, state) -> int:
+        return state.state_size_bytes()
+
+
+class _SeededSamplerUdaf(Udaf):
+    """Shared plumbing for sampler UDAFs: per-group seeded RNG streams."""
+
+    def __init__(self, k: int = 100, seed: int = 0):
+        self.k = k
+        self.seed = seed
+        self._counter = 0
+
+    def _next_rng(self) -> random.Random:
+        self._counter += 1
+        return random.Random(self.seed * 1_000_003 + self._counter)
+
+
+class PrioritySampleUdaf(_SeededSamplerUdaf):
+    """``prisamp(item, weight)`` — the paper's PRISAMP UDAF (Section VIII).
+
+    Standard priority sampling; the query generates the (forward-decay)
+    weights from timestamps and feeds them in, exactly as in::
+
+        select tb, PRISAMP(srcIP, exp(time % 60)) from TCP group by time/60 as tb
+    """
+
+    name = "prisamp"
+    arity = 2
+
+    def create(self) -> PrioritySampler:
+        return PrioritySampler(self.k, rng=self._next_rng())
+
+    def update(self, state: PrioritySampler, args: tuple) -> None:
+        state.update(args[0], args[1])
+
+    def finalize(self, state: PrioritySampler) -> list:
+        if state.items_seen == 0:
+            return []
+        return [item for item, __ in state.sample().entries]
+
+    def state_size_bytes(self, state: PrioritySampler) -> int:
+        return state.state_size_bytes()
+
+
+class WeightedReservoirUdaf(_SeededSamplerUdaf):
+    """``wrsamp(item, weight)`` — Efraimidis-Spirakis weighted reservoir."""
+
+    name = "wrsamp"
+    arity = 2
+
+    def create(self) -> WeightedReservoirSampler:
+        return WeightedReservoirSampler(self.k, rng=self._next_rng())
+
+    def update(self, state: WeightedReservoirSampler, args: tuple) -> None:
+        state.update(args[0], args[1])
+
+    def finalize(self, state: WeightedReservoirSampler) -> list:
+        return state.sample() if len(state) else []
+
+    def state_size_bytes(self, state: WeightedReservoirSampler) -> int:
+        return state.state_size_bytes()
+
+
+class ReservoirUdaf(_SeededSamplerUdaf):
+    """``reservoir(item)`` — undecayed reservoir sampling baseline."""
+
+    name = "reservoir"
+    arity = 1
+
+    def create(self) -> ReservoirSampler:
+        return ReservoirSampler(self.k, rng=self._next_rng())
+
+    def update(self, state: ReservoirSampler, args: tuple) -> None:
+        state.update(args[0])
+
+    def finalize(self, state: ReservoirSampler) -> list:
+        return state.sample() if len(state) else []
+
+    def state_size_bytes(self, state: ReservoirSampler) -> int:
+        return state.state_size_bytes()
+
+
+class AggarwalUdaf(_SeededSamplerUdaf):
+    """``aggsamp(item)`` — Aggarwal's exponential-bias baseline."""
+
+    name = "aggsamp"
+    arity = 1
+
+    def create(self) -> AggarwalBiasedReservoir:
+        return AggarwalBiasedReservoir(self.k, rng=self._next_rng())
+
+    def update(self, state: AggarwalBiasedReservoir, args: tuple) -> None:
+        state.update(args[0])
+
+    def finalize(self, state: AggarwalBiasedReservoir) -> list:
+        return state.sample() if len(state) else []
+
+    def state_size_bytes(self, state: AggarwalBiasedReservoir) -> int:
+        return state.state_size_bytes()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class UdafRegistry:
+    """Case-insensitive name -> UDAF instance registry used by the parser."""
+
+    def __init__(self) -> None:
+        self._udafs: dict[str, Udaf] = {}
+
+    def register(self, udaf: Udaf) -> None:
+        """Register (or replace) a UDAF under its ``name``."""
+        if not udaf.name:
+            raise QueryError("UDAF must define a non-empty name")
+        self._udafs[udaf.name.lower()] = udaf
+
+    def get(self, name: str) -> Udaf:
+        """Look up a UDAF; raises :class:`QueryError` if unknown."""
+        try:
+            return self._udafs[name.lower()]
+        except KeyError:
+            raise QueryError(
+                f"unknown aggregate {name!r}; registered: {sorted(self._udafs)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._udafs
+
+    def names(self) -> list[str]:
+        """All registered aggregate names."""
+        return sorted(self._udafs)
+
+
+def default_registry(
+    hh_epsilon: float = 0.01,
+    hh_phi: float = 0.05,
+    eh_epsilon: float = 0.1,
+    window: float = 60.0,
+    sample_size: int = 100,
+    seed: int = 0,
+    pane: float | None = None,
+) -> UdafRegistry:
+    """A registry with the builtins plus every library adapter.
+
+    The parameters configure the adapters the figures sweep (epsilon,
+    window, sample size); benchmarks construct registries per data point.
+    """
+    registry = UdafRegistry()
+    for builtin in (CountUdaf(), SumUdaf(), MinUdaf(), MaxUdaf(), AvgUdaf()):
+        registry.register(builtin)
+    registry.register(WeightedHHUdaf(hh_epsilon, hh_phi))
+    registry.register(UnaryHHUdaf(hh_epsilon, hh_phi))
+    registry.register(SlidingWindowHHUdaf(window, pane, hh_epsilon, hh_phi))
+    registry.register(EHCountUdaf(eh_epsilon, window))
+    registry.register(EHSumUdaf(eh_epsilon, window))
+    registry.register(EHDecayedUdaf(epsilon=eh_epsilon, window=window))
+    registry.register(WeightedQuantilesUdaf(epsilon=max(hh_epsilon, 0.01)))
+    registry.register(DecayedDistinctUdaf(epsilon=0.1, seed=seed))
+    registry.register(PrioritySampleUdaf(sample_size, seed))
+    registry.register(WeightedReservoirUdaf(sample_size, seed))
+    registry.register(ReservoirUdaf(sample_size, seed))
+    registry.register(AggarwalUdaf(sample_size, seed))
+    return registry

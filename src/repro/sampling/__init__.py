@@ -1,0 +1,52 @@
+"""Sampling under forward decay (Section V of the paper).
+
+* :mod:`repro.sampling.reservoir` — unweighted reservoir sampling (the
+  undecayed baseline, Vitter's Algorithm R);
+* :mod:`repro.sampling.with_replacement` — Theorem 5's constant-space
+  with-replacement sampler for any forward decay function;
+* :mod:`repro.sampling.weighted_reservoir` — Efraimidis-Spirakis weighted
+  reservoir (A-Res and the A-ExpJ acceleration);
+* :mod:`repro.sampling.priority` — priority sampling with unbiased
+  subset-sum estimation;
+* :mod:`repro.sampling.aggarwal` — Aggarwal's biased reservoir, the prior
+  art for exponential-decay sampling that Corollary 1 improves on;
+* :mod:`repro.sampling.estimators` — estimating decayed aggregates from
+  samples, plus distribution-test helpers.
+"""
+
+from repro.sampling.aggarwal import AggarwalBiasedReservoir
+from repro.sampling.estimators import (
+    chi_square_statistic,
+    empirical_frequencies,
+    estimate_decayed_mean,
+    expected_forward_probabilities,
+)
+from repro.sampling.priority import (
+    PrioritySample,
+    PrioritySampler,
+    estimate_decayed_sum,
+)
+from repro.sampling.reservoir import ReservoirSampler, SingleItemWithReplacementSampler
+from repro.sampling.weighted_reservoir import (
+    ExpJumpsReservoirSampler,
+    WeightedReservoirSampler,
+    decayed_log_weight,
+)
+from repro.sampling.with_replacement import DecayedSamplerWithReplacement
+
+__all__ = [
+    "ReservoirSampler",
+    "SingleItemWithReplacementSampler",
+    "DecayedSamplerWithReplacement",
+    "WeightedReservoirSampler",
+    "ExpJumpsReservoirSampler",
+    "decayed_log_weight",
+    "PrioritySampler",
+    "PrioritySample",
+    "estimate_decayed_sum",
+    "AggarwalBiasedReservoir",
+    "estimate_decayed_mean",
+    "empirical_frequencies",
+    "expected_forward_probabilities",
+    "chi_square_statistic",
+]

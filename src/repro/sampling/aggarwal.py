@@ -1,0 +1,84 @@
+"""Aggarwal's biased reservoir sampling (VLDB 2006) — the Fig. 3 baseline.
+
+The prior state of the art for sampling under (backward) *exponential*
+decay, which the paper's Corollary 1 strictly improves on.  Aggarwal's
+memory-less scheme: with a reservoir of capacity ``k`` holding ``m`` items,
+each arrival is always inserted; with probability ``m / k`` it overwrites a
+uniformly random occupied slot, otherwise it occupies a new slot.  In
+steady state this realizes inclusion probabilities proportional to
+``exp(-(n - i) / k)`` — backward exponential decay at rate
+``lambda = 1 / k``.
+
+Limitations faithfully reproduced (they are the point of the comparison):
+
+* the decay rate is tied to the reservoir size (``lambda = 1/k``);
+* the analysis assumes **sequential integer timestamps** (arrival indices);
+  arbitrary or out-of-order timestamps are not supported — the paper notes
+  the prior solution is "partial ... for the case when the time stamps are
+  sequential integers", whereas forward decay handles arbitrary arrival
+  times at the same cost.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, TypeVar
+
+from repro.core.errors import EmptySummaryError, ParameterError
+
+__all__ = ["AggarwalBiasedReservoir"]
+
+T = TypeVar("T")
+
+
+class AggarwalBiasedReservoir(Generic[T]):
+    """Biased reservoir realizing backward-exponential inclusion bias.
+
+    Parameters
+    ----------
+    k:
+        Reservoir capacity; the realized decay rate is ``lambda = 1 / k``.
+    rng:
+        Source of randomness (seed it for reproducibility).
+    """
+
+    def __init__(self, k: int, rng: random.Random | None = None):
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k!r}")
+        self.k = k
+        self._rng = rng if rng is not None else random.Random()
+        self._reservoir: list[T] = []
+        self._seen = 0
+
+    @property
+    def decay_rate(self) -> float:
+        """The backward-exponential rate this reservoir realizes."""
+        return 1.0 / self.k
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream items offered (the sequential 'timestamp')."""
+        return self._seen
+
+    def update(self, item: T) -> None:
+        """Offer the next stream item (arrival order *is* its timestamp)."""
+        self._seen += 1
+        fill = len(self._reservoir)
+        if fill and self._rng.random() < fill / self.k:
+            self._reservoir[self._rng.randrange(fill)] = item
+        else:
+            self._reservoir.append(item)
+
+    def sample(self) -> list[T]:
+        """The current biased sample (a copy; at most ``k`` items)."""
+        if not self._reservoir:
+            raise EmptySummaryError("biased reservoir has seen no items")
+        return list(self._reservoir)
+
+    def __len__(self) -> int:
+        """Current number of retained items."""
+        return len(self._reservoir)
+
+    def state_size_bytes(self) -> int:
+        """Approximate footprint: one slot per retained item."""
+        return len(self._reservoir) * 8

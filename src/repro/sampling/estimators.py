@@ -1,0 +1,101 @@
+"""Estimating decayed aggregates from samples (Section V).
+
+The point of keeping a decay-weighted sample is that ad-hoc aggregates can
+be estimated from it after the fact.  This module provides the standard
+estimators for the library's samplers:
+
+* with-replacement samples estimate decayed *means* of arbitrary functions
+  (each drawing is an independent pick from the decayed distribution);
+* priority samples estimate decayed *sums/counts* unbiasedly (see
+  :func:`repro.sampling.priority.estimate_decayed_sum`);
+* helpers for empirical inclusion-frequency checks used by the test suite
+  and the sampling examples.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter as TallyCounter
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
+
+from repro.core.decay import ForwardDecay
+from repro.core.errors import EmptySummaryError, ParameterError
+
+__all__ = [
+    "estimate_decayed_mean",
+    "empirical_frequencies",
+    "expected_forward_probabilities",
+    "chi_square_statistic",
+]
+
+T = TypeVar("T", bound=Hashable)
+
+
+def estimate_decayed_mean(
+    sample: Sequence[T], value: Callable[[T], float] = float  # type: ignore[assignment]
+) -> float:
+    """Estimate the decayed mean of ``value`` from a with-replacement sample.
+
+    Each drawing of :class:`~repro.sampling.with_replacement.DecayedSamplerWithReplacement`
+    picks item ``i`` with probability proportional to ``g(t_i - L)``, so
+    the plain sample average of ``value`` estimates the decayed average
+    ``A`` of Definition 5.
+    """
+    if not sample:
+        raise EmptySummaryError("cannot estimate from an empty sample")
+    return math.fsum(value(item) for item in sample) / len(sample)
+
+
+def empirical_frequencies(samples: Iterable[Hashable]) -> dict[Hashable, float]:
+    """Normalized frequency of each item across repeated sample draws."""
+    tally = TallyCounter(samples)
+    total = sum(tally.values())
+    if total == 0:
+        raise EmptySummaryError("no samples supplied")
+    return {item: count / total for item, count in tally.items()}
+
+
+def expected_forward_probabilities(
+    decay: ForwardDecay, stream: Sequence[tuple[float, Hashable]]
+) -> dict[Hashable, float]:
+    """Target single-draw probabilities ``g(t_i - L) / sum_j g(t_j - L)``.
+
+    ``stream`` is a sequence of ``(timestamp, item)`` pairs; when an item
+    occurs multiple times its probabilities accumulate.  Used as the oracle
+    in distribution tests of the with-replacement sampler.
+    """
+    if not stream:
+        raise EmptySummaryError("empty stream")
+    weights = [decay.static_weight(t) for t, __ in stream]
+    total = math.fsum(weights)
+    if total <= 0:
+        raise ParameterError("total weight must be positive")
+    probabilities: dict[Hashable, float] = {}
+    for (__, item), weight in zip(stream, weights):
+        probabilities[item] = probabilities.get(item, 0.0) + weight / total
+    return probabilities
+
+
+def chi_square_statistic(
+    observed: dict[Hashable, float],
+    expected: dict[Hashable, float],
+    draws: int,
+) -> float:
+    """Pearson chi-square statistic between observed and expected frequencies.
+
+    ``observed`` and ``expected`` are probability dictionaries; ``draws``
+    is the number of independent draws behind ``observed``.  The statistic
+    is asymptotically chi-square with ``len(expected) - 1`` degrees of
+    freedom when the sampler matches the target distribution.
+    """
+    if draws < 1:
+        raise ParameterError(f"draws must be >= 1, got {draws!r}")
+    statistic = 0.0
+    for item, probability in expected.items():
+        expected_count = probability * draws
+        if expected_count <= 0:
+            continue
+        observed_count = observed.get(item, 0.0) * draws
+        deviation = observed_count - expected_count
+        statistic += deviation * deviation / expected_count
+    return statistic

@@ -1,0 +1,162 @@
+"""Priority sampling (Alon, Duffield, Lund, Thorup — PODS 2005).
+
+The second without-replacement scheme of Section V-B: item ``i`` receives
+priority ``q_i = w_i / u_i`` (``u_i`` uniform on ``(0, 1]``) and the sample
+keeps the ``k`` items of highest priority.  Alongside the sample the
+``(k+1)``-th priority ``tau`` is retained; then
+
+    w_hat_i = max(w_i, tau)    for sampled items, else 0
+
+is an *unbiased* estimator of ``w_i``, and ``sum_i w_hat_i [i in Q]``
+unbiasedly estimates any selection (subset-sum) query ``Q`` with
+near-optimal variance.  Under forward decay, feeding ``w_i = g(t_i - L)``
+(times the tuple's value, for sum queries) yields unbiased decayed
+estimates after the usual single division by ``g(t - L)``.
+
+As with the weighted reservoir, ranking happens in log-space
+(``ln q = ln w - ln u``) so exponential decay cannot overflow; estimator
+arithmetic exponentiates only differences against the query normalizer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from typing import Callable, Generic, Hashable, NamedTuple, TypeVar
+
+from repro.core.decay import ForwardDecay
+from repro.core.errors import EmptySummaryError, ParameterError
+from repro.sampling.weighted_reservoir import decayed_log_weight
+
+__all__ = ["PrioritySampler", "PrioritySample", "estimate_decayed_sum"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class PrioritySample(NamedTuple):
+    """The retained sample plus the estimation threshold."""
+
+    entries: list[tuple[Hashable, float]]
+    """``(item, log_weight)`` pairs of the ``k`` highest-priority items."""
+    log_tau: float
+    """``ln`` of the (k+1)-th priority; ``-inf`` while fewer than k+1 seen."""
+
+
+class PrioritySampler(Generic[T]):
+    """Size-``k`` priority sample with unbiased subset-sum estimation.
+
+    Items are offered with raw weights (:meth:`update`) or log-weights
+    (:meth:`update_log`).  For forward decay pass
+    ``decayed_log_weight(decay, t_i)`` — optionally plus ``ln(v_i)`` when
+    the estimand is a decayed sum of values rather than a decayed count.
+    """
+
+    def __init__(self, k: int, rng: random.Random | None = None):
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k!r}")
+        self.k = k
+        self._rng = rng if rng is not None else random.Random()
+        # Min-heap of (log_priority, tiebreak, item, log_weight): the root
+        # is the lowest-priority retained item.
+        self._heap: list[tuple[float, int, T, float]] = []
+        self._tiebreak = 0
+        self._seen = 0
+        self._log_tau = -math.inf  # highest evicted log-priority
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream items offered."""
+        return self._seen
+
+    @property
+    def log_tau(self) -> float:
+        """``ln tau``: the (k+1)-th highest log-priority seen so far."""
+        return self._log_tau
+
+    def update(self, item: T, weight: float) -> None:
+        """Offer ``item`` with a raw positive weight."""
+        if not weight > 0 or math.isinf(weight) or math.isnan(weight):
+            raise ParameterError(f"weight must be positive finite, got {weight!r}")
+        self.update_log(item, math.log(weight))
+
+    def update_log(self, item: T, log_weight: float) -> None:
+        """Offer ``item`` with ``ln(weight)`` (overflow-free path)."""
+        if math.isnan(log_weight):
+            raise ParameterError("log_weight must not be NaN")
+        self._seen += 1
+        u = self._rng.random()
+        while u <= 0.0:  # pragma: no cover - random() is [0, 1)
+            u = self._rng.random()
+        log_priority = log_weight - math.log(u)
+        self._tiebreak += 1
+        entry = (log_priority, self._tiebreak, item, log_weight)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+            return
+        if log_priority > self._heap[0][0]:
+            evicted = heapq.heapreplace(self._heap, entry)
+            if evicted[0] > self._log_tau:
+                self._log_tau = evicted[0]
+        elif log_priority > self._log_tau:
+            self._log_tau = log_priority
+
+    def sample(self) -> PrioritySample:
+        """The retained items with their log-weights, plus ``ln tau``."""
+        if not self._heap:
+            raise EmptySummaryError("priority sampler has seen no items")
+        ordered = sorted(self._heap, reverse=True)
+        return PrioritySample(
+            entries=[(item, lw) for __, __, item, lw in ordered],
+            log_tau=self._log_tau,
+        )
+
+    def subset_sum_log_estimate(
+        self, predicate: Callable[[T], bool], log_normalizer: float = 0.0
+    ) -> float:
+        """Unbiased estimate of ``sum_{i: pred} w_i / exp(log_normalizer)``.
+
+        Each retained item contributes ``max(w_i, tau)``; computing
+        ``exp(max(log_w, log_tau) - log_normalizer)`` keeps exponential
+        weights finite whenever the normalizer is at the query-time scale.
+        """
+        if not self._heap:
+            raise EmptySummaryError("priority sampler has seen no items")
+        total = 0.0
+        log_tau = self._log_tau
+        for __, __, item, log_weight in self._heap:
+            if predicate(item):
+                contribution = max(log_weight, log_tau)
+                total += math.exp(contribution - log_normalizer)
+        return total
+
+    def __len__(self) -> int:
+        """Current number of retained items."""
+        return len(self._heap)
+
+    def state_size_bytes(self) -> int:
+        """Approximate footprint: priority + weight + slot per item."""
+        return len(self._heap) * 24
+
+
+def estimate_decayed_sum(
+    sampler: PrioritySampler,
+    decay: ForwardDecay,
+    query_time: float,
+    predicate: Callable = lambda item: True,
+) -> float:
+    """Estimate a decayed count/sum at ``query_time`` from a priority sample.
+
+    Assumes the sampler was fed ``decayed_log_weight(decay, t_i)`` (for
+    counts) or that plus ``ln v_i`` (for sums); divides by ``g(t - L)`` in
+    log-space.
+    """
+    if query_time < decay.landmark:
+        raise ParameterError("query_time must be at or after the landmark")
+    from repro.core.functions import ExponentialG
+
+    if isinstance(decay.g, ExponentialG):
+        log_norm = decay.g.alpha * (query_time - decay.landmark)
+    else:
+        log_norm = math.log(decay.normalizer(query_time))
+    return sampler.subset_sum_log_estimate(predicate, log_norm)

@@ -1,0 +1,138 @@
+"""Classic (unweighted) reservoir sampling — Vitter, TOMS 1985.
+
+The undecayed sampling baseline of Figure 3.  Two flavours:
+
+* :class:`ReservoirSampler` — a size-``k`` uniform sample *without*
+  replacement (Algorithm R), with optional geometric skipping in the style
+  of Vitter's Algorithm X for streams far longer than the reservoir.
+* :class:`SingleItemWithReplacementSampler` — the textbook single-sample
+  procedure (retain item ``i`` with probability ``1/i``), generalized to
+  weights by :mod:`repro.sampling.with_replacement`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, Iterable, TypeVar
+
+from repro.core.errors import EmptySummaryError, ParameterError
+
+__all__ = ["ReservoirSampler", "SingleItemWithReplacementSampler"]
+
+T = TypeVar("T")
+
+
+class ReservoirSampler(Generic[T]):
+    """Uniform sample of ``k`` items without replacement (Algorithm R).
+
+    Parameters
+    ----------
+    k:
+        Reservoir capacity.
+    rng:
+        Source of randomness; pass a seeded :class:`random.Random` for
+        reproducible samples.
+    use_skipping:
+        When True, once the reservoir is full the sampler draws how many
+        subsequent items to *skip* before the next replacement instead of
+        flipping a coin per item — O(k log(n/k)) total work instead of
+        O(n).  Statistically identical to plain Algorithm R.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        rng: random.Random | None = None,
+        use_skipping: bool = False,
+    ):
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k!r}")
+        self.k = k
+        self._rng = rng if rng is not None else random.Random()
+        self._use_skipping = use_skipping
+        self._reservoir: list[T] = []
+        self._seen = 0
+        self._skip = 0  # items still to skip before the next candidate
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream items offered to the sampler."""
+        return self._seen
+
+    def update(self, item: T) -> None:
+        """Offer one stream item to the reservoir."""
+        self._seen += 1
+        if len(self._reservoir) < self.k:
+            self._reservoir.append(item)
+            return
+        if self._use_skipping:
+            if self._skip > 0:
+                self._skip -= 1
+                return
+            self._reservoir[self._rng.randrange(self.k)] = item
+            self._draw_skip()
+        else:
+            slot = self._rng.randrange(self._seen)
+            if slot < self.k:
+                self._reservoir[slot] = item
+
+    def _draw_skip(self) -> None:
+        """Draw the gap until the next accepted item.
+
+        Successive acceptance probabilities are ``k/(n+1), k/(n+2), ...``;
+        inverting the CDF of the gap via the continuous approximation
+        ``n * (u**(-1/k) - 1)`` (Vitter's Algorithm X idea) gives a skip
+        with the right distribution to within O(1/n).
+        """
+        u = self._rng.random()
+        self._skip = int(self._seen * (u ** (-1.0 / self.k) - 1.0))
+
+    def extend(self, items: Iterable[T]) -> None:
+        """Offer every item of an iterable."""
+        for item in items:
+            self.update(item)
+
+    def sample(self) -> list[T]:
+        """The current sample (a copy; at most ``k`` items)."""
+        if not self._reservoir:
+            raise EmptySummaryError("reservoir has seen no items")
+        return list(self._reservoir)
+
+    def __len__(self) -> int:
+        """Current number of sampled items."""
+        return len(self._reservoir)
+
+    def state_size_bytes(self) -> int:
+        """Approximate footprint: one slot per reservoir entry."""
+        return len(self._reservoir) * 8
+
+
+class SingleItemWithReplacementSampler(Generic[T]):
+    """One uniform draw from the stream: retain item ``i`` w.p. ``1/i``.
+
+    Run ``s`` instances in parallel for a with-replacement sample of size
+    ``s`` — the structure the paper's Theorem 5 generalizes to forward
+    decay.
+    """
+
+    def __init__(self, rng: random.Random | None = None):
+        self._rng = rng if rng is not None else random.Random()
+        self._current: T | None = None
+        self._seen = 0
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream items offered."""
+        return self._seen
+
+    def update(self, item: T) -> None:
+        """Offer one stream item."""
+        self._seen += 1
+        if self._rng.random() < 1.0 / self._seen:
+            self._current = item
+
+    def sample(self) -> T:
+        """The currently retained item."""
+        if self._seen == 0:
+            raise EmptySummaryError("sampler has seen no items")
+        return self._current  # type: ignore[return-value]

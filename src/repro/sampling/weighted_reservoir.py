@@ -1,0 +1,199 @@
+"""Weighted reservoir sampling without replacement (Section V-B).
+
+Implements the algorithm of Efraimidis & Spirakis (IPL 2006): item ``i``
+gets key ``p_i = u_i ** (1 / w_i)`` with ``u_i`` uniform on ``[0, 1]``, and
+the sample is the ``k`` items with the largest keys.  The resulting sample
+has the distribution of sequential weighted sampling without replacement.
+
+Under forward decay the weight is the static ``w_i = g(t_i - L)`` —
+scaling all weights by a constant does not change the induced distribution,
+so the ``g(t - L)`` normalizer is irrelevant (the paper's observation).
+
+**Numerical form.**  Maximizing ``u ** (1/w)`` is equivalent to minimizing
+``e_i = -ln(u_i) / w_i`` — an exponential race with rate ``w_i`` — and, in
+turn, to minimizing ``ln(e_i) = ln(-ln u_i) - ln w_i``.  We rank by that
+log-domain key, so exponentially-decayed weights (whose raw values overflow
+doubles long before a minute of stream passes) are handled exactly with no
+landmark renormalization.
+
+Two update strategies:
+
+* :class:`WeightedReservoirSampler` (A-Res): draw a key per item, keep the
+  ``k`` smallest in a max-heap; O(log k) per item.
+* :class:`ExpJumpsReservoirSampler` (A-ExpJ): draw an *exponential jump* —
+  the total weight to skip before the next reservoir insertion — reducing
+  the number of random draws from O(n) to O(k log(n/k)) in expectation.
+  Requires non-log weights (plain floats), so it suits polynomial decay;
+  the ablation benchmark compares the two.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from typing import Generic, Hashable, TypeVar
+
+from repro.core.decay import ForwardDecay
+from repro.core.errors import EmptySummaryError, ParameterError
+from repro.core.functions import ExponentialG
+
+__all__ = ["WeightedReservoirSampler", "ExpJumpsReservoirSampler", "decayed_log_weight"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+def decayed_log_weight(decay: ForwardDecay, timestamp: float) -> float:
+    """``ln g(t_i - L)``, computed overflow-free for exponential ``g``."""
+    if isinstance(decay.g, ExponentialG):
+        return decay.g.alpha * (timestamp - decay.landmark)
+    weight = decay.static_weight(timestamp)
+    if weight <= 0.0:
+        raise ParameterError(
+            f"sampling weights must be positive; g gave {weight!r} at {timestamp!r}"
+        )
+    return math.log(weight)
+
+
+class WeightedReservoirSampler(Generic[T]):
+    """A-Res: size-``k`` weighted sample without replacement.
+
+    Items are offered with either a raw weight (:meth:`update`) or a
+    log-weight (:meth:`update_log`); mixing the two is fine, they rank on
+    the same scale.  For forward decay, pass
+    ``decayed_log_weight(decay, t_i)``.
+    """
+
+    def __init__(self, k: int, rng: random.Random | None = None):
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k!r}")
+        self.k = k
+        self._rng = rng if rng is not None else random.Random()
+        # Max-heap on log-key via negation: the root is the *largest*
+        # (worst) retained key, evicted first.
+        self._heap: list[tuple[float, int, T]] = []
+        self._tiebreak = 0
+        self._seen = 0
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream items offered."""
+        return self._seen
+
+    def update(self, item: T, weight: float) -> None:
+        """Offer ``item`` with a raw positive weight."""
+        if not weight > 0 or math.isinf(weight) or math.isnan(weight):
+            raise ParameterError(f"weight must be positive finite, got {weight!r}")
+        self.update_log(item, math.log(weight))
+
+    def update_log(self, item: T, log_weight: float) -> None:
+        """Offer ``item`` with ``ln(weight)`` (overflow-free path)."""
+        if math.isnan(log_weight):
+            raise ParameterError("log_weight must not be NaN")
+        self._seen += 1
+        u = self._rng.random()
+        while u <= 0.0:  # pragma: no cover - random() is [0, 1)
+            u = self._rng.random()
+        log_key = math.log(-math.log(u)) - log_weight
+        self._offer(log_key, item)
+
+    def _offer(self, log_key: float, item: T) -> None:
+        self._tiebreak += 1
+        entry = (-log_key, self._tiebreak, item)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+        elif entry > self._heap[0]:
+            # Smaller log_key than the current worst: replace it.
+            heapq.heapreplace(self._heap, entry)
+
+    def sample(self) -> list[T]:
+        """The current sample, best key first (at most ``k`` items)."""
+        if not self._heap:
+            raise EmptySummaryError("weighted reservoir has seen no items")
+        ordered = sorted(self._heap, reverse=True)
+        return [item for __, __, item in ordered]
+
+    def __len__(self) -> int:
+        """Current number of retained items."""
+        return len(self._heap)
+
+    def state_size_bytes(self) -> int:
+        """Approximate footprint: key + slot per retained item."""
+        return len(self._heap) * 16
+
+
+class ExpJumpsReservoirSampler(Generic[T]):
+    """A-ExpJ: A-Res accelerated with exponential jumps.
+
+    Statistically identical to :class:`WeightedReservoirSampler`, but once
+    the reservoir is full it draws the cumulative weight to *skip* before
+    the next insertion — one random number per insertion instead of per
+    item.  Operates on raw float weights, so it is suited to polynomial
+    forward decay (for exponential decay use the log-domain A-Res).
+    """
+
+    def __init__(self, k: int, rng: random.Random | None = None):
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k!r}")
+        self.k = k
+        self._rng = rng if rng is not None else random.Random()
+        self._heap: list[tuple[float, int, T]] = []  # min-heap on key
+        self._tiebreak = 0
+        self._seen = 0
+        self._skip_weight = 0.0  # remaining weight to pass before insert
+
+    @property
+    def items_seen(self) -> int:
+        """Number of stream items offered."""
+        return self._seen
+
+    def update(self, item: T, weight: float) -> None:
+        """Offer ``item`` with a raw positive weight."""
+        if not weight > 0 or math.isinf(weight) or math.isnan(weight):
+            raise ParameterError(f"weight must be positive finite, got {weight!r}")
+        self._seen += 1
+        rng = self._rng
+        if len(self._heap) < self.k:
+            u = rng.random() or 1e-300
+            key = u ** (1.0 / weight)
+            self._tiebreak += 1
+            heapq.heappush(self._heap, (key, self._tiebreak, item))
+            if len(self._heap) == self.k:
+                self._draw_jump()
+            return
+        self._skip_weight -= weight
+        if self._skip_weight > 0.0:
+            return
+        # This item enters: its key is drawn uniformly in (T_w, 1) via
+        # key = exp(ln(t) * r / w) with r uniform — the A-ExpJ rule.
+        threshold_key = self._heap[0][0]
+        t_pow_w = threshold_key ** weight
+        u2 = rng.uniform(t_pow_w, 1.0)
+        key = u2 ** (1.0 / weight) if weight != 0 else 0.0
+        self._tiebreak += 1
+        heapq.heapreplace(self._heap, (key, self._tiebreak, item))
+        self._draw_jump()
+
+    def _draw_jump(self) -> None:
+        threshold_key = self._heap[0][0]
+        r = self._rng.random() or 1e-300
+        log_threshold = math.log(threshold_key) if threshold_key > 0 else -745.0
+        if log_threshold == 0.0:  # pragma: no cover - key exactly 1.0
+            self._skip_weight = math.inf
+        else:
+            self._skip_weight = math.log(r) / log_threshold
+
+    def sample(self) -> list[T]:
+        """The current sample, best key first (at most ``k`` items)."""
+        if not self._heap:
+            raise EmptySummaryError("weighted reservoir has seen no items")
+        ordered = sorted(self._heap, reverse=True)
+        return [item for __, __, item in ordered]
+
+    def __len__(self) -> int:
+        """Current number of retained items."""
+        return len(self._heap)
+
+    def state_size_bytes(self) -> int:
+        """Approximate footprint: key + slot per retained item."""
+        return len(self._heap) * 16

@@ -1,0 +1,137 @@
+"""Forward-decayed sampling *with* replacement (Section V-A, Theorem 5).
+
+Target distribution: in each drawing, item ``i`` is picked with probability
+
+    w(i, t) / sum_j w(j, t)  =  g(t_i - L) / sum_j g(t_j - L)
+
+(the ``g(t - L)`` normalizers cancel).  The paper's algorithm generalizes
+the classic single-item sampler: keep the running weight total
+``W_i = sum_{j<=i} g(t_j - L)`` and replace the retained item with item
+``i`` with probability ``g(t_i - L) / W_i``; a telescoping product shows
+the final retention probability is exactly ``g(t_i - L) / W_n``
+(Theorem 5: constant space and constant time per tuple, per drawing).
+
+A sample of size ``s`` runs ``s`` independent single-item samplers.  For
+exponential ``g`` the running totals renormalize against newer landmarks
+exactly like the aggregates of :mod:`repro.core.aggregates` (Section VI-A);
+retention probabilities are ratios of ``g`` values, so answers are
+unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, Hashable, TypeVar
+
+from repro.core.decay import ForwardDecay
+from repro.core.errors import EmptySummaryError, ParameterError
+from repro.core.landmark import OverflowGuard
+from repro.core.weights import ForwardWeightEngine
+
+__all__ = ["DecayedSamplerWithReplacement"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class DecayedSamplerWithReplacement(Generic[T]):
+    """Size-``s`` sample with replacement under any forward decay function.
+
+    Parameters
+    ----------
+    decay:
+        Forward-decay model supplying ``g`` and the landmark.
+    s:
+        Number of independent drawings maintained in parallel.
+    rng:
+        Source of randomness (seed it for reproducibility).
+
+    Space is ``O(s)`` and each update costs ``O(s)`` coin flips — constant
+    per drawing, as Theorem 5 states.
+    """
+
+    def __init__(
+        self,
+        decay: ForwardDecay,
+        s: int,
+        rng: random.Random | None = None,
+        guard: OverflowGuard | None = None,
+        use_skipping: bool = False,
+    ):
+        if s < 1:
+            raise ParameterError(f"s must be >= 1, got {s!r}")
+        self.s = s
+        self._rng = rng if rng is not None else random.Random()
+        self._engine = ForwardWeightEngine(decay, self._scale_state, guard)
+        self._weight_total = 0.0
+        self._slots: list[T | None] = [None] * s
+        self._items = 0
+        self._use_skipping = use_skipping
+        # Per-slot weight thresholds for the skip acceleration: slot j next
+        # replaces when the running total exceeds _next_replace[j].  The
+        # cached minimum gives an O(1) "no slot fires" fast path.
+        self._next_replace: list[float] = [0.0] * s if use_skipping else []
+        self._min_threshold = 0.0
+
+    @property
+    def decay(self) -> ForwardDecay:
+        """The decay model this sampler was built with."""
+        return self._engine.decay
+
+    @property
+    def items_processed(self) -> int:
+        """Number of stream items offered."""
+        return self._items
+
+    @property
+    def total_weight(self) -> float:
+        """Running total of arrival weights (internal-landmark scale)."""
+        return self._weight_total
+
+    def _scale_state(self, factor: float) -> None:
+        self._weight_total *= factor
+        if self._use_skipping:
+            self._next_replace = [t * factor for t in self._next_replace]
+            self._min_threshold *= factor
+
+    def update(self, item: T, timestamp: float) -> None:
+        """Offer one stream item; each slot replaces independently.
+
+        With ``use_skipping`` the per-item coin flips are replaced by the
+        acceleration the paper sketches after Theorem 5: the survival
+        probability of a slot past cumulative weight ``W`` telescopes to
+        ``W0 / W``, so the cumulative weight at the next replacement is
+        distributed as ``W0 / u`` for uniform ``u`` — one random draw per
+        *replacement* instead of per item, with an identical distribution.
+        """
+        weight = self._engine.arrival_weight(timestamp)
+        self._weight_total += weight
+        rng = self._rng
+        slots = self._slots
+        if self._use_skipping:
+            total = self._weight_total
+            if total >= self._min_threshold:
+                thresholds = self._next_replace
+                for index in range(self.s):
+                    if total >= thresholds[index]:
+                        slots[index] = item
+                        u = rng.random()
+                        while u <= 0.0:  # pragma: no cover
+                            u = rng.random()
+                        thresholds[index] = total / u
+                self._min_threshold = min(thresholds)
+        else:
+            probability = weight / self._weight_total
+            for index in range(self.s):
+                if rng.random() < probability:
+                    slots[index] = item
+        self._items += 1
+
+    def sample(self) -> list[T]:
+        """The current size-``s`` sample (one item per drawing)."""
+        if self._items == 0:
+            raise EmptySummaryError("sampler has seen no items")
+        return [slot for slot in self._slots]  # type: ignore[misc]
+
+    def state_size_bytes(self) -> int:
+        """Approximate footprint: one slot per drawing plus the total."""
+        return 8 * (self.s + 1)

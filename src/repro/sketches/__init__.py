@@ -1,0 +1,59 @@
+"""Streaming-summary substrate.
+
+Self-contained implementations of the data structures the paper builds on
+or compares against:
+
+* :mod:`repro.sketches.spacesaving` — SpaceSaving frequent items (unary and
+  weighted), the engine of forward-decayed heavy hitters and the undecayed
+  baseline;
+* :mod:`repro.sketches.qdigest` — weighted q-digest quantiles, the engine
+  of forward-decayed quantiles;
+* :mod:`repro.sketches.exponential_histogram` — Exponential Histograms for
+  sliding-window count/sum, the paper's backward-decay baseline for Fig. 2;
+* :mod:`repro.sketches.waves` — Deterministic Waves, an alternative
+  windowed-count baseline (ablation);
+* :mod:`repro.sketches.swhh` — sliding-window heavy hitters, the backward
+  baseline for Figs. 4-5;
+* :mod:`repro.sketches.kmv` / :mod:`repro.sketches.dominance` — distinct
+  counting and dominance norms for decayed count-distinct.
+"""
+
+from repro.sketches.countmin import CountMinHeavyHitters, CountMinSketch
+from repro.sketches.dominance import DominanceNormEstimator
+from repro.sketches.gk import GKSummary
+from repro.sketches.exponential_histogram import (
+    DecayedEHCombiner,
+    ExponentialHistogramCount,
+    ExponentialHistogramSum,
+)
+from repro.sketches.kmv import KMVSketch
+from repro.sketches.qdigest import QDigest
+from repro.sketches.spacesaving import (
+    Counter,
+    SpaceSavingBase,
+    UnarySpaceSaving,
+    WeightedSpaceSaving,
+    exact_heavy_hitters,
+)
+from repro.sketches.swhh import BackwardDecayedHHCombiner, SlidingWindowHeavyHitters
+from repro.sketches.waves import DeterministicWave
+
+__all__ = [
+    "Counter",
+    "SpaceSavingBase",
+    "UnarySpaceSaving",
+    "WeightedSpaceSaving",
+    "exact_heavy_hitters",
+    "QDigest",
+    "ExponentialHistogramCount",
+    "ExponentialHistogramSum",
+    "DecayedEHCombiner",
+    "DeterministicWave",
+    "SlidingWindowHeavyHitters",
+    "BackwardDecayedHHCombiner",
+    "KMVSketch",
+    "DominanceNormEstimator",
+    "GKSummary",
+    "CountMinSketch",
+    "CountMinHeavyHitters",
+]

@@ -1,0 +1,131 @@
+"""KMV (k minimum values / bottom-k) distinct-count sketch.
+
+The building block for the decayed count-distinct of Section IV-D: the
+dominance-norm estimator decomposes the weighted problem into distinct
+counts over weight levels, each tracked by one KMV sketch.
+
+A KMV sketch hashes each item to ``[0, 1)`` and keeps the ``k`` smallest
+distinct hash values.  With ``v_k`` the k-th smallest value, the number of
+distinct items is estimated as ``(k - 1) / v_k``; the estimate has relative
+standard error about ``1 / sqrt(k - 2)``.  When fewer than ``k`` distinct
+items were seen the count is exact.
+
+Sketches with the same ``k`` and seed merge by uniting their value sets and
+re-trimming to the ``k`` smallest — the result is identical to sketching
+the union stream directly, which makes the estimator order-insensitive and
+distributable (Section VI-B).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from typing import Hashable, Iterable
+
+from repro.core.errors import MergeError, ParameterError
+
+__all__ = ["KMVSketch", "hash_to_unit"]
+
+_HASH_DENOMINATOR = float(1 << 64)
+
+
+def hash_to_unit(item: Hashable, seed: int = 0) -> float:
+    """Deterministically hash ``item`` to a float in ``[0, 1)``.
+
+    Uses blake2b over the item's ``repr`` plus the seed, so results are
+    stable across processes and Python versions (unlike built-in ``hash``).
+    """
+    payload = repr(item).encode("utf-8", errors="replace")
+    digest = hashlib.blake2b(
+        payload, digest_size=8, key=seed.to_bytes(8, "little")
+    ).digest()
+    return int.from_bytes(digest, "big") / _HASH_DENOMINATOR
+
+
+class KMVSketch:
+    """Bottom-k distinct counter.
+
+    Parameters
+    ----------
+    k:
+        Number of minimum hash values retained.  Relative standard error of
+        the estimate is roughly ``1 / sqrt(k - 2)``.
+    seed:
+        Hash seed; sketches only merge when seeds match.
+    """
+
+    __slots__ = ("k", "seed", "_heap", "_members", "_exact")
+
+    def __init__(self, k: int = 256, seed: int = 0):
+        if k < 2:
+            raise ParameterError(f"k must be >= 2, got {k!r}")
+        self.k = k
+        self.seed = seed
+        # Max-heap (negated) of the k smallest hash values, with a set for
+        # O(1) duplicate detection.
+        self._heap: list[float] = []
+        self._members: set[float] = set()
+        self._exact = True  # still below k distinct values?
+
+    def update(self, item: Hashable) -> None:
+        """Record one occurrence of ``item`` (duplicates are free)."""
+        self._insert_value(hash_to_unit(item, self.seed))
+
+    def _insert_value(self, value: float) -> None:
+        if value in self._members:
+            return
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, -value)
+            self._members.add(value)
+            return
+        self._exact = False
+        largest = -self._heap[0]
+        if value < largest:
+            heapq.heapreplace(self._heap, -value)
+            self._members.discard(largest)
+            self._members.add(value)
+
+    def estimate(self) -> float:
+        """Estimated number of distinct items seen."""
+        if self._exact:
+            return float(len(self._members))
+        kth_smallest = -self._heap[0]
+        return (self.k - 1) / kth_smallest
+
+    def __len__(self) -> int:
+        """Number of hash values currently retained (``<= k``)."""
+        return len(self._members)
+
+    def is_exact(self) -> bool:
+        """True while the sketch still holds every distinct item's hash."""
+        return self._exact
+
+    def values(self) -> Iterable[float]:
+        """The retained hash values (order unspecified)."""
+        return iter(self._members)
+
+    def merge(self, other: "KMVSketch") -> None:
+        """Fold ``other`` in; equivalent to having sketched the union."""
+        if not isinstance(other, KMVSketch):
+            raise MergeError(f"cannot merge {type(other).__name__} into KMVSketch")
+        if other.k != self.k or other.seed != self.seed:
+            raise MergeError(
+                f"KMV parameter mismatch: (k={self.k}, seed={self.seed}) vs "
+                f"(k={other.k}, seed={other.seed})"
+            )
+        if not other._exact:
+            self._exact = False
+        for value in other._members:
+            self._insert_value(value)
+
+    def copy(self) -> "KMVSketch":
+        """An independent copy (used by multi-level union queries)."""
+        clone = KMVSketch(self.k, self.seed)
+        clone._heap = list(self._heap)
+        clone._members = set(self._members)
+        clone._exact = self._exact
+        return clone
+
+    def state_size_bytes(self) -> int:
+        """Approximate footprint: 8 bytes per retained hash value."""
+        return 8 * len(self._members)

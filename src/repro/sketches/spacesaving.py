@@ -1,0 +1,440 @@
+"""SpaceSaving frequent-items summaries (Metwally et al., ICDT 2005).
+
+Two variants are provided, mirroring the paper's experimental setup
+(Section VIII, "Heavy Hitter Aggregates"):
+
+* :class:`UnarySpaceSaving` — the classic structure optimized for unary
+  (+1) updates, using the Stream-Summary bucket list so every update is
+  O(1).  This is the paper's undecayed baseline ("Unary HH").
+* :class:`WeightedSpaceSaving` — accepts arbitrary non-negative real
+  weights per update, as required by forward decay (Theorem 2 reduces
+  decayed heavy hitters to weighted heavy hitters with static weights
+  ``g(t_i - L)``).  Uses a lazy min-heap; updates cost O(log 1/eps).
+
+Guarantees (single-stream): with ``capacity = ceil(1/eps)`` counters, each
+estimate ``est(v)`` satisfies ``true(v) <= est(v) <= true(v) + eps * W``
+where ``W`` is the total weight, and every item with true weight
+``>= eps * W`` is among the counters (no false negatives for
+``phi >= eps`` heavy-hitter queries).
+
+Both variants merge (Agarwal et al., "Mergeable Summaries"): counts of the
+union are summed and the largest ``capacity`` survive; the two-sided error
+``|est - true| <= eps * W_total`` is preserved.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterable, Iterator
+
+from repro.core.errors import MergeError, ParameterError
+
+__all__ = ["SpaceSavingBase", "UnarySpaceSaving", "WeightedSpaceSaving", "Counter"]
+
+
+class Counter:
+    """A monitored item: estimated weight plus maximum overestimation."""
+
+    __slots__ = ("item", "count", "error")
+
+    def __init__(self, item: Hashable, count: float, error: float):
+        self.item = item
+        self.count = count
+        self.error = error
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.item!r}, count={self.count:g}, error={self.error:g})"
+
+
+def capacity_for_epsilon(epsilon: float) -> int:
+    """Number of counters needed for additive error ``epsilon * W``."""
+    if not 0.0 < epsilon < 1.0:
+        raise ParameterError(f"epsilon must be in (0, 1), got {epsilon!r}")
+    return max(1, math.ceil(1.0 / epsilon))
+
+
+class SpaceSavingBase(ABC):
+    """Shared query interface of the two SpaceSaving variants."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self._total = 0.0
+
+    @classmethod
+    def from_epsilon(cls, epsilon: float) -> "SpaceSavingBase":
+        """Build a summary sized for additive error ``epsilon * W``."""
+        return cls(capacity_for_epsilon(epsilon))
+
+    @property
+    def total_weight(self) -> float:
+        """Total weight of all updates folded in (the ``W`` of the bounds)."""
+        return self._total
+
+    @property
+    def epsilon(self) -> float:
+        """The additive-error fraction guaranteed by this capacity."""
+        return 1.0 / self.capacity
+
+    @abstractmethod
+    def update(self, item: Hashable, weight: float = 1.0) -> None:
+        """Add ``weight`` to ``item``'s frequency."""
+
+    @abstractmethod
+    def counters(self) -> Iterator[Counter]:
+        """Iterate over the monitored counters (order unspecified)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of monitored items (``<= capacity``)."""
+
+    def estimate(self, item: Hashable) -> float:
+        """Upper-bound estimate of ``item``'s total weight (0 if unmonitored)."""
+        for counter in self.counters():
+            if counter.item == item:
+                return counter.count
+        return 0.0
+
+    def guaranteed_weight(self, item: Hashable) -> float:
+        """Lower bound on ``item``'s true weight (``count - error``)."""
+        for counter in self.counters():
+            if counter.item == item:
+                return counter.count - counter.error
+        return 0.0
+
+    def heavy_hitters(self, phi: float) -> list[Counter]:
+        """All monitored items with estimated weight ``>= phi * W``.
+
+        With ``phi >= epsilon`` this contains every true ``phi``-heavy
+        hitter, and contains no item of true weight ``< (phi - epsilon) W``
+        (Theorem 2 of the paper, via the SpaceSaving guarantee).
+        """
+        if not 0.0 < phi <= 1.0:
+            raise ParameterError(f"phi must be in (0, 1], got {phi!r}")
+        threshold = phi * self._total
+        hitters = [c for c in self.counters() if c.count >= threshold]
+        hitters.sort(key=lambda c: -c.count)
+        return hitters
+
+    def top_k(self, k: int) -> list[Counter]:
+        """The ``k`` monitored items with the largest estimated weights."""
+        ranked = sorted(self.counters(), key=lambda c: -c.count)
+        return ranked[:k]
+
+    def state_size_bytes(self) -> int:
+        """Approximate footprint: 2 floats + 1 key slot per counter."""
+        return len(self) * (8 + 8 + 8)
+
+
+class WeightedSpaceSaving(SpaceSavingBase):
+    """SpaceSaving with arbitrary non-negative per-update weights.
+
+    The forward-decay engine of :class:`repro.core.heavy_hitters.DecayedHeavyHitters`.
+    Eviction needs the current minimum counter; a lazy min-heap provides it
+    in O(log 1/eps) amortized, with periodic compaction to bound stale
+    entries.
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._counts: dict[Hashable, float] = {}
+        self._errors: dict[Hashable, float] = {}
+        self._heap: list[tuple[float, Hashable]] = []
+
+    def update(self, item: Hashable, weight: float = 1.0) -> None:
+        if weight < 0 or math.isnan(weight):
+            raise ParameterError(f"weight must be >= 0, got {weight!r}")
+        if weight == 0.0:
+            return
+        self._total += weight
+        counts = self._counts
+        if item in counts:
+            new_count = counts[item] + weight
+            counts[item] = new_count
+            heapq.heappush(self._heap, (new_count, item))
+        elif len(counts) < self.capacity:
+            counts[item] = weight
+            self._errors[item] = 0.0
+            heapq.heappush(self._heap, (weight, item))
+        else:
+            min_count, victim = self._pop_min()
+            del counts[victim]
+            del self._errors[victim]
+            counts[item] = min_count + weight
+            self._errors[item] = min_count
+            heapq.heappush(self._heap, (min_count + weight, item))
+        if len(self._heap) > 8 * self.capacity:
+            self._compact_heap()
+
+    def _pop_min(self) -> tuple[float, Hashable]:
+        """Pop the true current minimum, discarding stale heap entries."""
+        heap, counts = self._heap, self._counts
+        while True:
+            count, item = heap[0]
+            if counts.get(item) == count:
+                heapq.heappop(heap)
+                return count, item
+            heapq.heappop(heap)
+
+    def _compact_heap(self) -> None:
+        self._heap = [(count, item) for item, count in self._counts.items()]
+        heapq.heapify(self._heap)
+
+    def counters(self) -> Iterator[Counter]:
+        errors = self._errors
+        for item, count in self._counts.items():
+            yield Counter(item, count, errors[item])
+
+    def estimate(self, item: Hashable) -> float:
+        return self._counts.get(item, 0.0)
+
+    def guaranteed_weight(self, item: Hashable) -> float:
+        if item in self._counts:
+            return self._counts[item] - self._errors[item]
+        return 0.0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def scale(self, factor: float) -> None:
+        """Multiply every count, error and the total by ``factor``.
+
+        Used by the forward-decay layer to renormalize exponentially-growing
+        weights against a newer landmark (Section VI-A of the paper): the
+        stored quantities are linear combinations of ``g`` values, so a
+        global rescale is exactly a landmark shift.
+        """
+        if not factor > 0:
+            raise ParameterError(f"scale factor must be > 0, got {factor!r}")
+        self._counts = {item: count * factor for item, count in self._counts.items()}
+        self._errors = {item: error * factor for item, error in self._errors.items()}
+        self._total *= factor
+        self._compact_heap()
+
+    def merge(self, other: "WeightedSpaceSaving", factor: float = 1.0) -> None:
+        """Fold ``other`` in (mergeable-summaries semantics).
+
+        Counts of the union are summed (missing = 0), errors likewise, and
+        only the ``capacity`` largest counts survive.  The result satisfies
+        the two-sided bound ``|est - true| <= eps * (W_self + W_other)``.
+
+        ``factor`` pre-scales the peer's counts as they are read — used by
+        the forward-decay layer to align summaries renormalized against
+        different internal landmarks without mutating ``other``.
+        """
+        if not isinstance(other, WeightedSpaceSaving):
+            raise MergeError(f"cannot merge {type(other).__name__}")
+        if other.capacity != self.capacity:
+            raise MergeError(
+                f"capacity mismatch: {self.capacity} vs {other.capacity}"
+            )
+        merged_counts = dict(self._counts)
+        merged_errors = dict(self._errors)
+        for item, count in other._counts.items():
+            if item in merged_counts:
+                merged_counts[item] += count * factor
+                merged_errors[item] += other._errors[item] * factor
+            else:
+                merged_counts[item] = count * factor
+                merged_errors[item] = other._errors[item] * factor
+        survivors = sorted(merged_counts, key=merged_counts.__getitem__, reverse=True)
+        survivors = survivors[: self.capacity]
+        self._counts = {item: merged_counts[item] for item in survivors}
+        self._errors = {item: merged_errors[item] for item in survivors}
+        self._compact_heap()
+        self._total += other._total * factor
+
+
+class _Bucket:
+    """A node in the Stream-Summary list: all items sharing one count."""
+
+    __slots__ = ("count", "items", "prev", "next")
+
+    def __init__(self, count: int):
+        self.count = count
+        self.items: set[Hashable] = set()
+        self.prev: _Bucket | None = None
+        self.next: _Bucket | None = None
+
+
+class UnarySpaceSaving(SpaceSavingBase):
+    """SpaceSaving optimized for unary (+1) updates: O(1) per update.
+
+    Implements the Stream-Summary structure of Metwally et al.: buckets of
+    equal-count items kept in a doubly-linked list sorted by count.  A unary
+    increment moves an item to the adjacent bucket, so no heap or search is
+    needed.  This is the "version optimized for unweighted (unary) updates"
+    the paper benchmarks as *Unary HH*.
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._bucket_of: dict[Hashable, _Bucket] = {}
+        self._errors: dict[Hashable, int] = {}
+        self._head: _Bucket | None = None  # minimum-count bucket
+
+    def update(self, item: Hashable, weight: float = 1.0) -> None:
+        if weight != 1.0:
+            raise ParameterError(
+                "UnarySpaceSaving only accepts unit weights; use "
+                "WeightedSpaceSaving for arbitrary weights"
+            )
+        self._total += 1.0
+        if item in self._bucket_of:
+            self._increment(item)
+        elif len(self._bucket_of) < self.capacity:
+            self._insert_new(item, count=1, error=0)
+        else:
+            self._evict_and_replace(item)
+
+    # -- linked-list plumbing --------------------------------------------------
+
+    def _insert_new(self, item: Hashable, count: int, error: int) -> None:
+        bucket = self._find_or_make_bucket(count)
+        bucket.items.add(item)
+        self._bucket_of[item] = bucket
+        self._errors[item] = error
+
+    def _find_or_make_bucket(self, count: int) -> _Bucket:
+        """Find the bucket with ``count``, creating it in sorted position."""
+        node = self._head
+        prev: _Bucket | None = None
+        while node is not None and node.count < count:
+            prev = node
+            node = node.next
+        if node is not None and node.count == count:
+            return node
+        bucket = _Bucket(count)
+        bucket.prev = prev
+        bucket.next = node
+        if prev is None:
+            self._head = bucket
+        else:
+            prev.next = bucket
+        if node is not None:
+            node.prev = bucket
+        return bucket
+
+    def _move_to_next_count(self, item: Hashable, bucket: _Bucket) -> None:
+        """Move ``item`` from ``bucket`` to the count+1 bucket in O(1).
+
+        The destination is either the immediate successor (when its count
+        matches) or a fresh bucket spliced in right after ``bucket`` —
+        never a scan from the head, which is what makes unary updates O(1).
+        """
+        target_count = bucket.count + 1
+        successor = bucket.next
+        bucket.items.discard(item)
+        if successor is not None and successor.count == target_count:
+            destination = successor
+        else:
+            destination = _Bucket(target_count)
+            destination.prev = bucket
+            destination.next = successor
+            bucket.next = destination
+            if successor is not None:
+                successor.prev = destination
+        destination.items.add(item)
+        self._bucket_of[item] = destination
+        if not bucket.items:
+            self._unlink(bucket)
+
+    def _unlink(self, bucket: _Bucket) -> None:
+        if bucket.prev is None:
+            self._head = bucket.next
+        else:
+            bucket.prev.next = bucket.next
+        if bucket.next is not None:
+            bucket.next.prev = bucket.prev
+
+    def _increment(self, item: Hashable) -> None:
+        self._move_to_next_count(item, self._bucket_of[item])
+
+    def _evict_and_replace(self, item: Hashable) -> None:
+        min_bucket = self._head
+        assert min_bucket is not None  # capacity >= 1 and summary full
+        victim = next(iter(min_bucket.items))
+        min_count = min_bucket.count
+        del self._bucket_of[victim]
+        del self._errors[victim]
+        # Stand the new item in the victim's slot, then bump it to count+1;
+        # both steps are local to the minimum bucket.
+        self._bucket_of[item] = min_bucket
+        min_bucket.items.discard(victim)
+        min_bucket.items.add(item)
+        self._errors[item] = min_count
+        self._move_to_next_count(item, min_bucket)
+
+    # -- queries ----------------------------------------------------------------
+
+    def counters(self) -> Iterator[Counter]:
+        for item, bucket in self._bucket_of.items():
+            yield Counter(item, float(bucket.count), float(self._errors[item]))
+
+    def estimate(self, item: Hashable) -> float:
+        bucket = self._bucket_of.get(item)
+        return float(bucket.count) if bucket is not None else 0.0
+
+    def guaranteed_weight(self, item: Hashable) -> float:
+        bucket = self._bucket_of.get(item)
+        if bucket is None:
+            return 0.0
+        return float(bucket.count - self._errors[item])
+
+    def __len__(self) -> int:
+        return len(self._bucket_of)
+
+    def merge(self, other: "UnarySpaceSaving") -> None:
+        """Fold ``other`` in (same semantics as the weighted variant)."""
+        if not isinstance(other, UnarySpaceSaving):
+            raise MergeError(f"cannot merge {type(other).__name__}")
+        if other.capacity != self.capacity:
+            raise MergeError(
+                f"capacity mismatch: {self.capacity} vs {other.capacity}"
+            )
+        merged: dict[Hashable, int] = {}
+        errors: dict[Hashable, int] = {}
+        for summary in (self, other):
+            for counter in summary.counters():
+                merged[counter.item] = merged.get(counter.item, 0) + int(counter.count)
+                errors[counter.item] = errors.get(counter.item, 0) + int(counter.error)
+        survivors = sorted(merged, key=merged.__getitem__, reverse=True)
+        survivors = survivors[: self.capacity]
+        total = self._total + other._total
+        self._bucket_of = {}
+        self._errors = {}
+        self._head = None
+        self._total = total
+        for item in survivors:
+            self._insert_new(item, count=merged[item], error=errors[item])
+
+
+def build_spacesaving(
+    epsilon: float, weighted: bool
+) -> SpaceSavingBase:
+    """Convenience factory used by the DSMS UDAF layer and benchmarks."""
+    cls = WeightedSpaceSaving if weighted else UnarySpaceSaving
+    return cls.from_epsilon(epsilon)
+
+
+def exact_heavy_hitters(
+    items: Iterable[tuple[Hashable, float]], phi: float
+) -> list[tuple[Hashable, float]]:
+    """Exact weighted heavy hitters, for test oracles.
+
+    ``items`` yields ``(item, weight)`` pairs; returns ``(item, weight)``
+    for all items whose total weight is ``>= phi`` times the grand total,
+    sorted by descending weight.
+    """
+    totals: dict[Hashable, float] = {}
+    grand = 0.0
+    for item, weight in items:
+        totals[item] = totals.get(item, 0.0) + weight
+        grand += weight
+    threshold = phi * grand
+    ranked = [(i, w) for i, w in totals.items() if w >= threshold]
+    ranked.sort(key=lambda pair: -pair[1])
+    return ranked

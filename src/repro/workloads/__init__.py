@@ -1,0 +1,33 @@
+"""Workload generators standing in for the paper's live network feeds.
+
+* :mod:`repro.workloads.netflow` — synthetic packet traces (Zipf
+  destinations, TCP/UDP mix, rate-stamped, optional out-of-order jitter);
+* :mod:`repro.workloads.synthetic` — plain ``(timestamp, value)`` streams
+  for unit/property tests and examples.
+"""
+
+from repro.workloads.netflow import (
+    PACKET_SCHEMA,
+    PacketTraceConfig,
+    PacketTraceGenerator,
+    generate_trace,
+)
+from repro.workloads.synthetic import (
+    bursty_stream,
+    interleave_streams,
+    uniform_stream,
+    with_out_of_order,
+    zipf_stream,
+)
+
+__all__ = [
+    "PACKET_SCHEMA",
+    "PacketTraceConfig",
+    "PacketTraceGenerator",
+    "generate_trace",
+    "uniform_stream",
+    "zipf_stream",
+    "bursty_stream",
+    "with_out_of_order",
+    "interleave_streams",
+]

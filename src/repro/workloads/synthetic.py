@@ -1,0 +1,127 @@
+"""Synthetic value streams for tests, examples and property checks.
+
+Streams here are lists of ``(timestamp, value)`` pairs — the input shape
+of Section II of the paper.  Generators cover the regimes the test suite
+exercises: uniform and Zipf value distributions, in-order and bounded
+out-of-order timestamps, bursts, and adversarial patterns for the sketches.
+All are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.errors import ParameterError
+
+__all__ = [
+    "uniform_stream",
+    "zipf_stream",
+    "bursty_stream",
+    "with_out_of_order",
+    "interleave_streams",
+]
+
+Stream = list[tuple[float, int]]
+
+
+def uniform_stream(
+    n: int,
+    num_values: int = 100,
+    start_time: float = 0.0,
+    rate: float = 1.0,
+    seed: int = 0,
+) -> Stream:
+    """``n`` items, values uniform over ``[0, num_values)``, steady rate."""
+    if n < 1 or num_values < 1 or rate <= 0:
+        raise ParameterError("n, num_values must be >= 1 and rate > 0")
+    rng = random.Random(seed)
+    step = 1.0 / rate
+    return [
+        (start_time + i * step, rng.randrange(num_values)) for i in range(n)
+    ]
+
+
+def zipf_stream(
+    n: int,
+    num_values: int = 1000,
+    exponent: float = 1.2,
+    start_time: float = 0.0,
+    rate: float = 1.0,
+    seed: int = 0,
+) -> Stream:
+    """``n`` items with Zipf-distributed values — heavy hitters exist."""
+    if n < 1 or num_values < 1 or rate <= 0 or exponent <= 0:
+        raise ParameterError("invalid zipf_stream parameters")
+    rng = random.Random(seed)
+    from bisect import bisect_left
+
+    cumulative: list[float] = []
+    total = 0.0
+    for rank in range(1, num_values + 1):
+        total += rank ** (-exponent)
+        cumulative.append(total)
+    step = 1.0 / rate
+    return [
+        (
+            start_time + i * step,
+            bisect_left(cumulative, rng.random() * total),
+        )
+        for i in range(n)
+    ]
+
+
+def bursty_stream(
+    n: int,
+    num_values: int = 100,
+    burst_length: int = 50,
+    start_time: float = 0.0,
+    rate: float = 1.0,
+    seed: int = 0,
+) -> Stream:
+    """Items arrive in bursts of one repeated value — stresses eviction."""
+    if n < 1 or num_values < 1 or burst_length < 1 or rate <= 0:
+        raise ParameterError("invalid bursty_stream parameters")
+    rng = random.Random(seed)
+    step = 1.0 / rate
+    stream: Stream = []
+    value = rng.randrange(num_values)
+    for i in range(n):
+        if i % burst_length == 0:
+            value = rng.randrange(num_values)
+        stream.append((start_time + i * step, value))
+    return stream
+
+
+def with_out_of_order(
+    stream: Sequence[tuple[float, int]],
+    jitter: float,
+    seed: int = 0,
+) -> Stream:
+    """Reorder arrivals by perturbing each item's *position*, not its stamp.
+
+    Timestamps stay exactly as generated (so decayed answers are
+    unchanged); only the order the consumer sees them in is shuffled within
+    a bounded horizon — the "late arrivals" regime of Section VI-B.
+    ``jitter`` is the maximum displacement as a fraction of the stream
+    length (e.g. ``0.05`` allows 5%-of-stream displacement).
+    """
+    if not 0.0 <= jitter <= 1.0:
+        raise ParameterError(f"jitter must be in [0, 1], got {jitter!r}")
+    rng = random.Random(seed)
+    horizon = max(1, int(len(stream) * jitter))
+    keyed = [
+        (index + rng.uniform(0, horizon), item)
+        for index, item in enumerate(stream)
+    ]
+    keyed.sort(key=lambda pair: pair[0])
+    return [item for __, item in keyed]
+
+
+def interleave_streams(*streams: Sequence[tuple[float, int]]) -> Stream:
+    """Merge multiple site streams by timestamp (distributed-input shape)."""
+    merged: Stream = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(key=lambda pair: pair[0])
+    return merged

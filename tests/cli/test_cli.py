@@ -1,0 +1,101 @@
+"""End-to-end tests of the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, read_trace_csv, write_trace_csv
+from repro.core.errors import DecayError
+from repro.workloads.netflow import PACKET_SCHEMA, generate_trace
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.csv"
+    assert main([
+        "trace", "--duration", "1", "--rate", "500", "--proto", "tcp",
+        "--seed", "3", "--out", str(path),
+    ]) == 0
+    return path
+
+
+class TestTraceCommand:
+    def test_writes_csv(self, trace_file, capsys):
+        assert trace_file.exists()
+        rows = read_trace_csv(str(trace_file), PACKET_SCHEMA)
+        assert len(rows) == 500
+        for row in rows[:20]:
+            PACKET_SCHEMA.validate(row)
+
+    def test_roundtrip_preserves_rows(self, tmp_path):
+        trace = generate_trace(duration_sec=0.5, rate_per_sec=200, seed=9)
+        path = tmp_path / "t.csv"
+        write_trace_csv(trace, PACKET_SCHEMA, str(path))
+        assert read_trace_csv(str(path), PACKET_SCHEMA) == trace
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,real,header\n1,2,3,4\n")
+        with pytest.raises(DecayError):
+            read_trace_csv(str(path), PACKET_SCHEMA)
+
+
+class TestQueryCommand:
+    def test_runs_count_query(self, trace_file, capsys):
+        code = main([
+            "query",
+            "select tb, count(*) as c from TCP group by time/60 as tb",
+            "--trace", str(trace_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "'c': 500" in out
+
+    def test_decayed_query_with_limit(self, trace_file, capsys):
+        code = main([
+            "query",
+            "select tb, destIP, sum(len*(time % 60)*(time % 60))/3600 as s "
+            "from TCP group by time/60 as tb, destIP",
+            "--trace", str(trace_file),
+            "--limit", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("'s':") == 3
+
+    def test_single_level_flag(self, trace_file, capsys):
+        code = main([
+            "query",
+            "select count(*) as c from TCP",
+            "--trace", str(trace_file),
+            "--single-level",
+        ])
+        assert code == 0
+        assert "'c': 500" in capsys.readouterr().out
+
+    def test_bad_query_reports_error(self, trace_file, capsys):
+        code = main([
+            "query", "select nonsense(",
+            "--trace", str(trace_file),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFigureCommand:
+    def test_fig1_is_fast_and_exact(self, capsys):
+        assert main(["figure", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "0.25" in out
+
+    def test_fig5_from_file_trace(self, trace_file, capsys):
+        code = main(["figure", "fig5", "--trace", str(trace_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "bwd sliding-window HH" in out
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])

@@ -1,0 +1,155 @@
+"""Unit tests for forward-decayed streaming clustering."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.clustering import DecayedKMeans
+from repro.core.decay import ForwardDecay
+from repro.core.errors import EmptySummaryError, MergeError, ParameterError
+from repro.core.functions import ExponentialG, NoDecayG, PolynomialG
+
+
+def gaussian_blobs(rng, centers, points_per_blob, spread=0.2):
+    """(point, blob_index) pairs around the given centers."""
+    out = []
+    for index, center in enumerate(centers):
+        for __ in range(points_per_blob):
+            point = tuple(c + rng.gauss(0.0, spread) for c in center)
+            out.append((point, index))
+    rng.shuffle(out)
+    return out
+
+
+class TestBasics:
+    def test_recovers_well_separated_blobs(self):
+        rng = random.Random(5)
+        centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 5.0)]
+        data = gaussian_blobs(rng, centers, 300)
+        decay = ForwardDecay(NoDecayG(), landmark=0.0)
+        model = DecayedKMeans(decay, k=3, dimensions=2)
+        for t, (point, __) in enumerate(data):
+            model.update(point, float(t + 1))
+        clusters = model.clusters()
+        assert len(clusters) == 3
+        for center in centers:
+            nearest = min(
+                clusters,
+                key=lambda c: sum((a - b) ** 2 for a, b in zip(c.centroid, center)),
+            )
+            for axis in range(2):
+                assert nearest.centroid[axis] == pytest.approx(
+                    center[axis], abs=1.0
+                )
+
+    def test_weights_sum_to_decayed_count(self):
+        decay = ForwardDecay(PolynomialG(2.0), landmark=0.0)
+        model = DecayedKMeans(decay, k=2, dimensions=1)
+        timestamps = [1.0, 2.0, 3.0, 4.0]
+        for t in timestamps:
+            model.update((t,), t)
+        total = sum(c.decayed_weight for c in model.clusters(4.0))
+        expected = sum(decay.weight(t, 4.0) for t in timestamps)
+        assert total == pytest.approx(expected)
+
+    def test_decay_shifts_centroid_to_recent_data(self):
+        """Old mass at x=0, recent at x=100: strong decay pulls centroids."""
+        decay = ForwardDecay(ExponentialG(alpha=0.1), landmark=0.0)
+        model = DecayedKMeans(decay, k=1, dimensions=1)
+        for t in range(1, 501):
+            model.update((0.0,), float(t))
+        for t in range(501, 551):
+            model.update((100.0,), float(t))
+        centroid = model.clusters(550.0)[0].centroid[0]
+        assert centroid > 90.0
+
+        undecayed = DecayedKMeans(
+            ForwardDecay(NoDecayG(), landmark=0.0), k=1, dimensions=1
+        )
+        for t in range(1, 501):
+            undecayed.update((0.0,), float(t))
+        for t in range(501, 551):
+            undecayed.update((100.0,), float(t))
+        assert undecayed.clusters(550.0)[0].centroid[0] < 20.0
+
+    def test_assign_returns_nearest(self):
+        decay = ForwardDecay(NoDecayG(), landmark=0.0)
+        model = DecayedKMeans(decay, k=2, dimensions=1)
+        model.update((0.0,), 1.0)
+        model.update((10.0,), 2.0)
+        assert model.assign((1.0,)) == model.assign((0.5,))
+        assert model.assign((9.0,)) != model.assign((1.0,))
+
+    def test_validation(self):
+        decay = ForwardDecay(NoDecayG(), landmark=0.0)
+        with pytest.raises(ParameterError):
+            DecayedKMeans(decay, k=0, dimensions=1)
+        with pytest.raises(ParameterError):
+            DecayedKMeans(decay, k=1, dimensions=0)
+        model = DecayedKMeans(decay, k=1, dimensions=2)
+        with pytest.raises(ParameterError):
+            model.update((1.0,), 1.0)  # wrong dimension
+        with pytest.raises(EmptySummaryError):
+            model.clusters()
+        with pytest.raises(EmptySummaryError):
+            model.assign((0.0, 0.0))
+
+    def test_state_size(self):
+        decay = ForwardDecay(NoDecayG(), landmark=0.0)
+        model = DecayedKMeans(decay, k=4, dimensions=3)
+        for t in range(10):
+            model.update((float(t), 0.0, 0.0), float(t + 1))
+        assert model.state_size_bytes() == 8 * (4 * 3 + 4)
+
+
+class TestRenormalizationAndMerge:
+    def test_long_exponential_stream_finite(self):
+        decay = ForwardDecay(ExponentialG(alpha=1.0), landmark=0.0)
+        model = DecayedKMeans(decay, k=2, dimensions=1)
+        for t in range(1, 20_001):
+            model.update((float(t % 10),), float(t))
+        clusters = model.clusters(20_000.0)
+        assert all(math.isfinite(c.decayed_weight) for c in clusters)
+        assert all(math.isfinite(c.centroid[0]) for c in clusters)
+
+    def test_merge_preserves_total_weight(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+        left = DecayedKMeans(decay, k=3, dimensions=2)
+        right = DecayedKMeans(decay, k=3, dimensions=2)
+        whole = DecayedKMeans(decay, k=3, dimensions=2)
+        rng = random.Random(9)
+        data = gaussian_blobs(rng, [(0, 0), (20, 20), (40, 0)], 100)
+        for index, (point, __) in enumerate(data):
+            t = float(index + 1)
+            (left if index % 2 else right).update(point, t)
+            whole.update(point, t)
+        left.merge(right)
+        query_time = float(len(data))
+        merged_total = sum(c.decayed_weight for c in left.clusters(query_time))
+        whole_total = sum(c.decayed_weight for c in whole.clusters(query_time))
+        assert merged_total == pytest.approx(whole_total, rel=1e-9)
+        assert len(left.clusters(query_time)) == 3
+
+    def test_merge_finds_matching_blobs(self):
+        decay = ForwardDecay(NoDecayG(), landmark=0.0)
+        left = DecayedKMeans(decay, k=2, dimensions=1)
+        right = DecayedKMeans(decay, k=2, dimensions=1)
+        for t in range(1, 101):
+            left.update((0.0 + (t % 3) * 0.01,), float(t))
+            left.update((50.0 + (t % 3) * 0.01,), float(t))
+            right.update((0.2,), float(t))
+            right.update((50.2,), float(t))
+        left.merge(right)
+        centroids = sorted(c.centroid[0] for c in left.clusters(100.0))
+        assert centroids[0] == pytest.approx(0.1, abs=0.3)
+        assert centroids[1] == pytest.approx(50.1, abs=0.3)
+
+    def test_merge_shape_mismatch(self):
+        decay = ForwardDecay(NoDecayG(), landmark=0.0)
+        with pytest.raises(MergeError):
+            DecayedKMeans(decay, k=2, dimensions=1).merge(
+                DecayedKMeans(decay, k=3, dimensions=1)
+            )

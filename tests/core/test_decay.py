@@ -1,0 +1,182 @@
+"""Unit tests for the decay models (Definitions 1-4, Section III)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.decay import (
+    BackwardDecay,
+    ForwardDecay,
+    forward_equals_backward_exp,
+    validate_decay_axioms,
+)
+from repro.core.errors import LandmarkError, TimestampError
+from repro.core.functions import (
+    ExponentialF,
+    ExponentialG,
+    PolynomialF,
+    PolynomialG,
+    SlidingWindowF,
+)
+from tests.conftest import PAPER_LANDMARK, PAPER_QUERY_TIME, PAPER_STREAM
+
+
+class TestForwardDecay:
+    def test_example_1_weights(self, paper_decay):
+        """Example 1 of the paper, to the digit."""
+        weights = [
+            paper_decay.weight(t, PAPER_QUERY_TIME) for t, __ in PAPER_STREAM
+        ]
+        assert weights == pytest.approx([0.25, 0.49, 0.09, 0.64, 0.16])
+
+    def test_weight_is_one_at_arrival(self, any_g):
+        decay = ForwardDecay(any_g, landmark=10.0)
+        assert decay.weight(25.0, 25.0) == pytest.approx(1.0)
+
+    def test_weight_bounded_and_monotone(self, any_g):
+        decay = ForwardDecay(any_g, landmark=0.0)
+        item_time = 5.0
+        previous = None
+        for t in [5.0, 6.0, 10.0, 50.0, 500.0]:
+            w = decay.weight(item_time, t)
+            assert 0.0 <= w <= 1.0
+            if previous is not None:
+                assert w <= previous + 1e-12
+            previous = w
+
+    def test_static_weight_is_g_of_offset(self, paper_decay):
+        assert paper_decay.static_weight(105.0) == pytest.approx(25.0)
+        assert paper_decay.normalizer(110.0) == pytest.approx(100.0)
+
+    def test_item_before_landmark_rejected(self, paper_decay):
+        with pytest.raises(LandmarkError):
+            paper_decay.static_weight(99.0)
+
+    def test_query_before_item_rejected(self, paper_decay):
+        with pytest.raises(TimestampError):
+            paper_decay.weight(105.0, 104.0)
+
+    def test_non_finite_timestamps_rejected(self, paper_decay):
+        with pytest.raises(TimestampError):
+            paper_decay.weight(math.nan, 110.0)
+        with pytest.raises(TimestampError):
+            paper_decay.weight(105.0, math.inf)
+
+    def test_query_at_landmark_weight_one(self):
+        decay = ForwardDecay(PolynomialG(2.0), landmark=100.0)
+        # t == t_i == L: g(0)/g(0) is 0/0; the convention is weight 1.
+        assert decay.weight(100.0, 100.0) == 1.0
+
+    def test_with_landmark_rebases(self, paper_decay):
+        moved = paper_decay.with_landmark(50.0)
+        assert moved.landmark == 50.0
+        assert moved.g == paper_decay.g
+
+    def test_scaling_g_does_not_change_weights(self):
+        # "scaling g by a constant has no effect" (Definition 3 remark):
+        # implemented via GeneralPolynomialG with a scaled monomial.
+        from repro.core.functions import GeneralPolynomialG
+
+        base = ForwardDecay(GeneralPolynomialG((0.0, 0.0, 1.0)), landmark=0.0)
+        scaled = ForwardDecay(GeneralPolynomialG((0.0, 0.0, 7.0)), landmark=0.0)
+        for item_time, query_time in [(3.0, 10.0), (5.0, 5.0), (1.0, 100.0)]:
+            assert base.weight(item_time, query_time) == pytest.approx(
+                scaled.weight(item_time, query_time)
+            )
+
+
+class TestRelativeDecay:
+    def test_lemma_1_monomial_relative_weight(self):
+        """Lemma 1: weight at relative age gamma is gamma^beta at any t."""
+        for beta in (0.5, 1.0, 2.0, 3.0):
+            decay = ForwardDecay(PolynomialG(beta), landmark=0.0)
+            for query_time in (10.0, 60.0, 3600.0):
+                for gamma in (0.0, 0.25, 0.5, 0.75, 1.0):
+                    assert decay.relative_weight(gamma, query_time) == pytest.approx(
+                        gamma**beta
+                    )
+
+    def test_figure_1_midpoint_weight(self):
+        """Figure 1: the half-way item under g(n)=n^2 has weight 0.25."""
+        decay = ForwardDecay(PolynomialG(2.0), landmark=0.0)
+        assert decay.relative_weight(0.5, 60.0) == pytest.approx(0.25)
+        assert decay.relative_weight(0.5, 120.0) == pytest.approx(0.25)
+
+    def test_exponential_does_not_have_relative_decay(self):
+        decay = ForwardDecay(ExponentialG(alpha=0.1), landmark=0.0)
+        w1 = decay.relative_weight(0.5, 10.0)
+        w2 = decay.relative_weight(0.5, 100.0)
+        assert w1 != pytest.approx(w2)
+        assert not decay.has_relative_decay()
+
+    def test_has_relative_decay_flags(self):
+        assert ForwardDecay(PolynomialG(2.0)).has_relative_decay()
+        assert not ForwardDecay(ExponentialG(1.0)).has_relative_decay()
+
+    def test_relative_weight_rejects_bad_gamma(self, paper_decay):
+        with pytest.raises(TimestampError):
+            paper_decay.relative_weight(1.5, 200.0)
+
+
+class TestBackwardDecay:
+    def test_sliding_window_weights(self):
+        decay = BackwardDecay(SlidingWindowF(window=10.0))
+        assert decay.weight(95.0, 100.0) == 1.0
+        assert decay.weight(85.0, 100.0) == 0.0
+
+    def test_polynomial_backward_weight(self):
+        decay = BackwardDecay(PolynomialF(alpha=1.0))
+        assert decay.weight(99.0, 100.0) == pytest.approx(0.5)
+
+    def test_backward_weight_depends_only_on_age(self):
+        decay = BackwardDecay(PolynomialF(alpha=2.0))
+        assert decay.weight(5.0, 10.0) == pytest.approx(decay.weight(105.0, 110.0))
+
+    def test_query_before_item_rejected(self):
+        decay = BackwardDecay(PolynomialF(alpha=1.0))
+        with pytest.raises(TimestampError):
+            decay.weight(10.0, 9.0)
+
+
+class TestExponentialIdentity:
+    """Section III-A: forward and backward exponential decay coincide."""
+
+    @pytest.mark.parametrize("alpha", [0.01, 0.1, 1.0, 2.5])
+    def test_identity_for_various_rates(self, alpha):
+        forward, backward = forward_equals_backward_exp(alpha)
+        for item_time, query_time in [(0.0, 0.0), (1.0, 2.0), (3.0, 50.0), (10.0, 10.0)]:
+            assert forward.weight(item_time, query_time) == pytest.approx(
+                backward.weight(item_time, query_time), rel=1e-12
+            )
+
+    def test_identity_independent_of_landmark(self):
+        backward = BackwardDecay(ExponentialF(lam=0.3))
+        for landmark in (-100.0, 0.0, 2.0):
+            forward = ForwardDecay(ExponentialG(alpha=0.3), landmark=landmark)
+            assert forward.weight(5.0, 9.0) == pytest.approx(
+                backward.weight(5.0, 9.0), rel=1e-12
+            )
+
+
+class TestAxiomValidator:
+    def test_accepts_valid_models(self, any_g):
+        decay = ForwardDecay(any_g, landmark=0.0)
+        validate_decay_axioms(decay, 3.0, [3.0, 4.0, 10.0, 100.0])
+
+    def test_rejects_increasing_weight(self):
+        class BadModel:
+            def weight(self, item_time, t):
+                return 1.0 if t == item_time else min(1.0, (t - item_time) / 10)
+
+        with pytest.raises(AssertionError):
+            validate_decay_axioms(BadModel(), 0.0, [0.0, 1.0, 5.0, 20.0])
+
+    def test_rejects_weight_above_one(self):
+        class BadModel:
+            def weight(self, item_time, t):
+                return 1.0 if t == item_time else 1.5
+
+        with pytest.raises(AssertionError):
+            validate_decay_axioms(BadModel(), 0.0, [0.0, 1.0])

@@ -1,0 +1,185 @@
+"""Unit tests for the decay-function building blocks (Section II/III)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.core.functions import (
+    ExponentialF,
+    ExponentialG,
+    GeneralPolynomialG,
+    LandmarkWindowG,
+    LogarithmicG,
+    NoDecayF,
+    NoDecayG,
+    PolynomialF,
+    PolynomialG,
+    SlidingWindowF,
+    SubPolynomialF,
+    SuperExponentialF,
+)
+
+
+class TestForwardFunctions:
+    def test_no_decay_is_constant(self):
+        g = NoDecayG()
+        assert g(0.0) == 1.0
+        assert g(1e9) == 1.0
+
+    def test_polynomial_values(self):
+        g = PolynomialG(beta=2.0)
+        assert g(0.0) == 0.0
+        assert g(3.0) == 9.0
+        assert g(10.0) == 100.0
+
+    def test_polynomial_fractional_exponent(self):
+        g = PolynomialG(beta=0.5)
+        assert g(4.0) == pytest.approx(2.0)
+
+    def test_polynomial_rejects_bad_beta(self):
+        with pytest.raises(ParameterError):
+            PolynomialG(beta=0.0)
+        with pytest.raises(ParameterError):
+            PolynomialG(beta=-1.0)
+        with pytest.raises(ParameterError):
+            PolynomialG(beta=math.nan)
+
+    def test_polynomial_rejects_negative_offset(self):
+        with pytest.raises(ParameterError):
+            PolynomialG(beta=2.0)(-1.0)
+
+    def test_general_polynomial_horner(self):
+        # g(n) = 1 + 2n + 3n^2
+        g = GeneralPolynomialG(coefficients=(1.0, 2.0, 3.0))
+        assert g(0.0) == 1.0
+        assert g(2.0) == 1.0 + 4.0 + 12.0
+
+    def test_general_polynomial_rejects_negative_coefficients(self):
+        with pytest.raises(ParameterError):
+            GeneralPolynomialG(coefficients=(1.0, -2.0))
+
+    def test_general_polynomial_rejects_empty_or_zero(self):
+        with pytest.raises(ParameterError):
+            GeneralPolynomialG(coefficients=())
+        with pytest.raises(ParameterError):
+            GeneralPolynomialG(coefficients=(0.0, 0.0))
+
+    def test_exponential_values(self):
+        g = ExponentialG(alpha=0.5)
+        assert g(0.0) == 1.0
+        assert g(2.0) == pytest.approx(math.e)
+
+    def test_exponential_rejects_bad_alpha(self):
+        with pytest.raises(ParameterError):
+            ExponentialG(alpha=0.0)
+        with pytest.raises(ParameterError):
+            ExponentialG(alpha=math.inf)
+
+    def test_landmark_window_step(self):
+        g = LandmarkWindowG()
+        assert g(0.0) == 0.0
+        assert g(1e-9) == 1.0
+        assert g(100.0) == 1.0
+
+    def test_logarithmic_sub_polynomial(self):
+        g = LogarithmicG(scale=1.0)
+        assert g(0.0) == 0.0
+        assert g(math.e - 1) == pytest.approx(1.0)
+        # Grows slower than any monomial eventually.
+        assert g(1e6) < PolynomialG(beta=0.5)(1e6)
+
+    def test_all_g_monotone_non_decreasing(self, any_g):
+        previous = None
+        for n in [0.0, 0.5, 1.0, 2.0, 10.0, 100.0, 1e4]:
+            value = any_g(n)
+            assert value >= 0.0
+            if previous is not None:
+                assert value >= previous
+            previous = value
+
+    def test_g_functions_hashable_and_comparable(self):
+        assert PolynomialG(2.0) == PolynomialG(2.0)
+        assert PolynomialG(2.0) != PolynomialG(3.0)
+        assert hash(ExponentialG(0.1)) == hash(ExponentialG(0.1))
+        assert len({NoDecayG(), NoDecayG()}) == 1
+
+    def test_describe_mentions_parameters(self):
+        assert "2" in PolynomialG(2.0).describe()
+        assert "0.5" in ExponentialG(0.5).describe()
+
+
+class TestBackwardFunctions:
+    def test_no_decay(self):
+        f = NoDecayF()
+        assert f(0.0) == 1.0
+        assert f(1e9) == 1.0
+
+    def test_sliding_window_cutoff(self):
+        f = SlidingWindowF(window=10.0)
+        assert f(0.0) == 1.0
+        assert f(9.999) == 1.0
+        assert f(10.0) == 0.0
+        assert f(1e6) == 0.0
+
+    def test_sliding_window_rejects_bad_window(self):
+        with pytest.raises(ParameterError):
+            SlidingWindowF(window=0.0)
+
+    def test_exponential_half_life_constant_ratio(self):
+        # Backward exponential: f(a)/f(a + A) is the same for all a.
+        f = ExponentialF(lam=0.2)
+        delay = 3.0
+        ratios = [f(a) / f(a + delay) for a in (0.0, 1.0, 10.0, 100.0)]
+        for ratio in ratios[1:]:
+            assert ratio == pytest.approx(ratios[0])
+
+    def test_polynomial_normalized_at_zero(self):
+        f = PolynomialF(alpha=1.5)
+        assert f(0.0) == 1.0
+        assert f(1.0) == pytest.approx(2.0 ** -1.5)
+
+    def test_polynomial_equivalence_to_exp_log_form(self):
+        # f(a) = (a+1)^-alpha == exp(-alpha ln(a+1)) (Section II-A).
+        f = PolynomialF(alpha=2.0)
+        for age in (0.0, 1.0, 5.0, 50.0):
+            assert f(age) == pytest.approx(math.exp(-2.0 * math.log(age + 1.0)))
+
+    def test_super_exponential_faster_than_exponential(self):
+        fast = SuperExponentialF(lam=0.1)
+        slow = ExponentialF(lam=0.1)
+        assert fast(10.0) < slow(10.0)
+
+    def test_sub_polynomial_slower_than_polynomial(self):
+        slow = SubPolynomialF()
+        fast = PolynomialF(alpha=1.0)
+        assert slow(100.0) > fast(100.0)
+
+    @pytest.mark.parametrize(
+        "f",
+        [
+            NoDecayF(),
+            SlidingWindowF(window=10.0),
+            ExponentialF(lam=0.1),
+            PolynomialF(alpha=1.0),
+            SuperExponentialF(lam=0.01),
+            SubPolynomialF(),
+        ],
+        ids=["none", "window", "exp", "poly", "superexp", "subpoly"],
+    )
+    def test_all_f_monotone_non_increasing(self, f):
+        previous = None
+        for age in [0.0, 0.5, 1.0, 2.0, 10.0, 100.0]:
+            value = f(age)
+            assert 0.0 <= value <= 1.0
+            if previous is not None:
+                assert value <= previous
+            previous = value
+
+    def test_f_rejects_negative_age(self):
+        for f in (SlidingWindowF(5.0), ExponentialF(0.1), PolynomialF(1.0),
+                  SuperExponentialF(0.1), SubPolynomialF()):
+            with pytest.raises(ParameterError):
+                f(-1.0)

@@ -1,0 +1,96 @@
+"""Unit tests for landmark policies and renormalization (Section VI-A)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import OverflowGuardError, ParameterError
+from repro.core.functions import ExponentialG
+from repro.core.landmark import (
+    EpochLandmark,
+    FixedLandmark,
+    OverflowGuard,
+    QueryStartLandmark,
+    exponential_shift_factor,
+    shift_exponential_weight,
+)
+
+
+class TestLandmarkPolicies:
+    def test_fixed(self):
+        assert FixedLandmark(42.0).landmark_for(1000.0) == 42.0
+
+    def test_query_start_default(self):
+        assert QueryStartLandmark().landmark_for(123.0) == 123.0
+
+    def test_query_start_with_slack(self):
+        assert QueryStartLandmark(slack=1.5).landmark_for(123.0) == 121.5
+
+    def test_query_start_rejects_negative_slack(self):
+        with pytest.raises(ParameterError):
+            QueryStartLandmark(slack=-1.0)
+
+    def test_epoch_floors_to_width(self):
+        policy = EpochLandmark(width=60.0)
+        assert policy.landmark_for(125.0) == 120.0
+        assert policy.landmark_for(120.0) == 120.0
+        assert policy.landmark_for(119.9) == 60.0
+
+    def test_epoch_rejects_bad_width(self):
+        with pytest.raises(ParameterError):
+            EpochLandmark(width=0.0)
+
+
+class TestExponentialShift:
+    def test_shift_factor_matches_definition(self):
+        g = ExponentialG(alpha=0.5)
+        factor = exponential_shift_factor(g, old_landmark=0.0, new_landmark=10.0)
+        assert factor == pytest.approx(math.exp(-5.0))
+
+    def test_shift_preserves_decayed_weight(self):
+        """Rescaled weights against L' answer identically (Section VI-A)."""
+        g = ExponentialG(alpha=0.3)
+        item_time, query_time = 20.0, 30.0
+        old_landmark, new_landmark = 0.0, 15.0
+        weight_old = math.exp(g.alpha * (item_time - old_landmark))
+        weight_new = shift_exponential_weight(weight_old, g, old_landmark, new_landmark)
+        answer_old = weight_old / math.exp(g.alpha * (query_time - old_landmark))
+        answer_new = weight_new / math.exp(g.alpha * (query_time - new_landmark))
+        assert answer_new == pytest.approx(answer_old, rel=1e-12)
+
+    def test_shift_backwards_increases_weight(self):
+        g = ExponentialG(alpha=1.0)
+        assert shift_exponential_weight(1.0, g, 10.0, 5.0) == pytest.approx(math.e**5)
+
+
+class TestOverflowGuard:
+    def test_default_threshold_allows_normal_values(self):
+        guard = OverflowGuard()
+        assert not guard.check(1e100)
+
+    def test_trips_above_threshold(self):
+        guard = OverflowGuard(threshold=100.0)
+        assert guard.check(101.0)
+        assert not guard.check(99.0)
+
+    def test_trips_on_infinity(self):
+        guard = OverflowGuard()
+        assert guard.check(math.inf)
+
+    def test_strict_mode_raises(self):
+        guard = OverflowGuard(threshold=10.0, strict=True)
+        with pytest.raises(OverflowGuardError):
+            guard.check(11.0)
+
+    def test_shift_counter(self):
+        guard = OverflowGuard()
+        assert guard.shifts == 0
+        guard.record_shift()
+        guard.record_shift()
+        assert guard.shifts == 2
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ParameterError):
+            OverflowGuard(threshold=0.0)

@@ -1,0 +1,45 @@
+"""Unit tests for the distributed merge helper (Section VI-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import DecayedCount, DecayedSum
+from repro.core.errors import MergeError
+from repro.core.merge import Mergeable, merge_all
+from tests.conftest import PAPER_STREAM
+
+
+def test_merge_all_three_sites(paper_decay):
+    sites = [DecayedSum(paper_decay) for __ in range(3)]
+    whole = DecayedSum(paper_decay)
+    for index, (t, v) in enumerate(PAPER_STREAM):
+        sites[index % 3].update(t, v)
+        whole.update(t, v)
+    combined = merge_all(sites)
+    assert combined is sites[0]
+    assert combined.query(110.0) == pytest.approx(whole.query(110.0))
+
+
+def test_merge_all_single_summary(paper_decay):
+    only = DecayedCount(paper_decay)
+    only.update(105)
+    assert merge_all([only]) is only
+
+
+def test_merge_all_empty_rejected():
+    with pytest.raises(MergeError):
+        merge_all([])
+
+
+def test_merge_all_propagates_incompatibility(paper_decay):
+    left = DecayedSum(paper_decay)
+    left.update(105, 1.0)
+    right = DecayedCount(paper_decay)
+    right.update(105)
+    with pytest.raises(MergeError):
+        merge_all([left, right])
+
+
+def test_protocol_recognizes_library_summaries(paper_decay):
+    assert isinstance(DecayedSum(paper_decay), Mergeable)

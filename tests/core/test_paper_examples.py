@@ -1,0 +1,98 @@
+"""End-to-end checks of every worked example in the paper.
+
+Examples 1-3 are checked to the digit; the GSQL quadratic-decay query of
+Section IV-A is parsed and executed through the DSMS; the Section VIII
+PRISAMP query parses and runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import DecayedAverage, DecayedCount, DecayedSum
+from repro.core.heavy_hitters import DecayedHeavyHitters
+from repro.dsms.engine import run_query
+from repro.dsms.parser import parse_query
+from repro.dsms.schema import Field, FieldType, Schema
+from repro.dsms.udaf import default_registry
+from tests.conftest import PAPER_QUERY_TIME, PAPER_STREAM
+
+
+def test_example_1_decayed_weights(paper_decay):
+    weights = [paper_decay.weight(t, PAPER_QUERY_TIME) for t, __ in PAPER_STREAM]
+    assert weights == pytest.approx([0.25, 0.49, 0.09, 0.64, 0.16])
+
+
+def test_example_2_count_sum_average(paper_decay):
+    count = DecayedCount(paper_decay)
+    total = DecayedSum(paper_decay)
+    average = DecayedAverage(paper_decay)
+    for t, v in PAPER_STREAM:
+        count.update(t)
+        total.update(t, v)
+        average.update(t, v)
+    assert count.query(PAPER_QUERY_TIME) == pytest.approx(1.63)
+    assert total.query(PAPER_QUERY_TIME) == pytest.approx(9.67)
+    # The paper rounds A to 5.93.
+    assert round(average.query(PAPER_QUERY_TIME), 2) == 5.93
+
+
+def test_example_3_heavy_hitters(paper_decay):
+    summary = DecayedHeavyHitters(paper_decay, epsilon=0.01)
+    for t, v in PAPER_STREAM:
+        summary.update(v, t)
+    hitters = {h.item for h in summary.heavy_hitters(0.2, PAPER_QUERY_TIME)}
+    assert hitters == {4, 6, 8}
+    # Threshold check from the example: 1.63 * 0.2 = 0.326.
+    assert summary.decayed_total(PAPER_QUERY_TIME) * 0.2 == pytest.approx(0.326)
+
+
+PAPER_GSQL = (
+    "select tb, destIP, destPort, "
+    "sum(len*(time % 60)*(time % 60))/3600 from TCP "
+    "group by time/60 as tb, destIP, destPort"
+)
+
+PAPER_SAMPLING_GSQL = (
+    "select tb, PRISAMP(srcIP, exp(time % 60)) from TCP group by time/60 as tb"
+)
+
+TCP_SCHEMA = Schema(
+    [
+        Field("time", FieldType.INT),
+        Field("srcIP", FieldType.STR),
+        Field("destIP", FieldType.STR),
+        Field("destPort", FieldType.INT),
+        Field("len", FieldType.INT),
+    ]
+)
+
+
+def test_paper_gsql_query_parses_and_runs():
+    """The exact decayed-count query text from Section IV-A."""
+    registry = default_registry()
+    query = parse_query(PAPER_GSQL, registry)
+    rows = [
+        (0, "s", "h1", 80, 100),
+        (30, "s", "h1", 80, 100),
+        (59, "s", "h2", 443, 200),
+    ]
+    results = {
+        (r["tb"], r["destIP"], r["destPort"]): r for r in run_query(query, TCP_SCHEMA, rows)
+    }
+    # Group (0, h1, 80): weights 0 and 900 over len 100 -> 90000/3600 = 25.
+    assert results[(0, "h1", 80)]["col3"] == pytest.approx(25.0)
+    # Group (0, h2, 443): 59^2 * 200 / 3600.
+    assert results[(0, "h2", 443)]["col3"] == pytest.approx(59 * 59 * 200 / 3600)
+
+
+def test_paper_sampling_query_parses_and_runs():
+    """The PRISAMP query text from Section VIII."""
+    registry = default_registry(sample_size=2)
+    query = parse_query(PAPER_SAMPLING_GSQL, registry)
+    rows = [(t, f"src{t}", "h", 80, 100) for t in range(10)]
+    results = list(run_query(query, TCP_SCHEMA, rows))
+    assert len(results) == 1
+    sample = results[0]["prisamp"]
+    assert len(sample) == 2
+    assert all(item.startswith("src") for item in sample)

@@ -1,0 +1,135 @@
+"""Unit tests for forward-decayed quantiles (Section IV-C, Theorem 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decay import ForwardDecay
+from repro.core.errors import EmptySummaryError, MergeError, ParameterError
+from repro.core.functions import ExponentialG, PolynomialG
+from repro.core.quantiles import DecayedQuantiles
+from repro.workloads.synthetic import uniform_stream
+
+
+def exact_decayed_quantile(decay, stream, phi):
+    """Oracle: Definition 8 computed directly."""
+    weights = {}
+    for t, v in stream:
+        weights[v] = weights.get(v, 0.0) + decay.static_weight(t)
+    total = sum(weights.values())
+    running = 0.0
+    for value in sorted(weights):
+        running += weights[value]
+        if running >= phi * total:
+            return value
+    return max(weights)
+
+
+class TestBasics:
+    def test_median_of_weighted_stream(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=-1.0)
+        summary = DecayedQuantiles(decay, epsilon=0.05, universe_bits=8)
+        # Low values early (light weights), high values late (heavy).
+        stream = [(float(t), t // 4) for t in range(256)]
+        for t, v in stream:
+            summary.update(v, t)
+        median = summary.median()
+        exact = exact_decayed_quantile(decay, stream, 0.5)
+        # Allow epsilon-rank slack translated into the value domain.
+        assert abs(median - exact) <= 8
+
+    def test_quantile_rank_error_bound(self):
+        decay = ForwardDecay(PolynomialG(2.0), landmark=-1.0)
+        epsilon = 0.05
+        summary = DecayedQuantiles(decay, epsilon=epsilon, universe_bits=10)
+        stream = uniform_stream(4_000, num_values=1_024, seed=9)
+        exact_weights: dict[int, float] = {}
+        for t, v in stream:
+            summary.update(v, t)
+            exact_weights[v] = exact_weights.get(v, 0.0) + decay.static_weight(t)
+        total = sum(exact_weights.values())
+        for phi in (0.1, 0.25, 0.5, 0.75, 0.9):
+            answer = summary.quantile(phi)
+            true_rank = sum(w for v, w in exact_weights.items() if v <= answer)
+            assert (phi - 2 * epsilon) * total <= true_rank <= (phi + 2 * epsilon) * total
+
+    def test_quantiles_batch_matches_single(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=-1.0)
+        summary = DecayedQuantiles(decay, epsilon=0.05, universe_bits=8)
+        for t, v in uniform_stream(1_000, num_values=256, seed=2):
+            summary.update(v, t)
+        phis = [0.1, 0.5, 0.9]
+        assert summary.quantiles(phis) == [summary.quantile(p) for p in phis]
+
+    def test_quantile_independent_of_query_time(self):
+        """Ranks and totals scale together, so quantiles are positional."""
+        decay = ForwardDecay(PolynomialG(2.0), landmark=-1.0)
+        summary = DecayedQuantiles(decay, epsilon=0.05, universe_bits=8)
+        for t, v in uniform_stream(500, num_values=200, seed=4):
+            summary.update(v, t)
+        before = summary.quantile(0.5)
+        # More queries later in time change nothing about the answer.
+        assert summary.quantile(0.5) == before
+
+    def test_decayed_rank_and_total(self, paper_decay):
+        summary = DecayedQuantiles(paper_decay, epsilon=0.05, universe_bits=4)
+        from tests.conftest import PAPER_STREAM
+
+        for t, v in PAPER_STREAM:
+            summary.update(v, t)
+        assert summary.decayed_total(110.0) == pytest.approx(1.63)
+        # rank(8) covers everything.
+        assert summary.decayed_rank(8, 110.0) == pytest.approx(1.63)
+
+
+class TestValidationAndMerge:
+    def test_empty_raises(self, paper_decay):
+        summary = DecayedQuantiles(paper_decay)
+        with pytest.raises(EmptySummaryError):
+            summary.quantile(0.5)
+
+    def test_bad_epsilon(self, paper_decay):
+        with pytest.raises(ParameterError):
+            DecayedQuantiles(paper_decay, epsilon=1.5)
+
+    def test_value_out_of_universe(self, paper_decay):
+        summary = DecayedQuantiles(paper_decay, universe_bits=4)
+        with pytest.raises(ParameterError):
+            summary.update(16, 105.0)
+
+    def test_merge_equals_concatenation(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=-1.0)
+        left = DecayedQuantiles(decay, epsilon=0.02, universe_bits=8)
+        right = DecayedQuantiles(decay, epsilon=0.02, universe_bits=8)
+        whole = DecayedQuantiles(decay, epsilon=0.02, universe_bits=8)
+        stream = uniform_stream(2_000, num_values=256, seed=11)
+        for index, (t, v) in enumerate(stream):
+            (left if index % 2 else right).update(v, t)
+            whole.update(v, t)
+        left.merge(right)
+        assert left.decayed_total() == pytest.approx(whole.decayed_total())
+        for phi in (0.25, 0.5, 0.75):
+            assert abs(left.quantile(phi) - whole.quantile(phi)) <= 16
+
+    def test_merge_universe_mismatch(self, paper_decay):
+        left = DecayedQuantiles(paper_decay, universe_bits=8)
+        right = DecayedQuantiles(paper_decay, universe_bits=10)
+        with pytest.raises(MergeError):
+            left.merge(right)
+
+    def test_exponential_decay_long_stream(self):
+        decay = ForwardDecay(ExponentialG(alpha=0.5), landmark=0.0)
+        summary = DecayedQuantiles(decay, epsilon=0.05, universe_bits=8)
+        # Early items have value 10, late items value 200: under strong
+        # exponential decay the median must be pulled to the recent value.
+        for t in range(1, 3_000):
+            summary.update(10, float(t))
+        for t in range(3_000, 3_100):
+            summary.update(200, float(t))
+        assert summary.median() >= 190
+
+    def test_state_size_reported(self, paper_decay):
+        summary = DecayedQuantiles(paper_decay, epsilon=0.1, universe_bits=8)
+        for t, v in uniform_stream(500, num_values=256, seed=1):
+            summary.update(v, t + 101.0)
+        assert summary.state_size_bytes() > 0

@@ -1,0 +1,174 @@
+"""Unit tests for checkpoint/restore serialization."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.aggregates import (
+    DecayedAverage,
+    DecayedCount,
+    DecayedMax,
+    DecayedMin,
+    DecayedSum,
+    DecayedVariance,
+)
+from repro.core.decay import ForwardDecay
+from repro.core.distinct import ExactDecayedDistinct
+from repro.core.errors import ParameterError
+from repro.core.functions import (
+    ExponentialG,
+    GeneralPolynomialG,
+    LogarithmicG,
+    PolynomialG,
+)
+from repro.core.heavy_hitters import DecayedHeavyHitters
+from repro.core.landmark import OverflowGuard
+from repro.core.quantiles import DecayedQuantiles
+from repro.core.serde import dump_decay, dump_summary, load_decay, load_summary
+from tests.conftest import PAPER_STREAM
+
+
+def roundtrip(summary):
+    """dump -> JSON text -> load (exercising real serialization)."""
+    return load_summary(json.loads(json.dumps(dump_summary(summary))))
+
+
+class TestDecayRoundTrip:
+    @pytest.mark.parametrize(
+        "g",
+        [
+            PolynomialG(2.5),
+            ExponentialG(0.3),
+            GeneralPolynomialG((1.0, 0.0, 2.0)),
+            LogarithmicG(scale=4.0),
+        ],
+        ids=["poly", "exp", "genpoly", "log"],
+    )
+    def test_functions_round_trip(self, g):
+        decay = ForwardDecay(g, landmark=42.0)
+        restored = load_decay(json.loads(json.dumps(dump_decay(decay))))
+        assert restored == decay
+        assert restored.weight(50.0, 60.0) == decay.weight(50.0, 60.0)
+
+    def test_custom_function_rejected(self):
+        class CustomG:
+            def __call__(self, n):
+                return 1.0
+
+        with pytest.raises(ParameterError):
+            dump_decay(ForwardDecay(CustomG(), landmark=0.0))
+
+
+class TestAggregateCheckpoints:
+    @pytest.mark.parametrize(
+        "cls",
+        [DecayedCount, DecayedSum, DecayedAverage, DecayedVariance,
+         DecayedMin, DecayedMax],
+    )
+    def test_round_trip_preserves_answers(self, cls, paper_decay):
+        summary = cls(paper_decay)
+        for t, v in PAPER_STREAM:
+            summary.update(t, v)
+        restored = roundtrip(summary)
+        assert restored.query(110.0) == pytest.approx(summary.query(110.0))
+        assert restored.items_processed == summary.items_processed
+        assert restored.last_timestamp == summary.last_timestamp
+
+    def test_restored_summary_keeps_updating(self, paper_decay):
+        summary = DecayedSum(paper_decay)
+        reference = DecayedSum(paper_decay)
+        for t, v in PAPER_STREAM[:3]:
+            summary.update(t, v)
+            reference.update(t, v)
+        restored = roundtrip(summary)
+        for t, v in PAPER_STREAM[3:]:
+            restored.update(t, v)
+            reference.update(t, v)
+        assert restored.query(110.0) == pytest.approx(reference.query(110.0))
+
+    def test_exponential_with_shifted_landmark(self):
+        decay = ForwardDecay(ExponentialG(alpha=1.0), landmark=0.0)
+        summary = DecayedSum(decay, guard=OverflowGuard(threshold=100.0))
+        for t in range(1, 201):
+            summary.update(float(t), 1.0)
+        restored = roundtrip(summary)
+        assert restored.query(200.0) == pytest.approx(summary.query(200.0))
+        # And it keeps renormalizing correctly after restore.
+        restored.update(500.0, 1.0)
+        assert math.isfinite(restored.query(500.0))
+
+    def test_empty_summary_round_trip(self, paper_decay):
+        restored = roundtrip(DecayedCount(paper_decay))
+        assert restored.items_processed == 0
+        restored.update(105.0)
+        assert restored.query(110.0) == pytest.approx(0.25)
+
+
+class TestHolisticCheckpoints:
+    def test_heavy_hitters_round_trip(self, paper_decay):
+        summary = DecayedHeavyHitters(paper_decay, epsilon=0.01)
+        for t, v in PAPER_STREAM:
+            summary.update(v, t)
+        restored = roundtrip(summary)
+        assert restored.decayed_total(110.0) == pytest.approx(
+            summary.decayed_total(110.0)
+        )
+        assert [h.item for h in restored.heavy_hitters(0.2, 110.0)] == [
+            h.item for h in summary.heavy_hitters(0.2, 110.0)
+        ]
+
+    def test_heavy_hitters_string_and_int_keys(self, paper_decay):
+        summary = DecayedHeavyHitters(paper_decay, epsilon=0.1)
+        summary.update("host-1", 105.0)
+        summary.update(42, 106.0)
+        restored = roundtrip(summary)
+        assert restored.decayed_count("host-1", 110.0) == pytest.approx(
+            summary.decayed_count("host-1", 110.0)
+        )
+        assert restored.decayed_count(42, 110.0) == pytest.approx(
+            summary.decayed_count(42, 110.0)
+        )
+
+    def test_quantiles_round_trip(self, paper_decay):
+        summary = DecayedQuantiles(paper_decay, epsilon=0.05, universe_bits=4)
+        for t, v in PAPER_STREAM:
+            summary.update(v, t)
+        restored = roundtrip(summary)
+        for phi in (0.25, 0.5, 0.75):
+            assert restored.quantile(phi) == summary.quantile(phi)
+        assert restored.decayed_total(110.0) == pytest.approx(
+            summary.decayed_total(110.0)
+        )
+
+    def test_gk_backend_not_checkpointable(self, paper_decay):
+        summary = DecayedQuantiles(paper_decay, backend="gk")
+        summary.update(1, 105.0)
+        with pytest.raises(ParameterError):
+            dump_summary(summary)
+
+    def test_distinct_round_trip(self, paper_decay):
+        summary = ExactDecayedDistinct(paper_decay)
+        for t, v in PAPER_STREAM:
+            summary.update(v, t)
+        restored = roundtrip(summary)
+        assert restored.query(110.0) == pytest.approx(summary.query(110.0))
+        assert restored.distinct_items == summary.distinct_items
+
+
+class TestErrors:
+    def test_unsupported_type_rejected(self, paper_decay):
+        from repro.sampling.reservoir import ReservoirSampler
+
+        with pytest.raises(ParameterError):
+            dump_summary(ReservoirSampler(4))
+
+    def test_unknown_checkpoint_type_rejected(self):
+        with pytest.raises(ParameterError):
+            load_summary({"type": "Bogus", "version": 1, "payload": {}})
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            load_summary({"type": "DecayedCount", "version": 99, "payload": {}})

@@ -1,0 +1,140 @@
+"""Tests for the vectorized bulk-update path (numpy)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import (
+    DecayedAverage,
+    DecayedCount,
+    DecayedMax,
+    DecayedMin,
+    DecayedSum,
+    DecayedVariance,
+)
+from repro.core.decay import ForwardDecay
+from repro.core.errors import LandmarkError, ParameterError, TimestampError
+from repro.core.functions import (
+    ExponentialG,
+    GeneralPolynomialG,
+    LandmarkWindowG,
+    LogarithmicG,
+    NoDecayG,
+    PolynomialG,
+)
+
+AGGREGATES = [
+    DecayedCount,
+    DecayedSum,
+    DecayedAverage,
+    DecayedVariance,
+    DecayedMin,
+    DecayedMax,
+]
+
+ALL_G = [
+    NoDecayG(),
+    PolynomialG(2.0),
+    PolynomialG(0.5),
+    GeneralPolynomialG((1.0, 2.0)),
+    ExponentialG(0.1),
+    LandmarkWindowG(),
+    LogarithmicG(scale=2.0),
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("g", ALL_G, ids=lambda g: type(g).__name__)
+    def test_matches_sequential_updates(self, g):
+        decay = ForwardDecay(g, landmark=0.0)
+        timestamps = np.linspace(1.0, 500.0, 200)
+        values = np.sin(timestamps) * 10.0
+        for cls in AGGREGATES:
+            sequential = cls(decay)
+            for t, v in zip(timestamps.tolist(), values.tolist()):
+                sequential.update(t, v)
+            vectorized = cls(decay)
+            vectorized.update_many(timestamps, values)
+            assert vectorized.query(500.0) == pytest.approx(
+                sequential.query(500.0), rel=1e-9
+            )
+            assert vectorized.items_processed == sequential.items_processed
+            assert vectorized.last_timestamp == sequential.last_timestamp
+
+    def test_default_values_are_ones(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+        count = DecayedCount(decay)
+        count.update_many([1.0, 2.0, 3.0])
+        total = DecayedSum(decay)
+        total.update_many([1.0, 2.0, 3.0])
+        assert count.query(3.0) == pytest.approx(total.query(3.0))
+
+    def test_exponential_batches_renormalize(self):
+        decay = ForwardDecay(ExponentialG(alpha=1.0), landmark=0.0)
+        summary = DecayedSum(decay)
+        # Batches spanning 50k time units: raw weights would overflow.
+        for start in range(0, 50_000, 5_000):
+            ts = np.arange(start + 1.0, start + 5_001.0)
+            summary.update_many(ts)
+        result = summary.query(50_000.0)
+        assert math.isfinite(result)
+        assert result == pytest.approx(1.0 / (1.0 - math.exp(-1.0)), rel=1e-6)
+
+    def test_mixed_scalar_and_batch_updates(self):
+        decay = ForwardDecay(PolynomialG(2.0), landmark=0.0)
+        mixed = DecayedSum(decay)
+        mixed.update(1.0, 5.0)
+        mixed.update_many([2.0, 3.0], [1.0, 2.0])
+        mixed.update(4.0, 3.0)
+        reference = DecayedSum(decay)
+        for t, v in [(1.0, 5.0), (2.0, 1.0), (3.0, 2.0), (4.0, 3.0)]:
+            reference.update(t, v)
+        assert mixed.query(4.0) == pytest.approx(reference.query(4.0))
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+        with pytest.raises(ParameterError):
+            DecayedSum(decay).update_many([1.0, 2.0], [1.0])
+
+    def test_empty_batch_is_noop(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+        summary = DecayedCount(decay)
+        summary.update_many([])
+        assert summary.items_processed == 0
+
+    def test_non_finite_timestamps_rejected(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+        with pytest.raises(TimestampError):
+            DecayedCount(decay).update_many([1.0, math.nan])
+
+    def test_pre_landmark_rejected(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=10.0)
+        with pytest.raises(LandmarkError):
+            DecayedCount(decay).update_many([11.0, 5.0])
+
+
+@given(
+    offsets=st.lists(st.floats(0.1, 300.0), min_size=1, max_size=60),
+    beta=st.floats(0.2, 3.0),
+)
+@settings(max_examples=50)
+def test_property_vectorized_equals_sequential(offsets, beta):
+    decay = ForwardDecay(PolynomialG(beta=beta), landmark=0.0)
+    query_time = max(offsets)
+    for cls in (DecayedCount, DecayedSum, DecayedMin, DecayedMax):
+        sequential = cls(decay)
+        for offset in offsets:
+            sequential.update(offset, offset)
+        vectorized = cls(decay)
+        vectorized.update_many(offsets, offsets)
+        assert math.isclose(
+            vectorized.query(query_time), sequential.query(query_time),
+            rel_tol=1e-9, abs_tol=1e-12,
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for the shared forward-weight engine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.decay import ForwardDecay
+from repro.core.errors import MergeError
+from repro.core.functions import ExponentialG, PolynomialG
+from repro.core.landmark import OverflowGuard
+from repro.core.weights import ForwardWeightEngine
+
+
+class _Recorder:
+    def __init__(self):
+        self.factors: list[float] = []
+
+    def __call__(self, factor: float) -> None:
+        self.factors.append(factor)
+
+
+def test_polynomial_engine_is_passthrough():
+    decay = ForwardDecay(PolynomialG(2.0), landmark=10.0)
+    recorder = _Recorder()
+    engine = ForwardWeightEngine(decay, recorder)
+    assert engine.arrival_weight(13.0) == pytest.approx(9.0)
+    assert engine.normalizer(20.0) == pytest.approx(100.0)
+    assert recorder.factors == []
+    assert engine.internal_landmark == 10.0
+
+
+def test_normalizer_zero_becomes_one():
+    decay = ForwardDecay(PolynomialG(2.0), landmark=10.0)
+    engine = ForwardWeightEngine(decay, _Recorder())
+    assert engine.normalizer(10.0) == 1.0
+
+
+def test_exponential_engine_shifts_on_overflow():
+    decay = ForwardDecay(ExponentialG(alpha=1.0), landmark=0.0)
+    recorder = _Recorder()
+    engine = ForwardWeightEngine(
+        decay, recorder, guard=OverflowGuard(threshold=math.exp(10.0))
+    )
+    assert engine.arrival_weight(5.0) == pytest.approx(math.exp(5.0))
+    # Exponent 20 > log-threshold 10: the engine shifts to t=20 first.
+    weight = engine.arrival_weight(20.0)
+    assert weight == pytest.approx(1.0)
+    assert engine.internal_landmark == 20.0
+    assert recorder.factors == [pytest.approx(math.exp(-20.0))]
+    assert engine.shifts == 1
+
+
+def test_exponential_engine_accepts_old_items_after_shift():
+    decay = ForwardDecay(ExponentialG(alpha=1.0), landmark=0.0)
+    engine = ForwardWeightEngine(
+        decay, _Recorder(), guard=OverflowGuard(threshold=math.exp(10.0))
+    )
+    engine.arrival_weight(20.0)  # forces shift
+    late = engine.arrival_weight(3.0)  # out-of-order item before landmark
+    assert late == pytest.approx(math.exp(3.0 - 20.0))
+
+
+def test_align_for_merge_scales_peer_state():
+    decay = ForwardDecay(ExponentialG(alpha=1.0), landmark=0.0)
+    ahead_recorder = _Recorder()
+    ahead = ForwardWeightEngine(
+        decay, ahead_recorder, guard=OverflowGuard(threshold=math.exp(10.0))
+    )
+    behind = ForwardWeightEngine(decay, _Recorder())
+    ahead.arrival_weight(50.0)  # internal landmark -> 50
+    factor = ahead.align_for_merge(behind)
+    assert factor == pytest.approx(math.exp(-50.0))
+
+
+def test_align_advances_self_when_peer_is_ahead():
+    decay = ForwardDecay(ExponentialG(alpha=1.0), landmark=0.0)
+    behind_recorder = _Recorder()
+    behind = ForwardWeightEngine(decay, behind_recorder)
+    ahead = ForwardWeightEngine(
+        decay, _Recorder(), guard=OverflowGuard(threshold=math.exp(10.0))
+    )
+    ahead.arrival_weight(30.0)
+    factor = behind.align_for_merge(ahead)
+    assert factor == pytest.approx(1.0)
+    assert behind.internal_landmark == 30.0
+    assert behind_recorder.factors == [pytest.approx(math.exp(-30.0))]
+
+
+def test_incompatible_engines_rejected():
+    left = ForwardWeightEngine(ForwardDecay(PolynomialG(2.0)), _Recorder())
+    right = ForwardWeightEngine(ForwardDecay(PolynomialG(3.0)), _Recorder())
+    with pytest.raises(MergeError):
+        left.align_for_merge(right)

@@ -1,0 +1,125 @@
+"""Unit tests for tumbling landmark windows (Section III-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import DecayedCount, DecayedSum
+from repro.core.decay import ForwardDecay
+from repro.core.errors import ParameterError
+from repro.core.functions import LandmarkWindowG, PolynomialG
+from repro.core.window import TumblingLandmarkWindows
+
+
+def count_windows(**kwargs):
+    return TumblingLandmarkWindows(
+        summary_factory=lambda landmark: DecayedCount(
+            ForwardDecay(LandmarkWindowG(), landmark=landmark - 1e-9)
+        ),
+        update=lambda summary, t, v: summary.update(t),
+        **kwargs,
+    )
+
+
+class TestTimeClose:
+    def test_windows_tumble_on_time(self):
+        windows = count_windows(close_after_time=10.0)
+        for t in [1.0, 2.0, 9.0, 11.0, 12.0, 25.0]:
+            windows.update(t)
+        windows.close_now()
+        closed = windows.drain()
+        assert [(w.landmark, w.items) for w in closed] == [
+            (1.0, 3),   # items 1, 2, 9
+            (11.0, 2),  # items 11, 12
+            (21.0, 1),  # item 25 (epoch skip landed at 21)
+        ]
+
+    def test_empty_epochs_skipped(self):
+        windows = count_windows(close_after_time=5.0)
+        windows.update(0.0)
+        windows.update(100.0)
+        windows.close_now()
+        closed = windows.drain()
+        assert len(closed) == 2
+        assert closed[1].items == 1
+        assert closed[1].landmark <= 100.0 < closed[1].landmark + 5.0
+
+    def test_close_time_recorded(self):
+        windows = count_windows(close_after_time=10.0)
+        windows.update(1.0)
+        windows.update(15.0)
+        [first] = windows.drain()
+        assert first.close_time == pytest.approx(11.0)
+
+
+class TestItemClose:
+    def test_windows_close_on_item_count(self):
+        windows = count_windows(close_after_items=3)
+        for t in range(7):
+            windows.update(float(t))
+        windows.close_now()
+        closed = windows.drain()
+        assert [w.items for w in closed] == [3, 3, 1]
+
+    def test_combined_conditions(self):
+        windows = count_windows(close_after_items=100, close_after_time=10.0)
+        for t in [1.0, 2.0, 15.0]:
+            windows.update(t)
+        windows.close_now()
+        closed = windows.drain()
+        assert [w.items for w in closed] == [2, 1]
+
+
+class TestDecayedWindows:
+    def test_decay_relative_to_each_window_landmark(self):
+        """Each tumbled window decays within itself (the GSQL idiom)."""
+        windows = TumblingLandmarkWindows(
+            summary_factory=lambda landmark: DecayedSum(
+                ForwardDecay(PolynomialG(2.0), landmark=landmark)
+            ),
+            update=lambda summary, t, v: summary.update(t, v),
+            close_after_time=60.0,
+            start=0.0,  # align windows with wall-clock minutes
+        )
+        # Two minutes; each has items at the same relative offsets.
+        for minute_start in (0.0, 60.0):
+            for offset, value in [(30.0, 1.0), (59.0, 2.0)]:
+                windows.update(minute_start + offset, value)
+        windows.update(120.0, 0.0)  # closes minute 2
+        closed = windows.drain()
+        assert len(closed) == 2
+        answers = [
+            w.summary.query(w.close_time) for w in closed  # type: ignore[attr-defined]
+        ]
+        assert answers[0] == pytest.approx(answers[1])
+
+    def test_open_window_introspection(self):
+        windows = count_windows(close_after_time=10.0)
+        assert windows.open_landmark is None
+        windows.update(5.0)
+        assert windows.open_landmark == 5.0
+        assert windows.open_items == 1
+
+    def test_close_now_idempotent(self):
+        windows = count_windows(close_after_time=10.0)
+        windows.update(1.0)
+        windows.close_now()
+        windows.close_now()
+        assert len(windows.drain()) == 1
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            count_windows()
+        with pytest.raises(ParameterError):
+            count_windows(close_after_items=0)
+        with pytest.raises(ParameterError):
+            count_windows(close_after_time=0.0)
+
+    def test_epoch_aligned_start(self):
+        windows = count_windows(close_after_time=10.0, start=0.0)
+        windows.update(27.0)  # first item lands in epoch [20, 30)
+        assert windows.open_landmark == 20.0
+        windows.update(31.0)
+        [closed] = windows.drain()
+        assert closed.landmark == 20.0
+        assert closed.close_time == pytest.approx(30.0)

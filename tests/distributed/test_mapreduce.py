@@ -1,0 +1,123 @@
+"""Unit tests for the decayed MapReduce simulation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.aggregates import DecayedCount, DecayedSum
+from repro.core.decay import ForwardDecay
+from repro.core.errors import ParameterError
+from repro.core.functions import ExponentialG, PolynomialG
+from repro.distributed.mapreduce import decayed_map_reduce
+
+
+def make_records(n, keys=("a", "b", "c"), seed=1):
+    rng = random.Random(seed)
+    return [
+        (float(t), rng.choice(keys), rng.uniform(0.0, 10.0))
+        for t in range(1, n + 1)
+    ]
+
+
+def split_records(records, pieces):
+    size = max(1, len(records) // pieces)
+    return [records[i:i + size] for i in range(0, len(records), size)]
+
+
+class TestMapReduce:
+    def test_matches_sequential_per_key(self):
+        decay = ForwardDecay(PolynomialG(2.0), landmark=0.0)
+        records = make_records(600)
+        result = decayed_map_reduce(
+            splits=split_records(records, 4),
+            key_of=lambda r: r[1],
+            summary_factory=lambda: DecayedSum(decay),
+            update=lambda s, r: s.update(r[0], r[2]),
+            reducers=3,
+        )
+        query_time = records[-1][0]
+        for key in ("a", "b", "c"):
+            sequential = DecayedSum(decay)
+            for t, k, v in records:
+                if k == key:
+                    sequential.update(t, v)
+            assert result[key].query(query_time) == pytest.approx(
+                sequential.query(query_time)
+            )
+
+    def test_split_boundaries_irrelevant(self):
+        """Reduce output is independent of how the input was sharded."""
+        decay = ForwardDecay(ExponentialG(alpha=0.01), landmark=0.0)
+        records = make_records(400, seed=2)
+        outputs = []
+        for pieces in (1, 3, 7):
+            result = decayed_map_reduce(
+                splits=split_records(records, pieces),
+                key_of=lambda r: r[1],
+                summary_factory=lambda: DecayedCount(decay),
+                update=lambda s, r: s.update(r[0]),
+            )
+            outputs.append(
+                {key: result[key].query(records[-1][0]) for key in result.keys()}
+            )
+        for other in outputs[1:]:
+            for key, value in outputs[0].items():
+                assert other[key] == pytest.approx(value, rel=1e-9)
+
+    def test_out_of_order_splits(self):
+        """Splits may interleave in time (e.g. per-host log shards)."""
+        decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+        records = make_records(300, seed=3)
+        by_parity = [
+            [r for i, r in enumerate(records) if i % 2 == 0],
+            [r for i, r in enumerate(records) if i % 2 == 1][::-1],  # reversed!
+        ]
+        result = decayed_map_reduce(
+            splits=by_parity,
+            key_of=lambda r: r[1],
+            summary_factory=lambda: DecayedSum(decay),
+            update=lambda s, r: s.update(r[0], r[2]),
+        )
+        sequential = DecayedSum(decay)
+        for t, __, v in records:
+            sequential.update(t, v)
+        total = sum(
+            result[key].query(records[-1][0]) for key in result.keys()
+        )
+        assert total == pytest.approx(sequential.query(records[-1][0]))
+
+    def test_result_container_api(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+        records = make_records(50, seed=4)
+        result = decayed_map_reduce(
+            splits=[records],
+            key_of=lambda r: r[1],
+            summary_factory=lambda: DecayedCount(decay),
+            update=lambda s, r: s.update(r[0]),
+            reducers=2,
+        )
+        assert set(result.keys()) == {"a", "b", "c"}
+        assert "a" in result and "zz" not in result
+        assert len(result) == 3
+        assert result.mappers == 1 and result.reducers == 2
+        assert dict(result.items()).keys() == {"a", "b", "c"}
+
+    def test_validation(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+        with pytest.raises(ParameterError):
+            decayed_map_reduce(
+                splits=[],
+                key_of=lambda r: r,
+                summary_factory=lambda: DecayedCount(decay),
+                update=lambda s, r: None,
+            )
+        with pytest.raises(ParameterError):
+            decayed_map_reduce(
+                splits=[[1]],
+                key_of=lambda r: r,
+                summary_factory=lambda: DecayedCount(decay),
+                update=lambda s, r: None,
+                reducers=0,
+            )

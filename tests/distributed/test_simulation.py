@@ -1,0 +1,100 @@
+"""Unit tests for multi-site distributed aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import DecayedCount, DecayedSum
+from repro.core.decay import ForwardDecay
+from repro.core.errors import ParameterError
+from repro.core.functions import ExponentialG, PolynomialG
+from repro.core.heavy_hitters import DecayedHeavyHitters
+from repro.distributed.simulation import (
+    DistributedAggregation,
+    hash_partitioner,
+    round_robin_partitioner,
+)
+from repro.workloads.synthetic import zipf_stream
+
+
+def make_cluster(decay, sites=4, partitioner=None):
+    return DistributedAggregation(
+        summary_factory=lambda: DecayedSum(decay),
+        update=lambda summary, pair: summary.update(pair[0], pair[1]),
+        sites=sites,
+        partitioner=partitioner,
+    )
+
+
+class TestPartitioners:
+    def test_round_robin_spreads_evenly(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+        cluster = make_cluster(decay, sites=4)
+        cluster.process([(float(t), 1.0) for t in range(1, 101)])
+        assert cluster.site_counts() == [25, 25, 25, 25]
+
+    def test_hash_partitioner_is_stable(self):
+        partition = hash_partitioner(key_of=lambda pair: pair[1])
+        assert partition((1.0, "key"), 0, 8) == partition((2.0, "key"), 5, 8)
+
+    def test_bad_partitioner_rejected(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+        cluster = make_cluster(decay, sites=2,
+                               partitioner=lambda item, i, n: 99)
+        with pytest.raises(ParameterError):
+            cluster.send((1.0, 1.0))
+
+
+class TestMergedResults:
+    def test_merged_equals_sequential(self):
+        decay = ForwardDecay(PolynomialG(2.0), landmark=0.0)
+        stream = [(float(t), float(t % 5)) for t in range(1, 501)]
+        cluster = make_cluster(decay, sites=5)
+        cluster.process(stream)
+        sequential = DecayedSum(decay)
+        for t, v in stream:
+            sequential.update(t, v)
+        assert cluster.merged().query(500.0) == pytest.approx(
+            sequential.query(500.0)
+        )
+
+    def test_merged_is_snapshot_sites_keep_running(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+        cluster = make_cluster(decay, sites=2)
+        cluster.process([(1.0, 1.0), (2.0, 1.0)])
+        first = cluster.merged()
+        cluster.process([(3.0, 1.0)])
+        second = cluster.merged()
+        assert second.query(3.0) > first.query(3.0)
+        assert first.items_processed == 2  # snapshot untouched
+
+    def test_heavy_hitters_across_sites(self):
+        decay = ForwardDecay(ExponentialG(alpha=0.01), landmark=0.0)
+        stream = zipf_stream(4_000, num_values=100, exponent=1.4, seed=21)
+        cluster = DistributedAggregation(
+            summary_factory=lambda: DecayedHeavyHitters(decay, epsilon=0.01),
+            update=lambda s, pair: s.update(pair[1], pair[0]),
+            sites=3,
+            partitioner=hash_partitioner(key_of=lambda pair: pair[1]),
+        )
+        cluster.process(stream)
+        merged = cluster.merged()
+        sequential = DecayedHeavyHitters(decay, epsilon=0.01)
+        for t, v in stream:
+            sequential.update(v, t)
+        query_time = stream[-1][0]
+        merged_top = [h.item for h in merged.top_k(3, query_time)]
+        sequential_top = [h.item for h in sequential.top_k(3, query_time)]
+        assert merged_top == sequential_top
+
+    def test_site_summary_access(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+        cluster = make_cluster(decay, sites=2)
+        cluster.process([(1.0, 5.0)])
+        assert cluster.site_summary(0).items_processed == 1
+        assert cluster.site_summary(1).items_processed == 0
+
+    def test_sites_validation(self):
+        decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+        with pytest.raises(ParameterError):
+            make_cluster(decay, sites=0)

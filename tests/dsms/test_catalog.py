@@ -1,0 +1,100 @@
+"""Tests for the stream catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.dsms.catalog import Catalog
+from repro.dsms.parser import parse_query
+from repro.dsms.schema import Field, FieldType, Schema
+from repro.dsms.udaf import default_registry
+
+PACKETS = Schema(
+    [
+        Field("time", FieldType.INT),
+        Field("destIP", FieldType.STR),
+        Field("len", FieldType.INT),
+    ]
+)
+
+EVENTS = Schema(
+    [
+        Field("time", FieldType.INT),
+        Field("kind", FieldType.STR),
+    ]
+)
+
+
+@pytest.fixture
+def catalog():
+    instance = Catalog()
+    instance.register("TCP", PACKETS)
+    instance.register("events", EVENTS)
+    return instance
+
+
+class TestRegistration:
+    def test_lookup_case_insensitive(self, catalog):
+        assert catalog.schema_for("tcp") is PACKETS
+        assert catalog.schema_for("TCP") is PACKETS
+        assert "Events" in catalog
+        assert catalog.names() == ["events", "tcp"]
+
+    def test_unknown_stream(self, catalog):
+        with pytest.raises(QueryError):
+            catalog.schema_for("UDP")
+
+    def test_bad_name_rejected(self, catalog):
+        with pytest.raises(QueryError):
+            catalog.register("not a name", PACKETS)
+
+
+class TestExecution:
+    def test_query_resolves_its_from_stream(self, catalog):
+        registry = default_registry()
+        query = parse_query(
+            "select tb, destIP, sum(len) as s from TCP "
+            "group by time/10 as tb, destIP",
+            registry,
+        )
+        rows = [(1, "h1", 100), (2, "h1", 50), (11, "h2", 10)]
+        results = list(catalog.run(query, rows))
+        assert {(r["tb"], r["destIP"]): r["s"] for r in results} == {
+            (0, "h1"): 150,
+            (1, "h2"): 10,
+        }
+
+    def test_schema_mismatch_caught_at_plan_time(self, catalog):
+        registry = default_registry()
+        query = parse_query(
+            "select kind, count(*) as c from TCP group by kind", registry
+        )
+        # 'kind' is an EVENTS column, not a TCP one: planning must fail.
+        with pytest.raises(QueryError):
+            catalog.engine_for(query)
+
+    def test_same_query_shape_on_two_streams(self, catalog):
+        registry = default_registry()
+        tcp_query = parse_query(
+            "select tb, count(*) as c from TCP group by time/10 as tb", registry
+        )
+        event_query = parse_query(
+            "select tb, count(*) as c from events group by time/10 as tb",
+            registry,
+        )
+        tcp_rows = [(1, "h", 10), (2, "h", 20)]
+        event_rows = [(1, "login"), (12, "logout")]
+        assert list(catalog.run(tcp_query, tcp_rows)) == [{"tb": 0, "c": 2}]
+        assert list(catalog.run(event_query, event_rows)) == [
+            {"tb": 0, "c": 1},
+            {"tb": 1, "c": 1},
+        ]
+
+    def test_engine_options_pass_through(self, catalog):
+        registry = default_registry()
+        query = parse_query(
+            "select destIP, count(*) as c from TCP group by destIP", registry
+        )
+        engine = catalog.engine_for(query, two_level=False)
+        assert not engine.two_level

@@ -1,0 +1,121 @@
+"""Tests for query-engine checkpoint/restore."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.dsms.engine import QueryEngine
+from repro.dsms.parser import parse_query
+from repro.dsms.schema import Field, FieldType, Schema
+from repro.dsms.udaf import default_registry
+
+SCHEMA = Schema(
+    [
+        Field("time", FieldType.INT),
+        Field("key", FieldType.STR),
+        Field("value", FieldType.INT),
+    ]
+)
+
+SQL = ("select tb, key, count(*) as c, sum(value) as s, avg(value) as m "
+       "from S group by time/10 as tb, key")
+
+ROWS = [(t, "k" + str(t % 3), t * 2) for t in range(50)]
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+def fresh_engine(registry, **kwargs):
+    return QueryEngine(parse_query(SQL, registry), SCHEMA, **kwargs)
+
+
+class TestCheckpointRestore:
+    def test_resume_matches_uninterrupted_run(self, registry):
+        uninterrupted = fresh_engine(registry)
+        for row in ROWS:
+            uninterrupted.process(row)
+
+        first_half = fresh_engine(registry)
+        for row in ROWS[:25]:
+            first_half.process(row)
+        snapshot = json.loads(json.dumps(first_half.checkpoint()))
+
+        resumed = fresh_engine(registry)
+        resumed.restore(snapshot)
+        for row in ROWS[25:]:
+            resumed.process(row)
+
+        key = lambda r: (r["tb"], r["key"])
+        assert sorted(resumed.flush(), key=key) == sorted(
+            uninterrupted.flush(), key=key
+        )
+
+    def test_counters_restored(self, registry):
+        engine = fresh_engine(registry)
+        for row in ROWS[:10]:
+            engine.process(row)
+        snapshot = engine.checkpoint()
+        resumed = fresh_engine(registry)
+        resumed.restore(snapshot)
+        assert resumed.tuples_processed == 10
+        assert resumed.group_count == engine.group_count
+
+    def test_two_level_state_round_trips(self, registry):
+        engine = fresh_engine(registry, two_level=True, low_table_size=2)
+        for row in ROWS[:30]:
+            engine.process(row)
+        assert engine.low_evictions > 0
+        snapshot = json.loads(json.dumps(engine.checkpoint()))
+        resumed = fresh_engine(registry, two_level=True, low_table_size=2)
+        resumed.restore(snapshot)
+        assert resumed.low_evictions == engine.low_evictions
+        for row in ROWS[30:]:
+            resumed.process(row)
+        reference = fresh_engine(registry, two_level=True, low_table_size=2)
+        for row in ROWS:
+            reference.process(row)
+        key = lambda r: (r["tb"], r["key"])
+        assert sorted(resumed.flush(), key=key) == sorted(
+            reference.flush(), key=key
+        )
+
+    def test_bucket_emission_state_preserved(self, registry):
+        engine = fresh_engine(registry, emit_on_bucket_change=True)
+        for row in ROWS[:15]:  # buckets 0 and 1 touched
+            engine.process(row)
+        engine.drain()
+        snapshot = engine.checkpoint()
+        resumed = fresh_engine(registry, emit_on_bucket_change=True)
+        resumed.restore(snapshot)
+        resumed.process((25, "k0", 1))  # bucket 2 -> closes bucket 1
+        emitted = resumed.drain()
+        assert emitted and all(r["tb"] == 1 for r in emitted)
+
+    def test_udaf_query_rejected(self, registry):
+        query = parse_query(
+            "select key, prisamp(key, 1 + time) as samp from S group by key",
+            registry,
+        )
+        engine = QueryEngine(query, SCHEMA)
+        engine.process(ROWS[0])
+        with pytest.raises(QueryError):
+            engine.checkpoint()
+
+    def test_restore_requires_fresh_engine(self, registry):
+        engine = fresh_engine(registry)
+        engine.process(ROWS[0])
+        snapshot = engine.checkpoint()
+        engine.process(ROWS[1])
+        with pytest.raises(QueryError):
+            engine.restore(snapshot)
+
+    def test_version_check(self, registry):
+        engine = fresh_engine(registry)
+        with pytest.raises(QueryError):
+            engine.restore({"version": 9})

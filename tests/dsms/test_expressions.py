@@ -1,0 +1,130 @@
+"""Unit tests for the scalar expression AST and its compiler."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.dsms.expressions import (
+    BinaryOp,
+    BooleanOp,
+    Column,
+    Comparison,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+)
+from repro.dsms.schema import Field, FieldType, Schema
+
+SCHEMA = Schema(
+    [
+        Field("time", FieldType.INT),
+        Field("len", FieldType.INT),
+        Field("rate", FieldType.FLOAT),
+        Field("proto", FieldType.STR),
+    ]
+)
+ROW = (125, 100, 1.5, "tcp")
+
+
+def both(expr):
+    """Evaluate via tree walk and via compiled closure; must agree."""
+    walked = expr.evaluate(ROW, SCHEMA)
+    compiled = expr.compile(SCHEMA)(ROW)
+    assert walked == compiled
+    return walked
+
+
+class TestBasicNodes:
+    def test_column(self):
+        assert both(Column("len")) == 100
+
+    def test_literal(self):
+        assert both(Literal(7)) == 7
+        assert both(Literal("x")) == "x"
+
+    def test_arithmetic(self):
+        assert both(BinaryOp("+", Column("len"), Literal(1))) == 101
+        assert both(BinaryOp("-", Column("len"), Literal(1))) == 99
+        assert both(BinaryOp("*", Column("len"), Literal(2))) == 200
+        assert both(BinaryOp("%", Column("time"), Literal(60))) == 5
+
+    def test_gsql_integer_division_buckets(self):
+        """time/60 floor-divides for int operands (the tb idiom)."""
+        assert both(BinaryOp("/", Column("time"), Literal(60))) == 2
+
+    def test_float_division(self):
+        assert both(BinaryOp("/", Column("rate"), Literal(2))) == pytest.approx(0.75)
+
+    def test_unary_minus(self):
+        assert both(UnaryOp("-", Column("len"))) == -100
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            BinaryOp("**", Literal(1), Literal(2))
+        with pytest.raises(QueryError):
+            UnaryOp("+", Literal(1))
+
+
+class TestComparisonsAndBooleans:
+    def test_comparisons(self):
+        assert both(Comparison("=", Column("proto"), Literal("tcp"))) is True
+        assert both(Comparison("!=", Column("len"), Literal(100))) is False
+        assert both(Comparison("<", Column("len"), Literal(200))) is True
+        assert both(Comparison(">=", Column("len"), Literal(100))) is True
+
+    def test_boolean_connectives(self):
+        tcp = Comparison("=", Column("proto"), Literal("tcp"))
+        big = Comparison(">", Column("len"), Literal(1_000))
+        assert both(BooleanOp("and", (tcp, big))) is False
+        assert both(BooleanOp("or", (tcp, big))) is True
+        assert both(BooleanOp("not", (big,))) is True
+
+    def test_boolean_arity_validation(self):
+        cond = Comparison("=", Literal(1), Literal(1))
+        with pytest.raises(QueryError):
+            BooleanOp("not", (cond, cond))
+        with pytest.raises(QueryError):
+            BooleanOp("and", (cond,))
+
+    def test_unknown_comparison_rejected(self):
+        with pytest.raises(QueryError):
+            Comparison("~", Literal(1), Literal(2))
+
+
+class TestFunctions:
+    def test_exp_paper_weight_expression(self):
+        """exp(time % 60) — the Section VIII PRISAMP weight."""
+        expr = FunctionCall("exp", (BinaryOp("%", Column("time"), Literal(60)),))
+        assert both(expr) == pytest.approx(math.exp(5))
+
+    def test_two_argument_function(self):
+        expr = FunctionCall("pow", (Column("len"), Literal(2)))
+        assert both(expr) == pytest.approx(10_000.0)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(QueryError):
+            FunctionCall("sin", (Literal(1.0),))
+
+
+class TestIntrospection:
+    def test_columns_collected(self):
+        expr = BinaryOp(
+            "*",
+            Column("len"),
+            BinaryOp("%", Column("time"), Literal(60)),
+        )
+        assert expr.columns() == {"len", "time"}
+
+    def test_sql_rendering(self):
+        expr = BinaryOp("/", Column("time"), Literal(60))
+        assert expr.sql() == "(time / 60)"
+        assert str(Literal("o'brien")) == "'o''brien'"
+
+    def test_quadratic_decay_expression_end_to_end(self):
+        """The full paper expression: len*(time % 60)*(time % 60)."""
+        offset = BinaryOp("%", Column("time"), Literal(60))
+        expr = BinaryOp("*", BinaryOp("*", Column("len"), offset), offset)
+        assert both(expr) == 100 * 5 * 5

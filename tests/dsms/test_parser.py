@@ -1,0 +1,153 @@
+"""Unit tests for the GSQL-like parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.dsms.expressions import BinaryOp, Column, Comparison, Literal
+from repro.dsms.parser import parse_query
+from repro.dsms.udaf import default_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+class TestBasicParsing:
+    def test_minimal_query(self, registry):
+        query = parse_query("select time from TCP", registry)
+        assert query.stream == "TCP"
+        assert len(query.select) == 1
+        assert query.select[0].expression == Column("time")
+        assert query.select[0].alias == "time"
+        assert query.where is None
+        assert query.group_by == ()
+
+    def test_aliases(self, registry):
+        query = parse_query("select time/60 as tb from S", registry)
+        assert query.select[0].alias == "tb"
+        assert isinstance(query.select[0].expression, BinaryOp)
+
+    def test_where_clause(self, registry):
+        query = parse_query(
+            "select time from TCP where proto = 'tcp' and len > 100", registry
+        )
+        assert query.where is not None
+        assert "AND" in query.where.sql()
+
+    def test_group_by_with_expressions(self, registry):
+        query = parse_query(
+            "select tb, destIP, count(*) from TCP "
+            "group by time/60 as tb, destIP",
+            registry,
+        )
+        assert [g.alias for g in query.group_by] == ["tb", "destIP"]
+
+    def test_count_star(self, registry):
+        query = parse_query("select count(*) from S", registry)
+        item = query.select[0]
+        assert item.is_aggregate
+        assert item.aggregate.star
+        assert item.aggregate.udaf.name == "count"
+
+    def test_aggregate_with_expression_argument(self, registry):
+        query = parse_query(
+            "select sum(len*(time % 60)*(time % 60)) from TCP", registry
+        )
+        item = query.select[0]
+        assert item.is_aggregate
+        assert item.aggregate.udaf.name == "sum"
+        assert item.post is None
+
+    def test_post_arithmetic_around_aggregate(self, registry):
+        """The paper's sum(...)/3600 normalization."""
+        query = parse_query("select sum(len)/3600 as s from TCP", registry)
+        item = query.select[0]
+        assert item.is_aggregate
+        assert item.post is not None
+        assert "__agg__" in item.post.sql()
+        assert "3600" in item.post.sql()
+
+    def test_udaf_call_case_insensitive(self, registry):
+        query = parse_query(
+            "select PRISAMP(srcIP, exp(time % 60)) from TCP", registry
+        )
+        assert query.select[0].aggregate.udaf.name == "prisamp"
+
+    def test_numbers_and_strings(self, registry):
+        query = parse_query(
+            "select 1, 2.5, 1e3, 'it''s' from S", registry
+        )
+        values = [item.expression.value for item in query.select]  # type: ignore[union-attr]
+        assert values == [1, 2.5, 1000.0, "it's"]
+
+    def test_operator_precedence(self, registry):
+        query = parse_query("select 1 + 2 * 3 from S", registry)
+        expr = query.select[0].expression
+        assert expr.evaluate((), _EMPTY) == 7
+
+    def test_parentheses_override_precedence(self, registry):
+        query = parse_query("select (1 + 2) * 3 from S", registry)
+        assert query.select[0].expression.evaluate((), _EMPTY) == 9
+
+    def test_unary_minus(self, registry):
+        query = parse_query("select -5 + 2 from S", registry)
+        assert query.select[0].expression.evaluate((), _EMPTY) == -3
+
+    def test_sql_roundtrip_reparses(self, registry):
+        text = (
+            "select tb, destIP, sum(len*(time % 60))/60 as s from TCP "
+            "where proto = 'tcp' group by time/60 as tb, destIP"
+        )
+        query = parse_query(text, registry)
+        reparsed = parse_query(query.sql(), registry)
+        assert reparsed.sql() == query.sql()
+
+
+class TestErrors:
+    def test_unknown_function(self, registry):
+        with pytest.raises(QueryError):
+            parse_query("select frobnicate(x) from S", registry)
+
+    def test_nested_aggregates_rejected(self, registry):
+        with pytest.raises(QueryError):
+            parse_query("select sum(count(*)) from S", registry)
+
+    def test_two_aggregates_in_one_item_rejected(self, registry):
+        with pytest.raises(QueryError):
+            parse_query("select sum(a) + sum(b) from S", registry)
+
+    def test_aggregate_in_where_rejected(self, registry):
+        with pytest.raises(QueryError):
+            parse_query("select a from S where count(*) > 1 and b > 2", registry)
+
+    def test_aggregate_in_group_by_rejected(self, registry):
+        with pytest.raises(QueryError):
+            parse_query("select a from S group by sum(a) as s", registry)
+
+    def test_wrong_arity_rejected(self, registry):
+        with pytest.raises(QueryError):
+            parse_query("select sum(a, b) from S", registry)
+
+    def test_star_on_non_count_rejected(self, registry):
+        with pytest.raises(QueryError):
+            parse_query("select sum(*) from S", registry)
+
+    def test_missing_from_rejected(self, registry):
+        with pytest.raises(QueryError):
+            parse_query("select a", registry)
+
+    def test_trailing_garbage_rejected(self, registry):
+        with pytest.raises(QueryError):
+            parse_query("select a from S extra", registry)
+
+    def test_untokenizable_rejected(self, registry):
+        with pytest.raises(QueryError):
+            parse_query("select a ;; from S", registry)
+
+
+from repro.dsms.schema import Field, FieldType, Schema
+
+_EMPTY = Schema([Field("unused", FieldType.INT)])

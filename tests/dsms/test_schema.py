@@ -1,0 +1,71 @@
+"""Unit tests for stream schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.dsms.schema import Field, FieldType, Schema
+
+
+def make_schema() -> Schema:
+    return Schema(
+        [
+            Field("time", FieldType.INT),
+            Field("name", FieldType.STR),
+            Field("value", FieldType.FLOAT),
+        ]
+    )
+
+
+class TestSchema:
+    def test_index_lookup(self):
+        schema = make_schema()
+        assert schema.index_of("time") == 0
+        assert schema.index_of("value") == 2
+
+    def test_unknown_field(self):
+        with pytest.raises(SchemaError):
+            make_schema().index_of("nope")
+
+    def test_contains_and_names(self):
+        schema = make_schema()
+        assert "name" in schema
+        assert "other" not in schema
+        assert schema.names() == ["time", "name", "value"]
+        assert len(schema) == 3
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Field("a", FieldType.INT), Field("a", FieldType.STR)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_bad_field_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("not valid", FieldType.INT)
+
+    def test_validate_accepts_good_rows(self):
+        schema = make_schema()
+        schema.validate((1, "x", 2.5))
+        schema.validate((1, "x", 3))  # int acceptable for FLOAT
+
+    def test_validate_rejects_arity(self):
+        with pytest.raises(SchemaError):
+            make_schema().validate((1, "x"))
+
+    def test_validate_rejects_types(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.validate(("one", "x", 2.5))
+        with pytest.raises(SchemaError):
+            schema.validate((1, 2, 2.5))
+        with pytest.raises(SchemaError):
+            schema.validate((1, "x", "y"))
+
+    def test_field_type_python_types(self):
+        assert FieldType.INT.python_type() is int
+        assert FieldType.FLOAT.python_type() is float
+        assert FieldType.STR.python_type() is str

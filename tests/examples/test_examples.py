@@ -1,0 +1,76 @@
+"""Smoke tests: every shipped example runs end to end.
+
+The heavyweight examples are scaled down by monkeypatching their module
+constants, so the suite stays fast while still executing every code path
+an example exercises.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    module = load_example("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "1.63" in out
+    assert "0.25" in out
+
+
+def test_network_monitoring_runs_scaled_down(capsys):
+    module = load_example("network_monitoring")
+    from repro.workloads.netflow import PacketTraceConfig
+
+    module.TRACE_CONFIG = PacketTraceConfig(
+        duration_sec=65.0, rate_per_sec=200.0, tcp_fraction=1.0,
+        num_dest_ips=50, num_dest_ports=5, seed=7,
+    )
+    module.main()
+    out = capsys.readouterr().out
+    assert "Decayed per-destination byte counts" in out
+    assert "heavy hitters" in out
+
+
+def test_decayed_sampling_runs_scaled_down(capsys):
+    module = load_example("decayed_sampling")
+    module.N_ITEMS = 500
+    module.main()
+    out = capsys.readouterr().out
+    assert "priority-sample estimate" in out
+    assert "weighted reservoir" in out
+
+
+def test_distributed_merge_runs(capsys):
+    module = load_example("distributed_merge")
+    module.main()
+    out = capsys.readouterr().out
+    assert "merged" in out
+    assert "heavy hitters" in out.lower()
+
+
+def test_sensor_clustering_runs_scaled_down(capsys):
+    module = load_example("sensor_clustering")
+
+    original = module.sensor_readings
+    module.sensor_readings = lambda n, seed=3: original(800, seed)
+    module.main()
+    out = capsys.readouterr().out
+    assert "decayed centroid" in out
+    assert "MapReduce" in out

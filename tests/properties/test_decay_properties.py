@@ -1,0 +1,94 @@
+"""Property-based tests of the decay axioms (Definition 1)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decay import BackwardDecay, ForwardDecay, validate_decay_axioms
+from repro.core.functions import (
+    ExponentialF,
+    ExponentialG,
+    LogarithmicG,
+    PolynomialF,
+    PolynomialG,
+    SubPolynomialF,
+)
+
+forward_functions = st.one_of(
+    st.builds(PolynomialG, beta=st.floats(0.1, 5.0)),
+    st.builds(ExponentialG, alpha=st.floats(0.001, 2.0)),
+    st.builds(LogarithmicG, scale=st.floats(0.1, 10.0)),
+)
+
+backward_functions = st.one_of(
+    st.builds(PolynomialF, alpha=st.floats(0.1, 5.0)),
+    st.builds(ExponentialF, lam=st.floats(0.001, 2.0)),
+    st.just(SubPolynomialF()),
+)
+
+times = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+
+
+@given(g=forward_functions, landmark=times, offsets=st.lists(
+    st.floats(0.001, 500.0), min_size=1, max_size=8))
+@settings(max_examples=150)
+def test_forward_decay_satisfies_definition_1(g, landmark, offsets):
+    decay = ForwardDecay(g, landmark=landmark)
+    item_time = landmark + min(offsets)
+    query_times = [landmark + offset for offset in offsets]
+    validate_decay_axioms(decay, item_time, query_times, tolerance=1e-9)
+
+
+@given(f=backward_functions, item_time=times, deltas=st.lists(
+    st.floats(0.0, 500.0), min_size=1, max_size=8))
+@settings(max_examples=150)
+def test_backward_decay_satisfies_definition_1(f, item_time, deltas):
+    decay = BackwardDecay(f)
+    query_times = [item_time + delta for delta in deltas]
+    validate_decay_axioms(decay, item_time, query_times, tolerance=1e-9)
+
+
+@given(
+    alpha=st.floats(0.001, 1.5),
+    landmark=st.floats(-1e3, 1e3),
+    item_offset=st.floats(0.0, 200.0),
+    query_delta=st.floats(0.0, 200.0),
+)
+@settings(max_examples=200)
+def test_exponential_forward_backward_identity(
+    alpha, landmark, item_offset, query_delta
+):
+    """Section III-A: the two models coincide exactly for exponentials."""
+    forward = ForwardDecay(ExponentialG(alpha=alpha), landmark=landmark)
+    backward = BackwardDecay(ExponentialF(lam=alpha))
+    item_time = landmark + item_offset
+    query_time = item_time + query_delta
+    fw = forward.weight(item_time, query_time)
+    bw = backward.weight(item_time, query_time)
+    assert math.isclose(fw, bw, rel_tol=1e-9, abs_tol=1e-300)
+
+
+@given(
+    beta=st.floats(0.1, 5.0),
+    # gamma below ~1e-12 makes L + gamma*(t - L) collapse to L in floats;
+    # that is timestamp resolution, not a property of the decay model.
+    gamma=st.one_of(st.just(0.0), st.floats(1e-6, 1.0)),
+    horizon_a=st.floats(1.0, 1e4),
+    horizon_b=st.floats(1.0, 1e4),
+    landmark=st.floats(-1e3, 1e3),
+)
+@settings(max_examples=200)
+def test_relative_decay_property_monomials(
+    beta, gamma, horizon_a, horizon_b, landmark
+):
+    """Lemma 1: monomial weight depends only on the relative age gamma."""
+    decay = ForwardDecay(PolynomialG(beta=beta), landmark=landmark)
+    weight_a = decay.relative_weight(gamma, landmark + horizon_a)
+    weight_b = decay.relative_weight(gamma, landmark + horizon_b)
+    # The property is exact in real arithmetic; the tolerance covers the
+    # float rounding of gamma*t + (1-gamma)*L at small gamma.
+    assert math.isclose(weight_a, weight_b, rel_tol=1e-6, abs_tol=1e-9)
+    assert math.isclose(weight_a, gamma**beta, rel_tol=1e-6, abs_tol=1e-9)

@@ -1,0 +1,106 @@
+"""Failure injection: malformed inputs must raise, never corrupt.
+
+Every public summary is probed with NaN/infinite timestamps, negative
+weights/counts, and pre-landmark items; the contract is a library
+exception (:class:`DecayError` subclass) raised *before* any state
+mutation, so a summary that survives bad input still answers correctly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.aggregates import DecayedCount, DecayedSum
+from repro.core.clustering import DecayedKMeans
+from repro.core.decay import ForwardDecay
+from repro.core.distinct import DecayedDistinctCount, ExactDecayedDistinct
+from repro.core.errors import DecayError
+from repro.core.functions import ExponentialG, PolynomialG
+from repro.core.heavy_hitters import DecayedHeavyHitters
+from repro.core.quantiles import DecayedQuantiles
+
+BAD_TIMESTAMPS = [math.nan, math.inf, -math.inf]
+
+
+def _decay():
+    return ForwardDecay(PolynomialG(2.0), landmark=100.0)
+
+
+def _summaries():
+    decay = _decay()
+    return [
+        ("count", DecayedCount(decay), lambda s, t: s.update(t)),
+        ("sum", DecayedSum(decay), lambda s, t: s.update(t, 1.0)),
+        ("heavy-hitters", DecayedHeavyHitters(decay),
+         lambda s, t: s.update("x", t)),
+        ("quantiles", DecayedQuantiles(decay, universe_bits=4),
+         lambda s, t: s.update(3, t)),
+        ("distinct-exact", ExactDecayedDistinct(decay),
+         lambda s, t: s.update("x", t)),
+        ("distinct-sketch", DecayedDistinctCount(decay),
+         lambda s, t: s.update("x", t)),
+        ("kmeans", DecayedKMeans(decay, k=2, dimensions=1),
+         lambda s, t: s.update((1.0,), t)),
+    ]
+
+
+@pytest.mark.parametrize("bad", BAD_TIMESTAMPS, ids=["nan", "inf", "-inf"])
+def test_non_finite_timestamps_rejected_everywhere(bad):
+    for name, summary, update in _summaries():
+        with pytest.raises((DecayError, OverflowError)):
+            update(summary, bad)
+
+
+def test_pre_landmark_items_rejected_for_polynomial():
+    for name, summary, update in _summaries():
+        with pytest.raises(DecayError):
+            update(summary, 50.0)  # before L = 100
+
+
+def test_state_survives_rejected_update():
+    """A failed update leaves prior state fully queryable and unchanged."""
+    decay = _decay()
+    count = DecayedCount(decay)
+    count.update(105.0)
+    before = count.query(110.0)
+    with pytest.raises(DecayError):
+        count.update(math.nan)
+    with pytest.raises(DecayError):
+        count.update(10.0)
+    assert count.query(110.0) == before
+    assert count.items_processed == 1
+
+
+def test_negative_counts_rejected():
+    decay = _decay()
+    hh = DecayedHeavyHitters(decay)
+    with pytest.raises(DecayError):
+        hh.update("x", 105.0, count=-1.0)
+    quantiles = DecayedQuantiles(decay, universe_bits=4)
+    with pytest.raises(DecayError):
+        quantiles.update(1, 105.0, count=-2.0)
+
+
+def test_exponential_summaries_accept_any_finite_time():
+    """Exponential g has no pre-landmark restriction (offsets go negative)."""
+    decay = ForwardDecay(ExponentialG(alpha=0.5), landmark=100.0)
+    count = DecayedCount(decay)
+    count.update(50.0)  # before the landmark: weight e^{-25}, fine
+    count.update(150.0)
+    assert math.isfinite(count.query(150.0))
+
+
+def test_exceptions_share_the_library_base():
+    """Callers can catch DecayError at an integration boundary."""
+    decay = _decay()
+    caught = 0
+    for name, summary, update in _summaries():
+        try:
+            update(summary, math.nan)
+        except DecayError:
+            caught += 1
+        except OverflowError:
+            caught += 1
+    assert caught == len(_summaries())

@@ -1,0 +1,135 @@
+"""Property-based tests of the decayed holistic summaries.
+
+Checks the forward-decay reductions end to end: the decayed heavy hitters,
+quantiles and distinct counts must be order-invariant, mergeable, and
+consistent with direct evaluation of their definitions on random streams.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decay import ForwardDecay
+from repro.core.distinct import ExactDecayedDistinct
+from repro.core.functions import ExponentialG, PolynomialG
+from repro.core.heavy_hitters import DecayedHeavyHitters
+from repro.core.quantiles import DecayedQuantiles
+
+streams = st.lists(
+    st.tuples(
+        st.floats(0.1, 500.0),   # offset from landmark
+        st.integers(0, 30),      # item / value
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+g_functions = st.one_of(
+    st.builds(PolynomialG, beta=st.floats(0.2, 3.0)),
+    st.builds(ExponentialG, alpha=st.floats(0.001, 0.1)),
+)
+
+
+@given(g=g_functions, items=streams, seed=st.integers(0, 2**16))
+@settings(max_examples=75)
+def test_heavy_hitters_order_invariant(g, items, seed):
+    decay = ForwardDecay(g, landmark=0.0)
+    query_time = max(offset for offset, __ in items)
+    shuffled = list(items)
+    random.Random(seed).shuffle(shuffled)
+    ordered = DecayedHeavyHitters(decay, epsilon=0.01)
+    unordered = DecayedHeavyHitters(decay, epsilon=0.01)
+    for offset, value in items:
+        ordered.update(value, offset)
+    for offset, value in shuffled:
+        unordered.update(value, offset)
+    assert math.isclose(
+        ordered.decayed_total(query_time),
+        unordered.decayed_total(query_time),
+        rel_tol=1e-9,
+    )
+    for value in {v for __, v in items}:
+        assert math.isclose(
+            ordered.decayed_count(value, query_time),
+            unordered.decayed_count(value, query_time),
+            rel_tol=1e-9, abs_tol=1e-12,
+        )
+
+
+@given(items=streams, beta=st.floats(0.2, 3.0), phi_pct=st.integers(10, 60))
+@settings(max_examples=75)
+def test_heavy_hitters_definition_7(items, beta, phi_pct):
+    """With epsilon small enough to be exact, match Definition 7 directly."""
+    phi = phi_pct / 100.0
+    decay = ForwardDecay(PolynomialG(beta=beta), landmark=0.0)
+    query_time = max(offset for offset, __ in items)
+    summary = DecayedHeavyHitters(decay, epsilon=1.0 / 64.0)
+    truth: dict[int, float] = {}
+    for offset, value in items:
+        summary.update(value, offset)
+        truth[value] = truth.get(value, 0.0) + decay.static_weight(offset)
+    if len(truth) > 60:  # capacity 64 must not evict for exactness
+        return
+    total = sum(truth.values())
+    expected = {v for v, w in truth.items() if w >= phi * total}
+    reported = {h.item for h in summary.heavy_hitters(phi, query_time)}
+    assert expected <= reported
+
+
+@given(items=streams, split=st.integers(0, 150))
+@settings(max_examples=75)
+def test_quantile_merge_total(items, split):
+    decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+    split = min(split, len(items))
+    left = DecayedQuantiles(decay, epsilon=0.05, universe_bits=5)
+    right = DecayedQuantiles(decay, epsilon=0.05, universe_bits=5)
+    whole = DecayedQuantiles(decay, epsilon=0.05, universe_bits=5)
+    for index, (offset, value) in enumerate(items):
+        (left if index < split else right).update(value, offset)
+        whole.update(value, offset)
+    target = left if split > 0 else right
+    other = right if split > 0 else left
+    target.merge(other)
+    assert math.isclose(
+        target.decayed_total(), whole.decayed_total(), rel_tol=1e-9
+    )
+
+
+@given(items=streams, seed=st.integers(0, 2**16))
+@settings(max_examples=75)
+def test_exact_distinct_order_invariant(items, seed):
+    decay = ForwardDecay(PolynomialG(2.0), landmark=0.0)
+    query_time = max(offset for offset, __ in items)
+    shuffled = list(items)
+    random.Random(seed).shuffle(shuffled)
+    ordered = ExactDecayedDistinct(decay)
+    unordered = ExactDecayedDistinct(decay)
+    for offset, value in items:
+        ordered.update(value, offset)
+    for offset, value in shuffled:
+        unordered.update(value, offset)
+    assert math.isclose(
+        ordered.query(query_time), unordered.query(query_time), rel_tol=1e-9
+    )
+
+
+@given(items=streams)
+@settings(max_examples=75)
+def test_distinct_bounded_by_count_and_cardinality(items):
+    """D <= decayed count C, and D <= number of distinct items."""
+    from repro.core.aggregates import DecayedCount
+
+    decay = ForwardDecay(PolynomialG(1.0), landmark=0.0)
+    query_time = max(offset for offset, __ in items)
+    distinct = ExactDecayedDistinct(decay)
+    count = DecayedCount(decay)
+    for offset, value in items:
+        distinct.update(value, offset)
+        count.update(offset)
+    d = distinct.query(query_time)
+    assert d <= count.query(query_time) + 1e-9
+    assert d <= len({v for __, v in items}) + 1e-9

@@ -1,0 +1,76 @@
+"""Property-based tests of tumbling landmark windows."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import DecayedCount
+from repro.core.decay import ForwardDecay
+from repro.core.functions import LandmarkWindowG
+from repro.core.window import TumblingLandmarkWindows
+
+
+def make_windows(**kwargs):
+    return TumblingLandmarkWindows(
+        summary_factory=lambda landmark: DecayedCount(
+            ForwardDecay(LandmarkWindowG(), landmark=landmark - 1e-9)
+        ),
+        update=lambda summary, t, v: summary.update(t),
+        **kwargs,
+    )
+
+
+timestamps = st.lists(
+    st.floats(0.0, 1_000.0), min_size=1, max_size=100
+).map(sorted)
+
+
+@given(ts=timestamps, width=st.floats(1.0, 100.0))
+@settings(max_examples=100)
+def test_time_windows_partition_the_stream(ts, width):
+    """Every item lands in exactly one window; none are lost."""
+    windows = make_windows(close_after_time=width, start=0.0)
+    for t in ts:
+        windows.update(t)
+    windows.close_now()
+    closed = windows.drain()
+    assert sum(w.items for w in closed) == len(ts)
+    # Windows are disjoint, epoch-aligned, and ordered.
+    landmarks = [w.landmark for w in closed]
+    assert landmarks == sorted(landmarks)
+    assert len(set(landmarks)) == len(landmarks)
+    for window in closed:
+        # Landmarks sit on the epoch grid start + n*width (up to one float
+        # rounding of the single multiplication that produced them).
+        steps = round(window.landmark / width)
+        assert abs(steps * width - window.landmark) <= 1e-9 * max(
+            1.0, abs(window.landmark)
+        )
+
+
+@given(ts=timestamps, width=st.floats(1.0, 100.0))
+@settings(max_examples=100)
+def test_items_fall_inside_their_window(ts, width):
+    windows = make_windows(close_after_time=width, start=0.0)
+    for t in ts:
+        windows.update(t)
+    windows.close_now()
+    for window in windows.drain():
+        # The window's count summary saw exactly `items` full-weight items.
+        assert window.summary.items_processed == window.items  # type: ignore[attr-defined]
+        assert window.close_time <= window.landmark + width + 1e-9
+
+
+@given(ts=timestamps, limit=st.integers(1, 20))
+@settings(max_examples=100)
+def test_item_count_windows_have_exact_sizes(ts, limit):
+    windows = make_windows(close_after_items=limit)
+    for t in ts:
+        windows.update(t)
+    windows.close_now()
+    closed = windows.drain()
+    assert sum(w.items for w in closed) == len(ts)
+    for window in closed[:-1]:
+        assert window.items == limit
+    assert 0 < closed[-1].items <= limit

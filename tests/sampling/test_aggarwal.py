@@ -1,0 +1,79 @@
+"""Unit tests for Aggarwal's biased reservoir (the backward-exp baseline)."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import EmptySummaryError, ParameterError
+from repro.sampling.aggarwal import AggarwalBiasedReservoir
+
+
+class TestMechanics:
+    def test_capacity_respected(self):
+        reservoir = AggarwalBiasedReservoir(10, rng=random.Random(1))
+        for item in range(1_000):
+            reservoir.update(item)
+        assert len(reservoir) <= 10
+
+    def test_decay_rate_is_inverse_capacity(self):
+        assert AggarwalBiasedReservoir(100).decay_rate == pytest.approx(0.01)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptySummaryError):
+            AggarwalBiasedReservoir(5).sample()
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            AggarwalBiasedReservoir(0)
+
+    def test_first_item_always_kept_initially(self):
+        reservoir = AggarwalBiasedReservoir(5, rng=random.Random(2))
+        reservoir.update("only")
+        assert reservoir.sample() == ["only"]
+
+
+class TestBias:
+    def test_recency_bias_matches_exponential(self):
+        """Inclusion probability decays ~ exp(-(n - i)/k) with age."""
+        k, n, repetitions = 20, 400, 1_500
+        hits: Counter = Counter()
+        for seed in range(repetitions):
+            reservoir = AggarwalBiasedReservoir(k, rng=random.Random(seed))
+            for item in range(n):
+                reservoir.update(item)
+            hits.update(reservoir.sample())
+        # Newest 20 items should vastly outnumber items older than 5 half-lives.
+        newest = sum(hits[item] for item in range(n - k, n))
+        oldest = sum(hits[item] for item in range(0, n - 8 * k))
+        assert newest > 10 * max(1, oldest)
+
+    def test_bias_ratio_tracks_theory(self):
+        """P(i in sample) proportional to exp(-(n-i)/k), checked at 2 lags."""
+        import math
+
+        k, n, repetitions = 25, 300, 4_000
+        hits: Counter = Counter()
+        for seed in range(repetitions):
+            reservoir = AggarwalBiasedReservoir(k, rng=random.Random(seed))
+            for item in range(n):
+                reservoir.update(item)
+            hits.update(reservoir.sample())
+        # Compare inclusion at age k vs age 2k: theoretical ratio e.
+        at_1k = sum(hits[n - k - j] for j in range(5)) / 5
+        at_2k = sum(hits[n - 2 * k - j] for j in range(5)) / 5
+        assert at_1k / max(1.0, at_2k) == pytest.approx(math.e, rel=0.35)
+
+    def test_items_seen(self):
+        reservoir = AggarwalBiasedReservoir(3, rng=random.Random(4))
+        for item in range(7):
+            reservoir.update(item)
+        assert reservoir.items_seen == 7
+
+    def test_state_size(self):
+        reservoir = AggarwalBiasedReservoir(4, rng=random.Random(5))
+        for item in range(100):
+            reservoir.update(item)
+        assert reservoir.state_size_bytes() <= 4 * 8

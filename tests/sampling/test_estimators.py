@@ -1,0 +1,81 @@
+"""Unit tests for sample-based estimation helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.decay import ForwardDecay
+from repro.core.errors import EmptySummaryError, ParameterError
+from repro.core.functions import PolynomialG
+from repro.sampling.estimators import (
+    chi_square_statistic,
+    empirical_frequencies,
+    estimate_decayed_mean,
+    expected_forward_probabilities,
+)
+from repro.sampling.with_replacement import DecayedSamplerWithReplacement
+
+
+class TestDecayedMean:
+    def test_mean_of_sample(self):
+        assert estimate_decayed_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_custom_value_function(self):
+        assert estimate_decayed_mean(["ab", "c"], value=len) == pytest.approx(1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptySummaryError):
+            estimate_decayed_mean([])
+
+    def test_converges_to_decayed_average(self):
+        """Sample mean estimates Definition 5's decayed average A."""
+        decay = ForwardDecay(PolynomialG(2.0), landmark=0.0)
+        stream = [(float(t), float(t % 7)) for t in range(1, 101)]
+        sampler = DecayedSamplerWithReplacement(decay, 4_000,
+                                                rng=random.Random(1))
+        for t, v in stream:
+            sampler.update(v, t)
+        estimate = estimate_decayed_mean(sampler.sample())
+        weights = [decay.static_weight(t) for t, __ in stream]
+        truth = sum(w * v for w, (__, v) in zip(weights, stream)) / sum(weights)
+        assert estimate == pytest.approx(truth, rel=0.05)
+
+
+class TestFrequencies:
+    def test_empirical_frequencies_normalized(self):
+        frequencies = empirical_frequencies(["a", "a", "b", "c"])
+        assert frequencies == {"a": 0.5, "b": 0.25, "c": 0.25}
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptySummaryError):
+            empirical_frequencies([])
+
+    def test_expected_probabilities_sum_to_one(self, paper_decay):
+        from tests.conftest import PAPER_STREAM
+
+        stream = [(t, v) for t, v in PAPER_STREAM]
+        probabilities = expected_forward_probabilities(paper_decay, stream)
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+        # Repeated item 4 accumulates both occurrences' mass.
+        assert probabilities[4] == pytest.approx((25.0 + 16.0) / 163.0)
+
+    def test_expected_probabilities_empty_rejected(self, paper_decay):
+        with pytest.raises(EmptySummaryError):
+            expected_forward_probabilities(paper_decay, [])
+
+
+class TestChiSquare:
+    def test_zero_for_identical_distributions(self):
+        probabilities = {"a": 0.5, "b": 0.5}
+        assert chi_square_statistic(probabilities, probabilities, 100) == 0.0
+
+    def test_positive_for_different_distributions(self):
+        observed = {"a": 0.9, "b": 0.1}
+        expected = {"a": 0.5, "b": 0.5}
+        assert chi_square_statistic(observed, expected, 100) > 10.0
+
+    def test_rejects_bad_draws(self):
+        with pytest.raises(ParameterError):
+            chi_square_statistic({}, {}, 0)

@@ -1,0 +1,123 @@
+"""Unit tests for priority sampling and its unbiased estimator."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.decay import ForwardDecay
+from repro.core.errors import EmptySummaryError, ParameterError
+from repro.core.functions import ExponentialG, PolynomialG
+from repro.sampling.priority import PrioritySampler, estimate_decayed_sum
+from repro.sampling.weighted_reservoir import decayed_log_weight
+
+
+class TestMechanics:
+    def test_holds_k_items(self):
+        sampler = PrioritySampler(5, rng=random.Random(1))
+        for item in range(100):
+            sampler.update(item, 1.0)
+        sample = sampler.sample()
+        assert len(sample.entries) == 5
+        assert sampler.items_seen == 100
+
+    def test_tau_is_k_plus_1_th_priority(self):
+        sampler = PrioritySampler(3, rng=random.Random(2))
+        for item in range(3):
+            sampler.update(item, 1.0)
+        # Fewer than k+1 items: tau still -inf.
+        assert sampler.log_tau == -math.inf
+        sampler.update(99, 1.0)
+        assert sampler.log_tau > -math.inf
+
+    def test_empty_raises(self):
+        sampler = PrioritySampler(3)
+        with pytest.raises(EmptySummaryError):
+            sampler.sample()
+        with pytest.raises(EmptySummaryError):
+            sampler.subset_sum_log_estimate(lambda item: True)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            PrioritySampler(0)
+        sampler = PrioritySampler(2)
+        with pytest.raises(ParameterError):
+            sampler.update("a", -1.0)
+
+    def test_exact_when_under_k(self):
+        """With fewer than k items, the estimator is exact."""
+        sampler = PrioritySampler(10, rng=random.Random(3))
+        weights = [2.0, 5.0, 1.5]
+        for index, weight in enumerate(weights):
+            sampler.update(index, weight)
+        estimate = sampler.subset_sum_log_estimate(lambda item: True)
+        assert estimate == pytest.approx(sum(weights))
+
+
+class TestUnbiasedness:
+    def test_subset_sum_unbiased(self):
+        """Mean estimate over many runs converges to the true subset sum."""
+        rng = random.Random(44)
+        weights = {item: rng.uniform(0.5, 10.0) for item in range(60)}
+        predicate = lambda item: item % 3 == 0
+        truth = sum(w for item, w in weights.items() if predicate(item))
+        estimates = []
+        for seed in range(2_000):
+            sampler = PrioritySampler(15, rng=random.Random(seed))
+            for item, weight in weights.items():
+                sampler.update(item, weight)
+            estimates.append(sampler.subset_sum_log_estimate(predicate))
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(truth, rel=0.05)
+
+    def test_total_sum_estimate(self):
+        rng = random.Random(45)
+        weights = [rng.uniform(1.0, 3.0) for __ in range(100)]
+        estimates = []
+        for seed in range(1_000):
+            sampler = PrioritySampler(20, rng=random.Random(seed))
+            for index, weight in enumerate(weights):
+                sampler.update(index, weight)
+            estimates.append(sampler.subset_sum_log_estimate(lambda i: True))
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(sum(weights), rel=0.05)
+
+
+class TestDecayedEstimation:
+    def test_estimate_decayed_count_polynomial(self):
+        decay = ForwardDecay(PolynomialG(2.0), landmark=0.0)
+        stream = [float(t) for t in range(1, 201)]
+        estimates = []
+        for seed in range(500):
+            sampler = PrioritySampler(40, rng=random.Random(seed))
+            for t in stream:
+                sampler.update_log(t, decayed_log_weight(decay, t))
+            estimates.append(estimate_decayed_sum(sampler, decay, 200.0))
+        truth = sum(decay.weight(t, 200.0) for t in stream)
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(truth, rel=0.1)
+
+    def test_estimate_decayed_count_exponential_no_overflow(self):
+        decay = ForwardDecay(ExponentialG(alpha=0.1), landmark=0.0)
+        sampler = PrioritySampler(30, rng=random.Random(6))
+        for t in range(1, 20_001):
+            sampler.update_log(t, decayed_log_weight(decay, float(t)))
+        estimate = estimate_decayed_sum(sampler, decay, 20_000.0)
+        truth = sum(math.exp(0.1 * (t - 20_000.0)) for t in range(1, 20_001))
+        assert math.isfinite(estimate)
+        assert estimate == pytest.approx(truth, rel=0.5)
+
+    def test_query_time_before_landmark_rejected(self):
+        decay = ForwardDecay(PolynomialG(2.0), landmark=100.0)
+        sampler = PrioritySampler(5, rng=random.Random(7))
+        sampler.update_log(101.0, decayed_log_weight(decay, 101.0))
+        with pytest.raises(ParameterError):
+            estimate_decayed_sum(sampler, decay, 50.0)
+
+    def test_state_size(self):
+        sampler = PrioritySampler(5, rng=random.Random(8))
+        for item in range(10):
+            sampler.update(item, 1.0)
+        assert sampler.state_size_bytes() == 5 * 24

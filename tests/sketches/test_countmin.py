@@ -1,0 +1,119 @@
+"""Unit tests for the weighted Count-Min sketch and its HH wrapper."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import MergeError, ParameterError
+from repro.sketches.countmin import CountMinHeavyHitters, CountMinSketch
+from repro.workloads.synthetic import zipf_stream
+
+
+class TestCountMin:
+    def test_point_estimates_upper_bound_truth(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01, seed=1)
+        truth: dict[int, float] = {}
+        rng = random.Random(2)
+        for __ in range(5_000):
+            item = rng.randrange(500)
+            weight = rng.uniform(0.1, 3.0)
+            sketch.update(item, weight)
+            truth[item] = truth.get(item, 0.0) + weight
+        for item, true_weight in truth.items():
+            estimate = sketch.estimate(item)
+            assert estimate >= true_weight - 1e-9
+            assert estimate - true_weight <= sketch.epsilon * sketch.total_weight * 3
+
+    def test_unseen_item_estimate_small(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        for item in range(100):
+            sketch.update(item, 1.0)
+        assert sketch.estimate("never") <= sketch.epsilon * sketch.total_weight * 3
+
+    def test_dimensions_from_parameters(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.001)
+        assert sketch.width >= 272  # e / 0.01
+        assert sketch.depth >= 6    # ln(1000) ~ 6.9 -> ceil 7
+
+    def test_zero_weight_noop(self):
+        sketch = CountMinSketch()
+        sketch.update("a", 0.0)
+        assert sketch.total_weight == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            CountMinSketch(epsilon=0.0)
+        with pytest.raises(ParameterError):
+            CountMinSketch(delta=1.0)
+        sketch = CountMinSketch()
+        with pytest.raises(ParameterError):
+            sketch.update("a", -1.0)
+        with pytest.raises(ParameterError):
+            sketch.scale(0.0)
+
+    def test_scale(self):
+        sketch = CountMinSketch(epsilon=0.05, seed=3)
+        sketch.update("x", 10.0)
+        sketch.scale(0.1)
+        assert sketch.estimate("x") == pytest.approx(1.0)
+        assert sketch.total_weight == pytest.approx(1.0)
+
+    def test_merge_equals_union(self):
+        left = CountMinSketch(epsilon=0.02, seed=4)
+        right = CountMinSketch(epsilon=0.02, seed=4)
+        union = CountMinSketch(epsilon=0.02, seed=4)
+        rng = random.Random(5)
+        for index in range(2_000):
+            item = rng.randrange(100)
+            (left if index % 2 else right).update(item, 1.0)
+            union.update(item, 1.0)
+        left.merge(right)
+        for item in range(100):
+            assert left.estimate(item) == pytest.approx(union.estimate(item))
+
+    def test_merge_parameter_mismatch(self):
+        with pytest.raises(MergeError):
+            CountMinSketch(epsilon=0.1).merge(CountMinSketch(epsilon=0.02))
+        with pytest.raises(MergeError):
+            CountMinSketch(seed=1).merge(CountMinSketch(seed=2))
+
+    def test_state_size(self):
+        sketch = CountMinSketch(epsilon=0.1, delta=0.1)
+        assert sketch.state_size_bytes() == 8 * sketch.width * sketch.depth
+
+
+class TestCountMinHeavyHitters:
+    def test_finds_true_heavy_hitters(self):
+        summary = CountMinHeavyHitters(epsilon=0.005, delta=0.01,
+                                       phi_track=0.01, seed=6)
+        stream = [v for __, v in zipf_stream(20_000, num_values=1_000,
+                                             exponent=1.4, seed=7)]
+        truth: dict[int, int] = {}
+        for item in stream:
+            summary.update(item)
+            truth[item] = truth.get(item, 0) + 1
+        phi = 0.05
+        expected = {v for v, c in truth.items() if c >= phi * len(stream)}
+        reported = {item for item, __ in summary.heavy_hitters(phi)}
+        assert expected <= reported
+
+    def test_phi_below_tracking_threshold_rejected(self):
+        summary = CountMinHeavyHitters(phi_track=0.01)
+        summary.update("a")
+        with pytest.raises(ParameterError):
+            summary.heavy_hitters(0.001)
+
+    def test_weighted_updates(self):
+        summary = CountMinHeavyHitters(epsilon=0.01, phi_track=0.05, seed=8)
+        summary.update("whale", 1_000.0)
+        for item in range(50):
+            summary.update(item, 1.0)
+        ranked = summary.heavy_hitters(0.5)
+        assert ranked[0][0] == "whale"
+
+    def test_state_includes_grid(self):
+        summary = CountMinHeavyHitters(epsilon=0.01)
+        summary.update("a")
+        assert summary.state_size_bytes() >= summary.sketch.state_size_bytes()

@@ -1,0 +1,108 @@
+"""Unit tests for the dominance-norm estimator (decayed count-distinct core)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.errors import EmptySummaryError, MergeError, ParameterError
+from repro.sketches.dominance import DominanceNormEstimator
+
+
+def exact_dominance(pairs):
+    best: dict[object, float] = {}
+    for item, log_weight in pairs:
+        if item not in best or log_weight > best[item]:
+            best[item] = log_weight
+    return sum(math.exp(lw) for lw in best.values())
+
+
+class TestEstimator:
+    def test_single_item(self):
+        estimator = DominanceNormEstimator(epsilon=0.1)
+        estimator.update("a", math.log(5.0))
+        assert estimator.estimate() == pytest.approx(5.0, rel=0.15)
+
+    def test_max_semantics(self):
+        estimator = DominanceNormEstimator(epsilon=0.05)
+        estimator.update("a", math.log(2.0))
+        estimator.update("a", math.log(8.0))  # max wins
+        estimator.update("a", math.log(1.0))
+        assert estimator.estimate() == pytest.approx(8.0, rel=0.1)
+
+    def test_tracks_exact_on_random_weights(self):
+        rng = random.Random(77)
+        estimator = DominanceNormEstimator(epsilon=0.1, seed=1)
+        pairs = []
+        for item in range(400):
+            for __ in range(rng.randrange(1, 4)):
+                log_weight = rng.uniform(0.0, 5.0)
+                pairs.append((item, log_weight))
+        rng.shuffle(pairs)
+        for item, log_weight in pairs:
+            estimator.update(item, log_weight)
+        truth = exact_dominance(pairs)
+        assert estimator.estimate() == pytest.approx(truth, rel=0.3)
+
+    def test_log_normalizer_scales_result(self):
+        estimator = DominanceNormEstimator(epsilon=0.1)
+        for item in range(50):
+            estimator.update(item, 3.0)
+        base = estimator.estimate(0.0)
+        scaled = estimator.estimate(math.log(10.0))
+        assert scaled == pytest.approx(base / 10.0, rel=1e-9)
+
+    def test_huge_log_weights_no_overflow(self):
+        """The whole point: exp-decay weights live only in log space."""
+        estimator = DominanceNormEstimator(epsilon=0.1)
+        for item in range(100):
+            estimator.update(item, 50_000.0 + item)  # astronomically heavy
+        result = estimator.estimate(log_normalizer=50_099.0)
+        assert math.isfinite(result)
+        assert result > 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptySummaryError):
+            DominanceNormEstimator().estimate()
+
+    def test_rejects_non_finite_log_weight(self):
+        estimator = DominanceNormEstimator()
+        with pytest.raises(ParameterError):
+            estimator.update("a", math.inf)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ParameterError):
+            DominanceNormEstimator(epsilon=0.0)
+
+
+class TestMerge:
+    def test_merge_equals_concatenation(self):
+        rng = random.Random(88)
+        left = DominanceNormEstimator(epsilon=0.1, seed=2)
+        right = DominanceNormEstimator(epsilon=0.1, seed=2)
+        whole = DominanceNormEstimator(epsilon=0.1, seed=2)
+        for index in range(2_000):
+            item = rng.randrange(300)
+            log_weight = rng.uniform(0.0, 4.0)
+            (left if index % 2 else right).update(item, log_weight)
+            whole.update(item, log_weight)
+        left.merge(right)
+        assert left.estimate() == pytest.approx(whole.estimate(), rel=1e-9)
+        assert left.items_processed == whole.items_processed
+
+    def test_merge_parameter_mismatch(self):
+        with pytest.raises(MergeError):
+            DominanceNormEstimator(epsilon=0.1).merge(
+                DominanceNormEstimator(epsilon=0.2)
+            )
+        with pytest.raises(MergeError):
+            DominanceNormEstimator(seed=0).merge(DominanceNormEstimator(seed=9))
+
+    def test_levels_and_state_reporting(self):
+        estimator = DominanceNormEstimator(epsilon=0.1)
+        for item in range(100):
+            estimator.update(item, float(item) / 10.0)
+        assert estimator.num_levels > 1
+        assert estimator.state_size_bytes() > 0

@@ -1,0 +1,165 @@
+"""Unit tests for the weighted Greenwald-Khanna quantile summary."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import EmptySummaryError, MergeError, ParameterError
+from repro.sketches.gk import GKSummary
+
+
+def exact_weighted_quantile(pairs, phi):
+    total = sum(w for __, w in pairs)
+    running = 0.0
+    for value, weight in sorted(pairs):
+        running += weight
+        if running >= phi * total:
+            return value
+    return max(v for v, __ in pairs)
+
+
+class TestBasics:
+    def test_exact_on_small_input(self):
+        summary = GKSummary(epsilon=0.1)
+        for value in [5.0, 1.0, 9.0, 3.0]:
+            summary.update(value)
+        assert summary.total_weight == pytest.approx(4.0)
+        assert summary.quantile(0.0) == 1.0
+        assert summary.quantile(1.0) == 9.0
+
+    def test_handles_float_values(self):
+        """The GK advantage over q-digest: no integer universe needed."""
+        summary = GKSummary(epsilon=0.05)
+        rng = random.Random(3)
+        values = [rng.gauss(0.0, 1.0) for __ in range(5_000)]
+        for value in values:
+            summary.update(value)
+        median = summary.quantile(0.5)
+        assert -0.1 < median < 0.1
+
+    def test_weighted_updates(self):
+        summary = GKSummary(epsilon=0.05)
+        summary.update(1.0, weight=1.0)
+        summary.update(100.0, weight=99.0)
+        assert summary.quantile(0.5) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            GKSummary(epsilon=0.0)
+        with pytest.raises(ParameterError):
+            GKSummary(epsilon=0.5)
+        summary = GKSummary(epsilon=0.1)
+        with pytest.raises(ParameterError):
+            summary.update(float("nan"))
+        with pytest.raises(ParameterError):
+            summary.update(1.0, weight=0.0)
+        with pytest.raises(ParameterError):
+            summary.quantile(1.5)
+        with pytest.raises(EmptySummaryError):
+            summary.quantile(0.5)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("epsilon", [0.1, 0.05, 0.02])
+    def test_rank_error_bound(self, epsilon):
+        summary = GKSummary(epsilon=epsilon)
+        rng = random.Random(11)
+        pairs = [(rng.uniform(0, 1000), rng.uniform(0.5, 2.0))
+                 for __ in range(10_000)]
+        for value, weight in pairs:
+            summary.update(value, weight)
+        total = summary.total_weight
+        for phi in (0.1, 0.25, 0.5, 0.75, 0.9):
+            answer = summary.quantile(phi)
+            rank = sum(w for v, w in pairs if v <= answer)
+            assert (phi - 3 * epsilon) * total <= rank <= (phi + 3 * epsilon) * total
+
+    def test_space_sublinear(self):
+        epsilon = 0.02
+        summary = GKSummary(epsilon=epsilon)
+        rng = random.Random(13)
+        for __ in range(50_000):
+            summary.update(rng.random())
+        # Far fewer tuples than inputs; generous constant on O((1/eps) log(eps N)).
+        assert len(summary) < 50_000 / 20
+        assert len(summary) < 40 / epsilon
+
+    def test_rank_bounds_bracket_truth(self):
+        summary = GKSummary(epsilon=0.05)
+        rng = random.Random(17)
+        pairs = [(rng.uniform(0, 100), 1.0) for __ in range(2_000)]
+        for value, weight in pairs:
+            summary.update(value, weight)
+        for probe in (10.0, 50.0, 90.0):
+            low, high = summary.rank_bounds(probe)
+            truth = sum(w for v, w in pairs if v <= probe)
+            slack = 2 * summary.epsilon * summary.total_weight
+            assert low - slack <= truth <= high + slack
+
+
+class TestScaleAndMerge:
+    def test_scale_preserves_quantiles(self):
+        summary = GKSummary(epsilon=0.05)
+        rng = random.Random(19)
+        for __ in range(1_000):
+            summary.update(rng.uniform(0, 10), rng.uniform(0.5, 2.0))
+        before = summary.quantiles([0.25, 0.5, 0.75])
+        summary.scale(1e-9)
+        assert summary.quantiles([0.25, 0.5, 0.75]) == before
+
+    def test_merge_approximates_union(self):
+        left = GKSummary(epsilon=0.05)
+        right = GKSummary(epsilon=0.05)
+        rng = random.Random(23)
+        pairs = [(rng.uniform(0, 100), 1.0) for __ in range(4_000)]
+        for index, (value, weight) in enumerate(pairs):
+            (left if index % 2 else right).update(value, weight)
+        left.merge(right)
+        assert left.total_weight == pytest.approx(4_000.0)
+        for phi in (0.25, 0.5, 0.75):
+            answer = left.quantile(phi)
+            exact = exact_weighted_quantile(pairs, phi)
+            assert abs(answer - exact) < 15.0  # 2*eps rank slack in value terms
+
+    def test_merge_type_mismatch(self):
+        with pytest.raises(MergeError):
+            GKSummary(epsilon=0.1).merge(object())  # type: ignore[arg-type]
+
+
+class TestDecayedQuantilesGKBackend:
+    def test_gk_backend_handles_floats(self):
+        from repro.core.decay import ForwardDecay
+        from repro.core.functions import PolynomialG
+        from repro.core.quantiles import DecayedQuantiles
+
+        decay = ForwardDecay(PolynomialG(1.0), landmark=-1.0)
+        summary = DecayedQuantiles(decay, epsilon=0.05, backend="gk")
+        rng = random.Random(29)
+        for t in range(1, 3_001):
+            summary.update(rng.gauss(100.0, 5.0), float(t))
+        assert 95.0 < summary.median() < 105.0
+        assert summary.universe_bits is None
+
+    def test_backend_mismatch_rejected_on_merge(self):
+        from repro.core.decay import ForwardDecay
+        from repro.core.functions import PolynomialG
+        from repro.core.quantiles import DecayedQuantiles
+
+        decay = ForwardDecay(PolynomialG(1.0), landmark=-1.0)
+        gk = DecayedQuantiles(decay, backend="gk")
+        qd = DecayedQuantiles(decay, backend="qdigest")
+        gk.update(1, 1.0)
+        qd.update(1, 1.0)
+        with pytest.raises(MergeError):
+            gk.merge(qd)
+
+    def test_unknown_backend_rejected(self):
+        from repro.core.decay import ForwardDecay
+        from repro.core.functions import PolynomialG
+        from repro.core.quantiles import DecayedQuantiles
+
+        decay = ForwardDecay(PolynomialG(1.0), landmark=-1.0)
+        with pytest.raises(ParameterError):
+            DecayedQuantiles(decay, backend="tdigest")

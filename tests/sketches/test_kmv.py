@@ -1,0 +1,98 @@
+"""Unit tests for the KMV distinct-count sketch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MergeError, ParameterError
+from repro.sketches.kmv import KMVSketch, hash_to_unit
+
+
+class TestHashing:
+    def test_deterministic(self):
+        assert hash_to_unit("abc", 0) == hash_to_unit("abc", 0)
+
+    def test_seed_changes_hash(self):
+        assert hash_to_unit("abc", 0) != hash_to_unit("abc", 1)
+
+    def test_range(self):
+        for item in range(1_000):
+            value = hash_to_unit(item)
+            assert 0.0 <= value < 1.0
+
+
+class TestKMV:
+    def test_exact_below_k(self):
+        sketch = KMVSketch(k=64)
+        for item in range(40):
+            sketch.update(item)
+        assert sketch.is_exact()
+        assert sketch.estimate() == 40.0
+
+    def test_duplicates_free(self):
+        sketch = KMVSketch(k=64)
+        for __ in range(100):
+            sketch.update("same")
+        assert sketch.estimate() == 1.0
+
+    def test_estimate_accuracy(self):
+        sketch = KMVSketch(k=512)
+        true_count = 20_000
+        for item in range(true_count):
+            sketch.update(item)
+        assert not sketch.is_exact()
+        assert sketch.estimate() == pytest.approx(true_count, rel=0.15)
+
+    def test_retains_k_smallest(self):
+        sketch = KMVSketch(k=8)
+        for item in range(1_000):
+            sketch.update(item)
+        assert len(sketch) == 8
+        retained = sorted(sketch.values())
+        all_hashes = sorted(hash_to_unit(item, 0) for item in range(1_000))
+        assert retained == all_hashes[:8]
+
+    def test_rejects_tiny_k(self):
+        with pytest.raises(ParameterError):
+            KMVSketch(k=1)
+
+    def test_merge_equals_union(self):
+        left = KMVSketch(k=32)
+        right = KMVSketch(k=32)
+        union = KMVSketch(k=32)
+        for item in range(500):
+            (left if item % 2 else right).update(item)
+            union.update(item)
+        left.merge(right)
+        assert sorted(left.values()) == sorted(union.values())
+        assert left.estimate() == union.estimate()
+
+    def test_merge_overlapping_sets(self):
+        left = KMVSketch(k=128)
+        right = KMVSketch(k=128)
+        for item in range(300):
+            left.update(item)
+        for item in range(150, 450):
+            right.update(item)
+        left.merge(right)
+        assert left.estimate() == pytest.approx(450, rel=0.25)
+
+    def test_merge_parameter_mismatch(self):
+        with pytest.raises(MergeError):
+            KMVSketch(k=16).merge(KMVSketch(k=32))
+        with pytest.raises(MergeError):
+            KMVSketch(k=16, seed=0).merge(KMVSketch(k=16, seed=1))
+
+    def test_copy_is_independent(self):
+        sketch = KMVSketch(k=16)
+        sketch.update("a")
+        clone = sketch.copy()
+        clone.update("b")
+        assert len(sketch) == 1
+        assert len(clone) == 2
+
+    def test_state_size(self):
+        sketch = KMVSketch(k=16)
+        for item in range(10):
+            sketch.update(item)
+        assert sketch.state_size_bytes() == 80

@@ -1,0 +1,163 @@
+"""Unit tests for the q-digest weighted quantile summary."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import EmptySummaryError, MergeError, ParameterError
+from repro.sketches.qdigest import QDigest
+
+
+def exact_rank(truth: dict[int, float], value: int) -> float:
+    return sum(w for v, w in truth.items() if v <= value)
+
+
+class TestBasics:
+    def test_exact_on_tiny_input(self):
+        digest = QDigest(universe_bits=4, k=1000)  # huge k: no compression
+        for value, weight in [(1, 1.0), (5, 2.0), (9, 1.0)]:
+            digest.update(value, weight)
+        assert digest.total_weight == pytest.approx(4.0)
+        assert digest.rank(0) == 0.0
+        assert digest.rank(1) == pytest.approx(1.0)
+        assert digest.rank(5) == pytest.approx(3.0)
+        assert digest.rank(15) == pytest.approx(4.0)
+
+    def test_quantile_definition_8(self):
+        digest = QDigest(universe_bits=4, k=1000)
+        for value, weight in [(2, 1.0), (4, 1.0), (8, 2.0)]:
+            digest.update(value, weight)
+        # phi=0.5 -> target mass 2.0 -> smallest v with rank >= 2 is 4.
+        assert digest.quantile(0.5) == 4
+        assert digest.quantile(1.0) == 8
+        assert digest.quantile(0.0) <= 2
+
+    def test_rejects_out_of_domain(self):
+        digest = QDigest(universe_bits=4, k=10)
+        with pytest.raises(ParameterError):
+            digest.update(16, 1.0)
+        with pytest.raises(ParameterError):
+            digest.update(-1, 1.0)
+        with pytest.raises(ParameterError):
+            digest.rank(16)
+
+    def test_rejects_bad_weight_and_phi(self):
+        digest = QDigest(universe_bits=4, k=10)
+        with pytest.raises(ParameterError):
+            digest.update(1, -1.0)
+        digest.update(1, 1.0)
+        with pytest.raises(ParameterError):
+            digest.quantile(1.5)
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(EmptySummaryError):
+            QDigest(universe_bits=4, k=10).quantile(0.5)
+
+    def test_zero_weight_noop(self):
+        digest = QDigest(universe_bits=4, k=10)
+        digest.update(3, 0.0)
+        assert digest.total_weight == 0.0
+        assert len(digest) == 0
+
+
+class TestAccuracyBound:
+    @pytest.mark.parametrize("epsilon", [0.1, 0.05, 0.02])
+    def test_rank_error_within_epsilon(self, epsilon):
+        universe_bits = 10
+        digest = QDigest.from_epsilon(epsilon, universe_bits)
+        rng = random.Random(31)
+        truth: dict[int, float] = {}
+        for __ in range(20_000):
+            value = rng.randrange(1 << universe_bits)
+            weight = rng.uniform(0.5, 2.0)
+            digest.update(value, weight)
+            truth[value] = truth.get(value, 0.0) + weight
+        digest.compress()
+        total = digest.total_weight
+        for probe in range(0, 1 << universe_bits, 64):
+            estimate = digest.rank(probe)
+            true = exact_rank(truth, probe)
+            assert true - epsilon * total - 1e-6 <= estimate <= true + 1e-6
+
+    def test_space_bounded_after_compress(self):
+        epsilon = 0.05
+        universe_bits = 12
+        digest = QDigest.from_epsilon(epsilon, universe_bits)
+        rng = random.Random(7)
+        for __ in range(50_000):
+            digest.update(rng.randrange(1 << universe_bits), 1.0)
+        digest.compress()
+        # O((1/eps) log U) with small constants: allow generous slack.
+        assert len(digest) <= 12 * universe_bits / epsilon
+
+    def test_quantile_rank_error(self):
+        epsilon = 0.05
+        digest = QDigest.from_epsilon(epsilon, 8)
+        rng = random.Random(9)
+        truth: dict[int, float] = {}
+        for __ in range(5_000):
+            value = rng.randrange(256)
+            digest.update(value, 1.0)
+            truth[value] = truth.get(value, 0.0) + 1.0
+        total = digest.total_weight
+        for phi in (0.1, 0.5, 0.9):
+            answer = digest.quantile(phi)
+            rank = exact_rank(truth, answer)
+            assert rank >= (phi - 2 * epsilon) * total
+            assert rank - truth.get(answer, 0.0) <= (phi + 2 * epsilon) * total
+
+
+class TestScaleAndMerge:
+    def test_scale_preserves_quantiles(self):
+        digest = QDigest(universe_bits=6, k=50)
+        rng = random.Random(21)
+        for __ in range(2_000):
+            digest.update(rng.randrange(64), rng.uniform(0.1, 3.0))
+        before = digest.quantiles([0.25, 0.5, 0.75])
+        total_before = digest.total_weight
+        digest.scale(1e-6)
+        assert digest.quantiles([0.25, 0.5, 0.75]) == before
+        assert digest.total_weight == pytest.approx(total_before * 1e-6)
+
+    def test_merge_equals_union(self):
+        left = QDigest(universe_bits=8, k=40)
+        right = QDigest(universe_bits=8, k=40)
+        whole = QDigest(universe_bits=8, k=40)
+        rng = random.Random(22)
+        truth: dict[int, float] = {}
+        for index in range(8_000):
+            value = rng.randrange(256)
+            weight = rng.uniform(0.5, 1.5)
+            (left if index % 2 else right).update(value, weight)
+            whole.update(value, weight)
+            truth[value] = truth.get(value, 0.0) + weight
+        left.merge(right)
+        assert left.total_weight == pytest.approx(whole.total_weight)
+        total = left.total_weight
+        epsilon_bound = 2 * 8 * total / 40  # 2 * log2(U) * W / k
+        for probe in range(0, 256, 16):
+            assert abs(left.rank(probe) - exact_rank(truth, probe)) <= epsilon_bound
+
+    def test_merge_with_factor(self):
+        left = QDigest(universe_bits=4, k=100)
+        right = QDigest(universe_bits=4, k=100)
+        left.update(3, 4.0)
+        right.update(3, 2.0)
+        left.merge(right, factor=0.5)
+        assert left.total_weight == pytest.approx(5.0)
+        assert left.rank(3) == pytest.approx(5.0)
+
+    def test_merge_domain_mismatch(self):
+        with pytest.raises(MergeError):
+            QDigest(universe_bits=4, k=10).merge(QDigest(universe_bits=5, k=10))
+
+    def test_nodes_iteration(self):
+        digest = QDigest(universe_bits=4, k=4)
+        for value in range(16):
+            digest.update(value, 1.0)
+        spans = list(digest.nodes())
+        assert sum(count for __, __, count in spans) == pytest.approx(16.0)
+        for lo, hi, __ in spans:
+            assert 0 <= lo <= hi <= 15

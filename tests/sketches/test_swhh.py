@@ -1,0 +1,128 @@
+"""Unit tests for the sliding-window heavy-hitter baseline structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import EmptySummaryError, ParameterError
+from repro.core.functions import ExponentialF, PolynomialF
+from repro.sketches.swhh import BackwardDecayedHHCombiner, SlidingWindowHeavyHitters
+from repro.workloads.synthetic import zipf_stream
+
+
+def _fill(structure, stream):
+    for t, v in stream:
+        structure.update(v, t)
+    return structure
+
+
+class TestStructure:
+    def test_pane_defaults_to_epsilon_window(self):
+        structure = SlidingWindowHeavyHitters(window=60.0, epsilon=0.1)
+        assert structure.pane == pytest.approx(6.0)
+        finer = SlidingWindowHeavyHitters(window=60.0, epsilon=0.01)
+        assert finer.pane == pytest.approx(0.6)
+        assert finer.levels > structure.levels
+
+    def test_window_counts_match_exact(self):
+        # epsilon=0.01 -> per-node capacity 100 > 50 distinct values, so the
+        # per-node summaries never evict and counts are exact ("not much
+        # pruning power" — precisely the regime the paper describes).
+        structure = SlidingWindowHeavyHitters(window=32.0, pane=1.0, epsilon=0.01)
+        stream = [(float(t % 64), v) for t, v in
+                  enumerate(v for __, v in zipf_stream(2_000, num_values=50, seed=3))]
+        stream.sort()
+        _fill(structure, stream)
+        now = stream[-1][0]
+        window = 16.0
+        counts = structure.window_counts(window, now)
+        start_pane = int((now - window) // 1.0) + 1
+        end_pane = int(now // 1.0)
+        exact: dict[int, int] = {}
+        for t, v in stream:
+            if start_pane <= int(t // 1.0) <= end_pane:
+                exact[v] = exact.get(v, 0) + 1
+        assert counts.keys() == exact.keys()
+        for item, count in exact.items():
+            assert counts[item] == pytest.approx(count)
+
+    def test_heavy_hitters_over_window(self):
+        structure = SlidingWindowHeavyHitters(window=64.0, pane=1.0, epsilon=0.05)
+        # "hot" arrives continuously; "cold" values only early.
+        stream = [(float(t), "hot" if t % 2 else t) for t in range(60)]
+        _fill(structure, stream)
+        hitters = structure.heavy_hitters(0.2, 32.0, 59.0)
+        assert hitters[0][0] == "hot"
+
+    def test_window_validation(self):
+        structure = SlidingWindowHeavyHitters(window=10.0, pane=1.0)
+        with pytest.raises(ParameterError):
+            structure.window_counts(11.0, 100.0)
+        with pytest.raises(ParameterError):
+            structure.window_counts(0.0, 100.0)
+
+    def test_empty_heavy_hitters_raise(self):
+        structure = SlidingWindowHeavyHitters(window=10.0, pane=1.0)
+        with pytest.raises(EmptySummaryError):
+            structure.heavy_hitters(0.1, 10.0, 100.0)
+
+    def test_expiry_bounds_state(self):
+        structure = SlidingWindowHeavyHitters(window=8.0, pane=1.0, epsilon=0.1)
+        for t in range(50_000):
+            structure.update(t % 97, t * 0.01)
+        structure.expire(500.0 - 0.01)
+        # Finest level holds ~2x window worth of panes at most.
+        assert len(structure._nodes[0]) <= 4 * int(8.0 / 1.0) + 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            SlidingWindowHeavyHitters(window=0.0)
+        with pytest.raises(ParameterError):
+            SlidingWindowHeavyHitters(window=10.0, pane=20.0)
+        with pytest.raises(ParameterError):
+            SlidingWindowHeavyHitters(window=10.0, epsilon=1.5)
+
+
+class TestBackwardCombiner:
+    @pytest.mark.parametrize(
+        "f",
+        [ExponentialF(lam=0.1), PolynomialF(alpha=1.0)],
+        ids=["exp", "poly"],
+    )
+    def test_decayed_counts_track_exact(self, f):
+        structure = SlidingWindowHeavyHitters(window=64.0, pane=0.5, epsilon=0.05)
+        stream = [(t * 0.05, v) for t, (__, v) in
+                  enumerate(zipf_stream(1_000, num_values=20, seed=9))]
+        _fill(structure, stream)
+        combiner = BackwardDecayedHHCombiner(structure)
+        now = stream[-1][0]
+        estimates = combiner.decayed_counts(f, now)
+        exact: dict[int, float] = {}
+        for t, v in stream:
+            exact[v] = exact.get(v, 0.0) + f(now - t) / f(0.0)
+        for item, true_count in exact.items():
+            # Staircase over panes of width 0.5: modest relative error.
+            assert estimates[item] == pytest.approx(true_count, rel=0.15)
+
+    def test_decayed_heavy_hitters_recency_bias(self):
+        structure = SlidingWindowHeavyHitters(window=64.0, pane=0.5, epsilon=0.05)
+        # "old" dominates early, "new" dominates late.
+        stream = [(float(t) * 0.1, "old") for t in range(300)]
+        stream += [(30.0 + t * 0.1, "new") for t in range(100)]
+        _fill(structure, stream)
+        combiner = BackwardDecayedHHCombiner(structure)
+        ranked = combiner.heavy_hitters(0.1, ExponentialF(lam=1.0), 40.0)
+        assert ranked[0][0] == "new"
+
+    def test_combiner_empty_raises(self):
+        structure = SlidingWindowHeavyHitters(window=10.0, pane=1.0)
+        combiner = BackwardDecayedHHCombiner(structure)
+        with pytest.raises(EmptySummaryError):
+            combiner.heavy_hitters(0.1, ExponentialF(lam=1.0), 100.0)
+
+    def test_state_grows_with_structure(self):
+        structure = SlidingWindowHeavyHitters(window=16.0, pane=1.0, epsilon=0.1)
+        assert structure.state_size_bytes() == 0
+        for t in range(100):
+            structure.update(t % 11, float(t % 16))
+        assert structure.state_size_bytes() > 0

@@ -1,0 +1,64 @@
+"""Unit tests for Deterministic Waves windowed counting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.sketches.waves import DeterministicWave
+
+
+class TestWaves:
+    def test_empty_count_is_zero(self):
+        wave = DeterministicWave(epsilon=0.1, window=10.0)
+        assert wave.count(100.0) == 0.0
+
+    def test_small_stream_exact(self):
+        wave = DeterministicWave(epsilon=0.1, window=100.0)
+        for t in range(5):
+            wave.update(float(t))
+        assert wave.count(4.0) == pytest.approx(5.0, abs=1.0)
+
+    @pytest.mark.parametrize("epsilon", [0.2, 0.1, 0.05])
+    def test_window_count_relative_error(self, epsilon):
+        wave = DeterministicWave(epsilon=epsilon, window=25.0)
+        now = 0.0
+        for i in range(20_000):
+            now = i * 0.01
+            wave.update(now)
+        true_count = 25.0 * 100
+        estimate = wave.count(now)
+        assert estimate == pytest.approx(true_count, rel=2 * epsilon + 0.02)
+
+    def test_window_larger_than_history(self):
+        wave = DeterministicWave(epsilon=0.1, window=1e6)
+        for t in range(100):
+            wave.update(float(t))
+        assert wave.count(99.0) == pytest.approx(100.0, rel=0.25)
+
+    def test_out_of_order_rejected(self):
+        wave = DeterministicWave(epsilon=0.1, window=10.0)
+        wave.update(5.0)
+        with pytest.raises(ParameterError):
+            wave.update(4.0)
+
+    def test_state_bounded(self):
+        wave = DeterministicWave(epsilon=0.1, window=100.0, max_levels=30)
+        for t in range(50_000):
+            wave.update(t * 0.01)
+        # Each level keeps at most ceil(1/eps) + 1 entries.
+        assert wave.state_size_bytes() <= 30 * (11 + 1) * 16
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            DeterministicWave(epsilon=0.0, window=10.0)
+        with pytest.raises(ParameterError):
+            DeterministicWave(epsilon=0.1, window=-1.0)
+        with pytest.raises(ParameterError):
+            DeterministicWave(epsilon=0.1, window=10.0, max_levels=0)
+
+    def test_arrivals_counter(self):
+        wave = DeterministicWave(epsilon=0.1, window=10.0)
+        for t in range(7):
+            wave.update(float(t))
+        assert wave.arrivals == 7

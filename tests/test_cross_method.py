@@ -1,0 +1,142 @@
+"""Cross-method integration: different implementations, same answers.
+
+The benchmarks compare *costs*; these tests compare *answers* across
+independent implementations of the same decayed quantity — the strongest
+end-to-end check the reproduction has:
+
+* decayed count via GSQL arithmetic == the core DecayedCount == the
+  Exponential-Histogram Cohen-Strauss combiner (approximately);
+* decayed heavy hitters via the forward UDAF == the backward
+  sliding-window combiner (on the same decay function);
+* priority-sample estimates track the exact decayed count.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.aggregates import DecayedCount, DecayedSum
+from repro.core.decay import BackwardDecay, ForwardDecay
+from repro.core.functions import ExponentialF, ExponentialG, PolynomialG
+from repro.core.heavy_hitters import DecayedHeavyHitters
+from repro.dsms.engine import QueryEngine
+from repro.dsms.parser import parse_query
+from repro.dsms.udaf import default_registry
+from repro.sampling.priority import PrioritySampler, estimate_decayed_sum
+from repro.sampling.weighted_reservoir import decayed_log_weight
+from repro.sketches.exponential_histogram import (
+    DecayedEHCombiner,
+    ExponentialHistogramCount,
+)
+from repro.sketches.swhh import BackwardDecayedHHCombiner, SlidingWindowHeavyHitters
+from repro.workloads.netflow import PACKET_SCHEMA, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(
+        duration_sec=50.0, rate_per_sec=400, tcp_fraction=1.0,
+        num_dest_ips=40, seed=33,
+    )
+
+
+class TestDecayedCountThreeWays:
+    def test_gsql_arithmetic_equals_core_aggregate(self, trace):
+        """sum((time%60)^2)/3600 through the engine == DecayedCount."""
+        registry = default_registry()
+        query = parse_query(
+            "select tb, sum((time % 60) * (time % 60)) / 3600 as c "
+            "from TCP group by time/60 as tb",
+            registry,
+        )
+        engine = QueryEngine(query, PACKET_SCHEMA)
+        core = DecayedCount(ForwardDecay(PolynomialG(2.0), landmark=0.0))
+        for row in trace:
+            engine.process(row)
+            core.update(float(row[0] % 60))
+        [result] = engine.flush()
+        assert result["c"] == pytest.approx(core.query(60.0), rel=1e-9)
+
+    def test_forward_exact_vs_eh_approximation(self, trace):
+        """The EH combiner approximates the exact forward-exp decayed count.
+
+        Forward and backward exponential decay coincide (Section III-A), so
+        the exact forward computation and the EH/Cohen-Strauss backward
+        approximation of f(a) = exp(-0.05 a) must agree within the EH's
+        bucket-staircase error.
+        """
+        alpha = 0.05
+        forward = DecayedCount(ForwardDecay(ExponentialG(alpha), landmark=0.0))
+        histogram = ExponentialHistogramCount(epsilon=0.02, window=1e9)
+        for row in trace:
+            forward.update(row[1])
+            histogram.update(row[1])
+        now = trace[-1][1]
+        combiner = DecayedEHCombiner(histogram)
+        approx = combiner.decayed_value(ExponentialF(lam=alpha), now)
+        exact = forward.query(now)
+        assert approx == pytest.approx(exact, rel=0.1)
+
+    def test_priority_sample_tracks_exact(self, trace):
+        decay = ForwardDecay(ExponentialG(alpha=0.02), landmark=0.0)
+        exact = DecayedCount(decay)
+        estimates = []
+        for seed in range(30):
+            sampler = PrioritySampler(64, rng=random.Random(seed))
+            for row in trace:
+                sampler.update_log(row[1], decayed_log_weight(decay, row[1]))
+            estimates.append(estimate_decayed_sum(sampler, decay, trace[-1][1]))
+        for row in trace:
+            exact.update(row[1])
+        mean_estimate = sum(estimates) / len(estimates)
+        assert mean_estimate == pytest.approx(exact.query(trace[-1][1]), rel=0.1)
+
+
+class TestHeavyHittersTwoWays:
+    def test_forward_udaf_vs_backward_combiner(self, trace):
+        """Same exp decay via forward SpaceSaving and backward panes.
+
+        Under exponential decay the two models coincide, so the forward
+        summary and the backward staircase must rank the same top
+        destinations with comparable decayed counts.
+        """
+        alpha = 0.05
+        forward = DecayedHeavyHitters(
+            ForwardDecay(ExponentialG(alpha), landmark=0.0), epsilon=0.005
+        )
+        backward_structure = SlidingWindowHeavyHitters(
+            window=60.0, pane=0.25, epsilon=0.005
+        )
+        for row in trace:
+            forward.update(row[3], row[1])
+            backward_structure.update(row[3], row[1])
+        now = trace[-1][1]
+        combiner = BackwardDecayedHHCombiner(backward_structure)
+        backward_counts = combiner.decayed_counts(ExponentialF(lam=alpha), now)
+        forward_top = forward.top_k(5, now)
+        backward_top = sorted(backward_counts, key=backward_counts.get,
+                              reverse=True)[:5]
+        assert [h.item for h in forward_top][:3] == backward_top[:3]
+        for hitter in forward_top[:3]:
+            assert backward_counts[hitter.item] == pytest.approx(
+                hitter.decayed_count, rel=0.15
+            )
+
+    def test_decayed_sum_of_values_two_ways(self, trace):
+        """Weighted-count HH updates == a DecayedSum, per destination."""
+        decay = ForwardDecay(PolynomialG(2.0), landmark=-1.0)
+        hitters = DecayedHeavyHitters(decay, epsilon=0.001)
+        sums: dict[str, DecayedSum] = {}
+        for row in trace:
+            destination, ts, length = row[3], row[1], row[6]
+            hitters.update(destination, ts, count=float(length))
+            sums.setdefault(destination, DecayedSum(decay)).update(
+                ts, float(length)
+            )
+        now = trace[-1][1]
+        for hitter in hitters.top_k(5, now):
+            assert hitter.decayed_count == pytest.approx(
+                sums[hitter.item].query(now), rel=0.01
+            )

@@ -1,0 +1,77 @@
+"""Documentation coverage: every public item carries a docstring.
+
+Walks the installed package and asserts that every public module, class,
+method and function is documented — the contract a downstream user relies
+on when exploring the API with ``help()``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name == "repro.__main__":  # importing it runs the CLI
+            continue
+        yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if getattr(member, "__module__", None) == module.__name__:
+                yield name, member
+
+
+def test_all_modules_documented():
+    undocumented = [
+        module.__name__ for module in iter_modules() if not module.__doc__
+    ]
+    assert undocumented == []
+
+
+def test_all_public_classes_and_functions_documented():
+    undocumented = []
+    for module in iter_modules():
+        for name, member in public_members(module):
+            if not inspect.getdoc(member):
+                undocumented.append(f"{module.__name__}.{name}")
+    assert undocumented == []
+
+
+def test_all_public_methods_documented():
+    undocumented = []
+    for module in iter_modules():
+        for class_name, cls in public_members(module):
+            if not inspect.isclass(cls):
+                continue
+            for name, member in vars(cls).items():
+                if name.startswith("_") or name == "describe":
+                    continue
+                if inspect.isfunction(member) and not inspect.getdoc(member):
+                    undocumented.append(
+                        f"{module.__name__}.{class_name}.{name}"
+                    )
+    assert undocumented == []
+
+
+def test_examples_and_benchmarks_have_module_docstrings():
+    import ast
+    import pathlib
+
+    root = pathlib.Path(repro.__file__).resolve().parents[2]
+    missing = []
+    for directory in ("examples", "benchmarks"):
+        for path in sorted((root / directory).glob("*.py")):
+            tree = ast.parse(path.read_text())
+            if ast.get_docstring(tree) is None:
+                missing.append(str(path.relative_to(root)))
+    assert missing == []

@@ -1,0 +1,97 @@
+"""Unit tests for the synthetic value-stream generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.workloads.synthetic import (
+    bursty_stream,
+    interleave_streams,
+    uniform_stream,
+    with_out_of_order,
+    zipf_stream,
+)
+
+
+class TestUniform:
+    def test_shape_and_rate(self):
+        stream = uniform_stream(100, num_values=10, start_time=5.0, rate=2.0)
+        assert len(stream) == 100
+        assert stream[0][0] == 5.0
+        assert stream[1][0] == 5.5
+        assert all(0 <= v < 10 for __, v in stream)
+
+    def test_deterministic(self):
+        assert uniform_stream(50, seed=3) == uniform_stream(50, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            uniform_stream(0)
+        with pytest.raises(ParameterError):
+            uniform_stream(10, rate=0)
+
+
+class TestZipf:
+    def test_skew(self):
+        stream = zipf_stream(20_000, num_values=500, exponent=1.5, seed=4)
+        counts = Counter(v for __, v in stream)
+        ranked = counts.most_common()
+        assert ranked[0][1] > 20 * ranked[len(ranked) // 2][1]
+
+    def test_values_in_range(self):
+        stream = zipf_stream(1_000, num_values=50, seed=5)
+        assert all(0 <= v < 50 for __, v in stream)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            zipf_stream(10, exponent=0)
+
+
+class TestBursty:
+    def test_burst_structure(self):
+        stream = bursty_stream(100, num_values=1_000, burst_length=10, seed=6)
+        for start in range(0, 100, 10):
+            values = {v for __, v in stream[start:start + 10]}
+            assert len(values) == 1
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            bursty_stream(10, burst_length=0)
+
+
+class TestOutOfOrder:
+    def test_preserves_multiset(self):
+        stream = uniform_stream(500, seed=7)
+        shuffled = with_out_of_order(stream, jitter=0.1, seed=8)
+        assert sorted(shuffled) == sorted(stream)
+        assert shuffled != stream
+
+    def test_zero_jitter_keeps_order(self):
+        stream = uniform_stream(50, seed=9)
+        assert with_out_of_order(stream, jitter=0.0, seed=1) == stream
+
+    def test_displacement_bounded(self):
+        stream = uniform_stream(1_000, seed=10)
+        shuffled = with_out_of_order(stream, jitter=0.05, seed=11)
+        positions = {item: index for index, item in enumerate(stream)}
+        horizon = 1_000 * 0.05 + 1
+        for new_index, item in enumerate(shuffled):
+            assert abs(new_index - positions[item]) <= horizon
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            with_out_of_order([], jitter=2.0)
+
+
+class TestInterleave:
+    def test_merges_by_timestamp(self):
+        left = [(1.0, 1), (3.0, 3)]
+        right = [(2.0, 2), (4.0, 4)]
+        merged = interleave_streams(left, right)
+        assert [t for t, __ in merged] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_empty_inputs(self):
+        assert interleave_streams([], []) == []
