@@ -29,6 +29,9 @@ Quickstart::
 
 from repro.core import (
     BackwardDecay,
+    StreamSummary,
+    create_summary,
+    summary_names,
     DecayedAlgebraic,
     DecayedAverage,
     DecayedCount,
@@ -81,5 +84,8 @@ __all__ = [
     "DecayedDistinctCount",
     "ExactDecayedDistinct",
     "merge_all",
+    "StreamSummary",
+    "create_summary",
+    "summary_names",
     "__version__",
 ]

@@ -17,6 +17,11 @@ Three commands make the library usable without writing Python:
     Regenerate one of the paper's figures as a text table::
 
         python -m repro figure fig5
+
+``summaries``
+    Enumerate the summary registry::
+
+        python -m repro summaries list
 """
 
 from __future__ import annotations
@@ -108,6 +113,36 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_summaries(args: argparse.Namespace) -> int:
+    from repro.core import registry
+
+    entries = registry.iter_summaries()
+    if args.kind:
+        entries = [info for info in entries if info.kind == args.kind]
+    if args.verbose:
+        for info in entries:
+            print(f"{info.name}  [{info.kind}]")
+            print(f"    update:    {registry.INPUT_KINDS[info.input_kind]}")
+            print(f"    mergeable: {info.mergeable}"
+                  + ("" if not info.mergeable
+                     else f" (exact={info.exact_merge})"))
+            print(f"    signature: {info.signature}")
+        print(f"-- {len(entries)} summaries", file=sys.stderr)
+        return 0
+    header = ("name", "kind", "input", "mergeable")
+    rows = [
+        (info.name, info.kind, info.input_kind,
+         "exact" if info.mergeable and info.exact_merge
+         else "approx" if info.mergeable else "no")
+        for info in entries
+    ]
+    widths = [max(len(str(r[i])) for r in [header, *rows]) for i in range(4)]
+    for row in [header, *rows]:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)).rstrip())
+    print(f"-- {len(rows)} summaries", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -153,6 +188,25 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--rate", type=float, default=5_000.0,
                         help="generated-trace rate (packets/second)")
     figure.set_defaults(handler=_cmd_figure)
+
+    summaries = commands.add_parser(
+        "summaries", help="inspect the summary registry"
+    )
+    summaries_commands = summaries.add_subparsers(
+        dest="summaries_command", required=True
+    )
+    summaries_list = summaries_commands.add_parser(
+        "list", help="list every registered summary"
+    )
+    summaries_list.add_argument(
+        "--kind", choices=["aggregate", "sketch", "sampler"], default=None,
+        help="only show one summary family",
+    )
+    summaries_list.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="show update signatures and constructor signatures",
+    )
+    summaries_list.set_defaults(handler=_cmd_summaries)
 
     return parser
 

@@ -11,7 +11,10 @@ This subpackage implements Sections II-IV and VI of the paper:
 * holistic decayed aggregates — heavy hitters, quantiles, count-distinct
   (:mod:`repro.core.heavy_hitters`, :mod:`repro.core.quantiles`,
   :mod:`repro.core.distinct`);
-* distributed merging (:mod:`repro.core.merge`).
+* distributed merging (:mod:`repro.core.merge`);
+* the :class:`~repro.core.protocol.StreamSummary` protocol and the
+  registry of every concrete summary (:mod:`repro.core.protocol`,
+  :mod:`repro.core.registry`).
 """
 
 from repro.core.clustering import Cluster, DecayedKMeans
@@ -69,7 +72,17 @@ from repro.core.landmark import (
     shift_exponential_weight,
 )
 from repro.core.merge import Mergeable, merge_all
+from repro.core.protocol import StreamSummary
 from repro.core.quantiles import DecayedQuantiles
+from repro.core.registry import (
+    SummaryInfo,
+    create_summary,
+    get_summary,
+    iter_summaries,
+    register_summary,
+    summary_name_of,
+    summary_names,
+)
 from repro.core.serde import dump_decay, dump_summary, load_decay, load_summary
 from repro.core.window import ClosedWindow, TumblingLandmarkWindows
 
@@ -122,6 +135,15 @@ __all__ = [
     # merging
     "Mergeable",
     "merge_all",
+    # summary protocol + registry
+    "StreamSummary",
+    "SummaryInfo",
+    "register_summary",
+    "get_summary",
+    "summary_name_of",
+    "summary_names",
+    "iter_summaries",
+    "create_summary",
     # landmark windows
     "TumblingLandmarkWindows",
     "ClosedWindow",

@@ -23,12 +23,14 @@ summary of the union.
 from __future__ import annotations
 
 import math
-from abc import ABC, abstractmethod
-from typing import Callable
+from abc import abstractmethod
+from typing import Callable, ClassVar
 
 from repro.core.decay import ForwardDecay
 from repro.core.errors import EmptySummaryError, MergeError, ParameterError
 from repro.core.landmark import OverflowGuard
+from repro.core.protocol import StreamSummary, decode_number, encode_number
+from repro.core.registry import register_summary
 from repro.core.weights import ForwardWeightEngine
 
 __all__ = [
@@ -40,10 +42,17 @@ __all__ = [
     "DecayedMin",
     "DecayedMax",
     "DecayedAlgebraic",
+    "NAMED_EXPRESSIONS",
 ]
 
 
-class DecayedAggregate(ABC):
+def _default_decay() -> ForwardDecay:
+    from repro.core.functions import PolynomialG
+
+    return ForwardDecay(PolynomialG(2.0))
+
+
+class DecayedAggregate(StreamSummary):
     """Base class handling weights, renormalization and merge checks.
 
     Subclasses hold state that is a linear combination of arrival weights
@@ -159,6 +168,40 @@ class DecayedAggregate(ABC):
         """
         return 8 * self._num_state_floats()
 
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    #: Names of the linear-state attributes captured by serialization.
+    _SERDE_FIELDS: ClassVar[tuple[str, ...]] = ()
+
+    def _state_payload(self) -> dict:
+        from repro.core.serde import dump_decay
+
+        return {
+            "decay": dump_decay(self._decay),
+            "internal_landmark": self._engine.internal_landmark,
+            "items": self._items,
+            "max_time": encode_number(self._max_time),
+            "state": {
+                name: encode_number(getattr(self, name))
+                for name in type(self)._SERDE_FIELDS
+            },
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "DecayedAggregate":
+        from repro.core.serde import load_decay
+
+        summary = cls(load_decay(payload["decay"]))
+        summary._restore_common(payload)
+        return summary
+
+    def _restore_common(self, payload: dict) -> None:
+        self._engine.restore_landmark(payload["internal_landmark"])
+        self._items = payload["items"]
+        self._max_time = decode_number(payload["max_time"])
+        for name, value in payload["state"].items():
+            setattr(self, name, decode_number(value))
+
     # -- weight machinery ------------------------------------------------------
 
     def _check_mergeable(self, other: "DecayedAggregate") -> None:
@@ -190,8 +233,16 @@ class DecayedAggregate(ABC):
         """Number of floats in the stored state (for space accounting)."""
 
 
+@register_summary(
+    "decayed_count",
+    kind="aggregate",
+    input_kind="time_value",
+    factory=lambda: DecayedCount(_default_decay()),
+)
 class DecayedCount(DecayedAggregate):
     """Decayed count ``C = sum_i g(t_i - L) / g(t - L)`` (Definition 5)."""
+
+    _SERDE_FIELDS = ("_weight_sum",)
 
     def __init__(self, decay: ForwardDecay, guard: OverflowGuard | None = None):
         super().__init__(decay, guard)
@@ -216,8 +267,16 @@ class DecayedCount(DecayedAggregate):
         return 1
 
 
+@register_summary(
+    "decayed_sum",
+    kind="aggregate",
+    input_kind="time_value",
+    factory=lambda: DecayedSum(_default_decay()),
+)
 class DecayedSum(DecayedAggregate):
     """Decayed sum ``S = sum_i g(t_i - L) v_i / g(t - L)`` (Definition 5)."""
+
+    _SERDE_FIELDS = ("_value_sum",)
 
     def __init__(self, decay: ForwardDecay, guard: OverflowGuard | None = None):
         super().__init__(decay, guard)
@@ -242,6 +301,12 @@ class DecayedSum(DecayedAggregate):
         return 1
 
 
+@register_summary(
+    "decayed_average",
+    kind="aggregate",
+    input_kind="time_value",
+    factory=lambda: DecayedAverage(_default_decay()),
+)
 class DecayedAverage(DecayedAggregate):
     """Decayed average ``A = S / C`` (Definition 5).
 
@@ -249,6 +314,8 @@ class DecayedAverage(DecayedAggregate):
     the ``g(t - L)`` normalizers cancel, leaving a weighted average of the
     input values tilted toward recent ones.
     """
+
+    _SERDE_FIELDS = ("_weight_sum", "_value_sum")
 
     def __init__(self, decay: ForwardDecay, guard: OverflowGuard | None = None):
         super().__init__(decay, guard)
@@ -278,6 +345,12 @@ class DecayedAverage(DecayedAggregate):
         return 2
 
 
+@register_summary(
+    "decayed_variance",
+    kind="aggregate",
+    input_kind="time_value",
+    factory=lambda: DecayedVariance(_default_decay()),
+)
 class DecayedVariance(DecayedAggregate):
     """Decayed variance ``V = (sum_i g_i v_i^2)/C' - A^2`` (Section IV-A).
 
@@ -285,6 +358,8 @@ class DecayedVariance(DecayedAggregate):
     variance of the value distribution under those probabilities.  Like the
     average, it is invariant to the query time.
     """
+
+    _SERDE_FIELDS = ("_weight_sum", "_value_sum", "_square_sum")
 
     def __init__(self, decay: ForwardDecay, guard: OverflowGuard | None = None):
         super().__init__(decay, guard)
@@ -322,6 +397,12 @@ class DecayedVariance(DecayedAggregate):
         return 3
 
 
+@register_summary(
+    "decayed_min",
+    kind="aggregate",
+    input_kind="time_value",
+    factory=lambda: DecayedMin(_default_decay()),
+)
 class DecayedMin(DecayedAggregate):
     """Decayed minimum ``MIN = min_i g(t_i - L) v_i / g(t - L)`` (Definition 6).
 
@@ -329,6 +410,8 @@ class DecayedMin(DecayedAggregate):
     constant-space computation — provably impossible for backward decay,
     where the sliding-window case forces remembering the window contents.
     """
+
+    _SERDE_FIELDS = ("_best",)
 
     def __init__(self, decay: ForwardDecay, guard: OverflowGuard | None = None):
         super().__init__(decay, guard)
@@ -360,8 +443,16 @@ class DecayedMin(DecayedAggregate):
         return 1
 
 
+@register_summary(
+    "decayed_max",
+    kind="aggregate",
+    input_kind="time_value",
+    factory=lambda: DecayedMax(_default_decay()),
+)
 class DecayedMax(DecayedAggregate):
     """Decayed maximum ``MAX = max_i g(t_i - L) v_i / g(t - L)`` (Definition 6)."""
+
+    _SERDE_FIELDS = ("_best",)
 
     def __init__(self, decay: ForwardDecay, guard: OverflowGuard | None = None):
         super().__init__(decay, guard)
@@ -393,6 +484,23 @@ class DecayedMax(DecayedAggregate):
         return 1
 
 
+#: Serializable expressions for :class:`DecayedAlgebraic`.  Constructing the
+#: aggregate with one of these names (instead of a raw callable) makes it
+#: checkpointable via the ``StreamSummary`` serde protocol.
+NAMED_EXPRESSIONS: dict[str, Callable[[float], float]] = {
+    "identity": lambda v: v,
+    "square": lambda v: v * v,
+    "cube": lambda v: v * v * v,
+    "abs": abs,
+}
+
+
+@register_summary(
+    "decayed_algebraic",
+    kind="aggregate",
+    input_kind="time_value",
+    factory=lambda: DecayedAlgebraic(_default_decay(), "square"),
+)
 class DecayedAlgebraic(DecayedAggregate):
     """Decayed summation of an arbitrary arithmetic expression (Theorem 1).
 
@@ -401,24 +509,39 @@ class DecayedAlgebraic(DecayedAggregate):
     ``g(t - L)`` at query time.  This realizes Theorem 1 of the paper: any
     constant-space summation remains constant-space under forward decay.
 
+    ``expression`` may be a raw callable or the name of an entry in
+    :data:`NAMED_EXPRESSIONS`; only named expressions survive ``to_bytes``.
+
     Example — the paper's quadratic-decayed sum of packet lengths::
 
         agg = DecayedAlgebraic(ForwardDecay(PolynomialG(2), L), lambda v: v)
 
     or the decayed sum of squares used by variance::
 
-        agg = DecayedAlgebraic(decay, lambda v: v * v)
+        agg = DecayedAlgebraic(decay, "square")
     """
+
+    _SERDE_FIELDS = ("_term_sum",)
 
     def __init__(
         self,
         decay: ForwardDecay,
-        expression: Callable[[float], float],
+        expression: Callable[[float], float] | str,
         guard: OverflowGuard | None = None,
     ):
         super().__init__(decay, guard)
-        if not callable(expression):
-            raise ParameterError("expression must be callable")
+        if isinstance(expression, str):
+            if expression not in NAMED_EXPRESSIONS:
+                raise ParameterError(
+                    f"unknown named expression {expression!r}; "
+                    f"known: {sorted(NAMED_EXPRESSIONS)}"
+                )
+            self._expression_name: str | None = expression
+            expression = NAMED_EXPRESSIONS[expression]
+        elif callable(expression):
+            self._expression_name = None
+        else:
+            raise ParameterError("expression must be callable or a known name")
         self._expression = expression
         self._term_sum = 0.0
 
@@ -443,3 +566,21 @@ class DecayedAlgebraic(DecayedAggregate):
 
     def _num_state_floats(self) -> int:
         return 1
+
+    def _state_payload(self) -> dict:
+        if self._expression_name is None:
+            raise ParameterError(
+                "DecayedAlgebraic with a raw callable cannot be serialized; "
+                "construct it with a NAMED_EXPRESSIONS name instead"
+            )
+        payload = super()._state_payload()
+        payload["expression"] = self._expression_name
+        return payload
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "DecayedAlgebraic":
+        from repro.core.serde import load_decay
+
+        summary = cls(load_decay(payload["decay"]), payload["expression"])
+        summary._restore_common(payload)
+        return summary

@@ -32,9 +32,23 @@ from typing import Hashable
 from repro.core.decay import ForwardDecay
 from repro.core.errors import EmptySummaryError, MergeError, ParameterError
 from repro.core.functions import ExponentialG
+from repro.core.protocol import (
+    StreamSummary,
+    decode_number,
+    encode_number,
+    tag_key,
+    untag_key,
+)
+from repro.core.registry import register_summary
 from repro.sketches.dominance import DominanceNormEstimator
 
 __all__ = ["ExactDecayedDistinct", "DecayedDistinctCount"]
+
+
+def _default_decay() -> ForwardDecay:
+    from repro.core.functions import PolynomialG
+
+    return ForwardDecay(PolynomialG(2.0))
 
 
 def _log_static_weight(decay: ForwardDecay, timestamp: float) -> float:
@@ -56,7 +70,13 @@ def _log_normalizer(decay: ForwardDecay, query_time: float) -> float:
     return math.log(decay.normalizer(query_time))
 
 
-class ExactDecayedDistinct:
+@register_summary(
+    "exact_decayed_distinct",
+    kind="aggregate",
+    input_kind="item_time",
+    factory=lambda: ExactDecayedDistinct(_default_decay()),
+)
+class ExactDecayedDistinct(StreamSummary):
     """Exact decayed distinct count: per-item maximum static weight.
 
     Space is linear in the number of distinct items — the baseline/oracle
@@ -118,8 +138,38 @@ class ExactDecayedDistinct:
         """Approximate footprint: one float (plus key slot) per distinct item."""
         return len(self._log_max) * 16
 
+    # -- serde (StreamSummary protocol) ---------------------------------------
 
-class DecayedDistinctCount:
+    def _state_payload(self) -> dict:
+        from repro.core.serde import dump_decay
+
+        return {
+            "decay": dump_decay(self._decay),
+            "items": self._items,
+            "max_time": encode_number(self._max_time),
+            "log_max": [[tag_key(k), v] for k, v in self._log_max.items()],
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "ExactDecayedDistinct":
+        from repro.core.serde import load_decay
+
+        summary = cls(load_decay(payload["decay"]))
+        summary._items = payload["items"]
+        summary._max_time = decode_number(payload["max_time"])
+        summary._log_max = {
+            untag_key(tag): value for tag, value in payload["log_max"]
+        }
+        return summary
+
+
+@register_summary(
+    "decayed_distinct_count",
+    kind="aggregate",
+    input_kind="item_time",
+    factory=lambda: DecayedDistinctCount(_default_decay(), epsilon=0.2, seed=7),
+)
+class DecayedDistinctCount(StreamSummary):
     """Sketched decayed count-distinct (Theorem 4).
 
     Approximates ``D`` within relative error ``(1 +- eps)`` (with high
@@ -129,6 +179,7 @@ class DecayedDistinctCount:
 
     def __init__(self, decay: ForwardDecay, epsilon: float = 0.1, seed: int = 0):
         self._decay = decay
+        self._seed = seed
         self._estimator = DominanceNormEstimator(epsilon=epsilon, seed=seed)
         self._items = 0
         self._max_time = -math.inf
@@ -178,3 +229,33 @@ class DecayedDistinctCount:
     def state_size_bytes(self) -> int:
         """Approximate summary footprint."""
         return self._estimator.state_size_bytes()
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        from repro.core.serde import dump_decay
+
+        return {
+            "decay": dump_decay(self._decay),
+            "epsilon": self.epsilon,
+            "seed": self._seed,
+            "items": self._items,
+            "max_time": encode_number(self._max_time),
+            "estimator": self._estimator._state_payload(),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "DecayedDistinctCount":
+        from repro.core.serde import load_decay
+
+        summary = cls(
+            load_decay(payload["decay"]),
+            epsilon=payload["epsilon"],
+            seed=payload["seed"],
+        )
+        summary._items = payload["items"]
+        summary._max_time = decode_number(payload["max_time"])
+        summary._estimator = DominanceNormEstimator._from_payload(
+            payload["estimator"]
+        )
+        return summary

@@ -12,15 +12,23 @@ bounds of Theorem 2.
 
 from __future__ import annotations
 
-from typing import Hashable, NamedTuple
+from typing import Hashable, NamedTuple, Sequence
 
 from repro.core.decay import ForwardDecay
 from repro.core.errors import EmptySummaryError, MergeError, ParameterError
 from repro.core.landmark import OverflowGuard
+from repro.core.protocol import StreamSummary, decode_number, encode_number
+from repro.core.registry import register_summary
 from repro.core.weights import ForwardWeightEngine
 from repro.sketches.spacesaving import WeightedSpaceSaving
 
 __all__ = ["DecayedHeavyHitters", "HeavyHitter"]
+
+
+def _default_decay() -> ForwardDecay:
+    from repro.core.functions import PolynomialG
+
+    return ForwardDecay(PolynomialG(2.0))
 
 
 class HeavyHitter(NamedTuple):
@@ -33,7 +41,13 @@ class HeavyHitter(NamedTuple):
     """Maximum overestimation of ``decayed_count`` (same scaling)."""
 
 
-class DecayedHeavyHitters:
+@register_summary(
+    "decayed_heavy_hitters",
+    kind="aggregate",
+    input_kind="item_time",
+    factory=lambda: DecayedHeavyHitters(_default_decay(), epsilon=0.05),
+)
+class DecayedHeavyHitters(StreamSummary):
     """Streaming ``phi``-heavy hitters under any forward decay function.
 
     Parameters
@@ -60,7 +74,10 @@ class DecayedHeavyHitters:
             raise ParameterError(f"epsilon must be in (0, 1), got {epsilon!r}")
         self.epsilon = epsilon
         self._sketch = WeightedSpaceSaving.from_epsilon(epsilon)
-        self._engine = ForwardWeightEngine(decay, self._sketch.scale, guard)
+        # Late-bound so a serde restore may swap in a rebuilt sketch.
+        self._engine = ForwardWeightEngine(
+            decay, lambda factor: self._sketch.scale(factor), guard
+        )
         self._items = 0
         self._max_time = float("-inf")
 
@@ -88,6 +105,29 @@ class DecayedHeavyHitters:
         self._items += 1
         if timestamp > self._max_time:
             self._max_time = timestamp
+
+    def update_many(self, items: Sequence, timestamps: Sequence | None = None) -> None:
+        """Batch ingest: arrival weights are computed vectorized, then the
+        SpaceSaving folds run per item (they are inherently sequential)."""
+        import numpy as np
+
+        if timestamps is None:
+            raise ParameterError("heavy hitters need (items, timestamps) columns")
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if len(items) != ts.size:
+            raise ParameterError(
+                f"column lengths differ: {len(items)} != {ts.size}"
+            )
+        if ts.size == 0:
+            return
+        weights = self._engine.arrival_weights(ts)
+        sketch_update = self._sketch.update
+        for item, weight in zip(items, weights.tolist()):
+            sketch_update(item, weight)
+        self._items += int(ts.size)
+        batch_max = float(ts.max())
+        if batch_max > self._max_time:
+            self._max_time = batch_max
 
     def decayed_total(self, query_time: float | None = None) -> float:
         """The total decayed count ``C`` at ``query_time`` (Definition 5)."""
@@ -150,6 +190,37 @@ class DecayedHeavyHitters:
         if other._max_time > self._max_time:
             self._max_time = other._max_time
 
+    def query(
+        self, phi: float = 0.05, query_time: float | None = None
+    ) -> list[HeavyHitter]:
+        """Primary answer (StreamSummary protocol): the ``phi``-heavy hitters."""
+        return self.heavy_hitters(phi, query_time)
+
     def state_size_bytes(self) -> int:
         """Approximate summary footprint (Figure 4(c)/(d) accounting)."""
         return self._sketch.state_size_bytes()
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        from repro.core.serde import dump_decay
+
+        return {
+            "decay": dump_decay(self.decay),
+            "internal_landmark": self._engine.internal_landmark,
+            "epsilon": self.epsilon,
+            "items": self._items,
+            "max_time": encode_number(self._max_time),
+            "sketch": self._sketch._state_payload(),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "DecayedHeavyHitters":
+        from repro.core.serde import load_decay
+
+        summary = cls(load_decay(payload["decay"]), epsilon=payload["epsilon"])
+        summary._engine.restore_landmark(payload["internal_landmark"])
+        summary._items = payload["items"]
+        summary._max_time = decode_number(payload["max_time"])
+        summary._sketch = WeightedSpaceSaving._from_payload(payload["sketch"])
+        return summary

@@ -1,0 +1,271 @@
+"""The ``StreamSummary`` protocol: one interface for every decayed summary.
+
+The paper's central decomposition (Theorem 1, Section IV) makes *every*
+forward-decayed aggregate the same kind of object: static-weighted state
+plus one query-time normalization, mergeable across substreams
+(Section VI-B).  This module captures that observation as an abstract base
+class shared by all three summary families in the library:
+
+* the constant-space decayed aggregates (:mod:`repro.core.aggregates`) and
+  the holistic decayed front-ends (heavy hitters, quantiles, distinct);
+* the weighted sketches (:mod:`repro.sketches`);
+* the decayed samplers (:mod:`repro.sampling`).
+
+The contract:
+
+``update(*args)``
+    Fold one stream item.  The arity and meaning of the positional
+    arguments is family-specific (``(timestamp, value)`` for aggregates,
+    ``(item, weight)`` for weighted sketches, ``(item, timestamp)`` for
+    decayed holistic summaries and samplers, a single argument for unary
+    structures); the registry records each class's ``input_kind`` so
+    generic drivers can build argument tuples.
+
+``update_many(first, second=None)``
+    Batch ingest of one or two equal-length columns.  The base-class
+    default is a plain loop over :meth:`update` — semantically identical,
+    so sketches and samplers accept batches with no extra code — while
+    subclasses with closed-form reductions (the linear aggregates, the
+    weight-engine front-ends) override it with vectorized paths.
+
+``merge(other)``
+    Absorb a summary built over a disjoint substream (Section VI-B).  The
+    base-class default raises :class:`~repro.core.errors.MergeError`, and
+    every incompatibility (wrong type, mismatched decay function or
+    parameters) must raise ``MergeError`` too — never a bare ``ValueError``
+    or an assert.
+
+``query(*args)``
+    The summary's primary answer (decayed count, quantile, heavy-hitter
+    list, current sample, ...).
+
+``to_bytes()`` / ``from_bytes(data)``
+    Uniform binary serde: one leading version byte (per summary type,
+    ``SERDE_VERSION``) followed by a UTF-8 JSON body naming the summary's
+    registered type and its state payload.  Subclasses implement the
+    payload hooks ``_state_payload`` / ``_from_payload``; randomized
+    summaries capture their RNG state so a restored sampler continues the
+    exact random sequence of the original.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from abc import ABC
+from typing import Any, ClassVar, Sequence
+
+from repro.core.errors import MergeError, ParameterError
+
+__all__ = [
+    "StreamSummary",
+    "encode_number",
+    "decode_number",
+    "tag_key",
+    "untag_key",
+]
+
+
+# -- JSON helpers shared by every summary's payload --------------------------------
+
+
+def encode_number(value: float) -> object:
+    """JSON has no inf/nan literals; encode them as tagged strings."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return {"__float__": repr(value)}
+    return value
+
+
+def decode_number(value: object) -> float:
+    """Inverse of :func:`encode_number`."""
+    if isinstance(value, dict) and "__float__" in value:
+        return float(value["__float__"])
+    return value  # type: ignore[return-value]
+
+
+def tag_key(key: Any) -> list:
+    """Encode a hashable stream item, preserving its Python type.
+
+    JSON collapses ints/floats/strings used as dict keys; the tag keeps
+    enough type information to reconstruct the original item exactly for
+    the common hashable kinds (int, float, str, bool, None, flat tuples).
+    """
+    if isinstance(key, bool) or key is None:
+        return ["literal", key]
+    if isinstance(key, int):
+        return ["int", key]
+    if isinstance(key, float):
+        return ["float", encode_number(key)]
+    if isinstance(key, str):
+        return ["str", key]
+    if isinstance(key, tuple):
+        return ["tuple", [tag_key(part) for part in key]]
+    raise ParameterError(
+        f"cannot serialize stream item of type {type(key).__name__!r}; "
+        "supported item types: int, float, str, bool, None, tuple"
+    )
+
+
+def untag_key(tag: Sequence) -> Any:
+    """Inverse of :func:`tag_key`."""
+    kind, value = tag
+    if kind == "literal":
+        return value
+    if kind == "int":
+        return int(value)
+    if kind == "float":
+        return float(decode_number(value))
+    if kind == "str":
+        return value
+    if kind == "tuple":
+        return tuple(untag_key(part) for part in value)
+    raise ParameterError(f"unknown key tag {kind!r}")
+
+
+def dump_rng_state(rng) -> list:
+    """``random.Random`` (or its ``getstate()`` tuple) → JSON-encodable list."""
+    state = rng.getstate() if hasattr(rng, "getstate") else rng
+    version, internal, gauss_next = state
+    return [version, list(internal), encode_number(gauss_next) if gauss_next is not None else None]
+
+
+def load_rng_state(data: Sequence) -> tuple:
+    """Inverse of :func:`dump_rng_state`, for ``random.Random.setstate``."""
+    version, internal, gauss_next = data
+    return (
+        version,
+        tuple(internal),
+        decode_number(gauss_next) if gauss_next is not None else None,
+    )
+
+
+# -- the protocol ------------------------------------------------------------------
+
+
+class StreamSummary(ABC):
+    """Abstract base for every decayed summary, sketch, and sampler.
+
+    See the module docstring for the contract.  Concrete classes are
+    registered under a stable name in :mod:`repro.core.registry`, which is
+    what :meth:`to_bytes`/:meth:`from_bytes` use to dispatch.
+    """
+
+    #: Bumped independently per summary type whenever its payload layout
+    #: changes; written as the first byte of :meth:`to_bytes`.
+    SERDE_VERSION: ClassVar[int] = 1
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def update(self, *args: Any) -> None:
+        """Fold one stream item (family-specific argument meaning)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement update()"
+        )
+
+    def update_many(self, first: Sequence, second: Sequence | None = None) -> None:
+        """Batch ingest: fold one or two equal-length columns of arguments.
+
+        Default implementation is a loop over :meth:`update` — exactly
+        equivalent semantics (including RNG consumption order for
+        randomized summaries).  Subclasses with closed-form or vectorized
+        batch paths override this.
+        """
+        if second is None:
+            for x in first:
+                self.update(x)
+            return
+        if len(first) != len(second):
+            raise ParameterError(
+                f"column lengths differ: {len(first)} != {len(second)}"
+            )
+        for x, y in zip(first, second):
+            self.update(x, y)
+
+    # -- querying ----------------------------------------------------------------
+
+    def query(self, *args: Any, **kwargs: Any):
+        """Return the summary's primary answer."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement query()"
+        )
+
+    # -- merging -----------------------------------------------------------------
+
+    def merge(self, other: "StreamSummary") -> None:
+        """Absorb ``other`` (a summary of a disjoint substream) into self.
+
+        Summaries without a merge rule inherit this default, so *every*
+        merge failure in the library — unsupported operation or
+        incompatible operands — surfaces as ``MergeError``.
+        """
+        raise MergeError(
+            f"{type(self).__name__} does not support merging"
+        )
+
+    def _require_same_type(self, other: "StreamSummary") -> None:
+        if type(other) is not type(self):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+
+    # -- accounting --------------------------------------------------------------
+
+    def state_size_bytes(self) -> int:
+        """Approximate in-memory footprint of the summary state."""
+        return 0
+
+    # -- serde -------------------------------------------------------------------
+
+    def _state_payload(self) -> dict:
+        """Return a JSON-compatible dict capturing the full summary state."""
+        raise ParameterError(
+            f"{type(self).__name__} does not support serialization"
+        )
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "StreamSummary":
+        """Rebuild a summary from :meth:`_state_payload` output."""
+        raise ParameterError(
+            f"{cls.__name__} does not support serialization"
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize: ``bytes([SERDE_VERSION]) + json({"type", "payload"})``."""
+        from repro.core.registry import summary_name_of
+
+        body = {
+            "type": summary_name_of(type(self)),
+            "payload": self._state_payload(),
+        }
+        encoded = json.dumps(body, separators=(",", ":"), allow_nan=False)
+        return bytes([type(self).SERDE_VERSION]) + encoded.encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes | bytearray) -> "StreamSummary":
+        """Restore any registered summary from :meth:`to_bytes` output.
+
+        Callable on the base class (dispatches on the embedded type name)
+        or on a concrete class (additionally checks the payload matches).
+        """
+        from repro.core.registry import get_summary
+
+        if not data:
+            raise ParameterError("cannot deserialize an empty buffer")
+        version = data[0]
+        try:
+            body = json.loads(bytes(data[1:]).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ParameterError(f"malformed summary buffer: {exc}") from exc
+        if not isinstance(body, dict) or "type" not in body or "payload" not in body:
+            raise ParameterError("summary buffer missing type/payload")
+        target = get_summary(body["type"]).cls
+        if not issubclass(target, cls):
+            raise ParameterError(
+                f"buffer holds a {target.__name__}, not a {cls.__name__}"
+            )
+        if version != target.SERDE_VERSION:
+            raise ParameterError(
+                f"unsupported {target.__name__} serde version {version} "
+                f"(expected {target.SERDE_VERSION})"
+            )
+        return target._from_payload(body["payload"])

@@ -14,11 +14,13 @@ integer domain of size ``U``.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.core.decay import ForwardDecay
 from repro.core.errors import EmptySummaryError, MergeError, ParameterError
 from repro.core.landmark import OverflowGuard
+from repro.core.protocol import StreamSummary, decode_number, encode_number
+from repro.core.registry import register_summary
 from repro.core.weights import ForwardWeightEngine
 from repro.sketches.gk import GKSummary
 from repro.sketches.qdigest import QDigest
@@ -26,7 +28,19 @@ from repro.sketches.qdigest import QDigest
 __all__ = ["DecayedQuantiles"]
 
 
-class DecayedQuantiles:
+def _default_decay() -> ForwardDecay:
+    from repro.core.functions import PolynomialG
+
+    return ForwardDecay(PolynomialG(2.0))
+
+
+@register_summary(
+    "decayed_quantiles",
+    kind="aggregate",
+    input_kind="value_time",
+    factory=lambda: DecayedQuantiles(_default_decay(), epsilon=0.01, universe_bits=10),
+)
+class DecayedQuantiles(StreamSummary):
     """Streaming ``phi``-quantiles under any forward decay function.
 
     Parameters
@@ -65,7 +79,10 @@ class DecayedQuantiles:
             self._digest = QDigest.from_epsilon(epsilon, universe_bits)
         else:
             self._digest = GKSummary(min(epsilon, 0.49))
-        self._engine = ForwardWeightEngine(decay, self._digest.scale, guard)
+        # Late-bound so a serde restore may swap in a rebuilt digest.
+        self._engine = ForwardWeightEngine(
+            decay, lambda factor: self._digest.scale(factor), guard
+        )
         self._items = 0
         self._max_time = float("-inf")
 
@@ -95,6 +112,29 @@ class DecayedQuantiles:
         self._items += 1
         if timestamp > self._max_time:
             self._max_time = timestamp
+
+    def update_many(self, values: Sequence, timestamps: Sequence | None = None) -> None:
+        """Batch ingest: arrival weights are computed vectorized, then the
+        digest folds run per item (they are inherently sequential)."""
+        import numpy as np
+
+        if timestamps is None:
+            raise ParameterError("quantiles need (values, timestamps) columns")
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if len(values) != ts.size:
+            raise ParameterError(
+                f"column lengths differ: {len(values)} != {ts.size}"
+            )
+        if ts.size == 0:
+            return
+        weights = self._engine.arrival_weights(ts)
+        digest_update = self._digest.update
+        for value, weight in zip(values, weights.tolist()):
+            digest_update(value, weight)
+        self._items += int(ts.size)
+        batch_max = float(ts.max())
+        if batch_max > self._max_time:
+            self._max_time = batch_max
 
     def decayed_total(self, query_time: float | None = None) -> float:
         """The total decayed count ``C`` at ``query_time``."""
@@ -151,6 +191,45 @@ class DecayedQuantiles:
         if other._max_time > self._max_time:
             self._max_time = other._max_time
 
+    def query(self, phi: float = 0.5) -> int:
+        """Primary answer (StreamSummary protocol): the ``phi``-quantile."""
+        if self._items == 0:
+            raise EmptySummaryError("quantile summary has seen no items")
+        return self.quantile(phi)
+
     def state_size_bytes(self) -> int:
         """Approximate summary footprint."""
         return self._digest.state_size_bytes()
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        from repro.core.serde import dump_decay
+
+        return {
+            "decay": dump_decay(self.decay),
+            "internal_landmark": self._engine.internal_landmark,
+            "epsilon": self.epsilon,
+            "backend": self.backend,
+            "universe_bits": self.universe_bits,
+            "items": self._items,
+            "max_time": encode_number(self._max_time),
+            "digest": self._digest._state_payload(),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "DecayedQuantiles":
+        from repro.core.serde import load_decay
+
+        summary = cls(
+            load_decay(payload["decay"]),
+            epsilon=payload["epsilon"],
+            universe_bits=payload["universe_bits"] or 16,
+            backend=payload["backend"],
+        )
+        summary._engine.restore_landmark(payload["internal_landmark"])
+        summary._items = payload["items"]
+        summary._max_time = decode_number(payload["max_time"])
+        backend_cls = QDigest if payload["backend"] == "qdigest" else GKSummary
+        summary._digest = backend_cls._from_payload(payload["digest"])
+        return summary

@@ -1,0 +1,206 @@
+"""Registry of every concrete :class:`~repro.core.protocol.StreamSummary`.
+
+Each summary class in the library registers itself under a **stable name**
+(a snake_case identifier that survives refactors — it is what
+``to_bytes``/``from_bytes`` embed in serialized buffers) together with the
+metadata generic drivers need:
+
+* ``kind`` — which family the summary belongs to (``aggregate`` for the
+  core constant-space and holistic decayed aggregates, ``sketch``,
+  ``sampler``);
+* ``input_kind`` — the meaning/arity of ``update``'s positional arguments,
+  so registry-driven code (map-reduce, conformance tests, benchmarks) can
+  build argument columns without per-class special cases;
+* ``mergeable`` / ``exact_merge`` — whether ``merge`` is supported at all,
+  and whether merging disjoint substreams reproduces the whole-stream
+  summary exactly (within float arithmetic) or only approximately (e.g.
+  GK's lossy merge);
+* ``ordered`` — whether ``update`` requires non-decreasing timestamps
+  (the backward-decay baselines: exponential histograms, waves);
+* ``factory`` — a zero-argument constructor producing a ready-to-use
+  instance with representative default parameters, used by the CLI, the
+  conformance tests, and generic benchmarks;
+* ``signature`` — the constructor signature, recorded for documentation
+  and the ``repro summaries list`` CLI.
+
+Registration happens at class-definition time via the
+:func:`register_summary` decorator in each defining module;
+:func:`load_all` imports every summary module so enumeration is complete.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import ParameterError
+from repro.core.protocol import StreamSummary
+
+__all__ = [
+    "SummaryInfo",
+    "register_summary",
+    "get_summary",
+    "summary_name_of",
+    "summary_names",
+    "iter_summaries",
+    "create_summary",
+    "load_all",
+    "INPUT_KINDS",
+]
+
+#: ``input_kind`` → human description of ``update``'s positional arguments.
+INPUT_KINDS: dict[str, str] = {
+    "time_value": "update(timestamp, value=1.0)",
+    "item_time": "update(item, timestamp)",
+    "value_time": "update(value, timestamp)",
+    "item_weight": "update(item, weight=1.0)",
+    "value_weight": "update(value, weight=1.0)",
+    "item": "update(item)",
+    "time": "update(timestamp), non-decreasing timestamps",
+    "time_value_ordered": "update(timestamp, value), non-decreasing timestamps",
+    "item_logweight": "update(item, log_weight)",
+}
+
+_SUMMARY_MODULES = (
+    "repro.core.aggregates",
+    "repro.core.heavy_hitters",
+    "repro.core.quantiles",
+    "repro.core.distinct",
+    "repro.sketches.spacesaving",
+    "repro.sketches.qdigest",
+    "repro.sketches.gk",
+    "repro.sketches.countmin",
+    "repro.sketches.kmv",
+    "repro.sketches.dominance",
+    "repro.sketches.exponential_histogram",
+    "repro.sketches.waves",
+    "repro.sketches.swhh",
+    "repro.sampling.reservoir",
+    "repro.sampling.with_replacement",
+    "repro.sampling.weighted_reservoir",
+    "repro.sampling.priority",
+    "repro.sampling.aggarwal",
+)
+
+
+@dataclass(frozen=True)
+class SummaryInfo:
+    """Registry entry describing one concrete summary class."""
+
+    name: str
+    cls: type[StreamSummary]
+    kind: str
+    input_kind: str
+    factory: Callable[[], StreamSummary]
+    mergeable: bool = True
+    exact_merge: bool = True
+    ordered: bool = False
+    signature: str = field(default="", compare=False)
+
+
+_REGISTRY: dict[str, SummaryInfo] = {}
+_BY_CLASS: dict[type, str] = {}
+_LOADED = False
+
+
+def register_summary(
+    name: str,
+    *,
+    kind: str,
+    input_kind: str,
+    factory: Callable[[], StreamSummary],
+    mergeable: bool = True,
+    exact_merge: bool = True,
+    ordered: bool = False,
+):
+    """Class decorator registering a summary under a stable ``name``."""
+    if kind not in ("aggregate", "sketch", "sampler"):
+        raise ParameterError(f"unknown summary kind {kind!r}")
+    if input_kind not in INPUT_KINDS:
+        raise ParameterError(f"unknown input_kind {input_kind!r}")
+
+    def _decorate(cls: type) -> type:
+        if not issubclass(cls, StreamSummary):
+            raise ParameterError(
+                f"{cls.__name__} must subclass StreamSummary to register"
+            )
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing.cls is not cls:
+            raise ParameterError(f"summary name {name!r} already registered")
+        try:
+            signature = f"{cls.__name__}{inspect.signature(cls)}"
+        except (TypeError, ValueError):  # pragma: no cover - builtins only
+            signature = cls.__name__
+        _REGISTRY[name] = SummaryInfo(
+            name=name,
+            cls=cls,
+            kind=kind,
+            input_kind=input_kind,
+            factory=factory,
+            mergeable=mergeable,
+            exact_merge=exact_merge,
+            ordered=ordered,
+            signature=signature,
+        )
+        _BY_CLASS[cls] = name
+        return cls
+
+    return _decorate
+
+
+def load_all() -> None:
+    """Import every summary module so the registry is fully populated."""
+    global _LOADED
+    if _LOADED:
+        return
+    for module in _SUMMARY_MODULES:
+        importlib.import_module(module)
+    _LOADED = True
+
+
+def get_summary(name: str) -> SummaryInfo:
+    """Look up a registry entry by stable name (case-sensitive)."""
+    load_all()
+    info = _REGISTRY.get(name)
+    if info is None:
+        raise ParameterError(
+            f"unknown summary {name!r}; registered: {', '.join(summary_names())}"
+        )
+    return info
+
+
+def summary_name_of(cls: type) -> str:
+    """Return the stable registered name of a summary class."""
+    name = _BY_CLASS.get(cls)
+    if name is None:
+        load_all()
+        name = _BY_CLASS.get(cls)
+    if name is None:
+        raise ParameterError(f"{cls.__name__} is not a registered summary")
+    return name
+
+
+def summary_names() -> list[str]:
+    """All registered stable names, sorted."""
+    load_all()
+    return sorted(_REGISTRY)
+
+
+def iter_summaries() -> list[SummaryInfo]:
+    """All registry entries, sorted by (kind, name)."""
+    load_all()
+    return sorted(_REGISTRY.values(), key=lambda info: (info.kind, info.name))
+
+
+def create_summary(name: str, **kwargs) -> StreamSummary:
+    """Instantiate a registered summary by name.
+
+    With no ``kwargs`` the entry's default factory is used; otherwise the
+    class constructor is called with the given keyword arguments.
+    """
+    info = get_summary(name)
+    if not kwargs:
+        return info.factory()
+    return info.cls(**kwargs)

@@ -3,39 +3,24 @@
 Streaming deployments need crash recovery and state migration: a summary
 checkpointed to a JSON-compatible dict must restore to an object that
 answers every query identically and keeps accepting updates.  This module
-provides that for the library's deterministic summaries:
+provides that for **every summary in the registry** — aggregates, sketches,
+and samplers alike (samplers capture their RNG state, so a restored sampler
+continues the exact random sequence).
 
-* the linear aggregates (count, sum, average, variance, min, max);
-* decayed heavy hitters (SpaceSaving state);
-* decayed quantiles (q-digest backend);
-* exact decayed distinct counts.
-
-Randomized summaries (samplers) are deliberately excluded: faithfully
-checkpointing them requires RNG-state capture, which is Python-version
-dependent; a deployment should snapshot their *samples* instead.
-
-``dump_summary`` produces ``{"type": ..., "version": 1, "payload": ...}``
-with only JSON-native values (dict keys are stringified where needed), and
-``load_summary`` inverts it.  Decay functions round-trip through their
-dataclass fields, so any ``g`` shipped with the library is supported.
+``dump_summary`` produces ``{"type": ..., "name": ..., "version": 1,
+"payload": ...}`` with only JSON-native values; ``load_summary`` inverts
+it, dispatching on the registry name (or the class name for checkpoints
+written before names existed).  The payload itself is produced by each
+class's :meth:`StreamSummary._state_payload` hook — the same representation
+behind :meth:`StreamSummary.to_bytes`.  Decay functions round-trip through
+their dataclass fields, so any ``g`` shipped with the library is supported.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import math
-from typing import Callable
 
-from repro.core.aggregates import (
-    DecayedAverage,
-    DecayedCount,
-    DecayedMax,
-    DecayedMin,
-    DecayedSum,
-    DecayedVariance,
-)
 from repro.core.decay import ForwardDecay
-from repro.core.distinct import ExactDecayedDistinct
 from repro.core.errors import ParameterError
 from repro.core.functions import (
     ExponentialG,
@@ -45,9 +30,6 @@ from repro.core.functions import (
     NoDecayG,
     PolynomialG,
 )
-from repro.core.heavy_hitters import DecayedHeavyHitters
-from repro.core.quantiles import DecayedQuantiles
-from repro.sketches.qdigest import QDigest
 
 __all__ = ["dump_summary", "load_summary", "dump_decay", "load_decay"]
 
@@ -64,19 +46,6 @@ _G_CLASSES = {
         LogarithmicG,
     )
 }
-
-
-def _encode_number(value: float) -> object:
-    """JSON has no inf/nan literals; encode them as tagged strings."""
-    if isinstance(value, float) and not math.isfinite(value):
-        return {"__float__": repr(value)}
-    return value
-
-
-def _decode_number(value: object) -> float:
-    if isinstance(value, dict) and "__float__" in value:
-        return float(value["__float__"])
-    return value  # type: ignore[return-value]
 
 
 def dump_decay(decay: ForwardDecay) -> dict:
@@ -105,189 +74,49 @@ def load_decay(data: dict) -> ForwardDecay:
     return ForwardDecay(cls(**params), landmark=data["landmark"])
 
 
-# -- linear aggregates -----------------------------------------------------------
-
-_AGGREGATE_FIELDS: dict[type, tuple[str, ...]] = {
-    DecayedCount: ("_weight_sum",),
-    DecayedSum: ("_value_sum",),
-    DecayedAverage: ("_weight_sum", "_value_sum"),
-    DecayedVariance: ("_weight_sum", "_value_sum", "_square_sum"),
-    DecayedMin: ("_best",),
-    DecayedMax: ("_best",),
-}
-
-
-def _dump_aggregate(summary) -> dict:
-    fields = _AGGREGATE_FIELDS[type(summary)]
-    return {
-        "decay": dump_decay(summary.decay),
-        "internal_landmark": summary._engine.internal_landmark,
-        "items": summary._items,
-        "max_time": _encode_number(summary._max_time),
-        "state": {name: _encode_number(getattr(summary, name)) for name in fields},
-    }
-
-
-def _load_aggregate(cls, payload: dict):
-    summary = cls(load_decay(payload["decay"]))
-    summary._engine.restore_landmark(payload["internal_landmark"])
-    summary._items = payload["items"]
-    summary._max_time = _decode_number(payload["max_time"])
-    for name, value in payload["state"].items():
-        setattr(summary, name, _decode_number(value))
-    return summary
-
-
-# -- heavy hitters ---------------------------------------------------------------
-
-
-def _dump_heavy_hitters(summary: DecayedHeavyHitters) -> dict:
-    sketch = summary._sketch
-    return {
-        "decay": dump_decay(summary.decay),
-        "internal_landmark": summary._engine.internal_landmark,
-        "epsilon": summary.epsilon,
-        "items": summary._items,
-        "max_time": _encode_number(summary._max_time),
-        "counts": [[repr(k), v] for k, v in sketch._counts.items()],
-        "errors": [[repr(k), v] for k, v in sketch._errors.items()],
-        "keys": {repr(k): _key_tag(k) for k in sketch._counts},
-        "total": sketch.total_weight,
-    }
-
-
-def _key_tag(key) -> list:
-    """Preserve int/str/float key types across the repr round-trip."""
-    return [type(key).__name__, key if isinstance(key, (int, float, str)) else repr(key)]
-
-
-def _untag_key(tag: list):
-    kind, value = tag
-    if kind == "int":
-        return int(value)
-    if kind == "float":
-        return float(value)
-    return value
-
-
-def _load_heavy_hitters(payload: dict) -> DecayedHeavyHitters:
-    summary = DecayedHeavyHitters(
-        load_decay(payload["decay"]), epsilon=payload["epsilon"]
-    )
-    summary._engine.restore_landmark(payload["internal_landmark"])
-    summary._items = payload["items"]
-    summary._max_time = _decode_number(payload["max_time"])
-    keys = {k: _untag_key(tag) for k, tag in payload["keys"].items()}
-    sketch = summary._sketch
-    sketch._counts = {keys[k]: v for k, v in payload["counts"]}
-    sketch._errors = {keys[k]: v for k, v in payload["errors"]}
-    sketch._total = payload["total"]
-    sketch._compact_heap()
-    return summary
-
-
-# -- quantiles (q-digest backend) -------------------------------------------------
-
-
-def _dump_quantiles(summary: DecayedQuantiles) -> dict:
-    digest = summary._digest
-    if not isinstance(digest, QDigest):
-        raise ParameterError(
-            "only the q-digest quantile backend supports checkpointing "
-            "(GK summaries are approximate under merge; re-buildable)"
-        )
-    return {
-        "decay": dump_decay(summary.decay),
-        "internal_landmark": summary._engine.internal_landmark,
-        "epsilon": summary.epsilon,
-        "universe_bits": digest.universe_bits,
-        "k": digest.k,
-        "items": summary._items,
-        "max_time": _encode_number(summary._max_time),
-        "nodes": [[str(node), count] for node, count in digest._counts.items()],
-        "total": digest.total_weight,
-    }
-
-
-def _load_quantiles(payload: dict) -> DecayedQuantiles:
-    summary = DecayedQuantiles(
-        load_decay(payload["decay"]),
-        epsilon=payload["epsilon"],
-        universe_bits=payload["universe_bits"],
-    )
-    summary._engine.restore_landmark(payload["internal_landmark"])
-    summary._items = payload["items"]
-    summary._max_time = _decode_number(payload["max_time"])
-    digest = summary._digest
-    assert isinstance(digest, QDigest)
-    digest.k = payload["k"]
-    digest._counts = {int(node): count for node, count in payload["nodes"]}
-    digest._total = payload["total"]
-    return summary
-
-
-# -- exact distinct ---------------------------------------------------------------
-
-
-def _dump_distinct(summary: ExactDecayedDistinct) -> dict:
-    return {
-        "decay": dump_decay(summary.decay),
-        "items": summary._items,
-        "max_time": _encode_number(summary._max_time),
-        "log_max": [[_key_tag(k), v] for k, v in summary._log_max.items()],
-    }
-
-
-def _load_distinct(payload: dict) -> ExactDecayedDistinct:
-    summary = ExactDecayedDistinct(load_decay(payload["decay"]))
-    summary._items = payload["items"]
-    summary._max_time = _decode_number(payload["max_time"])
-    summary._log_max = {
-        _untag_key(tag): value for tag, value in payload["log_max"]
-    }
-    return summary
-
-
-# -- dispatch ---------------------------------------------------------------------
-
-_DUMPERS: dict[type, Callable] = {
-    **{cls: _dump_aggregate for cls in _AGGREGATE_FIELDS},
-    DecayedHeavyHitters: _dump_heavy_hitters,
-    DecayedQuantiles: _dump_quantiles,
-    ExactDecayedDistinct: _dump_distinct,
-}
-
-_LOADERS: dict[str, Callable] = {
-    **{cls.__name__: (lambda payload, c=cls: _load_aggregate(c, payload))
-       for cls in _AGGREGATE_FIELDS},
-    "DecayedHeavyHitters": _load_heavy_hitters,
-    "DecayedQuantiles": _load_quantiles,
-    "ExactDecayedDistinct": _load_distinct,
-}
+# -- summary envelopes -------------------------------------------------------------
 
 
 def dump_summary(summary) -> dict:
-    """Serialize a supported summary to a JSON-compatible dict."""
-    dumper = _DUMPERS.get(type(summary))
-    if dumper is None:
-        raise ParameterError(
-            f"{type(summary).__name__} does not support checkpointing; "
-            f"supported: {sorted(cls.__name__ for cls in _DUMPERS)}"
-        )
+    """Serialize any registered summary to a JSON-compatible dict.
+
+    The envelope carries both the registry ``name`` (the stable identifier)
+    and the class name (for human inspection and pre-registry checkpoints);
+    the payload is the summary's own :meth:`StreamSummary._state_payload`.
+    """
+    from repro.core import registry
+
+    registry.load_all()
+    name = registry.summary_name_of(type(summary))
     return {
         "type": type(summary).__name__,
+        "name": name,
         "version": _VERSION,
-        "payload": dumper(summary),
+        "payload": summary._state_payload(),
     }
 
 
 def load_summary(data: dict):
-    """Restore a summary serialized by :func:`dump_summary`."""
+    """Restore a summary serialized by :func:`dump_summary`.
+
+    Dispatches on the registry ``name`` when present, falling back to the
+    class name for checkpoints written before names existed.
+    """
+    from repro.core import registry
+
+    registry.load_all()
     if data.get("version") != _VERSION:
         raise ParameterError(
             f"unsupported checkpoint version {data.get('version')!r}"
         )
-    loader = _LOADERS.get(data.get("type", ""))
-    if loader is None:
-        raise ParameterError(f"unknown checkpoint type {data.get('type')!r}")
-    return loader(data["payload"])
+    name = data.get("name")
+    if name is not None:
+        cls = registry.get_summary(name).cls
+    else:
+        by_class = {
+            info.cls.__name__: info.cls for info in registry.iter_summaries()
+        }
+        cls = by_class.get(data.get("type", ""))
+        if cls is None:
+            raise ParameterError(f"unknown checkpoint type {data.get('type')!r}")
+    return cls._from_payload(data["payload"])

@@ -9,7 +9,11 @@ outlook (MapReduce-style processing):
   map / combine / shuffle / reduce job.
 """
 
-from repro.distributed.mapreduce import MapReduceResult, decayed_map_reduce
+from repro.distributed.mapreduce import (
+    MapReduceResult,
+    decayed_map_reduce,
+    decayed_map_reduce_by_name,
+)
 from repro.distributed.simulation import (
     DistributedAggregation,
     hash_partitioner,
@@ -21,5 +25,6 @@ __all__ = [
     "hash_partitioner",
     "round_robin_partitioner",
     "decayed_map_reduce",
+    "decayed_map_reduce_by_name",
     "MapReduceResult",
 ]

@@ -25,9 +25,14 @@ from typing import Callable, Generic, Hashable, Iterable, Sequence, TypeVar
 
 from repro.core.errors import ParameterError
 from repro.core.merge import Mergeable
+from repro.core.protocol import StreamSummary
 from repro.sketches.kmv import hash_to_unit
 
-__all__ = ["MapReduceResult", "decayed_map_reduce"]
+__all__ = [
+    "MapReduceResult",
+    "decayed_map_reduce",
+    "decayed_map_reduce_by_name",
+]
 
 S = TypeVar("S", bound=Mergeable)
 Record = TypeVar("Record")
@@ -103,6 +108,67 @@ def decayed_map_reduce(
             update(summary, record)
         mapper_outputs.append(partials)
 
+    return _shuffle_reduce(mapper_outputs, reducers)
+
+
+def decayed_map_reduce_by_name(
+    name: str,
+    splits: Sequence[Iterable[tuple]],
+    key_of: Callable[[tuple], Hashable],
+    reducers: int = 4,
+    **params,
+) -> MapReduceResult:
+    """Registry-driven MapReduce: summaries come from the summary registry.
+
+    ``name`` is a stable name from :mod:`repro.core.registry` (e.g.
+    ``"decayed_sum"``, ``"weighted_spacesaving"``); ``params`` are passed
+    to the summary constructor (the entry's default factory is used when
+    empty).  Records must be argument tuples matching the summary's
+    registered ``input_kind`` — they are fed via
+    :meth:`~repro.core.protocol.StreamSummary.update_many`, one batch per
+    key per mapper, so mappers take the same batched path as the engine.
+    Only mergeable summaries can be reduced.
+    """
+    from repro.core import registry
+
+    info = registry.get_summary(name)
+    if not info.mergeable:
+        raise ParameterError(
+            f"summary {name!r} does not support merging and cannot be "
+            "used as a reduce aggregate"
+        )
+    if not splits:
+        raise ParameterError("need at least one input split")
+    if reducers < 1:
+        raise ParameterError(f"reducers must be >= 1, got {reducers!r}")
+
+    mapper_outputs: list[dict[Hashable, StreamSummary]] = []
+    for split in splits:
+        grouped: dict[Hashable, list[tuple]] = {}
+        for record in split:
+            grouped.setdefault(key_of(record), []).append(record)
+        partials: dict[Hashable, StreamSummary] = {}
+        for key, records in grouped.items():
+            summary = registry.create_summary(name, **params)
+            columns = list(zip(*records))
+            if len(columns) == 1:
+                summary.update_many(columns[0])
+            elif len(columns) == 2:
+                summary.update_many(columns[0], columns[1])
+            else:
+                raise ParameterError(
+                    f"records for {name!r} must have 1 or 2 fields, "
+                    f"got {len(columns)}"
+                )
+            partials[key] = summary
+        mapper_outputs.append(partials)
+
+    return _shuffle_reduce(mapper_outputs, reducers)
+
+
+def _shuffle_reduce(
+    mapper_outputs: list[dict[Hashable, S]], reducers: int
+) -> MapReduceResult[S]:
     # Shuffle: route each (key, partial) to its reducer.
     reducer_inputs: list[dict[Hashable, list[S]]] = [
         {} for __ in range(reducers)
@@ -121,4 +187,4 @@ def decayed_map_reduce(
                 first.merge(other)
             reduced[key] = first
 
-    return MapReduceResult(reduced, mappers=len(splits), reducers=reducers)
+    return MapReduceResult(reduced, mappers=len(mapper_outputs), reducers=reducers)

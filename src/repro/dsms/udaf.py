@@ -89,6 +89,17 @@ class Udaf(ABC):
     def update(self, state: object, args: tuple) -> None:
         """Fold one tuple's evaluated arguments into ``state``."""
 
+    def update_many(self, state: object, args_batch: list[tuple]) -> None:
+        """Fold a batch of evaluated argument tuples into ``state``.
+
+        Semantically identical to calling :meth:`update` per tuple, in
+        order.  The default loops; builtins override with closed forms so
+        the engine's batched path amortizes per-tuple dispatch.
+        """
+        update = self.update
+        for args in args_batch:
+            update(state, args)
+
     def merge(self, state: object, other: object) -> None:
         """Fold partial state ``other`` into ``state`` (mergeable only)."""
         raise MergeError(f"UDAF {self.name!r} does not support merging")
@@ -120,6 +131,9 @@ class CountUdaf(Udaf):
     def update(self, state: list, args: tuple) -> None:
         state[0] += 1
 
+    def update_many(self, state: list, args_batch: list[tuple]) -> None:
+        state[0] += len(args_batch)
+
     def merge(self, state: list, other: list) -> None:
         state[0] += other[0]
 
@@ -148,6 +162,14 @@ class SumUdaf(Udaf):
     def update(self, state: list, args: tuple) -> None:
         state[0] += args[0]
 
+    def update_many(self, state: list, args_batch: list[tuple]) -> None:
+        # Accumulate locally but in the same left-to-right order as the
+        # per-tuple loop, so the float result is bit-identical.
+        total = state[0]
+        for args in args_batch:
+            total += args[0]
+        state[0] = total
+
     def merge(self, state: list, other: list) -> None:
         state[0] += other[0]
 
@@ -169,6 +191,13 @@ class MinUdaf(Udaf):
         value = args[0]
         if state[0] is None or value < state[0]:
             state[0] = value
+
+    def update_many(self, state: list, args_batch: list[tuple]) -> None:
+        if not args_batch:
+            return
+        best = min(args[0] for args in args_batch)
+        if state[0] is None or best < state[0]:
+            state[0] = best
 
     def merge(self, state: list, other: list) -> None:
         if other[0] is not None and (state[0] is None or other[0] < state[0]):
@@ -193,6 +222,13 @@ class MaxUdaf(Udaf):
         if state[0] is None or value > state[0]:
             state[0] = value
 
+    def update_many(self, state: list, args_batch: list[tuple]) -> None:
+        if not args_batch:
+            return
+        best = max(args[0] for args in args_batch)
+        if state[0] is None or best > state[0]:
+            state[0] = best
+
     def merge(self, state: list, other: list) -> None:
         if other[0] is not None and (state[0] is None or other[0] > state[0]):
             state[0] = other[0]
@@ -214,6 +250,13 @@ class AvgUdaf(Udaf):
     def update(self, state: list, args: tuple) -> None:
         state[0] += args[0]
         state[1] += 1
+
+    def update_many(self, state: list, args_batch: list[tuple]) -> None:
+        total = state[0]
+        for args in args_batch:
+            total += args[0]
+        state[0] = total
+        state[1] += len(args_batch)
 
     def merge(self, state: list, other: list) -> None:
         state[0] += other[0]

@@ -25,13 +25,29 @@ import random
 from typing import Generic, TypeVar
 
 from repro.core.errors import EmptySummaryError, ParameterError
+from repro.core.protocol import (
+    StreamSummary,
+    dump_rng_state,
+    load_rng_state,
+    tag_key,
+    untag_key,
+)
+from repro.core.registry import register_summary
 
 __all__ = ["AggarwalBiasedReservoir"]
 
 T = TypeVar("T")
 
 
-class AggarwalBiasedReservoir(Generic[T]):
+@register_summary(
+    "aggarwal_reservoir",
+    kind="sampler",
+    input_kind="item",
+    factory=lambda: AggarwalBiasedReservoir(k=16, rng=random.Random(7)),
+    mergeable=False,
+    exact_merge=False,
+)
+class AggarwalBiasedReservoir(StreamSummary, Generic[T]):
     """Biased reservoir realizing backward-exponential inclusion bias.
 
     Parameters
@@ -79,6 +95,28 @@ class AggarwalBiasedReservoir(Generic[T]):
         """Current number of retained items."""
         return len(self._reservoir)
 
+    def query(self) -> list[T]:
+        """Primary answer (StreamSummary protocol): the current sample."""
+        return self.sample()
+
     def state_size_bytes(self) -> int:
         """Approximate footprint: one slot per retained item."""
         return len(self._reservoir) * 8
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "k": self.k,
+            "seen": self._seen,
+            "reservoir": [tag_key(item) for item in self._reservoir],
+            "rng": dump_rng_state(self._rng),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "AggarwalBiasedReservoir":
+        sampler = cls(payload["k"])
+        sampler._seen = payload["seen"]
+        sampler._reservoir = [untag_key(tag) for tag in payload["reservoir"]]
+        sampler._rng.setstate(load_rng_state(payload["rng"]))
+        return sampler

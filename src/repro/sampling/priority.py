@@ -27,6 +27,16 @@ from typing import Callable, Generic, Hashable, NamedTuple, TypeVar
 
 from repro.core.decay import ForwardDecay
 from repro.core.errors import EmptySummaryError, ParameterError
+from repro.core.protocol import (
+    StreamSummary,
+    decode_number,
+    dump_rng_state,
+    encode_number,
+    load_rng_state,
+    tag_key,
+    untag_key,
+)
+from repro.core.registry import register_summary
 from repro.sampling.weighted_reservoir import decayed_log_weight
 
 __all__ = ["PrioritySampler", "PrioritySample", "estimate_decayed_sum"]
@@ -43,7 +53,15 @@ class PrioritySample(NamedTuple):
     """``ln`` of the (k+1)-th priority; ``-inf`` while fewer than k+1 seen."""
 
 
-class PrioritySampler(Generic[T]):
+@register_summary(
+    "priority_sampler",
+    kind="sampler",
+    input_kind="item_weight",
+    factory=lambda: PrioritySampler(k=16, rng=random.Random(7)),
+    mergeable=False,
+    exact_merge=False,
+)
+class PrioritySampler(StreamSummary, Generic[T]):
     """Size-``k`` priority sample with unbiased subset-sum estimation.
 
     Items are offered with raw weights (:meth:`update`) or log-weights
@@ -134,9 +152,43 @@ class PrioritySampler(Generic[T]):
         """Current number of retained items."""
         return len(self._heap)
 
+    def query(self) -> PrioritySample:
+        """Primary answer (StreamSummary protocol): the current sample."""
+        return self.sample()
+
     def state_size_bytes(self) -> int:
         """Approximate footprint: priority + weight + slot per item."""
         return len(self._heap) * 24
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "k": self.k,
+            "seen": self._seen,
+            "tiebreak": self._tiebreak,
+            "log_tau": encode_number(self._log_tau),
+            "heap": [
+                [encode_number(log_priority), tiebreak, tag_key(item),
+                 encode_number(log_weight)]
+                for log_priority, tiebreak, item, log_weight in self._heap
+            ],
+            "rng": dump_rng_state(self._rng),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "PrioritySampler":
+        sampler = cls(payload["k"])
+        sampler._seen = payload["seen"]
+        sampler._tiebreak = payload["tiebreak"]
+        sampler._log_tau = decode_number(payload["log_tau"])
+        sampler._heap = [
+            (decode_number(log_priority), tiebreak, untag_key(item),
+             decode_number(log_weight))
+            for log_priority, tiebreak, item, log_weight in payload["heap"]
+        ]
+        sampler._rng.setstate(load_rng_state(payload["rng"]))
+        return sampler
 
 
 def estimate_decayed_sum(

@@ -16,13 +16,29 @@ import random
 from typing import Generic, Iterable, TypeVar
 
 from repro.core.errors import EmptySummaryError, ParameterError
+from repro.core.protocol import (
+    StreamSummary,
+    dump_rng_state,
+    load_rng_state,
+    tag_key,
+    untag_key,
+)
+from repro.core.registry import register_summary
 
 __all__ = ["ReservoirSampler", "SingleItemWithReplacementSampler"]
 
 T = TypeVar("T")
 
 
-class ReservoirSampler(Generic[T]):
+@register_summary(
+    "reservoir",
+    kind="sampler",
+    input_kind="item",
+    factory=lambda: ReservoirSampler(k=16, rng=random.Random(7)),
+    mergeable=False,
+    exact_merge=False,
+)
+class ReservoirSampler(StreamSummary, Generic[T]):
     """Uniform sample of ``k`` items without replacement (Algorithm R).
 
     Parameters
@@ -102,12 +118,45 @@ class ReservoirSampler(Generic[T]):
         """Current number of sampled items."""
         return len(self._reservoir)
 
+    def query(self) -> list[T]:
+        """Primary answer (StreamSummary protocol): the current sample."""
+        return self.sample()
+
     def state_size_bytes(self) -> int:
         """Approximate footprint: one slot per reservoir entry."""
         return len(self._reservoir) * 8
 
+    # -- serde (StreamSummary protocol) ---------------------------------------
 
-class SingleItemWithReplacementSampler(Generic[T]):
+    def _state_payload(self) -> dict:
+        return {
+            "k": self.k,
+            "use_skipping": self._use_skipping,
+            "seen": self._seen,
+            "skip": self._skip,
+            "reservoir": [tag_key(item) for item in self._reservoir],
+            "rng": dump_rng_state(self._rng),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "ReservoirSampler":
+        sampler = cls(payload["k"], use_skipping=payload["use_skipping"])
+        sampler._seen = payload["seen"]
+        sampler._skip = payload["skip"]
+        sampler._reservoir = [untag_key(tag) for tag in payload["reservoir"]]
+        sampler._rng.setstate(load_rng_state(payload["rng"]))
+        return sampler
+
+
+@register_summary(
+    "single_with_replacement",
+    kind="sampler",
+    input_kind="item",
+    factory=lambda: SingleItemWithReplacementSampler(rng=random.Random(7)),
+    mergeable=False,
+    exact_merge=False,
+)
+class SingleItemWithReplacementSampler(StreamSummary, Generic[T]):
     """One uniform draw from the stream: retain item ``i`` w.p. ``1/i``.
 
     Run ``s`` instances in parallel for a with-replacement sample of size
@@ -136,3 +185,24 @@ class SingleItemWithReplacementSampler(Generic[T]):
         if self._seen == 0:
             raise EmptySummaryError("sampler has seen no items")
         return self._current  # type: ignore[return-value]
+
+    def query(self) -> T:
+        """Primary answer (StreamSummary protocol): the retained item."""
+        return self.sample()
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "seen": self._seen,
+            "current": tag_key(self._current),
+            "rng": dump_rng_state(self._rng),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "SingleItemWithReplacementSampler":
+        sampler = cls()
+        sampler._seen = payload["seen"]
+        sampler._current = untag_key(payload["current"])
+        sampler._rng.setstate(load_rng_state(payload["rng"]))
+        return sampler

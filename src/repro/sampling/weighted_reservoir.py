@@ -37,6 +37,16 @@ from typing import Generic, Hashable, TypeVar
 from repro.core.decay import ForwardDecay
 from repro.core.errors import EmptySummaryError, ParameterError
 from repro.core.functions import ExponentialG
+from repro.core.protocol import (
+    StreamSummary,
+    decode_number,
+    dump_rng_state,
+    encode_number,
+    load_rng_state,
+    tag_key,
+    untag_key,
+)
+from repro.core.registry import register_summary
 
 __all__ = ["WeightedReservoirSampler", "ExpJumpsReservoirSampler", "decayed_log_weight"]
 
@@ -55,7 +65,15 @@ def decayed_log_weight(decay: ForwardDecay, timestamp: float) -> float:
     return math.log(weight)
 
 
-class WeightedReservoirSampler(Generic[T]):
+@register_summary(
+    "weighted_reservoir",
+    kind="sampler",
+    input_kind="item_weight",
+    factory=lambda: WeightedReservoirSampler(k=16, rng=random.Random(7)),
+    mergeable=False,
+    exact_merge=False,
+)
+class WeightedReservoirSampler(StreamSummary, Generic[T]):
     """A-Res: size-``k`` weighted sample without replacement.
 
     Items are offered with either a raw weight (:meth:`update`) or a
@@ -117,12 +135,51 @@ class WeightedReservoirSampler(Generic[T]):
         """Current number of retained items."""
         return len(self._heap)
 
+    def query(self) -> list[T]:
+        """Primary answer (StreamSummary protocol): the current sample."""
+        return self.sample()
+
     def state_size_bytes(self) -> int:
         """Approximate footprint: key + slot per retained item."""
         return len(self._heap) * 16
 
+    # -- serde (StreamSummary protocol) ---------------------------------------
 
-class ExpJumpsReservoirSampler(Generic[T]):
+    def _state_payload(self) -> dict:
+        return {
+            "k": self.k,
+            "seen": self._seen,
+            "tiebreak": self._tiebreak,
+            "heap": [
+                [encode_number(neg_key), tiebreak, tag_key(item)]
+                for neg_key, tiebreak, item in self._heap
+            ],
+            "rng": dump_rng_state(self._rng),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "WeightedReservoirSampler":
+        sampler = cls(payload["k"])
+        sampler._seen = payload["seen"]
+        sampler._tiebreak = payload["tiebreak"]
+        # Entries are stored in heap order, so the invariant survives as-is.
+        sampler._heap = [
+            (decode_number(neg_key), tiebreak, untag_key(item))
+            for neg_key, tiebreak, item in payload["heap"]
+        ]
+        sampler._rng.setstate(load_rng_state(payload["rng"]))
+        return sampler
+
+
+@register_summary(
+    "expjumps_reservoir",
+    kind="sampler",
+    input_kind="item_weight",
+    factory=lambda: ExpJumpsReservoirSampler(k=16, rng=random.Random(7)),
+    mergeable=False,
+    exact_merge=False,
+)
+class ExpJumpsReservoirSampler(StreamSummary, Generic[T]):
     """A-ExpJ: A-Res accelerated with exponential jumps.
 
     Statistically identical to :class:`WeightedReservoirSampler`, but once
@@ -194,6 +251,38 @@ class ExpJumpsReservoirSampler(Generic[T]):
         """Current number of retained items."""
         return len(self._heap)
 
+    def query(self) -> list[T]:
+        """Primary answer (StreamSummary protocol): the current sample."""
+        return self.sample()
+
     def state_size_bytes(self) -> int:
         """Approximate footprint: key + slot per retained item."""
         return len(self._heap) * 16
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "k": self.k,
+            "seen": self._seen,
+            "tiebreak": self._tiebreak,
+            "skip_weight": encode_number(self._skip_weight),
+            "heap": [
+                [encode_number(key), tiebreak, tag_key(item)]
+                for key, tiebreak, item in self._heap
+            ],
+            "rng": dump_rng_state(self._rng),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "ExpJumpsReservoirSampler":
+        sampler = cls(payload["k"])
+        sampler._seen = payload["seen"]
+        sampler._tiebreak = payload["tiebreak"]
+        sampler._skip_weight = decode_number(payload["skip_weight"])
+        sampler._heap = [
+            (decode_number(key), tiebreak, untag_key(item))
+            for key, tiebreak, item in payload["heap"]
+        ]
+        sampler._rng.setstate(load_rng_state(payload["rng"]))
+        return sampler

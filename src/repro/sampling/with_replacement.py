@@ -25,7 +25,16 @@ from typing import Generic, Hashable, TypeVar
 
 from repro.core.decay import ForwardDecay
 from repro.core.errors import EmptySummaryError, ParameterError
+from repro.core.functions import PolynomialG
 from repro.core.landmark import OverflowGuard
+from repro.core.protocol import (
+    StreamSummary,
+    dump_rng_state,
+    load_rng_state,
+    tag_key,
+    untag_key,
+)
+from repro.core.registry import register_summary
 from repro.core.weights import ForwardWeightEngine
 
 __all__ = ["DecayedSamplerWithReplacement"]
@@ -33,7 +42,17 @@ __all__ = ["DecayedSamplerWithReplacement"]
 T = TypeVar("T", bound=Hashable)
 
 
-class DecayedSamplerWithReplacement(Generic[T]):
+@register_summary(
+    "decayed_with_replacement",
+    kind="sampler",
+    input_kind="item_time",
+    factory=lambda: DecayedSamplerWithReplacement(
+        ForwardDecay(PolynomialG(2.0)), s=8, rng=random.Random(7)
+    ),
+    mergeable=False,
+    exact_merge=False,
+)
+class DecayedSamplerWithReplacement(StreamSummary, Generic[T]):
     """Size-``s`` sample with replacement under any forward decay function.
 
     Parameters
@@ -132,6 +151,46 @@ class DecayedSamplerWithReplacement(Generic[T]):
             raise EmptySummaryError("sampler has seen no items")
         return [slot for slot in self._slots]  # type: ignore[misc]
 
+    def query(self) -> list[T]:
+        """Primary answer (StreamSummary protocol): the current sample."""
+        return self.sample()
+
     def state_size_bytes(self) -> int:
         """Approximate footprint: one slot per drawing plus the total."""
         return 8 * (self.s + 1)
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        from repro.core.serde import dump_decay
+
+        return {
+            "decay": dump_decay(self._engine.decay),
+            "internal_landmark": self._engine.internal_landmark,
+            "s": self.s,
+            "use_skipping": self._use_skipping,
+            "weight_total": self._weight_total,
+            "slots": [tag_key(slot) for slot in self._slots],
+            "items": self._items,
+            "next_replace": list(self._next_replace),
+            "min_threshold": self._min_threshold,
+            "rng": dump_rng_state(self._rng),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "DecayedSamplerWithReplacement":
+        from repro.core.serde import load_decay
+
+        sampler = cls(
+            load_decay(payload["decay"]),
+            payload["s"],
+            use_skipping=payload["use_skipping"],
+        )
+        sampler._engine.restore_landmark(payload["internal_landmark"])
+        sampler._weight_total = payload["weight_total"]
+        sampler._slots = [untag_key(tag) for tag in payload["slots"]]
+        sampler._items = payload["items"]
+        sampler._next_replace = list(payload["next_replace"])
+        sampler._min_threshold = payload["min_threshold"]
+        sampler._rng.setstate(load_rng_state(payload["rng"]))
+        return sampler

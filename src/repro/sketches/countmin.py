@@ -20,12 +20,20 @@ import math
 from typing import Hashable
 
 from repro.core.errors import MergeError, ParameterError
+from repro.core.protocol import StreamSummary, tag_key, untag_key
+from repro.core.registry import register_summary
 from repro.sketches.kmv import hash_to_unit
 
 __all__ = ["CountMinSketch", "CountMinHeavyHitters"]
 
 
-class CountMinSketch:
+@register_summary(
+    "countmin",
+    kind="sketch",
+    input_kind="item_weight",
+    factory=lambda: CountMinSketch(epsilon=0.02, delta=0.01, seed=7),
+)
+class CountMinSketch(StreamSummary):
     """Weighted Count-Min frequency sketch."""
 
     def __init__(self, epsilon: float = 0.01, delta: float = 0.01, seed: int = 0):
@@ -94,12 +102,44 @@ class CountMinSketch:
                 mine[column] += theirs[column] * factor
         self._total += other._total * factor
 
+    def query(self, item: Hashable | None = None) -> float:
+        """Primary answer (StreamSummary protocol): the point estimate of
+        ``item``, or the total weight when no item is given."""
+        if item is None:
+            return self._total
+        return self.estimate(item)
+
     def state_size_bytes(self) -> int:
         """``width x depth`` float counters."""
         return 8 * self.width * self.depth
 
+    # -- serde (StreamSummary protocol) ---------------------------------------
 
-class CountMinHeavyHitters:
+    def _state_payload(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "seed": self.seed,
+            "total": self._total,
+            "rows": [list(row) for row in self._rows],
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "CountMinSketch":
+        sketch = cls(payload["epsilon"], payload["delta"], payload["seed"])
+        sketch._total = payload["total"]
+        sketch._rows = [list(row) for row in payload["rows"]]
+        return sketch
+
+
+@register_summary(
+    "countmin_heavy_hitters",
+    kind="sketch",
+    input_kind="item_weight",
+    factory=lambda: CountMinHeavyHitters(epsilon=0.02, delta=0.01, phi_track=0.001, seed=7),
+    exact_merge=False,
+)
+class CountMinHeavyHitters(StreamSummary):
     """Heavy hitters via Count-Min point queries plus a candidate heap.
 
     Tracks the items whose estimates exceed ``phi_track`` of the running
@@ -160,6 +200,60 @@ class CountMinHeavyHitters:
         ranked.sort(key=lambda pair: -pair[1])
         return ranked
 
+    def query(self, phi: float = 0.01) -> list[tuple[Hashable, float]]:
+        """Primary answer (StreamSummary protocol): the ``phi``-heavy hitters."""
+        return self.heavy_hitters(phi)
+
+    def merge(self, other: "CountMinHeavyHitters") -> None:
+        """Merge the underlying sketches and re-derive the candidate set.
+
+        The merged candidate set is the union of both candidate sets,
+        re-filtered against the merged tracking threshold; estimates come
+        from the merged grid, so the result can differ slightly from a
+        single-stream run (candidate eviction is path-dependent).
+        """
+        if not isinstance(other, CountMinHeavyHitters):
+            raise MergeError(f"cannot merge {type(other).__name__}")
+        if other.phi_track != self.phi_track:
+            raise MergeError(
+                f"phi_track mismatch: {self.phi_track} vs {other.phi_track}"
+            )
+        self.sketch.merge(other.sketch)
+        threshold = self.phi_track * self.sketch.total_weight
+        self._members = {
+            item
+            for item in self._members | other._members
+            if self.sketch.estimate(item) >= threshold
+        }
+        self._heap = [(self.sketch.estimate(item), item) for item in self._members]
+        heapq.heapify(self._heap)
+
     def state_size_bytes(self) -> int:
         """Sketch grid plus candidate heap."""
         return self.sketch.state_size_bytes() + 16 * len(self._heap)
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "sketch": self.sketch._state_payload(),
+            "phi_track": self.phi_track,
+            "members": sorted((tag_key(item) for item in self._members), key=repr),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "CountMinHeavyHitters":
+        sketch = CountMinSketch._from_payload(payload["sketch"])
+        summary = cls(
+            epsilon=sketch.epsilon,
+            delta=sketch.delta,
+            phi_track=payload["phi_track"],
+            seed=sketch.seed,
+        )
+        summary.sketch = sketch
+        summary._members = {untag_key(tag) for tag in payload["members"]}
+        summary._heap = [
+            (sketch.estimate(item), item) for item in summary._members
+        ]
+        heapq.heapify(summary._heap)
+        return summary

@@ -31,12 +31,20 @@ import math
 from typing import Hashable
 
 from repro.core.errors import EmptySummaryError, MergeError, ParameterError
+from repro.core.protocol import StreamSummary
+from repro.core.registry import register_summary
 from repro.sketches.kmv import KMVSketch
 
 __all__ = ["DominanceNormEstimator"]
 
 
-class DominanceNormEstimator:
+@register_summary(
+    "dominance_norm",
+    kind="sketch",
+    input_kind="item_logweight",
+    factory=lambda: DominanceNormEstimator(epsilon=0.2, seed=7),
+)
+class DominanceNormEstimator(StreamSummary):
     """Streaming ``(1 +- eps)`` estimator of ``sum_v max_i w_i``.
 
     Parameters
@@ -154,6 +162,38 @@ class DominanceNormEstimator:
                 mine.merge(sketch)
         self._items += other._items
 
+    def query(self, log_normalizer: float = 0.0) -> float:
+        """Primary answer (StreamSummary protocol): the dominance norm."""
+        return self.estimate(log_normalizer)
+
     def state_size_bytes(self) -> int:
         """Approximate footprint across all level sketches."""
         return sum(s.state_size_bytes() for s in self._levels.values())
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "seed": self.seed,
+            "kmv_size": self._kmv_size,
+            "items": self._items,
+            "levels": [
+                [str(level), self._levels[level]._state_payload()]
+                for level in sorted(self._levels)
+            ],
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "DominanceNormEstimator":
+        estimator = cls(
+            epsilon=payload["epsilon"],
+            seed=payload["seed"],
+            kmv_size=payload["kmv_size"],
+        )
+        estimator._items = payload["items"]
+        estimator._levels = {
+            int(level): KMVSketch._from_payload(sketch)
+            for level, sketch in payload["levels"]
+        }
+        return estimator

@@ -30,6 +30,8 @@ from collections import deque
 
 from repro.core.errors import ParameterError
 from repro.core.functions import FFunction
+from repro.core.protocol import StreamSummary, decode_number, encode_number
+from repro.core.registry import register_summary
 
 __all__ = [
     "ExponentialHistogramCount",
@@ -46,8 +48,14 @@ class _Bucket:
         self.size = size
 
 
-class _ExponentialHistogramBase:
-    """Shared bucket machinery of the count and sum variants."""
+class _ExponentialHistogramBase(StreamSummary):
+    """Shared bucket machinery of the count and sum variants.
+
+    Exponential histograms are single-stream structures: buckets are
+    ordered by arrival and merges depend on that order, so there is no
+    union rule — ``merge`` raises :class:`~repro.core.errors.MergeError`
+    (one of the backward-decay limitations forward decay removes).
+    """
 
     def __init__(self, epsilon: float, window: float):
         if not 0.0 < epsilon < 1.0:
@@ -134,9 +142,42 @@ class _ExponentialHistogramBase:
         """
         return len(self._buckets) * 16
 
+    # -- serde (StreamSummary protocol) ---------------------------------------
 
+    def _state_payload(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "window": self.window,
+            "last_time": encode_number(self._last_time),
+            "buckets": [[b.timestamp, b.size] for b in self._buckets],
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "_ExponentialHistogramBase":
+        histogram = cls(payload["epsilon"], payload["window"])
+        for timestamp, size in payload["buckets"]:
+            histogram._buckets.append(_Bucket(timestamp, size))
+            histogram._per_size[size] = histogram._per_size.get(size, 0) + 1
+            histogram._total_size += size
+        histogram._last_time = decode_number(payload["last_time"])
+        return histogram
+
+
+@register_summary(
+    "eh_count",
+    kind="sketch",
+    input_kind="time",
+    factory=lambda: ExponentialHistogramCount(epsilon=0.05, window=100.0),
+    mergeable=False,
+    exact_merge=False,
+    ordered=True,
+)
 class ExponentialHistogramCount(_ExponentialHistogramBase):
     """EH over unit arrivals: sliding-window count within ``(1 + epsilon)``."""
+
+    def query(self, now: float | None = None) -> float:
+        """Primary answer (StreamSummary protocol): the window count."""
+        return self.count(self._last_time if now is None else now)
 
     def update(self, timestamp: float) -> None:
         """Record one arrival at ``timestamp`` (non-decreasing order)."""
@@ -155,6 +196,15 @@ class ExponentialHistogramCount(_ExponentialHistogramBase):
         return self._estimate(now)
 
 
+@register_summary(
+    "eh_sum",
+    kind="sketch",
+    input_kind="time_value_ordered",
+    factory=lambda: ExponentialHistogramSum(epsilon=0.05, window=100.0),
+    mergeable=False,
+    exact_merge=False,
+    ordered=True,
+)
 class ExponentialHistogramSum(_ExponentialHistogramBase):
     """EH over non-negative integer values: sliding-window sum.
 
@@ -162,6 +212,10 @@ class ExponentialHistogramSum(_ExponentialHistogramBase):
     bit), after which the standard merge invariant applies; the estimate
     carries the same ``(1 + epsilon)`` relative-error guarantee.
     """
+
+    def query(self, now: float | None = None) -> float:
+        """Primary answer (StreamSummary protocol): the window sum."""
+        return self.sum(self._last_time if now is None else now)
 
     def update(self, timestamp: float, value: int) -> None:
         """Record an arrival of integer ``value >= 0`` at ``timestamp``."""

@@ -22,6 +22,8 @@ import math
 from bisect import bisect_right
 
 from repro.core.errors import EmptySummaryError, MergeError, ParameterError
+from repro.core.protocol import StreamSummary
+from repro.core.registry import register_summary
 
 __all__ = ["GKSummary"]
 
@@ -35,7 +37,14 @@ class _Tuple:
         self.delta = delta
 
 
-class GKSummary:
+@register_summary(
+    "gk_summary",
+    kind="sketch",
+    input_kind="value_weight",
+    factory=lambda: GKSummary(0.05),
+    exact_merge=False,
+)
+class GKSummary(StreamSummary):
     """Weighted epsilon-approximate quantiles over arbitrary ordered values.
 
     Parameters
@@ -155,6 +164,29 @@ class GKSummary:
             self.update(entry.value, entry.g * factor)
         self.compress()
 
+    def query(self, phi: float = 0.5) -> float:
+        """Primary answer (StreamSummary protocol): the ``phi``-quantile."""
+        return self.quantile(phi)
+
     def state_size_bytes(self) -> int:
         """Three floats per stored tuple."""
         return len(self._tuples) * 24
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "total": self._total,
+            "since_compress": self._since_compress,
+            "tuples": [[t.value, t.g, t.delta] for t in self._tuples],
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "GKSummary":
+        summary = cls(payload["epsilon"])
+        summary._total = payload["total"]
+        summary._since_compress = payload["since_compress"]
+        summary._tuples = [_Tuple(value, g, delta) for value, g, delta in payload["tuples"]]
+        summary._values = [t.value for t in summary._tuples]
+        return summary

@@ -23,6 +23,8 @@ import heapq
 from typing import Hashable, Iterable
 
 from repro.core.errors import MergeError, ParameterError
+from repro.core.protocol import StreamSummary
+from repro.core.registry import register_summary
 
 __all__ = ["KMVSketch", "hash_to_unit"]
 
@@ -42,7 +44,13 @@ def hash_to_unit(item: Hashable, seed: int = 0) -> float:
     return int.from_bytes(digest, "big") / _HASH_DENOMINATOR
 
 
-class KMVSketch:
+@register_summary(
+    "kmv",
+    kind="sketch",
+    input_kind="item",
+    factory=lambda: KMVSketch(k=64, seed=7),
+)
+class KMVSketch(StreamSummary):
     """Bottom-k distinct counter.
 
     Parameters
@@ -126,6 +134,29 @@ class KMVSketch:
         clone._exact = self._exact
         return clone
 
+    def query(self) -> float:
+        """Primary answer (StreamSummary protocol): the distinct count."""
+        return self.estimate()
+
     def state_size_bytes(self) -> int:
         """Approximate footprint: 8 bytes per retained hash value."""
         return 8 * len(self._members)
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "k": self.k,
+            "seed": self.seed,
+            "exact": self._exact,
+            "values": sorted(self._members),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "KMVSketch":
+        sketch = cls(payload["k"], payload["seed"])
+        sketch._members = set(payload["values"])
+        sketch._heap = [-value for value in payload["values"]]
+        heapq.heapify(sketch._heap)
+        sketch._exact = payload["exact"]
+        return sketch

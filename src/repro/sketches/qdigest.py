@@ -23,11 +23,19 @@ import math
 from typing import Iterable, Iterator
 
 from repro.core.errors import EmptySummaryError, MergeError, ParameterError
+from repro.core.protocol import StreamSummary
+from repro.core.registry import register_summary
 
 __all__ = ["QDigest"]
 
 
-class QDigest:
+@register_summary(
+    "qdigest",
+    kind="sketch",
+    input_kind="value_weight",
+    factory=lambda: QDigest.from_epsilon(0.01, universe_bits=10),
+)
+class QDigest(StreamSummary):
     """A weighted q-digest over the integer domain ``[0, 2**universe_bits)``.
 
     Parameters
@@ -252,9 +260,32 @@ class QDigest:
         self._total += other._total * factor
         self.compress()
 
+    def query(self, phi: float = 0.5) -> int:
+        """Primary answer (StreamSummary protocol): the ``phi``-quantile."""
+        return self.quantile(phi)
+
     def state_size_bytes(self) -> int:
         """Approximate footprint: one (id, count) pair per stored node."""
         return len(self._counts) * (8 + 8)
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "universe_bits": self.universe_bits,
+            "k": self.k,
+            "total": self._total,
+            "updates_since_compress": self._updates_since_compress,
+            "nodes": [[node, count] for node, count in sorted(self._counts.items())],
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "QDigest":
+        digest = cls(payload["universe_bits"], payload["k"])
+        digest._total = payload["total"]
+        digest._updates_since_compress = payload["updates_since_compress"]
+        digest._counts = {node: count for node, count in payload["nodes"]}
+        return digest
 
     def nodes(self) -> Iterator[tuple[int, int, float]]:
         """Yield ``(lo, hi, count)`` for each stored node (for debugging)."""

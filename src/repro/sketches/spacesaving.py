@@ -26,10 +26,12 @@ from __future__ import annotations
 
 import heapq
 import math
-from abc import ABC, abstractmethod
+from abc import abstractmethod
 from typing import Hashable, Iterable, Iterator
 
 from repro.core.errors import MergeError, ParameterError
+from repro.core.protocol import StreamSummary, tag_key, untag_key
+from repro.core.registry import register_summary
 
 __all__ = ["SpaceSavingBase", "UnarySpaceSaving", "WeightedSpaceSaving", "Counter"]
 
@@ -55,7 +57,7 @@ def capacity_for_epsilon(epsilon: float) -> int:
     return max(1, math.ceil(1.0 / epsilon))
 
 
-class SpaceSavingBase(ABC):
+class SpaceSavingBase(StreamSummary):
     """Shared query interface of the two SpaceSaving variants."""
 
     def __init__(self, capacity: int):
@@ -124,11 +126,22 @@ class SpaceSavingBase(ABC):
         ranked = sorted(self.counters(), key=lambda c: -c.count)
         return ranked[:k]
 
+    def query(self, phi: float = 0.05) -> list[tuple[Hashable, float, float]]:
+        """Primary answer (StreamSummary protocol): the ``phi``-heavy hitters
+        as plain ``(item, count, error)`` tuples."""
+        return [(c.item, c.count, c.error) for c in self.heavy_hitters(phi)]
+
     def state_size_bytes(self) -> int:
         """Approximate footprint: 2 floats + 1 key slot per counter."""
         return len(self) * (8 + 8 + 8)
 
 
+@register_summary(
+    "weighted_spacesaving",
+    kind="sketch",
+    input_kind="item_weight",
+    factory=lambda: WeightedSpaceSaving.from_epsilon(0.02),
+)
 class WeightedSpaceSaving(SpaceSavingBase):
     """SpaceSaving with arbitrary non-negative per-update weights.
 
@@ -247,6 +260,29 @@ class WeightedSpaceSaving(SpaceSavingBase):
         self._compact_heap()
         self._total += other._total * factor
 
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "total": self._total,
+            "counters": [
+                [tag_key(item), count, self._errors[item]]
+                for item, count in self._counts.items()
+            ],
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "WeightedSpaceSaving":
+        sketch = cls(payload["capacity"])
+        sketch._total = payload["total"]
+        for tag, count, error in payload["counters"]:
+            item = untag_key(tag)
+            sketch._counts[item] = count
+            sketch._errors[item] = error
+        sketch._compact_heap()
+        return sketch
+
 
 class _Bucket:
     """A node in the Stream-Summary list: all items sharing one count."""
@@ -260,6 +296,12 @@ class _Bucket:
         self.next: _Bucket | None = None
 
 
+@register_summary(
+    "unary_spacesaving",
+    kind="sketch",
+    input_kind="item",
+    factory=lambda: UnarySpaceSaving.from_epsilon(0.02),
+)
 class UnarySpaceSaving(SpaceSavingBase):
     """SpaceSaving optimized for unary (+1) updates: O(1) per update.
 
@@ -410,6 +452,26 @@ class UnarySpaceSaving(SpaceSavingBase):
         self._total = total
         for item in survivors:
             self._insert_new(item, count=merged[item], error=errors[item])
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "total": self._total,
+            "counters": [
+                [tag_key(item), bucket.count, self._errors[item]]
+                for item, bucket in self._bucket_of.items()
+            ],
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "UnarySpaceSaving":
+        sketch = cls(payload["capacity"])
+        sketch._total = payload["total"]
+        for tag, count, error in payload["counters"]:
+            sketch._insert_new(untag_key(tag), count=count, error=error)
+        return sketch
 
 
 def build_spacesaving(

@@ -39,12 +39,23 @@ from typing import Hashable
 
 from repro.core.errors import EmptySummaryError, ParameterError
 from repro.core.functions import FFunction
+from repro.core.protocol import StreamSummary, decode_number, encode_number
+from repro.core.registry import register_summary
 from repro.sketches.spacesaving import UnarySpaceSaving
 
 __all__ = ["SlidingWindowHeavyHitters", "BackwardDecayedHHCombiner"]
 
 
-class SlidingWindowHeavyHitters:
+@register_summary(
+    "sliding_window_heavy_hitters",
+    kind="sketch",
+    input_kind="item_time",
+    factory=lambda: SlidingWindowHeavyHitters(window=100.0, epsilon=0.05),
+    mergeable=False,
+    exact_merge=False,
+    ordered=True,
+)
+class SlidingWindowHeavyHitters(StreamSummary):
     """Dyadic-interval heavy-hitter structure for sliding windows.
 
     Parameters
@@ -185,6 +196,19 @@ class SlidingWindowHeavyHitters:
             for index, summary in sorted(finest.items())
         ]
 
+    def query(
+        self,
+        phi: float = 0.05,
+        window: float | None = None,
+        now: float | None = None,
+    ) -> list[tuple[Hashable, float]]:
+        """Primary answer (StreamSummary protocol): windowed heavy hitters."""
+        return self.heavy_hitters(
+            phi,
+            self.window if window is None else window,
+            self._max_time if now is None else now,
+        )
+
     def state_size_bytes(self) -> int:
         """Approximate footprint summed over all node summaries.
 
@@ -198,6 +222,38 @@ class SlidingWindowHeavyHitters:
             for level_nodes in self._nodes
             for summary in level_nodes.values()
         )
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "window": self.window,
+            "pane": self.pane,
+            "epsilon": self.epsilon,
+            "items": self._items,
+            "max_time": encode_number(self._max_time),
+            "nodes": [
+                [
+                    [str(index), level_nodes[index]._state_payload()]
+                    for index in sorted(level_nodes)
+                ]
+                for level_nodes in self._nodes
+            ],
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "SlidingWindowHeavyHitters":
+        structure = cls(payload["window"], payload["pane"], payload["epsilon"])
+        structure._items = payload["items"]
+        structure._max_time = decode_number(payload["max_time"])
+        structure._nodes = [
+            {
+                int(index): UnarySpaceSaving._from_payload(summary)
+                for index, summary in level_entries
+            }
+            for level_entries in payload["nodes"]
+        ]
+        return structure
 
 
 class BackwardDecayedHHCombiner:

@@ -22,11 +22,22 @@ import math
 from collections import deque
 
 from repro.core.errors import ParameterError
+from repro.core.protocol import StreamSummary, decode_number, encode_number
+from repro.core.registry import register_summary
 
 __all__ = ["DeterministicWave"]
 
 
-class DeterministicWave:
+@register_summary(
+    "deterministic_wave",
+    kind="sketch",
+    input_kind="time",
+    factory=lambda: DeterministicWave(epsilon=0.05, window=100.0),
+    mergeable=False,
+    exact_merge=False,
+    ordered=True,
+)
+class DeterministicWave(StreamSummary):
     """Sliding-window count with worst-case O(1) updates.
 
     Parameters
@@ -120,6 +131,34 @@ class DeterministicWave:
             return float(self._count - coarsest[0][0])
         return float(self._count)
 
+    def query(self, now: float | None = None) -> float:
+        """Primary answer (StreamSummary protocol): the window count."""
+        return self.count(self._last_time if now is None else now)
+
     def state_size_bytes(self) -> int:
         """Approximate footprint: (position, timestamp) per retained entry."""
         return sum(len(level) for level in self._levels) * 16
+
+    # -- serde (StreamSummary protocol) ---------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "window": self.window,
+            "max_levels": self.max_levels,
+            "count": self._count,
+            "last_time": encode_number(self._last_time),
+            "levels": [
+                [[position, timestamp] for position, timestamp in level]
+                for level in self._levels
+            ],
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "DeterministicWave":
+        wave = cls(payload["epsilon"], payload["window"], payload["max_levels"])
+        wave._count = payload["count"]
+        wave._last_time = decode_number(payload["last_time"])
+        for level, entries in zip(wave._levels, payload["levels"]):
+            level.extend((position, timestamp) for position, timestamp in entries)
+        return wave

@@ -143,11 +143,13 @@ class TestHolisticCheckpoints:
             summary.decayed_total(110.0)
         )
 
-    def test_gk_backend_not_checkpointable(self, paper_decay):
+    def test_gk_backend_round_trip(self, paper_decay):
         summary = DecayedQuantiles(paper_decay, backend="gk")
-        summary.update(1, 105.0)
-        with pytest.raises(ParameterError):
-            dump_summary(summary)
+        for t, v in PAPER_STREAM:
+            summary.update(v, t)
+        restored = roundtrip(summary)
+        for phi in (0.25, 0.5, 0.75):
+            assert restored.quantile(phi) == summary.quantile(phi)
 
     def test_distinct_round_trip(self, paper_decay):
         summary = ExactDecayedDistinct(paper_decay)
@@ -159,11 +161,25 @@ class TestHolisticCheckpoints:
 
 
 class TestErrors:
-    def test_unsupported_type_rejected(self, paper_decay):
+    def test_unregistered_type_rejected(self):
+        with pytest.raises(ParameterError):
+            dump_summary(object())
+
+    def test_sampler_round_trip_continues_rng_sequence(self):
+        import random
+
         from repro.sampling.reservoir import ReservoirSampler
 
-        with pytest.raises(ParameterError):
-            dump_summary(ReservoirSampler(4))
+        sampler = ReservoirSampler(4, rng=random.Random(11))
+        twin = ReservoirSampler(4, rng=random.Random(11))
+        for i in range(50):
+            sampler.update(i)
+            twin.update(i)
+        restored = roundtrip(sampler)
+        for i in range(50, 200):
+            restored.update(i)
+            twin.update(i)
+        assert restored.sample() == twin.sample()
 
     def test_unknown_checkpoint_type_rejected(self):
         with pytest.raises(ParameterError):

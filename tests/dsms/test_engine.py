@@ -302,3 +302,92 @@ class TestUdafIntegration:
             registry=registry,
         )
         assert output[0]["c"] == pytest.approx(50, rel=0.3)
+
+
+class TestInsertMany:
+    """Batched ingestion must reproduce per-tuple processing exactly."""
+
+    QUERY = (
+        "select tb, destIP, destPort, count(*) as c, "
+        "sum(len * (time % 60) * (time % 60)) as s "
+        "from TCP group by time/60 as tb, destIP, destPort"
+    )
+
+    @staticmethod
+    def make_rows(n=3000, seed=5):
+        import random
+
+        rng = random.Random(seed)
+        return [
+            (
+                t // 10,
+                f"s{rng.randrange(4)}",
+                f"h{rng.randrange(40)}",
+                rng.choice((80, 443, 8080)),
+                rng.randrange(40, 1500),
+                rng.choice(("tcp", "tcp", "udp")),
+            )
+            for t in range(n)
+        ]
+
+    def engines(self, registry, **kwargs):
+        query = parse_query(self.QUERY, registry)
+        return (
+            QueryEngine(query, SCHEMA, **kwargs),
+            QueryEngine(query, SCHEMA, **kwargs),
+        )
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 256, 10_000])
+    def test_identical_to_process(self, registry, batch_size):
+        rows = self.make_rows()
+        per_tuple, batched = self.engines(registry)
+        for row in rows:
+            per_tuple.process(row)
+        for begin in range(0, len(rows), batch_size):
+            batched.insert_many(rows[begin : begin + batch_size])
+        assert batched.tuples_processed == per_tuple.tuples_processed
+        assert batched.tuples_selected == per_tuple.tuples_selected
+        assert batched.flush() == per_tuple.flush()
+
+    def test_identical_under_eviction_pressure(self, registry):
+        # A tiny low-level table forces constant evictions; results (and
+        # every float in them) must still match bit for bit.
+        rows = self.make_rows()
+        per_tuple, batched = self.engines(registry, low_table_size=8)
+        for row in rows:
+            per_tuple.process(row)
+        for begin in range(0, len(rows), 64):
+            batched.insert_many(rows[begin : begin + 64])
+        assert batched.low_evictions == per_tuple.low_evictions
+        assert batched.flush() == per_tuple.flush()
+
+    def test_identical_with_bucket_emission(self, registry):
+        rows = self.make_rows()
+        per_tuple, batched = self.engines(registry, emit_on_bucket_change=True)
+        drained_tuple, drained_batch = [], []
+        for row in rows:
+            per_tuple.process(row)
+            drained_tuple.extend(per_tuple.drain())
+        # Batch boundaries deliberately misaligned with bucket boundaries.
+        for begin in range(0, len(rows), 97):
+            batched.insert_many(rows[begin : begin + 97])
+            drained_batch.extend(batched.drain())
+        drained_tuple.extend(per_tuple.flush())
+        drained_batch.extend(batched.flush())
+        assert drained_batch == drained_tuple
+
+    def test_identical_single_level(self, registry):
+        rows = self.make_rows(n=800)
+        per_tuple, batched = self.engines(registry, two_level=False)
+        for row in rows:
+            per_tuple.process(row)
+        batched.insert_many(rows)
+        assert batched.flush() == per_tuple.flush()
+
+    def test_accepts_generators(self, registry):
+        rows = self.make_rows(n=200)
+        per_tuple, batched = self.engines(registry)
+        for row in rows:
+            per_tuple.process(row)
+        batched.insert_many(iter(rows))
+        assert batched.flush() == per_tuple.flush()
