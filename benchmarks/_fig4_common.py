@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.bench.runners import EPSILON_SWEEP, run_fig4_hh_epsilon
+from repro.bench.runners import run_fig4_hh_epsilon
 from repro.bench.tables import format_bytes, format_table
 from repro.dsms.runtime import cpu_load_percent
 

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.harness import time_query
 from repro.bench.runners import FIG2_RATES, _count_sum_queries, run_fig2_count_sum
 from repro.bench.tables import format_table
 from repro.dsms.engine import QueryEngine

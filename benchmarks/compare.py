@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Diff two BENCH_*.json artifacts and gate on regressions.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE.json CURRENT.json [--threshold 2.0]
+
+Exits 0 when every gated entry is within the threshold factor of the
+baseline, 1 when any gated entry regressed (or vanished), 2 on bad input.
+Gated entries are host-independent by construction (relative costs and
+deterministic state bytes — see ``repro.bench.artifacts``), so a generous
+threshold catches real slowdowns without flaking on runner speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.artifacts import (  # noqa: E402
+    compare_artifacts,
+    format_comparison,
+    load_artifact,
+)
+from repro.core.errors import DecayError  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="allowed worsening factor for gated entries (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_artifact(args.baseline)
+        current = load_artifact(args.current)
+        report = compare_artifacts(baseline, current, threshold=args.threshold)
+    except (OSError, ValueError, DecayError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_comparison(report))
+    return 1 if report["regressions"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,6 @@ Run:  python examples/sensor_clustering.py
 
 from __future__ import annotations
 
-import math
 import random
 
 from repro import DecayedAverage, DecayedKMeans, ExponentialG, ForwardDecay, NoDecayG

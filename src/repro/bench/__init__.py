@@ -4,6 +4,14 @@ See DESIGN.md's experiment index — each figure of the paper maps to one
 ``run_fig*`` driver here and one ``benchmarks/bench_fig*.py`` target.
 """
 
+from repro.bench.artifacts import (
+    compare_artifacts,
+    environment_stamp,
+    format_comparison,
+    load_artifact,
+    run_bench_suite,
+    write_artifact,
+)
 from repro.bench.harness import (
     MethodResult,
     achievable_throughput,
@@ -29,6 +37,12 @@ from repro.bench.tables import format_bytes, format_table, print_table
 
 __all__ = [
     "MethodResult",
+    "run_bench_suite",
+    "write_artifact",
+    "load_artifact",
+    "compare_artifacts",
+    "format_comparison",
+    "environment_stamp",
     "time_query",
     "time_consumer",
     "loads_at_rates",

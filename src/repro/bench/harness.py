@@ -67,6 +67,8 @@ def time_query(
     low_table_size: int = 4096,
     warmup_fraction: float = 0.1,
     batch_size: int | None = None,
+    metrics=None,
+    metrics_name: str | None = None,
 ) -> MethodResult:
     """Run ``sql`` over ``trace`` and measure per-tuple cost and state.
 
@@ -75,7 +77,11 @@ def time_query(
     per-group footprints.  With ``batch_size`` set the engine ingests via
     :meth:`~repro.dsms.engine.QueryEngine.insert_many` in chunks of that
     size instead of tuple-at-a-time :meth:`process` — the results are
-    identical, the measured cost reflects the batched path.
+    identical, the measured cost reflects the batched path.  An enabled
+    :class:`~repro.obs.registry.MetricsRegistry` passed as ``metrics``
+    instruments the engine (under ``metrics_name``, default the query
+    name); timing runs meant for BENCH artifacts pass none, so measured
+    costs never include instrumentation overhead.
     """
     if not trace:
         raise ParameterError("trace must be non-empty")
@@ -83,7 +89,12 @@ def time_query(
         raise ParameterError(f"batch_size must be >= 1, got {batch_size!r}")
     query = parse_query(sql, registry)
     engine = QueryEngine(
-        query, schema, two_level=two_level, low_table_size=low_table_size
+        query,
+        schema,
+        two_level=two_level,
+        low_table_size=low_table_size,
+        metrics=metrics,
+        metrics_name=metrics_name if metrics_name is not None else name,
     )
     warmup = int(len(trace) * warmup_fraction)
     timed_rows = trace[warmup:]

@@ -22,6 +22,17 @@ Three commands make the library usable without writing Python:
     Enumerate the summary registry::
 
         python -m repro summaries list
+
+``bench``
+    Run the downscaled benchmark suite, writing a machine-readable
+    ``BENCH_<name>.json`` artifact plus an instrumented stats snapshot::
+
+        python -m repro bench smoke --out-dir bench-out
+
+``stats``
+    Render the observability snapshot left by an instrumented run::
+
+        python -m repro stats --json
 """
 
 from __future__ import annotations
@@ -143,6 +154,50 @@ def _cmd_summaries(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench.artifacts import (
+        collect_stats,
+        run_bench_suite,
+        write_artifact,
+    )
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    artifact = run_bench_suite(
+        name=args.suite, scale=args.scale, repeats=args.repeats
+    )
+    artifact_path = os.path.join(args.out_dir, f"BENCH_{args.suite}.json")
+    write_artifact(artifact, artifact_path)
+    print(f"wrote {artifact_path} ({len(artifact['entries'])} entries)")
+    if not args.no_stats:
+        metrics = collect_stats(scale=args.scale)
+        metrics.write_snapshot(args.stats_out)
+        print(f"wrote {args.stats_out} ({len(metrics)} metrics)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.registry import format_snapshot, load_snapshot
+
+    try:
+        snap = load_snapshot(args.path)
+    except FileNotFoundError:
+        print(
+            f"error: no stats snapshot at {args.path!r} "
+            "(run `repro bench smoke` or an instrumented query first)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(snap, indent=2, sort_keys=True))
+    else:
+        print(format_snapshot(snap))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -207,6 +262,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="show update signatures and constructor signatures",
     )
     summaries_list.set_defaults(handler=_cmd_summaries)
+
+    bench = commands.add_parser(
+        "bench", help="run the benchmark suite, writing a BENCH artifact"
+    )
+    bench.add_argument(
+        "suite", choices=["smoke", "fig2a", "fig4a"],
+        help="which suite to run (all run the same downscaled queries; "
+        "the name labels the artifact)",
+    )
+    bench.add_argument("--out-dir", default=".",
+                       help="directory for BENCH_<suite>.json")
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="workload scale factor (trace rate multiplier)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing passes per query (median is kept)")
+    bench.add_argument("--stats-out", default=".repro_stats.json",
+                       help="path for the instrumented stats snapshot")
+    bench.add_argument("--no-stats", action="store_true",
+                       help="skip the instrumented stats pass")
+    bench.set_defaults(handler=_cmd_bench)
+
+    stats = commands.add_parser(
+        "stats", help="render the observability snapshot of the last bench run"
+    )
+    stats.add_argument("--in", dest="path", default=".repro_stats.json",
+                       help="snapshot path (default .repro_stats.json)")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the raw snapshot JSON")
+    stats.set_defaults(handler=_cmd_stats)
 
     return parser
 

@@ -19,6 +19,7 @@ their dataclass fields, so any ``g`` shipped with the library is supported.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 from repro.core.decay import ForwardDecay
 from repro.core.errors import ParameterError
@@ -77,34 +78,52 @@ def load_decay(data: dict) -> ForwardDecay:
 # -- summary envelopes -------------------------------------------------------------
 
 
-def dump_summary(summary) -> dict:
+def dump_summary(summary, metrics=None) -> dict:
     """Serialize any registered summary to a JSON-compatible dict.
 
     The envelope carries both the registry ``name`` (the stable identifier)
     and the class name (for human inspection and pre-registry checkpoints);
     the payload is the summary's own :meth:`StreamSummary._state_payload`.
+
+    With an enabled :class:`~repro.obs.registry.MetricsRegistry` passed as
+    ``metrics``, checkpoint latency and state volume are recorded under
+    ``serde.checkpoint.*``.
     """
     from repro.core import registry
 
     registry.load_all()
+    observing = metrics is not None and getattr(metrics, "enabled", False)
+    start = time.perf_counter_ns() if observing else 0
     name = registry.summary_name_of(type(summary))
-    return {
+    envelope = {
         "type": type(summary).__name__,
         "name": name,
         "version": _VERSION,
         "payload": summary._state_payload(),
     }
+    if observing:
+        elapsed_us = (time.perf_counter_ns() - start) / 1e3
+        metrics.latency("serde.checkpoint.latency_us").observe(elapsed_us)
+        metrics.counter("serde.checkpoint.summaries").add(1.0)
+        size = getattr(summary, "state_size_bytes", None)
+        if callable(size):
+            metrics.counter("serde.checkpoint.state_bytes").add(float(size()))
+    return envelope
 
 
-def load_summary(data: dict):
+def load_summary(data: dict, metrics=None):
     """Restore a summary serialized by :func:`dump_summary`.
 
     Dispatches on the registry ``name`` when present, falling back to the
-    class name for checkpoints written before names existed.
+    class name for checkpoints written before names existed.  ``metrics``
+    behaves as in :func:`dump_summary`, recording under
+    ``serde.restore.*``.
     """
     from repro.core import registry
 
     registry.load_all()
+    observing = metrics is not None and getattr(metrics, "enabled", False)
+    start = time.perf_counter_ns() if observing else 0
     if data.get("version") != _VERSION:
         raise ParameterError(
             f"unsupported checkpoint version {data.get('version')!r}"
@@ -119,4 +138,9 @@ def load_summary(data: dict):
         cls = by_class.get(data.get("type", ""))
         if cls is None:
             raise ParameterError(f"unknown checkpoint type {data.get('type')!r}")
-    return cls._from_payload(data["payload"])
+    summary = cls._from_payload(data["payload"])
+    if observing:
+        elapsed_us = (time.perf_counter_ns() - start) / 1e3
+        metrics.latency("serde.restore.latency_us").observe(elapsed_us)
+        metrics.counter("serde.restore.summaries").add(1.0)
+    return summary

@@ -70,6 +70,7 @@ def decayed_map_reduce(
     summary_factory: Callable[[], S],
     update: Callable[[S, Record], None],
     reducers: int = 4,
+    metrics=None,
 ) -> MapReduceResult[S]:
     """Run a decayed aggregation as a simulated MapReduce job.
 
@@ -86,6 +87,10 @@ def decayed_map_reduce(
         Folds one record into a summary.
     reducers:
         Number of reduce partitions (affects only the simulated shuffle).
+    metrics:
+        Optional enabled :class:`~repro.obs.registry.MetricsRegistry`;
+        shuffle volume and reducer skew are recorded under
+        ``mapreduce.shuffle.*`` / ``mapreduce.reduce.*``.
 
     Returns per-key summaries identical to processing the concatenated
     input sequentially.
@@ -108,7 +113,7 @@ def decayed_map_reduce(
             update(summary, record)
         mapper_outputs.append(partials)
 
-    return _shuffle_reduce(mapper_outputs, reducers)
+    return _shuffle_reduce(mapper_outputs, reducers, metrics=metrics)
 
 
 def decayed_map_reduce_by_name(
@@ -116,6 +121,7 @@ def decayed_map_reduce_by_name(
     splits: Sequence[Iterable[tuple]],
     key_of: Callable[[tuple], Hashable],
     reducers: int = 4,
+    metrics=None,
     **params,
 ) -> MapReduceResult:
     """Registry-driven MapReduce: summaries come from the summary registry.
@@ -163,28 +169,51 @@ def decayed_map_reduce_by_name(
             partials[key] = summary
         mapper_outputs.append(partials)
 
-    return _shuffle_reduce(mapper_outputs, reducers)
+    return _shuffle_reduce(mapper_outputs, reducers, metrics=metrics)
 
 
 def _shuffle_reduce(
-    mapper_outputs: list[dict[Hashable, S]], reducers: int
+    mapper_outputs: list[dict[Hashable, S]], reducers: int, metrics=None
 ) -> MapReduceResult[S]:
+    observing = metrics is not None and getattr(metrics, "enabled", False)
+
     # Shuffle: route each (key, partial) to its reducer.
     reducer_inputs: list[dict[Hashable, list[S]]] = [
         {} for __ in range(reducers)
     ]
+    shuffle_pairs = 0
+    shuffle_bytes = 0
     for partials in mapper_outputs:
         for key, summary in partials.items():
             reducer = int(hash_to_unit(key) * reducers) % reducers
             reducer_inputs[reducer].setdefault(key, []).append(summary)
+            if observing:
+                shuffle_pairs += 1
+                size = getattr(summary, "state_size_bytes", None)
+                if callable(size):
+                    shuffle_bytes += size()
 
     # Reduce: merge each key's partials.
     reduced: dict[Hashable, S] = {}
+    merges = 0
     for bucket in reducer_inputs:
         for key, partials_list in bucket.items():
             first = partials_list[0]
             for other in partials_list[1:]:
                 first.merge(other)
+                merges += 1
             reduced[key] = first
+
+    if observing:
+        metrics.counter("mapreduce.shuffle.pairs").add(float(shuffle_pairs))
+        if shuffle_bytes:
+            metrics.counter("mapreduce.shuffle.bytes").add(float(shuffle_bytes))
+        metrics.counter("mapreduce.reduce.keys").add(float(len(reduced)))
+        metrics.counter("mapreduce.reduce.merges").add(float(merges))
+        skew = metrics.hotkeys("mapreduce.reduce.skew", capacity=32)
+        for index, bucket in enumerate(reducer_inputs):
+            pairs = sum(len(v) for v in bucket.values())
+            if pairs:
+                skew.observe(f"reducer:{index}", weight=float(pairs))
 
     return MapReduceResult(reduced, mappers=len(mapper_outputs), reducers=reducers)

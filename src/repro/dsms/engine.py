@@ -76,6 +76,15 @@ class QueryEngine:
         first key ("the time bucket"); whenever its value changes, all
         groups of earlier buckets are finalized and queued for
         :meth:`drain`.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  When given
+        and enabled, this engine's ingest/flush/checkpoint paths record
+        forward-decayed metrics under the ``engine.<metrics_name>.``
+        prefix.  When None or disabled, the engine is byte-for-byte the
+        uninstrumented fast path — instrumentation works by shadowing
+        methods on the instance, not by per-tuple flag checks.
+    metrics_name:
+        Label used in metric names (defaults to ``"query"``).
     """
 
     def __init__(
@@ -85,6 +94,8 @@ class QueryEngine:
         two_level: bool = True,
         low_table_size: int = 4096,
         emit_on_bucket_change: bool = False,
+        metrics=None,
+        metrics_name: str = "query",
     ):
         if low_table_size < 1:
             raise QueryError(f"low_table_size must be >= 1, got {low_table_size!r}")
@@ -117,6 +128,11 @@ class QueryEngine:
         self._tuples_in = 0
         self._tuples_selected = 0
         self._low_evictions = 0
+        self._obs = None
+        if metrics is not None and getattr(metrics, "enabled", False):
+            from repro.obs.instrument import EngineInstrumentation
+
+            self._obs = EngineInstrumentation(self, metrics, metrics_name)
 
     # -- statistics ---------------------------------------------------------------
 
@@ -474,13 +490,30 @@ class QueryEngine:
         time buckets it has passed.  ``row`` must be shaped like a stream
         tuple (so the bucket expression can be evaluated) but is not
         counted, filtered, or aggregated.
+
+        Unlike a data tuple, a heartbeat only ever closes buckets it has
+        *passed*: a marker whose bucket does not sort after the current one
+        (a lagging upstream clock, a duplicate punctuation) is a no-op.  A
+        late data tuple must reopen its bucket because it carries content;
+        a late heartbeat carries nothing, so flushing the live bucket for
+        it would split that bucket's emission — results would then differ
+        from the same stream processed without heartbeats.
         """
         if not self._emit_on_bucket_change:
             return
         bucket = self._group_fns[0](row)
         if self._current_bucket is _NO_BUCKET:
             self._current_bucket = bucket
-        elif bucket != self._current_bucket:
+            return
+        if bucket == self._current_bucket:
+            return
+        try:
+            passed = bucket > self._current_bucket
+        except TypeError:
+            # Unorderable bucket labels: treat any change as progress, as
+            # the data path does.
+            passed = True
+        if passed:
             self._flush_bucket(self._current_bucket)
             self._current_bucket = bucket
 

@@ -1,0 +1,40 @@
+"""``repro.obs`` — self-instrumented observability for the engine.
+
+The paper's operational argument (Section VIII) is that forward decay
+keeps CPU and space tracking the undecayed computation; this package turns
+the library on itself: engine, serde, and shuffle hot paths record into
+forward-decayed metrics built from the repo's own summaries, and the
+``repro stats`` CLI renders the snapshot.
+"""
+
+from repro.obs.metrics import (
+    DecayedCounter,
+    DecayedRateGauge,
+    HotKeyTracker,
+    LastValueGauge,
+    LatencyQuantiles,
+)
+from repro.obs.registry import (
+    NULL_METRIC,
+    MetricsRegistry,
+    NullMetric,
+    format_snapshot,
+    load_snapshot,
+)
+from repro.obs.instrument import EngineInstrumentation, TimedUdaf, instrument_engine
+
+__all__ = [
+    "DecayedCounter",
+    "DecayedRateGauge",
+    "HotKeyTracker",
+    "LastValueGauge",
+    "LatencyQuantiles",
+    "MetricsRegistry",
+    "NullMetric",
+    "NULL_METRIC",
+    "format_snapshot",
+    "load_snapshot",
+    "EngineInstrumentation",
+    "TimedUdaf",
+    "instrument_engine",
+]

@@ -1,0 +1,447 @@
+"""Self-instrumentation primitives built from the repo's own summaries.
+
+The observability layer dogfoods the paper: every time-sensitive metric is a
+*forward-decayed* summary over wall-clock time, so recent behaviour is
+weighted up and history fades smoothly — with the Section III-A fixed-
+numerator trick intact.  A :class:`DecayedCounter` stores only the numerator
+``sum_i g(t_i - L) * amount_i`` for ``g(n) = exp(alpha * n)``; reads never
+rescale stored state, they apply the single division by ``g(now - L)``.
+Renormalization (Section VI-A) happens on the *write* path alone, when the
+exponent would otherwise overflow.
+
+Primitives:
+
+* :class:`DecayedCounter` — decayed event/amount count, O(1) read;
+* :class:`DecayedRateGauge` — events per second, exponentially faded;
+* :class:`LatencyQuantiles` — GK sketch over microsecond timings;
+* :class:`HotKeyTracker` — SpaceSaving over group keys, optionally decayed;
+* :class:`LastValueGauge` — most recent sample of a sampled quantity.
+
+All primitives take an injectable ``clock`` (default ``time.time``) and an
+explicit ``now=`` override on every operation, so tests drive them with a
+manual clock and snapshots are deterministic.  All of them merge, with
+landmark alignment, so registries from distributed workers can be combined
+(Section VI-B: merging only requires agreement on ``g``; landmarks are
+reconciled by a single rescale).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Hashable
+
+from repro.core.errors import MergeError, ParameterError
+from repro.sketches.gk import GKSummary
+from repro.sketches.spacesaving import WeightedSpaceSaving
+
+__all__ = [
+    "DecayedCounter",
+    "DecayedRateGauge",
+    "LatencyQuantiles",
+    "HotKeyTracker",
+    "LastValueGauge",
+]
+
+#: Renormalize once the forward exponent ``alpha * (now - L)`` passes this;
+#: exp(50) ~ 5e21 leaves ample headroom below float overflow even when
+#: multiplied by large amounts.
+_MAX_EXPONENT = 50.0
+
+Clock = Callable[[], float]
+
+
+def _alpha_for_half_life(half_life_s: float) -> float:
+    if not half_life_s > 0 or math.isnan(half_life_s) or math.isinf(half_life_s):
+        raise ParameterError(
+            f"half_life_s must be positive finite, got {half_life_s!r}"
+        )
+    return math.log(2.0) / half_life_s
+
+
+class DecayedCounter:
+    """Forward-exponentially-decayed counter over wall-clock time.
+
+    ``add(amount)`` folds in ``amount * g(now - L)`` with
+    ``g(n) = exp(alpha * n)`` — the item's *static* weight, fixed at arrival.
+    ``value()`` divides the stored numerator by ``g(now - L)`` once; by the
+    forward/backward equivalence for exponentials (Section III-A) the result
+    is exactly the backward-exponentially-decayed count.  Reads are O(1) and
+    never mutate state.
+    """
+
+    __slots__ = ("half_life_s", "alpha", "_clock", "_landmark", "_num", "_raw")
+
+    def __init__(
+        self,
+        half_life_s: float = 60.0,
+        clock: Clock | None = None,
+        landmark: float | None = None,
+    ):
+        self.half_life_s = float(half_life_s)
+        self.alpha = _alpha_for_half_life(half_life_s)
+        self._clock = clock if clock is not None else time.time
+        self._landmark = self._clock() if landmark is None else float(landmark)
+        self._num = 0.0
+        self._raw = 0.0
+
+    @property
+    def landmark(self) -> float:
+        """The current internal landmark ``L`` (moves only on renormalize)."""
+        return self._landmark
+
+    @property
+    def static_numerator(self) -> float:
+        """The stored fixed numerator ``sum_i g(t_i - L) * amount_i``."""
+        return self._num
+
+    @property
+    def raw_total(self) -> float:
+        """Undecayed sum of all amounts ever added."""
+        return self._raw
+
+    def _renormalize_to(self, landmark: float) -> None:
+        self._num *= math.exp(-self.alpha * (landmark - self._landmark))
+        self._landmark = landmark
+
+    def add(self, amount: float = 1.0, now: float | None = None) -> None:
+        """Fold ``amount`` in with the static weight ``g(now - L)``."""
+        now = self._clock() if now is None else now
+        exponent = self.alpha * (now - self._landmark)
+        if exponent > _MAX_EXPONENT:
+            self._renormalize_to(now)
+            exponent = 0.0
+        self._num += math.exp(exponent) * amount
+        self._raw += amount
+
+    def value(self, now: float | None = None) -> float:
+        """Decayed count at ``now``: one division by ``g(now - L)``."""
+        now = self._clock() if now is None else now
+        return self._num * math.exp(-self.alpha * (now - self._landmark))
+
+    def merge(self, other: "DecayedCounter") -> None:
+        """Fold ``other`` in, aligning landmarks by a single rescale."""
+        if not isinstance(other, DecayedCounter):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into DecayedCounter"
+            )
+        if not math.isclose(self.alpha, other.alpha, rel_tol=1e-12):
+            raise MergeError(
+                f"half-life mismatch: {self.half_life_s} vs {other.half_life_s}"
+            )
+        if other._landmark > self._landmark:
+            self._renormalize_to(other._landmark)
+        self._num += other._num * math.exp(
+            other.alpha * (other._landmark - self._landmark)
+        )
+        self._raw += other._raw
+
+    def snapshot(self, now: float | None = None) -> dict:
+        """JSON-compatible state summary."""
+        return {
+            "type": "counter",
+            "decayed": self.value(now),
+            "raw_total": self._raw,
+            "half_life_s": self.half_life_s,
+        }
+
+
+class DecayedRateGauge:
+    """Events (or amounts) per second, exponentially time-decayed.
+
+    A steady stream at rate ``r`` observed for long enough converges to
+    ``rate() == r``; after the stream stops the estimate fades with the
+    configured half-life.  The startup bias of plain ``alpha * count`` is
+    corrected with the finite-horizon mass ``(1 - exp(-alpha * E)) / alpha``
+    over the elapsed observation window ``E``.
+    """
+
+    __slots__ = ("_counter", "_clock", "_start")
+
+    def __init__(self, half_life_s: float = 60.0, clock: Clock | None = None):
+        self._clock = clock if clock is not None else time.time
+        self._counter = DecayedCounter(half_life_s, clock=self._clock)
+        self._start: float | None = None
+
+    @property
+    def half_life_s(self) -> float:
+        return self._counter.half_life_s
+
+    @property
+    def raw_total(self) -> float:
+        return self._counter.raw_total
+
+    def observe(self, amount: float = 1.0, now: float | None = None) -> None:
+        """Record ``amount`` worth of events at ``now``."""
+        now = self._clock() if now is None else now
+        if self._start is None:
+            self._start = now
+        self._counter.add(amount, now=now)
+
+    def rate(self, now: float | None = None) -> float:
+        """Decayed events/sec at ``now`` (0.0 before any observation)."""
+        if self._start is None:
+            return 0.0
+        now = self._clock() if now is None else now
+        elapsed = now - self._start
+        alpha = self._counter.alpha
+        if elapsed <= 0.0:
+            return 0.0
+        mass = (1.0 - math.exp(-alpha * elapsed)) / alpha
+        if mass <= 0.0:
+            return 0.0
+        return self._counter.value(now) / mass
+
+    def merge(self, other: "DecayedRateGauge") -> None:
+        """Combine another gauge, keeping the earliest observation start."""
+        if not isinstance(other, DecayedRateGauge):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into DecayedRateGauge"
+            )
+        self._counter.merge(other._counter)
+        if other._start is not None:
+            if self._start is None or other._start < self._start:
+                self._start = other._start
+
+    def snapshot(self, now: float | None = None) -> dict:
+        """Serializable view: current rate plus raw totals."""
+        return {
+            "type": "rate",
+            "per_sec": self.rate(now),
+            "raw_total": self._counter.raw_total,
+            "half_life_s": self._counter.half_life_s,
+        }
+
+
+class LatencyQuantiles:
+    """Approximate quantiles of microsecond timings via the GK sketch.
+
+    With ``half_life_s`` set, observations carry forward-decayed static
+    weights ``g(now - L)`` so the quantiles track *recent* latency; the GK
+    sketch stores the fixed numerators and the whole structure is rescaled
+    (a pure landmark shift, Section VI-A) only when the exponent grows too
+    large.  With the default ``half_life_s=None`` the sketch is unweighted.
+    """
+
+    __slots__ = (
+        "epsilon",
+        "alpha",
+        "half_life_s",
+        "_clock",
+        "_landmark",
+        "_gk",
+        "_count",
+    )
+
+    def __init__(
+        self,
+        epsilon: float = 0.01,
+        half_life_s: float | None = None,
+        clock: Clock | None = None,
+    ):
+        self.epsilon = epsilon
+        self.half_life_s = half_life_s
+        self.alpha = 0.0 if half_life_s is None else _alpha_for_half_life(half_life_s)
+        self._clock = clock if clock is not None else time.time
+        self._landmark = self._clock()
+        self._gk = GKSummary(epsilon)
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of observations folded in (undecayed)."""
+        return self._count
+
+    def observe(
+        self, value: float, weight: float = 1.0, now: float | None = None
+    ) -> None:
+        """Record one timing (any unit; callers here use microseconds)."""
+        if self.alpha:
+            now = self._clock() if now is None else now
+            exponent = self.alpha * (now - self._landmark)
+            if exponent > _MAX_EXPONENT:
+                self._gk.scale(math.exp(-exponent))
+                self._landmark = now
+                exponent = 0.0
+            weight = weight * math.exp(exponent)
+        self._gk.update(value, weight)
+        self._count += 1
+
+    def quantile(self, phi: float) -> float | None:
+        """The ``phi``-quantile, or None when nothing was observed."""
+        if len(self._gk) == 0:
+            return None
+        return self._gk.quantile(phi)
+
+    def merge(self, other: "LatencyQuantiles") -> None:
+        """Combine another sketch, aligning landmarks first (Section VI-B)."""
+        if not isinstance(other, LatencyQuantiles):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into LatencyQuantiles"
+            )
+        if (self.half_life_s is None) != (other.half_life_s is None) or (
+            self.half_life_s is not None
+            and not math.isclose(self.alpha, other.alpha, rel_tol=1e-12)
+        ):
+            raise MergeError(
+                f"half-life mismatch: {self.half_life_s} vs {other.half_life_s}"
+            )
+        factor = 1.0
+        if self.alpha:
+            if other._landmark > self._landmark:
+                self._gk.scale(
+                    math.exp(-self.alpha * (other._landmark - self._landmark))
+                )
+                self._landmark = other._landmark
+            factor = math.exp(self.alpha * (other._landmark - self._landmark))
+        self._gk.merge(other._gk, factor)
+        self._count += other._count
+
+    def snapshot(self, now: float | None = None) -> dict:
+        """Serializable view: count plus p50/p90/p99."""
+        return {
+            "type": "latency",
+            "count": self._count,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "epsilon": self.epsilon,
+        }
+
+
+class HotKeyTracker:
+    """Top-k keys by (optionally forward-decayed) weight, via SpaceSaving.
+
+    Theorem 2 of the paper: decayed heavy hitters reduce to *weighted*
+    heavy hitters over static weights ``g(t_i - L)``.  That is exactly what
+    this tracker feeds into :class:`WeightedSpaceSaving`; queries divide by
+    the single normalizer ``g(now - L)`` so reported weights are decayed.
+    """
+
+    __slots__ = ("capacity", "alpha", "half_life_s", "_clock", "_landmark", "_ss")
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        half_life_s: float | None = None,
+        clock: Clock | None = None,
+    ):
+        self.capacity = capacity
+        self.half_life_s = half_life_s
+        self.alpha = 0.0 if half_life_s is None else _alpha_for_half_life(half_life_s)
+        self._clock = clock if clock is not None else time.time
+        self._landmark = self._clock()
+        self._ss = WeightedSpaceSaving(capacity)
+
+    @property
+    def total_weight(self) -> float:
+        """Total static weight folded in (numerator scale)."""
+        return self._ss.total_weight
+
+    def observe(
+        self, key: Hashable, weight: float = 1.0, now: float | None = None
+    ) -> None:
+        """Add ``weight`` to ``key``."""
+        if self.alpha:
+            now = self._clock() if now is None else now
+            exponent = self.alpha * (now - self._landmark)
+            if exponent > _MAX_EXPONENT:
+                self._ss.scale(math.exp(-exponent))
+                self._landmark = now
+                exponent = 0.0
+            weight = weight * math.exp(exponent)
+        self._ss.update(key, weight)
+
+    def top(
+        self, k: int = 5, now: float | None = None
+    ) -> list[tuple[Hashable, float, float]]:
+        """The ``k`` heaviest keys as ``(key, decayed_weight, decayed_error)``.
+
+        Sorted heaviest-first; ties broken by key repr for determinism.
+        """
+        normalizer = 1.0
+        if self.alpha:
+            now = self._clock() if now is None else now
+            normalizer = math.exp(self.alpha * (now - self._landmark))
+        counters = sorted(
+            self._ss.counters(),
+            key=lambda c: (-c.count, repr(c.item)),
+        )
+        return [
+            (c.item, c.count / normalizer, c.error / normalizer)
+            for c in counters[:k]
+        ]
+
+    def merge(self, other: "HotKeyTracker") -> None:
+        """Combine another tracker, aligning landmarks first (Section VI-B)."""
+        if not isinstance(other, HotKeyTracker):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into HotKeyTracker"
+            )
+        if (self.half_life_s is None) != (other.half_life_s is None) or (
+            self.half_life_s is not None
+            and not math.isclose(self.alpha, other.alpha, rel_tol=1e-12)
+        ):
+            raise MergeError(
+                f"half-life mismatch: {self.half_life_s} vs {other.half_life_s}"
+            )
+        factor = 1.0
+        if self.alpha:
+            if other._landmark > self._landmark:
+                self._ss.scale(
+                    math.exp(-self.alpha * (other._landmark - self._landmark))
+                )
+                self._landmark = other._landmark
+            factor = math.exp(self.alpha * (other._landmark - self._landmark))
+        self._ss.merge(other._ss, factor)
+
+    def snapshot(self, now: float | None = None, k: int = 5) -> dict:
+        """Serializable view: the top ``k`` keys with weights and errors."""
+        return {
+            "type": "hotkeys",
+            "capacity": self.capacity,
+            "top": [
+                {"key": repr(key), "weight": weight, "error": error}
+                for key, weight, error in self.top(k, now=now)
+            ],
+        }
+
+
+class LastValueGauge:
+    """Most recent sample of a sampled quantity (e.g. state bytes).
+
+    Merging keeps the later-stamped sample, so merged registries report the
+    freshest observation across workers.
+    """
+
+    __slots__ = ("_clock", "_value", "_stamp")
+
+    def __init__(self, clock: Clock | None = None):
+        self._clock = clock if clock is not None else time.time
+        self._value: float | None = None
+        self._stamp: float | None = None
+
+    def set(self, value: float, now: float | None = None) -> None:
+        """Record the latest sample."""
+        self._value = value
+        self._stamp = self._clock() if now is None else now
+
+    def value(self) -> float | None:
+        """The latest sample, or None before any ``set``."""
+        return self._value
+
+    def merge(self, other: "LastValueGauge") -> None:
+        """Keep whichever sample was recorded later."""
+        if not isinstance(other, LastValueGauge):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into LastValueGauge"
+            )
+        if other._stamp is not None and (
+            self._stamp is None or other._stamp >= self._stamp
+        ):
+            self._value = other._value
+            self._stamp = other._stamp
+
+    def snapshot(self, now: float | None = None) -> dict:
+        """Serializable view: the latest sample."""
+        return {"type": "gauge", "value": self._value}

@@ -37,7 +37,6 @@ from repro.core.protocol import (
     untag_key,
 )
 from repro.core.registry import register_summary
-from repro.sampling.weighted_reservoir import decayed_log_weight
 
 __all__ = ["PrioritySampler", "PrioritySample", "estimate_decayed_sum"]
 

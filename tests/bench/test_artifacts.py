@@ -1,0 +1,159 @@
+"""Tests for BENCH artifacts and the regression gate."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.bench.artifacts import (
+    ARTIFACT_VERSION,
+    collect_stats,
+    compare_artifacts,
+    environment_stamp,
+    format_comparison,
+    load_artifact,
+    run_bench_suite,
+    write_artifact,
+)
+from repro.core.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    """One tiny suite run shared by every test in this module."""
+    return run_bench_suite(name="test", scale=0.05, repeats=1)
+
+
+class TestArtifactShape:
+    def test_envelope_fields(self, artifact):
+        assert artifact["name"] == "test"
+        assert artifact["version"] == ARTIFACT_VERSION
+        assert artifact["config"]["repeats"] == 1
+        assert artifact["config"]["trace_tuples"] > 0
+        env = artifact["environment"]
+        assert env["python"] and env["platform"]
+
+    def test_entries_cover_both_figures(self, artifact):
+        names = artifact["entries"]
+        assert any(name.startswith("fig2a.") for name in names)
+        assert any(name.startswith("fig4a.") for name in names)
+        entry = names["fig2a.no_decay.ns_per_tuple"]
+        assert entry["value"] > 0 and entry["unit"] == "ns"
+
+    def test_absolute_timings_ungated_relative_costs_gated(self, artifact):
+        for name, entry in artifact["entries"].items():
+            if name.endswith(".ns_per_tuple") or name.endswith(".tuples_per_sec"):
+                assert not entry["gate"], name
+            if name.endswith(".relative_cost") or name.endswith(".state_bytes"):
+                assert entry["gate"], name
+        # The baselines themselves carry no relative-cost entry.
+        assert "fig2a.no_decay.relative_cost" not in artifact["entries"]
+        assert "fig4a.unary_hh_no_decay.relative_cost" not in artifact["entries"]
+
+    def test_write_load_round_trip(self, artifact, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_artifact(artifact, str(path))
+        assert load_artifact(str(path)) == artifact
+
+    def test_load_rejects_bad_artifacts(self, tmp_path):
+        bad_version = tmp_path / "v.json"
+        bad_version.write_text('{"version": 99, "entries": {}}')
+        with pytest.raises(ParameterError):
+            load_artifact(str(bad_version))
+        no_entries = tmp_path / "e.json"
+        no_entries.write_text('{"version": 1}')
+        with pytest.raises(ParameterError):
+            load_artifact(str(no_entries))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            run_bench_suite(scale=0.0)
+        with pytest.raises(ParameterError):
+            run_bench_suite(repeats=0)
+
+    def test_environment_stamp_shape(self):
+        stamp = environment_stamp()
+        assert set(stamp) == {
+            "python",
+            "implementation",
+            "platform",
+            "machine",
+            "cpu_count",
+            "git_rev",
+        }
+
+
+class TestCompare:
+    def test_identical_artifacts_pass(self, artifact):
+        report = compare_artifacts(artifact, artifact, threshold=2.0)
+        assert report["regressions"] == []
+        assert all(row["status"] == "ok" for row in report["rows"])
+
+    def test_gated_regression_flagged(self, artifact):
+        worse = copy.deepcopy(artifact)
+        name = "fig2a.fwd_exp.relative_cost"
+        worse["entries"][name]["value"] *= 3.0
+        report = compare_artifacts(artifact, worse, threshold=2.0)
+        assert report["regressions"] == [name]
+        assert "REGRESSED" in format_comparison(report)
+
+    def test_ungated_change_never_fails(self, artifact):
+        worse = copy.deepcopy(artifact)
+        worse["entries"]["fig2a.no_decay.ns_per_tuple"]["value"] *= 100.0
+        report = compare_artifacts(artifact, worse, threshold=2.0)
+        assert report["regressions"] == []
+
+    def test_higher_is_better_direction(self, artifact):
+        entry = {
+            "value": 100.0,
+            "unit": "x",
+            "gate": True,
+            "higher_is_better": True,
+        }
+        base = {"name": "b", "entries": {"m": dict(entry)}}
+        ok = {"name": "c", "entries": {"m": dict(entry, value=60.0)}}
+        bad = {"name": "c", "entries": {"m": dict(entry, value=40.0)}}
+        assert compare_artifacts(base, ok, threshold=2.0)["regressions"] == []
+        assert compare_artifacts(base, bad, threshold=2.0)["regressions"] == ["m"]
+
+    def test_missing_gated_entry_is_a_regression(self, artifact):
+        partial = copy.deepcopy(artifact)
+        del partial["entries"]["fig2a.fwd_exp.relative_cost"]
+        report = compare_artifacts(artifact, partial, threshold=2.0)
+        assert "fig2a.fwd_exp.relative_cost" in report["regressions"]
+        assert "MISSING" in format_comparison(report)
+
+    def test_improvements_pass(self, artifact):
+        better = copy.deepcopy(artifact)
+        for entry in better["entries"].values():
+            if not entry["higher_is_better"]:
+                entry["value"] *= 0.5
+        report = compare_artifacts(artifact, better, threshold=2.0)
+        assert report["regressions"] == []
+
+    def test_rejects_threshold_below_one(self, artifact):
+        with pytest.raises(ParameterError):
+            compare_artifacts(artifact, artifact, threshold=0.5)
+
+    def test_zero_baseline_handled(self):
+        entry = {
+            "value": 0.0,
+            "unit": "x",
+            "gate": True,
+            "higher_is_better": False,
+        }
+        base = {"name": "b", "entries": {"m": entry}}
+        grown = {"name": "c", "entries": {"m": dict(entry, value=1.0)}}
+        report = compare_artifacts(base, grown, threshold=2.0)
+        assert report["regressions"] == ["m"]
+
+
+class TestCollectStats:
+    def test_instrumented_pass_populates_registry(self):
+        metrics = collect_stats(scale=0.05)
+        names = metrics.names()
+        assert "engine.no_decay.ingest.tuples" in names
+        assert "engine.unary_hh_no_decay.ingest.tuples" in names
+        snap = metrics.snapshot()
+        assert snap["metrics"]["engine.no_decay.ingest.rate"]["per_sec"] > 0

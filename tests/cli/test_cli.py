@@ -99,3 +99,97 @@ class TestFigureCommand:
     def test_unknown_figure_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
+
+
+class TestBenchCommand:
+    @pytest.fixture(scope="class")
+    def bench_dir(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("bench")
+        stats = out_dir / ".repro_stats.json"
+        assert main([
+            "bench", "smoke", "--out-dir", str(out_dir),
+            "--scale", "0.05", "--repeats", "1",
+            "--stats-out", str(stats),
+        ]) == 0
+        return out_dir
+
+    def test_writes_artifact_and_stats(self, bench_dir):
+        from repro.bench.artifacts import load_artifact
+
+        artifact = load_artifact(str(bench_dir / "BENCH_smoke.json"))
+        assert artifact["name"] == "smoke"
+        assert artifact["entries"]
+        assert (bench_dir / ".repro_stats.json").exists()
+
+    def test_stats_renders_text(self, bench_dir, capsys):
+        assert main([
+            "stats", "--in", str(bench_dir / ".repro_stats.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "decayed rates" in out
+        assert "hot keys" in out
+        assert "engine.no_decay.ingest.latency_us" in out
+
+    def test_stats_json_reports_required_fields(self, bench_dir, capsys):
+        import json
+
+        assert main([
+            "stats", "--json", "--in", str(bench_dir / ".repro_stats.json"),
+        ]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        metrics = snap["metrics"]
+        rate = metrics["engine.no_decay.ingest.rate"]
+        assert rate["per_sec"] > 0
+        latency = metrics["engine.no_decay.ingest.latency_us"]
+        assert latency["p50"] is not None and latency["p99"] is not None
+        hot = metrics["engine.no_decay.hot_keys"]
+        assert 1 <= len(hot["top"]) <= 5
+
+    def test_no_stats_flag_skips_snapshot(self, tmp_path):
+        assert main([
+            "bench", "smoke", "--out-dir", str(tmp_path),
+            "--scale", "0.05", "--repeats", "1", "--no-stats",
+            "--stats-out", str(tmp_path / "stats.json"),
+        ]) == 0
+        assert not (tmp_path / "stats.json").exists()
+
+    def test_stats_missing_snapshot_errors(self, tmp_path, capsys):
+        assert main(["stats", "--in", str(tmp_path / "absent.json")]) == 2
+        assert "no stats snapshot" in capsys.readouterr().err
+
+
+class TestCompareScript:
+    def test_compare_cli_gate(self, tmp_path):
+        import json
+        import pathlib
+        import subprocess
+        import sys
+
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        out_dir = tmp_path
+        assert main([
+            "bench", "smoke", "--out-dir", str(out_dir),
+            "--scale", "0.05", "--repeats", "1", "--no-stats",
+        ]) == 0
+        artifact_path = out_dir / "BENCH_smoke.json"
+        ok = subprocess.run(
+            [sys.executable, str(repo / "benchmarks" / "compare.py"),
+             str(artifact_path), str(artifact_path)],
+            capture_output=True, text=True,
+        )
+        assert ok.returncode == 0, ok.stderr
+        assert "no regressions" in ok.stdout
+
+        worse = json.loads(artifact_path.read_text())
+        for name, entry in worse["entries"].items():
+            if name.endswith(".relative_cost"):
+                entry["value"] *= 10.0
+        worse_path = out_dir / "BENCH_worse.json"
+        worse_path.write_text(json.dumps(worse))
+        bad = subprocess.run(
+            [sys.executable, str(repo / "benchmarks" / "compare.py"),
+             str(artifact_path), str(worse_path)],
+            capture_output=True, text=True,
+        )
+        assert bad.returncode == 1, bad.stdout
+        assert "REGRESSED" in bad.stdout

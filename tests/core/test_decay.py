@@ -20,7 +20,7 @@ from repro.core.functions import (
     PolynomialG,
     SlidingWindowF,
 )
-from tests.conftest import PAPER_LANDMARK, PAPER_QUERY_TIME, PAPER_STREAM
+from tests.conftest import PAPER_QUERY_TIME, PAPER_STREAM
 
 
 class TestForwardDecay:

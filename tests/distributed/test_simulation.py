@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.aggregates import DecayedCount, DecayedSum
+from repro.core.aggregates import DecayedSum
 from repro.core.decay import ForwardDecay
 from repro.core.errors import ParameterError
 from repro.core.functions import ExponentialG, PolynomialG
@@ -12,7 +12,6 @@ from repro.core.heavy_hitters import DecayedHeavyHitters
 from repro.distributed.simulation import (
     DistributedAggregation,
     hash_partitioner,
-    round_robin_partitioner,
 )
 from repro.workloads.synthetic import zipf_stream
 

@@ -187,6 +187,55 @@ class TestBucketEmission:
         engine.heartbeat((999, "", "", 0, 0, ""))
         assert engine.drain() == []
 
+    def test_late_heartbeat_is_noop(self, registry):
+        """A heartbeat lagging the current bucket must not split emission.
+
+        Regression test: ``heartbeat`` used to flush on *any* bucket
+        change, so a late heartbeat stamped in an already-closed bucket
+        prematurely flushed the live bucket and its rows came out split.
+        """
+        query = parse_query(
+            "select tb, count(*) as c from TCP group by time/60 as tb", registry
+        )
+        engine = QueryEngine(query, SCHEMA, emit_on_bucket_change=True)
+        engine.process((65, "s1", "h1", 80, 100, "tcp"))  # minute 1 opens
+        engine.heartbeat((30, "", "", 0, 0, ""))  # late marker in minute 0
+        assert engine.drain() == []  # minute 1 stays open
+        engine.process((70, "s2", "h1", 80, 100, "tcp"))  # more minute-1 data
+        assert engine.flush() == [{"tb": 1, "c": 2}]  # one row, not split
+
+    def test_heartbeat_matches_heartbeat_free_run(self, registry):
+        """Interleaving heartbeats never changes the emitted rows."""
+        sql = "select tb, count(*) as c from TCP group by time/60 as tb"
+        data = [
+            (0, "s1", "h1", 80, 100, "tcp"),
+            (65, "s2", "h1", 80, 100, "tcp"),
+            (70, "s1", "h2", 443, 100, "tcp"),
+            (130, "s3", "h1", 80, 100, "tcp"),
+        ]
+        plain = QueryEngine(
+            parse_query(sql, registry), SCHEMA, emit_on_bucket_change=True
+        )
+        noisy = QueryEngine(
+            parse_query(sql, registry), SCHEMA, emit_on_bucket_change=True
+        )
+        for row in data:
+            plain.process(row)
+            noisy.process(row)
+            # Duplicate, equal, and *late* heartbeats after every tuple.
+            noisy.heartbeat((row[0], "", "", 0, 0, ""))
+            noisy.heartbeat((max(0, row[0] - 120), "", "", 0, 0, ""))
+        assert plain.drain() + plain.flush() == noisy.drain() + noisy.flush()
+
+    def test_heartbeat_same_bucket_is_noop(self, registry):
+        query = parse_query(
+            "select tb, count(*) as c from TCP group by time/60 as tb", registry
+        )
+        engine = QueryEngine(query, SCHEMA, emit_on_bucket_change=True)
+        engine.process(ROWS[0])
+        engine.heartbeat((ROWS[0][0] + 1, "", "", 0, 0, ""))  # same minute
+        assert engine.drain() == []
+
     def test_heartbeat_before_any_data(self, registry):
         query = parse_query(
             "select tb, count(*) as c from TCP group by time/60 as tb", registry

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import QueryError
-from repro.dsms.expressions import BinaryOp, Column, Comparison, Literal
+from repro.dsms.expressions import BinaryOp, Column
 from repro.dsms.parser import parse_query
 from repro.dsms.udaf import default_registry
 

@@ -1,0 +1,23 @@
+"""Shared fixtures for the observability-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+
+class ManualClock:
+    """A settable clock so decayed metrics are tested deterministically."""
+
+    def __init__(self, start: float = 1_000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> ManualClock:
+    return ManualClock()

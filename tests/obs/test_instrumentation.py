@@ -1,0 +1,216 @@
+"""Conformance tests for hot-path instrumentation.
+
+The non-negotiable property: attaching metrics NEVER changes results.
+Instrumented, disabled-registry, and uninstrumented engines must emit
+bit-identical rows over the same stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import registry as summary_registry
+from repro.core.serde import dump_summary, load_summary
+from repro.distributed.mapreduce import decayed_map_reduce
+from repro.dsms.engine import QueryEngine
+from repro.dsms.parser import parse_query
+from repro.dsms.schema import Field, FieldType, Schema
+from repro.dsms.udaf import default_registry
+from repro.obs.instrument import TimedUdaf, instrument_engine
+from repro.obs.registry import MetricsRegistry
+
+SCHEMA = Schema(
+    [
+        Field("time", FieldType.INT),
+        Field("srcIP", FieldType.STR),
+        Field("destIP", FieldType.STR),
+        Field("destPort", FieldType.INT),
+        Field("len", FieldType.INT),
+        Field("proto", FieldType.STR),
+    ]
+)
+
+SQL = (
+    "select tb, destIP, count(*) as c, sum(len) as s from TCP "
+    "where proto = 'tcp' group by time/60 as tb, destIP"
+)
+
+
+def make_rows(n: int = 500) -> list[tuple]:
+    rows = []
+    for i in range(n):
+        rows.append(
+            (
+                i // 4,
+                f"10.0.0.{i % 7}",
+                f"192.168.0.{i % 5}",
+                80 if i % 3 else 443,
+                40 + (i * 13) % 1400,
+                "tcp" if i % 10 else "udp",
+            )
+        )
+    return rows
+
+
+def run_engine(metrics=None, rows=None, batch: int | None = None):
+    rows = make_rows() if rows is None else rows
+    engine = QueryEngine(
+        parse_query(SQL, default_registry()), SCHEMA, metrics=metrics
+    )
+    if batch is None:
+        for row in rows:
+            engine.process(row)
+    else:
+        for begin in range(0, len(rows), batch):
+            engine.insert_many(rows[begin:begin + batch])
+    return engine.flush()
+
+
+class TestResultsUnchanged:
+    def test_instrumented_results_bit_identical(self):
+        metrics = MetricsRegistry(enabled=True)
+        assert run_engine(metrics=metrics) == run_engine(metrics=None)
+
+    def test_disabled_registry_results_bit_identical(self):
+        disabled = MetricsRegistry(enabled=False)
+        assert run_engine(metrics=disabled) == run_engine(metrics=None)
+
+    def test_disabled_registry_leaves_engine_untouched(self):
+        engine = QueryEngine(
+            parse_query(SQL, default_registry()),
+            SCHEMA,
+            metrics=MetricsRegistry(enabled=False),
+        )
+        # No instance-level method shadowing, no UDAF wrapping.
+        assert "process" not in engine.__dict__
+        assert engine._obs is None
+        plans = engine._agg_plans
+        assert not any(isinstance(plan.udaf, TimedUdaf) for plan in plans)
+
+    def test_batched_instrumented_results_bit_identical(self):
+        metrics = MetricsRegistry(enabled=True)
+        assert run_engine(metrics=metrics, batch=64) == run_engine(batch=64)
+
+    def test_checkpoint_restore_round_trip_instrumented(self):
+        rows = make_rows()
+        metrics = MetricsRegistry(enabled=True)
+        engine = QueryEngine(
+            parse_query(SQL, default_registry()), SCHEMA, metrics=metrics
+        )
+        for row in rows[:250]:
+            engine.process(row)
+        data = engine.checkpoint()
+        resumed = QueryEngine(parse_query(SQL, default_registry()), SCHEMA)
+        resumed.restore(data)
+        for row in rows[250:]:
+            resumed.process(row)
+        assert resumed.flush() == run_engine(rows=rows)
+        snap = metrics.snapshot()["metrics"]
+        assert snap["engine.query.checkpoint_us"]["count"] == 1
+
+
+class TestRecordedMetrics:
+    def test_expected_metric_names_appear(self):
+        metrics = MetricsRegistry(enabled=True)
+        run_engine(metrics=metrics)
+        names = metrics.names()
+        for suffix in (
+            "ingest.tuples",
+            "ingest.selected",
+            "ingest.rate",
+            "ingest.latency_us",
+            "rows.emitted",
+            "hot_keys",
+            "state_bytes",
+            "flush_us",
+        ):
+            assert f"engine.query.{suffix}" in names
+
+    def test_counts_match_engine_statistics(self):
+        rows = make_rows()
+        metrics = MetricsRegistry(enabled=True)
+        run_engine(metrics=metrics, rows=rows)
+        snap = metrics.snapshot()["metrics"]
+        assert snap["engine.query.ingest.tuples"]["raw_total"] == len(rows)
+        tcp = sum(1 for row in rows if row[5] == "tcp")
+        assert snap["engine.query.ingest.selected"]["raw_total"] == tcp
+        assert snap["engine.query.ingest.latency_us"]["count"] == len(rows)
+
+    def test_hot_keys_track_group_keys_not_time_buckets(self):
+        metrics = MetricsRegistry(enabled=True)
+        run_engine(metrics=metrics)
+        top = metrics.get("engine.query.hot_keys").top(5)
+        keys = [key for key, _, _ in top]
+        # Group is (tb, destIP); the tracker should surface destIPs.
+        assert all(isinstance(key, str) and key.startswith("192.") for key in keys)
+
+    def test_batched_path_records_batch_sizes_and_udaf_timings(self):
+        metrics = MetricsRegistry(enabled=True)
+        run_engine(metrics=metrics, batch=64)
+        snap = metrics.snapshot()["metrics"]
+        assert snap["engine.query.ingest.batch_size"]["p50"] == pytest.approx(
+            64.0, rel=0.1
+        )
+        assert snap["engine.query.udaf.sum.update_many_us"]["count"] > 0
+        assert snap["engine.query.udaf.sum.batched_items"]["raw_total"] > 0
+
+    def test_instrument_engine_helper(self):
+        engine = QueryEngine(parse_query(SQL, default_registry()), SCHEMA)
+        assert instrument_engine(engine, None) is None
+        assert instrument_engine(engine, MetricsRegistry(enabled=False)) is None
+        inst = instrument_engine(engine, MetricsRegistry(enabled=True))
+        assert inst is not None and engine.__dict__["process"] == inst._process
+
+
+class TestSerdeMetrics:
+    def test_checkpoint_and_restore_recorded(self):
+        summary = summary_registry.create_summary("decayed_sum")
+        summary.update(1.0, 10.0)
+        metrics = MetricsRegistry(enabled=True)
+        envelope = dump_summary(summary, metrics=metrics)
+        restored = load_summary(envelope, metrics=metrics)
+        assert dump_summary(restored) == envelope
+        snap = metrics.snapshot()["metrics"]
+        assert snap["serde.checkpoint.summaries"]["raw_total"] == 1
+        assert snap["serde.restore.summaries"]["raw_total"] == 1
+        assert snap["serde.checkpoint.state_bytes"]["raw_total"] > 0
+
+    def test_serde_without_metrics_unchanged(self):
+        summary = summary_registry.create_summary("decayed_sum")
+        summary.update(1.0, 10.0)
+        assert dump_summary(summary) == dump_summary(summary, metrics=None)
+
+
+class TestMapReduceMetrics:
+    def _run(self, metrics=None):
+        splits = [
+            [(f"key{i % 3}", float(i)) for i in range(s * 20, s * 20 + 20)]
+            for s in range(4)
+        ]
+        return decayed_map_reduce(
+            splits,
+            key_of=lambda record: record[0],
+            summary_factory=lambda: summary_registry.create_summary("decayed_sum"),
+            update=lambda summary, record: summary.update(record[1], record[1]),
+            reducers=2,
+            metrics=metrics,
+        )
+
+    def test_shuffle_sizes_recorded(self):
+        metrics = MetricsRegistry(enabled=True)
+        result = self._run(metrics=metrics)
+        snap = metrics.snapshot()["metrics"]
+        # 4 mappers x 3 keys shuffle 12 partials into 2 reducers.
+        assert snap["mapreduce.shuffle.pairs"]["raw_total"] == 12
+        assert snap["mapreduce.shuffle.bytes"]["raw_total"] > 0
+        assert snap["mapreduce.reduce.keys"]["raw_total"] == len(result)
+        assert snap["mapreduce.reduce.merges"]["raw_total"] == 12 - 3
+        skew = metrics.get("mapreduce.reduce.skew").top(4)
+        assert sum(weight for _, weight, _ in skew) == pytest.approx(12.0)
+
+    def test_results_identical_with_and_without_metrics(self):
+        plain = self._run()
+        observed = self._run(metrics=MetricsRegistry(enabled=True))
+        assert sorted(plain.keys()) == sorted(observed.keys())
+        for key in plain.keys():
+            assert dump_summary(plain[key]) == dump_summary(observed[key])

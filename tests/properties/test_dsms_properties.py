@@ -11,9 +11,6 @@ from repro.dsms.engine import QueryEngine
 from repro.dsms.expressions import (
     BinaryOp,
     Column,
-    Comparison,
-    Expression,
-    FunctionCall,
     Literal,
     UnaryOp,
 )

@@ -94,7 +94,6 @@ def test_exponential_summaries_accept_any_finite_time():
 
 def test_exceptions_share_the_library_base():
     """Callers can catch DecayError at an integration boundary."""
-    decay = _decay()
     caught = 0
     for name, summary, update in _summaries():
         try:

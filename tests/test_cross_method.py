@@ -18,7 +18,7 @@ import random
 import pytest
 
 from repro.core.aggregates import DecayedCount, DecayedSum
-from repro.core.decay import BackwardDecay, ForwardDecay
+from repro.core.decay import ForwardDecay
 from repro.core.functions import ExponentialF, ExponentialG, PolynomialG
 from repro.core.heavy_hitters import DecayedHeavyHitters
 from repro.dsms.engine import QueryEngine
