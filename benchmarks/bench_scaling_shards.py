@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Shard-scaling benchmark: multi-core ingest throughput vs shard count.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scaling_shards.py \
+        [--out BENCH_scaling.json] [--shards 1 2 4 8] [--repeats 3] \
+        [--scale 1.0] [--inline] [--report-only]
+
+Runs the smoke count/sum workload through ``repro.parallel.ShardedEngine``
+at each shard count and prints items/sec against the single-process
+``QueryEngine`` baseline.  Writes the standard ``BENCH_scaling.json``
+artifact (merge correctness and state bytes are the gated entries;
+throughput is host-dependent and recorded only).
+
+On hosts with at least 4 cores the script *asserts* a >= 1.8x ingest
+speedup at 4 shard processes — the paper's Section VI-B claim that
+fixed-numerator decay parallelizes like undecayed aggregation, made
+measurable.  On smaller hosts (and in CI, via ``--report-only``) the
+speedup is reported but not enforced: with fewer cores than shards the
+workers time-slice a single CPU and a speedup is physically impossible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.artifacts import write_artifact  # noqa: E402
+from repro.bench.scaling import run_scaling_suite  # noqa: E402
+
+#: Acceptance floor: 4 shard processes must beat the single-process
+#: baseline by this factor on a host with enough cores to run them.
+SPEEDUP_FLOOR = 1.8
+SPEEDUP_SHARDS = 4
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_scaling.json",
+        help="artifact path (default BENCH_scaling.json)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8],
+        help="shard counts to sweep (default: 1 2 4 8)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing passes (median kept)"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="trace rate multiplier"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=1024, help="rows per shipped batch"
+    )
+    parser.add_argument(
+        "--inline",
+        action="store_true",
+        help="run shards in-process (no worker processes; isolates "
+        "routing/merge overhead from IPC)",
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="never assert the speedup floor (CI mode)",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        action="store_true",
+        help="assert the speedup floor even on hosts with < 4 cores",
+    )
+    args = parser.parse_args(argv)
+
+    artifact = run_scaling_suite(
+        scale=args.scale,
+        repeats=args.repeats,
+        shard_counts=tuple(args.shards),
+        batch_size=args.batch_size,
+        inline=args.inline,
+    )
+    write_artifact(artifact, args.out)
+
+    entries = artifact["entries"]
+    baseline = entries["scaling.baseline.tuples_per_sec"]["value"]
+    cores = os.cpu_count() or 1
+    mode = "inline" if args.inline else "process"
+    print(f"shard scaling ({mode} shards, {cores} core(s), "
+          f"{artifact['config']['trace_tuples']:,} tuples)")
+    print(f"{'shards':>6} {'tuples/s':>12} {'speedup':>8} "
+          f"{'state bytes':>12} {'merge':>6}")
+    print(f"{'base':>6} {baseline:>12,.0f} {'1.00x':>8} {'-':>12} {'-':>6}")
+    for shards in args.shards:
+        prefix = f"scaling.shards{shards}"
+        rate = entries[f"{prefix}.tuples_per_sec"]["value"]
+        speedup = entries[f"{prefix}.speedup"]["value"]
+        state = entries[f"{prefix}.state_bytes"]["value"]
+        exact = entries[f"{prefix}.merge_exact"]["value"] == 1.0
+        print(f"{shards:>6} {rate:>12,.0f} {speedup:>7.2f}x "
+              f"{state:>12,.0f} {'ok' if exact else 'FAIL':>6}")
+    print(f"wrote {args.out}")
+
+    failures = []
+    for shards in args.shards:
+        if entries[f"scaling.shards{shards}.merge_exact"]["value"] != 1.0:
+            failures.append(
+                f"sharded result at {shards} shard(s) does not match the "
+                "unsharded engine"
+            )
+    target = f"scaling.shards{SPEEDUP_SHARDS}.speedup"
+    if target in entries and not args.inline:
+        speedup = entries[target]["value"]
+        enforce = args.assert_speedup or (
+            not args.report_only and cores >= SPEEDUP_SHARDS
+        )
+        if enforce and speedup < SPEEDUP_FLOOR:
+            failures.append(
+                f"speedup at {SPEEDUP_SHARDS} shards is {speedup:.2f}x, "
+                f"below the {SPEEDUP_FLOOR:.1f}x floor"
+            )
+        elif speedup < SPEEDUP_FLOOR:
+            print(
+                f"note: speedup at {SPEEDUP_SHARDS} shards is "
+                f"{speedup:.2f}x (< {SPEEDUP_FLOOR:.1f}x floor; not "
+                f"enforced on a {cores}-core host)"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,13 +87,24 @@ def _slug(name: str) -> str:
     return slug.strip("_")
 
 
-def _entry(value: float, unit: str, gate: bool, higher_is_better: bool = False) -> dict:
-    return {
+def _entry(
+    value: float,
+    unit: str,
+    gate: bool,
+    higher_is_better: bool = False,
+    exact: bool = False,
+) -> dict:
+    entry = {
         "value": value,
         "unit": unit,
         "gate": gate,
         "higher_is_better": higher_is_better,
     }
+    if exact:
+        # Exact entries tolerate no drift at all: correctness booleans and
+        # other quantities where "within 2x" would be meaningless.
+        entry["exact"] = True
+    return entry
 
 
 def _measure_suite(
@@ -248,9 +259,12 @@ def compare_artifacts(baseline: dict, current: dict, threshold: float = 2.0) -> 
 
     ``threshold`` is a worsening *factor*: a gated lower-is-better entry
     regresses when ``current > baseline * threshold``; higher-is-better when
-    ``current < baseline / threshold``.  Ungated entries are reported for
-    context only.  Gated entries missing from ``current`` count as
-    regressions (a silently dropped benchmark must not pass the gate).
+    ``current < baseline / threshold``.  Entries marked ``exact`` (merge
+    correctness and other booleans) regress on *any* difference from the
+    baseline value — the threshold does not apply to them.  Ungated entries
+    are reported for context only.  Gated entries missing from ``current``
+    count as regressions (a silently dropped benchmark must not pass the
+    gate).
     """
     if threshold < 1.0:
         raise ParameterError(f"threshold must be >= 1.0, got {threshold!r}")
@@ -272,7 +286,9 @@ def compare_artifacts(baseline: dict, current: dict, threshold: float = 2.0) -> 
             ratio = cur_value / base_value
         else:
             ratio = float("inf") if cur_value > 0 else 1.0
-        if base.get("higher_is_better"):
+        if base.get("exact"):
+            regressed = base["gate"] and cur_value != base_value
+        elif base.get("higher_is_better"):
             regressed = base["gate"] and ratio < 1.0 / threshold
         else:
             regressed = base["gate"] and ratio > threshold
@@ -283,6 +299,7 @@ def compare_artifacts(baseline: dict, current: dict, threshold: float = 2.0) -> 
                 "name": name,
                 "status": "regressed" if regressed else "ok",
                 "gate": base["gate"],
+                "exact": bool(base.get("exact")),
                 "baseline": base_value,
                 "current": cur_value,
                 "ratio": ratio,
@@ -309,13 +326,17 @@ def format_comparison(report: dict) -> str:
         if row["status"] == "missing":
             lines.append(
                 f"{row['name']:<44} {'-':>12} {'-':>12} {'-':>7}  "
-                f"{'yes' if row['gate'] else 'no':<4} MISSING"
+                f"{'yes' if row['gate'] else 'no':<5} MISSING"
             )
             continue
+        if row.get("exact") and row["gate"]:
+            gate_label = "exact"
+        else:
+            gate_label = "yes" if row["gate"] else "no"
         lines.append(
             f"{row['name']:<44} {row['baseline']:>12,.1f} "
             f"{row['current']:>12,.1f} {row['ratio']:>6.2f}x  "
-            f"{'yes' if row['gate'] else 'no':<4} "
+            f"{gate_label:<5} "
             f"{'REGRESSED' if row['status'] == 'regressed' else 'ok'}"
         )
     count = len(report["regressions"])

@@ -1,0 +1,155 @@
+"""Shard-scaling benchmark: ingest throughput vs shard count.
+
+Measures the payoff of :class:`~repro.parallel.sharded.ShardedEngine`:
+items/sec at 1/2/4/8 shard worker processes against the single-process
+:class:`~repro.dsms.engine.QueryEngine` baseline, on the smoke workload
+(the fig2a count/sum query).  Emits a ``BENCH_scaling.json`` artifact in
+the standard format.
+
+Gating follows the repo's host-independence rule: throughput and speedup
+are *recorded but not gated* (they depend on core count — a single-core
+host legitimately shows < 1x), while the entries that must never change —
+shard-merge correctness (the sharded result equals the unsharded engine
+bit-for-bit on the count/sum workload) and serialized partial-state volume
+(deterministic under :func:`~repro.parallel.sharded.stable_route`) — are
+gated, correctness exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+from repro.bench.artifacts import ARTIFACT_VERSION, _entry, environment_stamp
+from repro.bench.runners import build_trace
+from repro.core.errors import ParameterError
+from repro.dsms.engine import QueryEngine
+from repro.dsms.parser import parse_query
+from repro.dsms.udaf import default_registry
+from repro.parallel.sharded import ShardedEngine, stable_route
+from repro.workloads.netflow import PACKET_SCHEMA
+
+__all__ = ["SCALING_SQL", "run_scaling_suite"]
+
+#: The smoke workload: the fig2a undecayed count/sum query — mergeable
+#: builtins, so the sharded result must match the unsharded one exactly.
+SCALING_SQL = (
+    "select tb, destIP, destPort, count(*) as c, sum(len) as s "
+    "from TCP group by time/60 as tb, destIP, destPort"
+)
+
+_SCALING_DURATION_SEC = 2.0
+_SCALING_RATE_PER_SEC = 5_000.0
+
+
+def _time_baseline(trace, batch_size: int, repeats: int):
+    """Single-process batched ingest: (median items/sec, result rows)."""
+    rows = None
+    rates = []
+    for __ in range(repeats):
+        engine = QueryEngine(
+            parse_query(SCALING_SQL, default_registry()), PACKET_SCHEMA
+        )
+        start = time.perf_counter_ns()
+        for begin in range(0, len(trace), batch_size):
+            engine.insert_many(trace[begin:begin + batch_size])
+        elapsed = time.perf_counter_ns() - start
+        rates.append(len(trace) / (elapsed / 1e9))
+        rows = engine.flush()
+    return statistics.median(rates), rows
+
+
+def _time_sharded(trace, shards: int, processes: int | None,
+                  batch_size: int, repeats: int):
+    """Sharded ingest+drain: (median items/sec, rows, state bytes)."""
+    rates = []
+    rows = None
+    state_bytes = 0
+    for __ in range(repeats):
+        with ShardedEngine(
+            SCALING_SQL,
+            PACKET_SCHEMA,
+            shards=shards,
+            processes=processes,
+            batch_size=batch_size,
+            router=stable_route,
+        ) as engine:
+            start = time.perf_counter_ns()
+            engine.insert_many(trace)
+            # partial_states() is the drain barrier: every shipped batch
+            # has been folded into a worker engine once it returns.
+            blobs = engine.partial_states()
+            elapsed = time.perf_counter_ns() - start
+            rates.append(len(trace) / (elapsed / 1e9))
+            state_bytes = sum(len(blob) for blob in blobs)
+            rows = engine.query()
+    return statistics.median(rates), rows, state_bytes
+
+
+def run_scaling_suite(
+    name: str = "scaling",
+    scale: float = 1.0,
+    repeats: int = 3,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    batch_size: int = 1024,
+    inline: bool = False,
+) -> dict:
+    """Run the shard-scaling suite, returning a BENCH artifact dict.
+
+    ``inline=True`` runs every shard in-process (``processes=0``) — useful
+    for isolating routing/merge overhead from IPC cost.  ``scale``
+    multiplies the trace rate, as in the other suites.
+    """
+    if scale <= 0:
+        raise ParameterError(f"scale must be positive, got {scale!r}")
+    if repeats < 1:
+        raise ParameterError(f"repeats must be >= 1, got {repeats!r}")
+    trace = build_trace(
+        duration_sec=_SCALING_DURATION_SEC,
+        rate_per_sec=_SCALING_RATE_PER_SEC * scale,
+    )
+    entries: dict[str, dict] = {}
+    baseline_rate, baseline_rows = _time_baseline(trace, batch_size, repeats)
+    entries["scaling.baseline.tuples_per_sec"] = _entry(
+        baseline_rate, "tuples/s", gate=False, higher_is_better=True
+    )
+    speedups: dict[int, float] = {}
+    for shards in shard_counts:
+        rate, rows, state_bytes = _time_sharded(
+            trace, shards, 0 if inline else None, batch_size, repeats
+        )
+        speedups[shards] = rate / baseline_rate
+        prefix = f"scaling.shards{shards}"
+        entries[f"{prefix}.tuples_per_sec"] = _entry(
+            rate, "tuples/s", gate=False, higher_is_better=True
+        )
+        entries[f"{prefix}.speedup"] = _entry(
+            rate / baseline_rate, "x baseline", gate=False,
+            higher_is_better=True,
+        )
+        entries[f"{prefix}.state_bytes"] = _entry(
+            float(state_bytes), "bytes", gate=True
+        )
+        entries[f"{prefix}.merge_exact"] = _entry(
+            1.0 if rows == baseline_rows else 0.0, "bool", gate=True,
+            higher_is_better=True, exact=True,
+        )
+    return {
+        "name": name,
+        "version": ARTIFACT_VERSION,
+        "created": time.time(),
+        "environment": environment_stamp(),
+        "config": {
+            "trace_tuples": len(trace),
+            "scale": scale,
+            "repeats": repeats,
+            "shard_counts": list(shard_counts),
+            "batch_size": batch_size,
+            "inline": inline,
+            "cpu_count": os.cpu_count(),
+            "sql": SCALING_SQL,
+        },
+        "entries": entries,
+        "speedups": {str(k): v for k, v in speedups.items()},
+    }

@@ -43,13 +43,23 @@ def merge_all(summaries: Iterable[M]) -> M:
     ------
     MergeError
         If the iterable is empty, or any pair is incompatible (different
-        decay functions, landmarks, or structural parameters).
+        decay functions, landmarks, or structural parameters).  The error
+        names the 0-based position of the offending element, so a caller
+        merging many per-site or per-shard partials can tell which one
+        broke the fold.
     """
     iterator = iter(summaries)
     try:
         first = next(iterator)
     except StopIteration:
-        raise MergeError("merge_all requires at least one summary") from None
-    for other in iterator:
-        first.merge(other)
+        raise MergeError(
+            "merge_all requires at least one summary (got an empty iterable)"
+        ) from None
+    for index, other in enumerate(iterator, start=1):
+        try:
+            first.merge(other)
+        except MergeError as error:
+            raise MergeError(
+                f"merge_all failed at element {index}: {error}"
+            ) from error
     return first

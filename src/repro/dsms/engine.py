@@ -24,15 +24,28 @@ the benchmark harness measures.
 
 from __future__ import annotations
 
+import json
+
 from typing import Callable, Iterable, Iterator
 
-from repro.core.errors import QueryError
+from repro.core.errors import MergeError, QueryError
+from repro.core.protocol import (
+    StreamSummary,
+    decode_number,
+    encode_number,
+    tag_key,
+    untag_key,
+)
 from repro.dsms.parser import Query, SelectItem
 from repro.dsms.schema import Schema
 
-__all__ = ["QueryEngine", "ResultRow", "run_query"]
+__all__ = ["QueryEngine", "ResultRow", "run_query", "PARTIAL_STATE_VERSION"]
 
 ResultRow = dict[str, object]
+
+#: Version byte leading every :meth:`QueryEngine.partial_state_bytes` buffer;
+#: bumped whenever the partial-state layout changes.
+PARTIAL_STATE_VERSION = 1
 
 
 class _AggPlan:
@@ -523,11 +536,17 @@ class QueryEngine:
         self._emitted = []
         return emitted
 
-    def flush(self) -> list[ResultRow]:
-        """Finalize everything still open and return all pending results."""
+    def _drain_low(self) -> None:
+        """Merge every low-level partial upward (a merge-neutral operation:
+        the same states end up in the high table, so finalized results are
+        unchanged — associativity of the aggregate merges)."""
         if self.two_level:
             for key in list(self._low):
                 self._merge_up(key, self._low.pop(key))
+
+    def flush(self) -> list[ResultRow]:
+        """Finalize everything still open and return all pending results."""
+        self._drain_low()
         rows = [
             self._finalize_group(key, self._high.pop(key))
             for key in sorted(self._high, key=repr)
@@ -585,6 +604,155 @@ class QueryEngine:
         self._tuples_in = data["tuples_in"]
         self._tuples_selected = data["tuples_selected"]
         self._low_evictions = data["low_evictions"]
+
+    # -- partial state (Section VI-B at engine granularity) -----------------------
+
+    def partial_state(self) -> dict:
+        """Flush-consistent snapshot of all live group state, mergeable.
+
+        This is the shard-worker half of the paper's distributed story:
+        per-site summaries computed for the same decay function and
+        landmark merge exactly, so a parallel engine ships *state*, not
+        tuples, at query time.  The snapshot covers every aggregate the
+        engine supports:
+
+        * mergeable builtin states (plain scalar lists) are embedded
+          directly;
+        * sketch/sampler UDAF states (:class:`StreamSummary` subclasses)
+          go through :func:`repro.core.serde.dump_summary`, the same
+          versioned payload as checkpointing.
+
+        The low-level table is drained upward first, so the snapshot is
+        identical whether the engine ran single- or two-level and the
+        engine keeps ingesting afterwards with unchanged results.  Open
+        time buckets are recorded (not emitted): merging partials must not
+        split a bucket's emission, exactly like the heartbeat rule.
+        """
+        from repro.core.serde import dump_summary
+
+        self._drain_low()
+        groups = []
+        for key in sorted(self._high, key=repr):
+            encoded = []
+            for state in self._high[key]:
+                if isinstance(state, StreamSummary):
+                    encoded.append(["summary", dump_summary(state)])
+                else:
+                    encoded.append(["plain", [encode_number(v) for v in state]])
+            groups.append([[tag_key(part) for part in key], encoded])
+        return {
+            "version": PARTIAL_STATE_VERSION,
+            "query": self.query.sql(),
+            "schema": self.schema.names(),
+            "groups": groups,
+            "bucket": (None if self._current_bucket is _NO_BUCKET
+                       else [tag_key(self._current_bucket)]),
+            "tuples_in": self._tuples_in,
+            "tuples_selected": self._tuples_selected,
+            "low_evictions": self._low_evictions,
+        }
+
+    def partial_state_bytes(self) -> bytes:
+        """:meth:`partial_state` as a versioned wire buffer.
+
+        Layout mirrors :meth:`repro.core.protocol.StreamSummary.to_bytes`:
+        one version byte followed by a UTF-8 JSON body.  This is what shard
+        workers ship to the merge site.
+        """
+        body = json.dumps(
+            self.partial_state(), separators=(",", ":"), allow_nan=False
+        )
+        return bytes([PARTIAL_STATE_VERSION]) + body.encode("utf-8")
+
+    def merge_partial(self, data: dict | bytes | bytearray) -> None:
+        """Fold a :meth:`partial_state` snapshot into this engine.
+
+        Accepts either the dict or the :meth:`partial_state_bytes` buffer.
+        Group states merge pairwise: builtin states via their UDAF's
+        ``merge``, summary states via :meth:`StreamSummary.merge` — which
+        is where decay-function/landmark compatibility is enforced, as the
+        paper requires (any mismatch raises
+        :class:`~repro.core.errors.MergeError`).  Snapshots of a different
+        query or schema are rejected up front.
+
+        The snapshot's open bucket is adopted only when this engine has
+        none (the fresh-restore case); merging shards never closes a
+        bucket.  Tuple counters accumulate, so engine statistics reflect
+        the union of the merged substreams.
+        """
+        from repro.core.serde import load_summary
+
+        if isinstance(data, (bytes, bytearray)):
+            if not data:
+                raise MergeError("cannot merge an empty partial-state buffer")
+            if data[0] != PARTIAL_STATE_VERSION:
+                raise MergeError(
+                    f"unsupported partial-state version {data[0]} "
+                    f"(expected {PARTIAL_STATE_VERSION})"
+                )
+            try:
+                data = json.loads(bytes(data[1:]).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise MergeError(f"malformed partial-state buffer: {exc}") from exc
+        if data.get("version") != PARTIAL_STATE_VERSION:
+            raise MergeError(
+                f"unsupported partial-state version {data.get('version')!r}"
+            )
+        if data.get("query") != self.query.sql():
+            raise MergeError(
+                "partial state is for a different query: "
+                f"{data.get('query')!r} vs {self.query.sql()!r}"
+            )
+        if data.get("schema") != self.schema.names():
+            raise MergeError(
+                "partial state is for a different schema: "
+                f"{data.get('schema')!r} vs {self.schema.names()!r}"
+            )
+        self._drain_low()
+        high = self._high
+        for key_tags, encoded in data["groups"]:
+            key = tuple(untag_key(tag) for tag in key_tags)
+            theirs = [
+                load_summary(payload) if kind == "summary"
+                else [decode_number(v) for v in payload]
+                for kind, payload in encoded
+            ]
+            mine = high.get(key)
+            if mine is None:
+                high[key] = theirs
+                continue
+            for plan, own, other in zip(self._agg_plans, mine, theirs):
+                if plan.udaf.mergeable:
+                    plan.udaf.merge(own, other)
+                elif isinstance(own, StreamSummary):
+                    own.merge(other)
+                else:  # pragma: no cover - no such UDAF ships today
+                    raise MergeError(
+                        f"aggregate {plan.alias!r} has unmergeable state "
+                        f"{type(own).__name__}"
+                    )
+        bucket = data.get("bucket")
+        if bucket is not None and self._current_bucket is _NO_BUCKET:
+            self._current_bucket = untag_key(bucket[0])
+        self._tuples_in += data["tuples_in"]
+        self._tuples_selected += data["tuples_selected"]
+        self._low_evictions += data["low_evictions"]
+
+    def merge(self, other: "QueryEngine") -> None:
+        """Absorb another engine's live state (same query and schema).
+
+        Makes engines themselves :class:`~repro.core.merge.Mergeable`, so a
+        list of per-shard engines folds with
+        :func:`repro.core.merge.merge_all` like any other summary.  Routed
+        through the partial-state encoding — one code path for in-process
+        and cross-process merging.  ``other`` keeps its state (its low
+        table is drained upward, which does not change its results).
+        """
+        if not isinstance(other, QueryEngine):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into QueryEngine"
+            )
+        self.merge_partial(other.partial_state())
 
     def state_size_bytes(self) -> int:
         """Total aggregate state held, summed over groups and levels."""

@@ -296,6 +296,18 @@ class WeightedHHUdaf(Udaf):
     def update(self, state: WeightedSpaceSaving, args: tuple) -> None:
         state.update(args[0], args[1])
 
+    def update_many(
+        self, state: WeightedSpaceSaving, args_batch: list[tuple]
+    ) -> None:
+        # Transpose the batch into columns so the summary's own batched
+        # path runs (the engine and shard workers ship whole batches here).
+        if not args_batch:
+            return
+        state.update_many(
+            [args[0] for args in args_batch],
+            [args[1] for args in args_batch],
+        )
+
     def finalize(self, state: WeightedSpaceSaving) -> list[tuple]:
         return [
             (c.item, c.count, c.error) for c in state.heavy_hitters(self.phi)
@@ -320,6 +332,13 @@ class UnaryHHUdaf(Udaf):
 
     def update(self, state: UnarySpaceSaving, args: tuple) -> None:
         state.update(args[0])
+
+    def update_many(
+        self, state: UnarySpaceSaving, args_batch: list[tuple]
+    ) -> None:
+        if not args_batch:
+            return
+        state.update_many([args[0] for args in args_batch])
 
     def finalize(self, state: UnarySpaceSaving) -> list[tuple]:
         return [

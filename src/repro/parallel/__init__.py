@@ -1,0 +1,13 @@
+"""Multi-core sharded ingestion (the Section VI-B merge property, for real).
+
+:class:`~repro.parallel.sharded.ShardedEngine` hash-partitions a stream by
+GROUP BY key across shard worker processes, each running a private
+:class:`~repro.dsms.engine.QueryEngine`, and answers queries by merging
+serde-encoded partial states — the parallel pattern the paper's fixed
+numerators make exact.
+"""
+
+from repro.parallel.sharded import ShardedEngine, stable_route
+from repro.parallel.worker import ShardPlan, shard_worker_main
+
+__all__ = ["ShardedEngine", "ShardPlan", "shard_worker_main", "stable_route"]

@@ -1,0 +1,407 @@
+"""Key-partitioned multi-core ingestion with merge-at-query (Section VI-B).
+
+The paper's fixed-numerator decomposition makes decayed aggregation
+parallelize like undecayed aggregation: summaries computed per shard *for
+the same g and landmark* merge exactly, so the only coordination a parallel
+engine needs is at query time.  :class:`ShardedEngine` applies that at
+process granularity:
+
+* tuples are hash-partitioned by GROUP BY key across ``shards`` workers,
+  each owning a private :class:`~repro.dsms.engine.QueryEngine` built from
+  the same query text;
+* batches ship over bounded queues (the backpressure boundary) and ingest
+  through the engine's batched ``insert_many`` path;
+* queries collect serde-encoded partial states and fold them with
+  :func:`repro.core.merge.merge_all` — landmark/decay compatibility is
+  checked at merge, exactly as the paper requires.
+
+Partitioning by group key means no group is split across shards, but
+correctness does not depend on it: merge-at-query combines same-key
+partials from any routing (``shard_key`` routes on a raw column instead
+when computing the full key in the router would dominate).
+
+``processes=0`` runs the same sharding, batching, and serde-merge pipeline
+inline in one process — bit-identical to the multiprocess mode for a given
+router, which is what the determinism tests pin: the sharded result equals
+the unsharded engine exactly for commutative exact aggregates (count/sum/
+min/max/avg over integer-valued data; float-valued sums agree within
+reassociation tolerance, see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Callable, Iterable
+
+from repro.core.errors import ParameterError, QueryError
+from repro.core.merge import merge_all
+from repro.core.protocol import StreamSummary
+from repro.dsms.engine import QueryEngine, ResultRow
+from repro.dsms.schema import Schema
+from repro.dsms.udaf import UdafRegistry, default_registry
+from repro.parallel.worker import ShardPlan, shard_worker_main
+from repro.sketches.kmv import hash_to_unit
+
+__all__ = ["ShardedEngine"]
+
+
+def stable_route(key: object, shards: int) -> int:
+    """Deterministic shard assignment (blake2b, not builtin ``hash``).
+
+    Stable across processes, runs, and hosts — what the benchmarks use so
+    per-shard numbers are reproducible.  The builtin-``hash`` default is
+    faster but randomized per interpreter for strings.
+    """
+    return int(hash_to_unit(key) * shards) % shards
+
+
+class ShardedEngine:
+    """Multiprocess sharded ingestion for one GSQL query.
+
+    Parameters
+    ----------
+    sql:
+        Query text.  Workers re-parse it against their own registry, so
+        only text and configuration ever cross the process boundary.
+    schema:
+        Schema of the source stream.
+    shards:
+        Number of partitions == number of shard workers.
+    processes:
+        ``None`` (default) runs one OS process per shard; ``0`` runs every
+        shard inline in this process — same code path minus the IPC, for
+        determinism tests and single-core hosts.  Other values are
+        rejected: partitions and workers are one-to-one by design.
+    batch_size:
+        Rows buffered per shard before a batch ships to its worker.
+    queue_depth:
+        Bound of each worker's input queue, in batches.  A full queue
+        blocks the router — backpressure, not unbounded buffering.
+    registry_factory / registry_params:
+        How workers (and the local parse) build the UDAF registry;
+        defaults to :func:`~repro.dsms.udaf.default_registry`.  The
+        factory must be picklable under spawn start methods.
+    two_level / low_table_size:
+        Forwarded to every worker's :class:`QueryEngine`.
+    shard_key:
+        Optional schema column name to route on (cheap tuple index)
+        instead of evaluating the GROUP BY expressions in the router.
+    router:
+        Optional ``(key, shards) -> shard`` override; e.g.
+        :func:`stable_route` for run-to-run deterministic partitioning.
+        Default is builtin ``hash``.
+    start_method:
+        Forwarded to :func:`multiprocessing.get_context` (None = platform
+        default).
+    metrics:
+        Optional enabled :class:`~repro.obs.registry.MetricsRegistry`;
+        records per-shard throughput (``parallel.shard<i>.rows``), queue
+        depth at send time, merged-state volume, and merge latency under
+        ``parallel.*``.  None/disabled leaves the hot path untouched.
+    """
+
+    def __init__(
+        self,
+        sql: str,
+        schema: Schema,
+        shards: int = 4,
+        processes: int | None = None,
+        *,
+        batch_size: int = 512,
+        queue_depth: int = 8,
+        registry_factory: Callable[..., UdafRegistry] = default_registry,
+        registry_params: dict | None = None,
+        two_level: bool = True,
+        low_table_size: int = 4096,
+        shard_key: str | None = None,
+        router: Callable[[object, int], int] | None = None,
+        start_method: str | None = None,
+        metrics=None,
+    ):
+        if shards < 1:
+            raise ParameterError(f"shards must be >= 1, got {shards!r}")
+        if processes not in (None, 0, shards):
+            raise ParameterError(
+                f"processes must be None (one per shard) or 0 (inline), "
+                f"got {processes!r} for {shards} shard(s)"
+            )
+        if batch_size < 1:
+            raise ParameterError(f"batch_size must be >= 1, got {batch_size!r}")
+        if queue_depth < 1:
+            raise ParameterError(f"queue_depth must be >= 1, got {queue_depth!r}")
+        self.shards = shards
+        self.inline = processes == 0
+        self.batch_size = batch_size
+        self._plan = ShardPlan(
+            sql=sql,
+            schema=schema,
+            two_level=two_level,
+            low_table_size=low_table_size,
+            registry_factory=registry_factory,
+            registry_params=dict(registry_params or {}),
+        )
+        # Local plan: validates the query against the schema up front and
+        # provides the compiled GROUP BY expressions for routing.
+        template = self._plan.build_engine()
+        self._validate_shardable(template)
+        self.parsed_query = template.query
+        self.schema = schema
+        self._group_fns = tuple(
+            g.expression.compile(schema) for g in template.query.group_by
+        )
+        if shard_key is not None:
+            self._shard_index: int | None = schema.index_of(shard_key)
+        else:
+            self._shard_index = None
+        if router is not None:
+            self._router = router
+        else:
+            # Builtin hash is the fast default; randomized per interpreter
+            # for strings, but routing happens only in this process, and
+            # merge-at-query is correct under any placement.
+            self._router = lambda key, n: hash(key) % n
+        self._buffers: list[list[tuple]] = [[] for __ in range(shards)]
+        self._rows_routed = 0
+        self._round_robin = 0
+        self._closed = False
+        self._workers: list = []
+        self._queues: list = []
+        self._conns: list = []
+        self._engines: list[QueryEngine] = []
+        self._obs_init(metrics)
+        if self.inline:
+            self._engines = [self._plan.build_engine() for __ in range(shards)]
+        else:
+            context = multiprocessing.get_context(start_method)
+            for shard in range(shards):
+                queue = context.Queue(maxsize=queue_depth)
+                parent_conn, child_conn = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=shard_worker_main,
+                    args=(self._plan, shard, queue, child_conn),
+                    daemon=True,
+                    name=f"repro-shard-{shard}",
+                )
+                process.start()
+                child_conn.close()
+                self._queues.append(queue)
+                self._conns.append(parent_conn)
+                self._workers.append(process)
+
+    @staticmethod
+    def _validate_shardable(template: QueryEngine) -> None:
+        """Reject queries whose per-group state cannot merge.
+
+        Mergeable builtins merge by definition; sketch adapters merge via
+        their :class:`StreamSummary` state.  Sampler states (reservoir and
+        friends) keep RNG-path-dependent state with no merge rule, so a
+        sharded run could not match any single-stream semantics — fail at
+        plan time with a clear message rather than at the first query.
+        """
+        for plan in template._agg_plans:
+            if plan.udaf.mergeable:
+                continue
+            probe = plan.udaf.create()
+            if (
+                not isinstance(probe, StreamSummary)
+                or type(probe).merge is StreamSummary.merge
+            ):
+                raise QueryError(
+                    f"aggregate {plan.udaf.name!r} (select item "
+                    f"{plan.alias!r}) has unmergeable state and cannot be "
+                    "sharded; run it on a single engine"
+                )
+
+    def _obs_init(self, metrics) -> None:
+        self._obs = metrics is not None and getattr(metrics, "enabled", False)
+        if not self._obs:
+            return
+        self._m_shard_rows = [
+            metrics.counter(f"parallel.shard{i}.rows") for i in range(self.shards)
+        ]
+        self._m_batches = metrics.counter("parallel.batches")
+        self._m_queue_depth = metrics.gauge("parallel.queue.depth")
+        self._m_merge_us = metrics.latency("parallel.query.merge_us")
+        self._m_state_bytes = metrics.counter("parallel.query.state_bytes")
+
+    # -- routing / ingestion ------------------------------------------------------
+
+    def _route(self, row: tuple) -> int:
+        fns = self._group_fns
+        if self._shard_index is not None:
+            key: object = row[self._shard_index]
+        elif not fns:
+            # No GROUP BY: a single global group; any placement merges
+            # correctly, so spread load round-robin.
+            shard = self._round_robin
+            self._round_robin = (shard + 1) % self.shards
+            return shard
+        elif len(fns) == 1:
+            key = fns[0](row)
+        else:
+            key = tuple(fn(row) for fn in fns)
+        return self._router(key, self.shards)
+
+    def process(self, row: tuple) -> None:
+        """Route one tuple to its shard (batched; see ``batch_size``)."""
+        self._ensure_open()
+        shard = self._route(row)
+        buffer = self._buffers[shard]
+        buffer.append(row)
+        self._rows_routed += 1
+        if len(buffer) >= self.batch_size:
+            self._ship(shard)
+
+    def insert_many(self, rows: Iterable[tuple]) -> None:
+        """Route a batch of tuples, shipping full per-shard buffers."""
+        self._ensure_open()
+        buffers = self._buffers
+        route = self._route
+        batch_size = self.batch_size
+        full: set[int] = set()
+        count = 0
+        for row in rows:
+            shard = route(row)
+            buffer = buffers[shard]
+            buffer.append(row)
+            count += 1
+            if len(buffer) >= batch_size:
+                full.add(shard)
+        self._rows_routed += count
+        for shard in full:
+            self._ship(shard)
+
+    def _ship(self, shard: int) -> None:
+        buffer = self._buffers[shard]
+        if not buffer:
+            return
+        self._buffers[shard] = []
+        if self.inline:
+            self._engines[shard].insert_many(buffer)
+        else:
+            queue = self._queues[shard]
+            if self._obs:
+                try:
+                    self._m_queue_depth.set(float(queue.qsize()))
+                except NotImplementedError:  # pragma: no cover - macOS qsize
+                    pass
+            queue.put(("rows", buffer))  # blocks when full: backpressure
+        if self._obs:
+            self._m_shard_rows[shard].add(float(len(buffer)))
+            self._m_batches.add(1.0)
+
+    def _ship_all(self) -> None:
+        for shard in range(self.shards):
+            self._ship(shard)
+
+    # -- querying -----------------------------------------------------------------
+
+    def partial_states(self) -> list[bytes]:
+        """One serde-encoded partial state per shard (pending rows shipped
+        first).  Workers keep their state and keep ingesting."""
+        self._ensure_open()
+        self._ship_all()
+        if self.inline:
+            return [engine.partial_state_bytes() for engine in self._engines]
+        for queue in self._queues:
+            queue.put(("state",))
+        blobs: list[bytes] = []
+        for shard, conn in enumerate(self._conns):
+            try:
+                reply = conn.recv()
+            except EOFError:
+                raise QueryError(
+                    f"shard worker {shard} died before answering; "
+                    "check for exceptions in the worker log"
+                ) from None
+            if reply[0] == "error":
+                raise QueryError(f"shard worker failed: {reply[1]}")
+            blobs.append(reply[1])
+        return blobs
+
+    def query(self) -> list[ResultRow]:
+        """Merged results over everything ingested so far.
+
+        Collects every shard's partial state, folds the per-shard collector
+        engines with :func:`~repro.core.merge.merge_all`, and finalizes —
+        HAVING / ORDER BY / LIMIT apply to the merged groups, identically
+        to an unsharded flush.  Ingestion may continue afterwards; a later
+        ``query()`` reflects the longer prefix (merge-at-query).
+        """
+        blobs = self.partial_states()
+        start = time.perf_counter_ns() if self._obs else 0
+        collectors = []
+        for blob in blobs:
+            collector = self._plan.build_engine()
+            collector.merge_partial(blob)
+            collectors.append(collector)
+        combined = merge_all(collectors)
+        rows = combined.flush()
+        if self._obs:
+            elapsed_us = (time.perf_counter_ns() - start) / 1e3
+            self._m_merge_us.observe(elapsed_us)
+            self._m_state_bytes.add(float(sum(len(b) for b in blobs)))
+        return rows
+
+    # -- statistics ---------------------------------------------------------------
+
+    @property
+    def rows_routed(self) -> int:
+        """Tuples accepted by the router so far (shipped or buffered)."""
+        return self._rows_routed
+
+    def stats(self) -> dict:
+        """Router-side statistics plus per-shard buffered counts."""
+        return {
+            "shards": self.shards,
+            "inline": self.inline,
+            "rows_routed": self._rows_routed,
+            "buffered": [len(b) for b in self._buffers],
+            "batch_size": self.batch_size,
+        }
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise QueryError("ShardedEngine is closed")
+
+    def close(self) -> dict:
+        """Stop the workers; returns per-shard ingested-tuple counts.
+
+        Idempotent.  Pending buffered rows are shipped first so every
+        routed tuple is accounted for in the returned counts.
+        """
+        if self._closed:
+            return {"tuples_per_shard": []}
+        counts: list[int] = []
+        if self.inline:
+            self._ship_all()
+            counts = [engine.tuples_processed for engine in self._engines]
+        else:
+            self._ship_all()
+            for queue in self._queues:
+                queue.put(("stop",))
+            for conn in self._conns:
+                try:
+                    reply = conn.recv()
+                    counts.append(reply[1] if reply[0] == "stopped" else -1)
+                except EOFError:
+                    counts.append(-1)
+                conn.close()
+            for process in self._workers:
+                process.join(timeout=10.0)
+                if process.is_alive():  # pragma: no cover - hung worker
+                    process.terminate()
+            for queue in self._queues:
+                queue.close()
+                queue.join_thread()
+        self._closed = True
+        return {"tuples_per_shard": counts}
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

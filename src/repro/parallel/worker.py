@@ -1,0 +1,102 @@
+"""Shard worker: one process, one private :class:`QueryEngine`.
+
+The worker side of :class:`repro.parallel.sharded.ShardedEngine`.  Each
+worker rebuilds its engine from a :class:`ShardPlan` — query *text*, schema,
+and registry configuration, never compiled closures — so the plan pickles
+under any multiprocessing start method (fork, spawn, forkserver).
+
+Protocol (messages on the worker's bounded input queue, in order):
+
+``("rows", [tuple, ...])``
+    Ingest one batch via the engine's batched ``insert_many`` path.
+``("state",)``
+    Reply on the result pipe with ``("state", partial_state_bytes)`` —
+    the serde-encoded snapshot of everything ingested so far.  The worker
+    keeps its state and keeps ingesting: merge-at-query, not
+    merge-per-batch.
+``("stop",)``
+    Reply ``("stopped", tuples_in)`` and exit.
+
+Any exception inside the loop is reported as ``("error", message)`` on the
+result pipe before the worker exits, so the parent can surface it instead
+of deadlocking on a silent child death.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dsms.engine import QueryEngine
+from repro.dsms.parser import parse_query
+from repro.dsms.schema import Schema
+from repro.dsms.udaf import UdafRegistry, default_registry
+
+__all__ = ["ShardPlan", "shard_worker_main"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Everything a worker needs to rebuild the shared query plan.
+
+    ``registry_factory`` must be picklable (a module-level callable) when
+    the spawn start method is in play; under fork anything works.  The
+    default is :func:`repro.dsms.udaf.default_registry` with
+    ``registry_params`` as keyword arguments, which covers every builtin
+    and adapter aggregate.
+    """
+
+    sql: str
+    schema: Schema
+    two_level: bool = True
+    low_table_size: int = 4096
+    registry_factory: Callable[..., UdafRegistry] = default_registry
+    registry_params: dict = field(default_factory=dict)
+
+    def build_engine(self) -> QueryEngine:
+        """Parse the query with a freshly built registry and plan it.
+
+        Each worker gets private UDAF instances (samplers count per-group
+        RNG streams on the UDAF object), so shards never share mutable
+        plan state.
+        """
+        registry = self.registry_factory(**self.registry_params)
+        query = parse_query(self.sql, registry)
+        return QueryEngine(
+            query,
+            self.schema,
+            two_level=self.two_level,
+            low_table_size=self.low_table_size,
+        )
+
+
+def shard_worker_main(plan: ShardPlan, shard_id: int, in_queue, conn) -> None:
+    """Run one shard's ingest loop until ``("stop",)`` arrives.
+
+    ``in_queue`` is a bounded ``multiprocessing.Queue`` (the backpressure
+    boundary: the parent's ``put`` blocks when this worker falls behind);
+    ``conn`` is the worker end of a one-way ``multiprocessing.Pipe``.
+    Runs equally well in-process (the inline ``processes=0`` mode and the
+    unit tests drive it with pre-loaded queues).
+    """
+    try:
+        engine = plan.build_engine()
+        while True:
+            message = in_queue.get()
+            tag = message[0]
+            if tag == "rows":
+                engine.insert_many(message[1])
+            elif tag == "state":
+                conn.send(("state", engine.partial_state_bytes()))
+            elif tag == "stop":
+                conn.send(("stopped", engine.tuples_processed))
+                break
+            else:
+                raise ValueError(f"unknown shard message {tag!r}")
+    except Exception as error:
+        try:
+            conn.send(("error", f"shard {shard_id}: {error}"))
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()

@@ -70,6 +70,39 @@ class CountMinSketch(StreamSummary):
             self._rows[row][column] += weight
         self._total += weight
 
+    def update_many(self, first, second=None) -> None:
+        """Batch ingest: same semantics as the per-item loop, with the
+        attribute lookups and row iteration hoisted out of the hot path."""
+        if second is not None and len(first) != len(second):
+            raise ParameterError(
+                f"column lengths differ: {len(first)} != {len(second)}"
+            )
+        rows = self._rows
+        depth = self.depth
+        width = self.width
+        seed_base = self.seed * 1_000_003
+        total = self._total
+        pairs = (
+            zip(first, second) if second is not None
+            else ((item, 1.0) for item in first)
+        )
+        try:
+            for item, weight in pairs:
+                if weight < 0 or math.isnan(weight):
+                    raise ParameterError(f"weight must be >= 0, got {weight!r}")
+                if weight == 0.0:
+                    continue
+                for row in range(depth):
+                    column = int(
+                        hash_to_unit(item, seed=seed_base + row) * width
+                    )
+                    rows[row][column] += weight
+                total += weight
+        finally:
+            # Keep the running total consistent even when a bad weight
+            # aborts the batch mid-stream, exactly like the update() loop.
+            self._total = total
+
     def estimate(self, item: Hashable) -> float:
         """Point estimate: ``true <= estimate <= true + eps*W`` w.h.p."""
         return min(

@@ -182,6 +182,51 @@ class WeightedSpaceSaving(SpaceSavingBase):
         if len(self._heap) > 8 * self.capacity:
             self._compact_heap()
 
+    def update_many(self, first, second=None) -> None:
+        """Batch ingest: the :meth:`update` loop with dict/heap lookups
+        hoisted.  Bit-identical to per-item updates (same eviction order,
+        same heap contents up to compaction points)."""
+        if second is not None and len(first) != len(second):
+            raise ParameterError(
+                f"column lengths differ: {len(first)} != {len(second)}"
+            )
+        counts = self._counts
+        errors = self._errors
+        push = heapq.heappush
+        capacity = self.capacity
+        compact_limit = 8 * capacity
+        total = self._total
+        pairs = (
+            zip(first, second) if second is not None
+            else ((item, 1.0) for item in first)
+        )
+        try:
+            for item, weight in pairs:
+                if weight < 0 or math.isnan(weight):
+                    raise ParameterError(f"weight must be >= 0, got {weight!r}")
+                if weight == 0.0:
+                    continue
+                total += weight
+                if item in counts:
+                    new_count = counts[item] + weight
+                    counts[item] = new_count
+                    push(self._heap, (new_count, item))
+                elif len(counts) < capacity:
+                    counts[item] = weight
+                    errors[item] = 0.0
+                    push(self._heap, (weight, item))
+                else:
+                    min_count, victim = self._pop_min()
+                    del counts[victim]
+                    del errors[victim]
+                    counts[item] = min_count + weight
+                    errors[item] = min_count
+                    push(self._heap, (min_count + weight, item))
+                if len(self._heap) > compact_limit:
+                    self._compact_heap()
+        finally:
+            self._total = total
+
     def _pop_min(self) -> tuple[float, Hashable]:
         """Pop the true current minimum, discarding stale heap entries."""
         heap, counts = self._heap, self._counts
@@ -331,6 +376,31 @@ class UnarySpaceSaving(SpaceSavingBase):
             self._insert_new(item, count=1, error=0)
         else:
             self._evict_and_replace(item)
+
+    def update_many(self, first, second=None) -> None:
+        """Batch ingest of unit updates: the :meth:`update` loop with the
+        bucket-map lookups hoisted.  A non-unit weight raises exactly where
+        the per-item loop would."""
+        if second is not None and len(second) != len(first):
+            raise ParameterError(
+                f"column lengths differ: {len(first)} != {len(second)}"
+            )
+        bucket_of = self._bucket_of
+        capacity = self.capacity
+        weights = second if second is not None else None
+        for index, item in enumerate(first):
+            if weights is not None and weights[index] != 1.0:
+                raise ParameterError(
+                    "UnarySpaceSaving only accepts unit weights; use "
+                    "WeightedSpaceSaving for arbitrary weights"
+                )
+            self._total += 1.0
+            if item in bucket_of:
+                self._increment(item)
+            elif len(bucket_of) < capacity:
+                self._insert_new(item, count=1, error=0)
+            else:
+                self._evict_and_replace(item)
 
     # -- linked-list plumbing --------------------------------------------------
 

@@ -157,3 +157,87 @@ class TestCollectStats:
         assert "engine.unary_hh_no_decay.ingest.tuples" in names
         snap = metrics.snapshot()
         assert snap["metrics"]["engine.no_decay.ingest.rate"]["per_sec"] > 0
+
+
+class TestExactEntries:
+    def _exact(self, value: float) -> dict:
+        return {
+            "value": value,
+            "unit": "bool",
+            "gate": True,
+            "higher_is_better": True,
+            "exact": True,
+        }
+
+    def test_exact_entry_regresses_on_any_difference(self):
+        base = {"name": "b", "entries": {"m.merge_exact": self._exact(1.0)}}
+        same = {"name": "c", "entries": {"m.merge_exact": self._exact(1.0)}}
+        flipped = {"name": "c", "entries": {"m.merge_exact": self._exact(0.0)}}
+        assert compare_artifacts(base, same)["regressions"] == []
+        report = compare_artifacts(base, flipped)
+        assert report["regressions"] == ["m.merge_exact"]
+        # Even a generous threshold does not excuse an exact mismatch.
+        lenient = compare_artifacts(base, flipped, threshold=100.0)
+        assert lenient["regressions"] == ["m.merge_exact"]
+
+    def test_exact_entry_ignores_threshold_direction(self):
+        # "Improvements" on an exact entry are still differences.
+        base = {"name": "b", "entries": {"m": self._exact(0.0)}}
+        grown = {"name": "c", "entries": {"m": self._exact(1.0)}}
+        assert compare_artifacts(base, grown)["regressions"] == ["m"]
+
+    def test_exact_gate_label_in_report(self):
+        base = {"name": "b", "entries": {"m": self._exact(1.0)}}
+        report = compare_artifacts(base, base)
+        assert "exact" in format_comparison(report)
+
+
+class TestScalingSuite:
+    @pytest.fixture(scope="class")
+    def scaling_artifact(self):
+        from repro.bench.scaling import run_scaling_suite
+
+        # Inline shards keep this fast and process-free under pytest.
+        return run_scaling_suite(
+            name="test-scaling",
+            scale=0.05,
+            repeats=1,
+            shard_counts=(1, 2),
+            batch_size=128,
+            inline=True,
+        )
+
+    def test_envelope_and_entries(self, scaling_artifact):
+        assert scaling_artifact["version"] == ARTIFACT_VERSION
+        entries = scaling_artifact["entries"]
+        assert "scaling.baseline.tuples_per_sec" in entries
+        for shards in (1, 2):
+            prefix = f"scaling.shards{shards}"
+            assert entries[f"{prefix}.tuples_per_sec"]["value"] > 0
+            assert entries[f"{prefix}.speedup"]["value"] > 0
+            assert entries[f"{prefix}.state_bytes"]["gate"]
+            assert entries[f"{prefix}.merge_exact"] == {
+                "value": 1.0,
+                "unit": "bool",
+                "gate": True,
+                "higher_is_better": True,
+                "exact": True,
+            }
+        assert set(scaling_artifact["speedups"]) == {"1", "2"}
+
+    def test_throughput_entries_ungated(self, scaling_artifact):
+        for name, entry in scaling_artifact["entries"].items():
+            if name.endswith(".tuples_per_sec") or name.endswith(".speedup"):
+                assert not entry["gate"], name
+
+    def test_self_comparison_passes_gate(self, scaling_artifact):
+        report = compare_artifacts(scaling_artifact, scaling_artifact)
+        assert report["regressions"] == []
+
+    def test_rejects_bad_parameters(self):
+        from repro.bench.scaling import run_scaling_suite
+
+        with pytest.raises(ParameterError):
+            run_scaling_suite(scale=0.0)
+        with pytest.raises(ParameterError):
+            run_scaling_suite(repeats=0)

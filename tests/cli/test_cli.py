@@ -193,3 +193,27 @@ class TestCompareScript:
         )
         assert bad.returncode == 1, bad.stdout
         assert "REGRESSED" in bad.stdout
+
+
+class TestBenchScalingCommand:
+    def test_scaling_suite_writes_artifact_and_reports_speedups(
+        self, tmp_path, capsys
+    ):
+        from repro.bench.artifacts import load_artifact
+
+        assert main([
+            "bench", "scaling", "--out-dir", str(tmp_path),
+            "--scale", "0.05", "--repeats", "1", "--inline-shards",
+        ]) == 0
+        artifact = load_artifact(str(tmp_path / "BENCH_scaling.json"))
+        assert artifact["name"] == "scaling"
+        assert artifact["config"]["inline"] is True
+        for shards in (1, 2, 4, 8):
+            assert (
+                artifact["entries"][f"scaling.shards{shards}.merge_exact"][
+                    "value"
+                ]
+                == 1.0
+            )
+        out = capsys.readouterr().out
+        assert "shard(s):" in out and "vs single-process" in out

@@ -28,8 +28,13 @@ def test_merge_all_single_summary(paper_decay):
 
 
 def test_merge_all_empty_rejected():
-    with pytest.raises(MergeError):
+    with pytest.raises(MergeError, match="empty iterable"):
         merge_all([])
+
+
+def test_merge_all_empty_generator_rejected():
+    with pytest.raises(MergeError, match="at least one summary"):
+        merge_all(summary for summary in [])
 
 
 def test_merge_all_propagates_incompatibility(paper_decay):
@@ -39,6 +44,26 @@ def test_merge_all_propagates_incompatibility(paper_decay):
     right.update(105)
     with pytest.raises(MergeError):
         merge_all([left, right])
+
+
+def test_merge_all_reports_failing_element_index(paper_decay):
+    # Three compatible sums, then a count at position 3: the error must
+    # name the element that broke the fold, not just the incompatibility.
+    sites = [DecayedSum(paper_decay) for __ in range(3)]
+    bad = DecayedCount(paper_decay)
+    bad.update(105)
+    with pytest.raises(MergeError, match=r"failed at element 3") as excinfo:
+        merge_all([*sites, bad])
+    # The original incompatibility is chained for debugging.
+    assert isinstance(excinfo.value.__cause__, MergeError)
+
+
+def test_merge_all_reports_first_incompatible_mid_stream(paper_decay):
+    left = DecayedSum(paper_decay)
+    middle = DecayedCount(paper_decay)
+    right = DecayedSum(paper_decay)
+    with pytest.raises(MergeError, match=r"failed at element 1"):
+        merge_all([left, middle, right])
 
 
 def test_protocol_recognizes_library_summaries(paper_decay):

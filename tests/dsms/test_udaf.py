@@ -262,3 +262,34 @@ class TestRegistry:
         registry = default_registry(hh_epsilon=0.5, sample_size=7)
         assert registry.get("fwd_hh").epsilon == 0.5
         assert registry.get("prisamp").k == 7
+
+
+class TestSketchAdapterBatchPaths:
+    def test_weighted_hh_update_many_matches_loop(self):
+        udaf = WeightedHHUdaf(epsilon=0.05, phi=0.05)
+        batch = [(f"h{i % 9}", float(1 + i % 4)) for i in range(500)]
+        looped = udaf.create()
+        for args in batch:
+            udaf.update(looped, args)
+        batched = udaf.create()
+        udaf.update_many(batched, batch)
+        assert batched._counts == looped._counts
+        assert batched.total_weight == looped.total_weight
+
+    def test_unary_hh_update_many_matches_loop(self):
+        udaf = UnaryHHUdaf(epsilon=0.05, phi=0.05)
+        batch = [(f"h{i % 9}",) for i in range(500)]
+        looped = udaf.create()
+        for args in batch:
+            udaf.update(looped, args)
+        batched = udaf.create()
+        udaf.update_many(batched, batch)
+        assert {c.item: c.count for c in batched.counters()} == {
+            c.item: c.count for c in looped.counters()
+        }
+
+    def test_empty_batches_are_noops(self):
+        for udaf in (WeightedHHUdaf(), UnaryHHUdaf()):
+            state = udaf.create()
+            udaf.update_many(state, [])
+            assert state.total_weight == 0.0

@@ -117,3 +117,54 @@ class TestCountMinHeavyHitters:
         summary = CountMinHeavyHitters(epsilon=0.01)
         summary.update("a")
         assert summary.state_size_bytes() >= summary.sketch.state_size_bytes()
+
+
+class TestBatchUpdates:
+    def test_update_many_matches_loop_bit_for_bit(self):
+        rng = random.Random(11)
+        items = [rng.randrange(300) for __ in range(4_000)]
+        weights = [rng.uniform(0.1, 3.0) for __ in range(4_000)]
+        looped = CountMinSketch(epsilon=0.02, delta=0.01, seed=3)
+        for item, weight in zip(items, weights):
+            looped.update(item, weight)
+        batched = CountMinSketch(epsilon=0.02, delta=0.01, seed=3)
+        batched.update_many(items, weights)
+        assert batched._rows == looped._rows
+        assert batched.total_weight == looped.total_weight
+
+    def test_update_many_unit_weights(self):
+        items = [v for __, v in zipf_stream(2_000, num_values=100, seed=5)]
+        looped = CountMinSketch(epsilon=0.02, seed=2)
+        for item in items:
+            looped.update(item)
+        batched = CountMinSketch(epsilon=0.02, seed=2)
+        batched.update_many(items)
+        assert batched._rows == looped._rows
+
+    def test_update_many_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            CountMinSketch().update_many([1, 2, 3], [1.0])
+
+    def test_update_many_bad_weight_keeps_prefix_total(self):
+        # A mid-batch bad weight aborts like the per-item loop would: the
+        # prefix is applied and the running total stays consistent.
+        sketch = CountMinSketch(seed=1)
+        with pytest.raises(ParameterError):
+            sketch.update_many(["a", "b", "c"], [1.0, -1.0, 1.0])
+        assert sketch.total_weight == 1.0
+        assert sketch.estimate("a") == 1.0
+
+    def test_update_many_skips_zero_weights(self):
+        sketch = CountMinSketch(seed=1)
+        sketch.update_many(["a", "b"], [0.0, 2.0])
+        assert sketch.total_weight == 2.0
+
+    def test_heavy_hitters_batch_matches_loop(self):
+        stream = [v for __, v in zipf_stream(3_000, num_values=200,
+                                             exponent=1.4, seed=9)]
+        looped = CountMinHeavyHitters(epsilon=0.02, phi_track=0.01, seed=4)
+        for item in stream:
+            looped.update(item)
+        batched = CountMinHeavyHitters(epsilon=0.02, phi_track=0.01, seed=4)
+        batched.update_many(stream)
+        assert batched.heavy_hitters(0.05) == looped.heavy_hitters(0.05)

@@ -247,3 +247,67 @@ class TestMerge:
         assert left.estimate("a") == pytest.approx(5.0)
         assert left.estimate("b") == pytest.approx(3.0)
         assert left.total_weight == pytest.approx(8.0)
+
+
+class TestBatchUpdates:
+    def test_weighted_update_many_matches_loop_bit_for_bit(self):
+        rng = random.Random(21)
+        items = [rng.randrange(400) for __ in range(6_000)]
+        weights = [rng.uniform(0.1, 5.0) for __ in range(6_000)]
+        looped = WeightedSpaceSaving(capacity=32)
+        for item, weight in zip(items, weights):
+            looped.update(item, weight)
+        batched = WeightedSpaceSaving(capacity=32)  # evictions + compaction
+        batched.update_many(items, weights)
+        assert batched._counts == looped._counts
+        assert batched._errors == looped._errors
+        assert batched.total_weight == looped.total_weight
+
+    def test_weighted_update_many_unit_weights(self):
+        items = [v for __, v in zipf_stream(3_000, num_values=300, seed=6)]
+        looped = WeightedSpaceSaving(capacity=16)
+        for item in items:
+            looped.update(item)
+        batched = WeightedSpaceSaving(capacity=16)
+        batched.update_many(items)
+        assert batched._counts == looped._counts
+
+    def test_weighted_update_many_bad_weight_keeps_prefix(self):
+        summary = WeightedSpaceSaving(capacity=8)
+        with pytest.raises(ParameterError):
+            summary.update_many(["a", "b"], [2.0, -1.0])
+        assert summary.total_weight == 2.0
+        assert summary.estimate("a") == 2.0
+
+    def test_weighted_update_many_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            WeightedSpaceSaving(capacity=8).update_many(["a"], [1.0, 2.0])
+
+    def test_unary_update_many_matches_loop(self):
+        items = [v for __, v in zipf_stream(5_000, num_values=500,
+                                            exponent=1.3, seed=13)]
+        looped = UnarySpaceSaving(capacity=24)
+        for item in items:
+            looped.update(item)
+        batched = UnarySpaceSaving(capacity=24)
+        batched.update_many(items)
+        assert {c.item: (c.count, c.error) for c in batched.counters()} == {
+            c.item: (c.count, c.error) for c in looped.counters()
+        }
+        assert batched.total_weight == looped.total_weight
+
+    def test_unary_update_many_rejects_non_unit_weights(self):
+        summary = UnarySpaceSaving(capacity=8)
+        with pytest.raises(ParameterError, match="unit weights"):
+            summary.update_many(["a", "b"], [1.0, 2.0])
+        # The unit-weight prefix was applied, like the per-item loop.
+        assert summary.total_weight == 1.0
+
+    def test_unary_update_many_explicit_unit_weights(self):
+        summary = UnarySpaceSaving(capacity=8)
+        summary.update_many(["a", "b", "a"], [1.0, 1.0, 1.0])
+        assert summary.estimate("a") == 2.0
+
+    def test_unary_update_many_length_mismatch(self):
+        with pytest.raises(ParameterError, match="lengths differ"):
+            UnarySpaceSaving(capacity=8).update_many(["a", "b"], [1.0])
