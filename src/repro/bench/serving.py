@@ -1,0 +1,159 @@
+"""Loopback serving benchmark: wire-protocol ingest rate and correctness.
+
+Measures the cost of putting :mod:`repro.serve` between a stream and the
+engine: rows/second streamed through a real TCP loopback connection
+(framing + JSON + credit round-trips included) into a single-engine and a
+sharded backend, versus the in-process ``insert_many`` baseline.
+
+Gating follows the repo's host-independence rule:
+
+* throughput (``rows_per_sec``, ``wire_overhead``) is recorded, not gated
+  — it moves with the host's syscall and JSON cost;
+* ``match_inprocess`` is gated **exactly**: results served over the wire
+  must equal an in-process run of the same query on the same trace;
+* ``checkpoint_bytes`` is gated: the shutdown checkpoint is deterministic
+  (stable routing, canonical JSON), so its size only changes when the
+  serialization format does — which is exactly what the gate should catch.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import tempfile
+import time
+
+from repro.bench.artifacts import ARTIFACT_VERSION, _entry, environment_stamp
+from repro.bench.runners import build_trace
+from repro.core.errors import ParameterError
+from repro.dsms.engine import QueryEngine, run_query
+from repro.dsms.parser import parse_query
+from repro.dsms.udaf import default_registry
+from repro.serve import ServeClient, StreamServer, ThreadedServer, build_backend
+from repro.workloads.netflow import PACKET_SCHEMA
+
+__all__ = ["SERVE_SQL", "run_serve_suite"]
+
+#: The smoke workload query — mergeable builtins, so every backend must
+#: reproduce the in-process result bit-for-bit.
+SERVE_SQL = (
+    "select tb, destIP, destPort, count(*) as c, sum(len) as s "
+    "from TCP group by time/60 as tb, destIP, destPort"
+)
+
+_SERVE_DURATION_SEC = 1.0
+_SERVE_RATE_PER_SEC = 5_000.0
+
+
+def _canon(rows) -> list[str]:
+    return sorted(repr(sorted(dict(row).items())) for row in rows)
+
+
+def _expected(trace) -> list[str]:
+    query = parse_query(SERVE_SQL, default_registry())
+    return _canon(run_query(query, PACKET_SCHEMA, trace))
+
+
+def _time_inprocess(trace, batch_size: int, repeats: int) -> float:
+    """The no-network baseline: batched ``insert_many`` rows/second."""
+    rates = []
+    for __ in range(repeats):
+        engine = QueryEngine(
+            parse_query(SERVE_SQL, default_registry()), PACKET_SCHEMA
+        )
+        start = time.perf_counter_ns()
+        for begin in range(0, len(trace), batch_size):
+            engine.insert_many(trace[begin:begin + batch_size])
+        elapsed = time.perf_counter_ns() - start
+        rates.append(len(trace) / (elapsed / 1e9))
+    return statistics.median(rates)
+
+
+def _time_served(trace, shards: int, batch_size: int, repeats: int):
+    """Loopback ingest through a real server: (rows/s, match, ckpt bytes)."""
+    rates = []
+    served = None
+    checkpoint_bytes = 0
+    for __ in range(repeats):
+        backend = build_backend(
+            SERVE_SQL, PACKET_SCHEMA, shards=shards, processes=0
+        )
+        with tempfile.TemporaryDirectory() as state_dir:
+            server = ThreadedServer(
+                StreamServer(backend, state_dir=state_dir)
+            ).start()
+            with ServeClient(server.host, server.port) as client:
+                start = time.perf_counter_ns()
+                for begin in range(0, len(trace), batch_size):
+                    client.insert(trace[begin:begin + batch_size])
+                client.flush()
+                elapsed = time.perf_counter_ns() - start
+                rates.append(len(trace) / (elapsed / 1e9))
+                served = client.query()
+            path = server.stop()
+            checkpoint_bytes = os.path.getsize(path)
+    return statistics.median(rates), _canon(served), checkpoint_bytes
+
+
+def run_serve_suite(
+    name: str = "serve",
+    scale: float = 1.0,
+    repeats: int = 3,
+    batch_size: int = 512,
+    shard_counts: tuple[int, ...] = (0, 4),
+) -> dict:
+    """Run the serving suite, returning a BENCH artifact dict.
+
+    ``shard_counts`` selects the backends: 0 is the single in-process
+    engine, N >= 1 an N-way sharded backend (inline shards — the wire cost
+    is what this suite isolates, not multiprocessing).
+    """
+    if scale <= 0:
+        raise ParameterError(f"scale must be positive, got {scale!r}")
+    if repeats < 1:
+        raise ParameterError(f"repeats must be >= 1, got {repeats!r}")
+    trace = build_trace(
+        duration_sec=_SERVE_DURATION_SEC,
+        rate_per_sec=_SERVE_RATE_PER_SEC * scale,
+    )
+    expected = _expected(trace)
+    entries: dict[str, dict] = {}
+    inprocess_rate = _time_inprocess(trace, batch_size, repeats)
+    entries["serve.inprocess.rows_per_sec"] = _entry(
+        inprocess_rate, "rows/s", gate=False, higher_is_better=True
+    )
+    for shards in shard_counts:
+        label = "single" if shards == 0 else f"sharded{shards}"
+        rate, served, checkpoint_bytes = _time_served(
+            trace, shards, batch_size, repeats
+        )
+        prefix = f"serve.{label}"
+        entries[f"{prefix}.rows_per_sec"] = _entry(
+            rate, "rows/s", gate=False, higher_is_better=True
+        )
+        entries[f"{prefix}.wire_overhead"] = _entry(
+            inprocess_rate / rate, "x in-process", gate=False
+        )
+        entries[f"{prefix}.match_inprocess"] = _entry(
+            1.0 if served == expected else 0.0, "bool", gate=True,
+            higher_is_better=True, exact=True,
+        )
+        entries[f"{prefix}.checkpoint_bytes"] = _entry(
+            float(checkpoint_bytes), "bytes", gate=True
+        )
+    return {
+        "name": name,
+        "version": ARTIFACT_VERSION,
+        "created": time.time(),
+        "environment": environment_stamp(),
+        "config": {
+            "trace_tuples": len(trace),
+            "scale": scale,
+            "repeats": repeats,
+            "batch_size": batch_size,
+            "shard_counts": list(shard_counts),
+            "cpu_count": os.cpu_count(),
+            "sql": SERVE_SQL,
+        },
+        "entries": entries,
+    }

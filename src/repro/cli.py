@@ -33,6 +33,20 @@ Three commands make the library usable without writing Python:
     Render the observability snapshot left by an instrumented run::
 
         python -m repro stats --json
+
+``serve``
+    Run the continuous-query server (``repro.serve``) for one query::
+
+        python -m repro serve "select tb, destIP, count(*) as c from TCP
+            group by time/60 as tb, destIP" --port 9440 --shards 4
+
+``client``
+    Talk to a running server: ``replay`` a trace CSV into it, ``query``
+    it, ``subscribe`` to periodic results, fetch ``stats``, or force a
+    ``checkpoint``::
+
+        python -m repro client replay --trace trace.csv --port 9440
+        python -m repro client query --port 9440
 """
 
 from __future__ import annotations
@@ -191,6 +205,143 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.obs.registry import MetricsRegistry
+    from repro.serve import StreamServer, build_backend
+
+    backend = build_backend(
+        args.sql,
+        PACKET_SCHEMA,
+        shards=args.shards,
+        processes=None if args.multiprocess else 0,
+        registry_params={
+            "hh_epsilon": args.epsilon,
+            "eh_epsilon": args.epsilon,
+            "sample_size": args.sample_size,
+        },
+    )
+    server = StreamServer(
+        backend,
+        host=args.host,
+        port=args.port,
+        credit_window=args.credit_window,
+        max_frame_bytes=args.max_frame_bytes,
+        idle_timeout_s=args.idle_timeout,
+        state_dir=args.state_dir,
+        metrics=MetricsRegistry(enabled=not args.no_metrics),
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"serving on {server.host}:{server.port} "
+            f"({server.backend.kind} backend): {server.backend.sql}"
+        )
+        if server.restored_blobs:
+            print(
+                f"restored {server.restored_blobs} partial state(s) "
+                f"from {server.checkpoint_path}"
+            )
+        if args.port_file:
+            # One line, written only once the listener is bound — a test
+            # or script can poll this file instead of racing the bind.
+            with open(args.port_file, "w") as handle:
+                handle.write(f"{server.host} {server.port}\n")
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_event.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread (tests) or exotic platform
+        if args.run_seconds is not None:
+            try:
+                await asyncio.wait_for(stop_event.wait(), args.run_seconds)
+            except asyncio.TimeoutError:
+                pass
+        else:
+            await stop_event.wait()
+        path = await server.stop()
+        if path is not None:
+            print(f"checkpoint written to {path}")
+
+    asyncio.run(run())
+    return 0
+
+
+def _client_session(args: argparse.Namespace):
+    from repro.serve import ServeClient
+
+    try:
+        return ServeClient(
+            args.host, args.port, schema_names=PACKET_SCHEMA.names()
+        )
+    except ConnectionError as error:
+        raise DecayError(
+            f"cannot connect to {args.host}:{args.port}: {error}"
+        ) from error
+
+
+def _cmd_client_replay(args: argparse.Namespace) -> int:
+    trace = read_trace_csv(args.trace, PACKET_SCHEMA)
+    with _client_session(args) as client:
+        batches = 0
+        for start in range(0, len(trace), args.batch):
+            client.insert(trace[start:start + args.batch])
+            batches += 1
+        client.flush()
+        print(f"replayed {len(trace):,} rows in {batches} batch(es)")
+        if args.query:
+            count = 0
+            for row in client.query():
+                print(row)
+                count += 1
+            print(f"-- {count} row(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_client_query(args: argparse.Namespace) -> int:
+    with _client_session(args) as client:
+        count = 0
+        for row in client.query():
+            print(row)
+            count += 1
+    print(f"-- {count} row(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_client_subscribe(args: argparse.Namespace) -> int:
+    with _client_session(args) as client:
+        client.subscribe(args.interval, args.count)
+        remaining = args.count
+        while remaining > 0:
+            for push in client.results(1):
+                marker = " (final)" if push["done"] else ""
+                print(f"-- push {push['seq']}/{args.count}{marker}")
+                for row in push["rows"]:
+                    print(row)
+                remaining -= 1
+    return 0
+
+
+def _cmd_client_stats(args: argparse.Namespace) -> int:
+    import json
+
+    with _client_session(args) as client:
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_client_checkpoint(args: argparse.Namespace) -> int:
+    with _client_session(args) as client:
+        info = client.checkpoint()
+    print(f"checkpoint written to {info['path']} ({info['bytes']:,} bytes)")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json
 
@@ -300,6 +451,93 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scaling suite only: run shards in-process "
                        "(isolates routing/merge overhead from IPC)")
     bench.set_defaults(handler=_cmd_bench)
+
+    serve = commands.add_parser(
+        "serve", help="run the continuous-query server for one query"
+    )
+    serve.add_argument("sql", help="the continuous query to serve")
+    serve.add_argument("--host", default="127.0.0.1", help="listen address")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="partition the engine this many ways "
+                       "(0 = single in-process engine)")
+    serve.add_argument("--multiprocess", action="store_true",
+                       help="run one OS process per shard "
+                       "(default keeps shards inline)")
+    serve.add_argument("--credit-window", type=int, default=8,
+                       help="INSERT batches a client may have in flight")
+    serve.add_argument("--max-frame-bytes", type=int,
+                       default=8 * 1024 * 1024,
+                       help="reject frames larger than this")
+    serve.add_argument("--idle-timeout", type=float, default=None,
+                       help="drop connections idle this many seconds")
+    serve.add_argument("--state-dir", default=None,
+                       help="checkpoint directory (written on graceful "
+                       "shutdown, restored on start)")
+    serve.add_argument("--port-file", default=None,
+                       help="write 'host port' here once listening")
+    serve.add_argument("--run-seconds", type=float, default=None,
+                       help="serve for this long, then shut down "
+                       "gracefully (default: until SIGINT/SIGTERM)")
+    serve.add_argument("--no-metrics", action="store_true",
+                       help="disable the serve.* metrics registry")
+    serve.add_argument("--epsilon", type=float, default=0.01,
+                       help="accuracy for sketch-backed aggregates")
+    serve.add_argument("--sample-size", type=int, default=100,
+                       help="k for sampler UDAFs")
+    serve.set_defaults(handler=_cmd_serve)
+
+    client = commands.add_parser(
+        "client", help="talk to a running repro serve instance"
+    )
+    client_commands = client.add_subparsers(
+        dest="client_command", required=True
+    )
+
+    def _client_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--host", default="127.0.0.1", help="server address")
+        sub.add_argument("--port", type=int, required=True, help="server port")
+
+    replay = client_commands.add_parser(
+        "replay", help="stream a trace CSV into the server"
+    )
+    _client_common(replay)
+    replay.add_argument("--trace", required=True,
+                        help="CSV trace path (as written by `repro trace`)")
+    replay.add_argument("--batch", type=int, default=512,
+                        help="rows per INSERT frame")
+    replay.add_argument("--query", action="store_true",
+                        help="print the merged results after replaying")
+    replay.set_defaults(handler=_cmd_client_replay)
+
+    client_query = client_commands.add_parser(
+        "query", help="evaluate the continuous query now"
+    )
+    _client_common(client_query)
+    client_query.set_defaults(handler=_cmd_client_query)
+
+    subscribe = client_commands.add_parser(
+        "subscribe", help="print periodic result pushes"
+    )
+    _client_common(subscribe)
+    subscribe.add_argument("--interval", type=float, default=1.0,
+                           help="seconds between pushes")
+    subscribe.add_argument("--count", type=int, default=5,
+                           help="number of pushes to collect")
+    subscribe.set_defaults(handler=_cmd_client_subscribe)
+
+    client_stats = client_commands.add_parser(
+        "stats", help="print server/backend/metrics statistics as JSON"
+    )
+    _client_common(client_stats)
+    client_stats.set_defaults(handler=_cmd_client_stats)
+
+    client_checkpoint = client_commands.add_parser(
+        "checkpoint", help="force a server-side state checkpoint"
+    )
+    _client_common(client_checkpoint)
+    client_checkpoint.set_defaults(handler=_cmd_client_checkpoint)
 
     stats = commands.add_parser(
         "stats", help="render the observability snapshot of the last bench run"

@@ -49,6 +49,15 @@ class QueryError(DecayError, ValueError):
     """A DSMS query is syntactically or semantically invalid."""
 
 
+class ProtocolError(DecayError, ValueError):
+    """A wire frame violates the ``repro.serve`` protocol.
+
+    Raised for malformed, truncated, or oversized frames and for version
+    mismatches; the serving layer converts it into a structured ERROR
+    reply, never a server crash.
+    """
+
+
 class SchemaError(DecayError, ValueError):
     """A tuple or expression does not conform to the stream schema."""
 

@@ -32,7 +32,15 @@ from repro.core.functions import (
     PolynomialG,
 )
 
-__all__ = ["dump_summary", "load_summary", "dump_decay", "load_decay"]
+__all__ = [
+    "dump_summary",
+    "load_summary",
+    "dump_decay",
+    "load_decay",
+    "dump_partials_checkpoint",
+    "load_partials_checkpoint",
+    "PARTIALS_CHECKPOINT_VERSION",
+]
 
 _VERSION = 1
 
@@ -144,3 +152,54 @@ def load_summary(data: dict, metrics=None):
         metrics.latency("serde.restore.latency_us").observe(elapsed_us)
         metrics.counter("serde.restore.summaries").add(1.0)
     return summary
+
+
+# -- engine partial-state checkpoints ----------------------------------------------
+
+PARTIALS_CHECKPOINT_VERSION = 1
+
+
+def dump_partials_checkpoint(sql: str, schema_names: list, blobs: list) -> dict:
+    """Wrap engine partial-state buffers in a versioned checkpoint envelope.
+
+    ``blobs`` are :meth:`~repro.dsms.engine.QueryEngine.partial_state_bytes`
+    buffers (one per engine/shard).  The envelope records the query text
+    and schema so a restore into a different plan fails fast with a clear
+    error instead of a deep merge failure; the blobs themselves re-check
+    both on merge.  Binary blobs are hex-encoded: the envelope stays plain
+    JSON, diffable and safe to inspect.
+    """
+    return {
+        "version": PARTIALS_CHECKPOINT_VERSION,
+        "kind": "engine-partials",
+        "query": sql,
+        "schema": list(schema_names),
+        "blobs": [bytes(blob).hex() for blob in blobs],
+    }
+
+
+def load_partials_checkpoint(data: dict, sql: str, schema_names: list) -> list:
+    """Validate a :func:`dump_partials_checkpoint` envelope; return blobs.
+
+    Raises :class:`ParameterError` on version/kind mismatches and when the
+    checkpoint was taken for a different query or schema.
+    """
+    if data.get("version") != PARTIALS_CHECKPOINT_VERSION:
+        raise ParameterError(
+            f"unsupported partials checkpoint version {data.get('version')!r}"
+        )
+    if data.get("kind") != "engine-partials":
+        raise ParameterError(
+            f"not an engine-partials checkpoint: kind={data.get('kind')!r}"
+        )
+    if data.get("query") != sql:
+        raise ParameterError(
+            "checkpoint is for a different query: "
+            f"{data.get('query')!r} vs {sql!r}"
+        )
+    if data.get("schema") != list(schema_names):
+        raise ParameterError(
+            "checkpoint is for a different schema: "
+            f"{data.get('schema')!r} vs {list(schema_names)!r}"
+        )
+    return [bytes.fromhex(blob) for blob in data["blobs"]]

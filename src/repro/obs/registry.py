@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import time
+from contextlib import contextmanager
 from typing import Callable
 
 from repro.core.errors import MergeError, ParameterError
@@ -172,6 +173,24 @@ class MetricsRegistry:
         return self._get_or_create(
             name, LastValueGauge, lambda: LastValueGauge(clock=self.clock)
         )
+
+    @contextmanager
+    def timer(self, name: str, epsilon: float = 0.01):
+        """Context manager recording the block's wall time, in µs, into
+        the :meth:`latency` sketch registered under ``name``.
+
+        On a disabled registry the block runs untimed — no clock reads,
+        no metric lookup — preserving the no-op guarantee.
+        """
+        if not self.enabled:
+            yield
+            return
+        metric = self.latency(name, epsilon=epsilon)
+        start = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            metric.observe((time.perf_counter_ns() - start) / 1e3)
 
     # -- aggregation -----------------------------------------------------------
 

@@ -99,6 +99,11 @@ class ShardedEngine:
         records per-shard throughput (``parallel.shard<i>.rows``), queue
         depth at send time, merged-state volume, and merge latency under
         ``parallel.*``.  None/disabled leaves the hot path untouched.
+    emit_on_bucket_change:
+        Forwarded to every worker's :class:`QueryEngine`: each shard
+        watches the first GROUP BY key and finalizes earlier buckets as
+        its own substream passes them (collect with :meth:`drain`).
+        Punctuation arrives via :meth:`heartbeat` / :meth:`heartbeat_all`.
     """
 
     def __init__(
@@ -118,6 +123,7 @@ class ShardedEngine:
         router: Callable[[object, int], int] | None = None,
         start_method: str | None = None,
         metrics=None,
+        emit_on_bucket_change: bool = False,
     ):
         if shards < 1:
             raise ParameterError(f"shards must be >= 1, got {shards!r}")
@@ -140,6 +146,7 @@ class ShardedEngine:
             low_table_size=low_table_size,
             registry_factory=registry_factory,
             registry_params=dict(registry_params or {}),
+            emit_on_bucket_change=emit_on_bucket_change,
         )
         # Local plan: validates the query against the schema up front and
         # provides the compiled GROUP BY expressions for routing.
@@ -165,6 +172,7 @@ class ShardedEngine:
         self._rows_routed = 0
         self._round_robin = 0
         self._closed = False
+        self._close_stats: dict = {"tuples_per_shard": []}
         self._workers: list = []
         self._queues: list = []
         self._conns: list = []
@@ -295,6 +303,70 @@ class ShardedEngine:
         for shard in range(self.shards):
             self._ship(shard)
 
+    # -- punctuation --------------------------------------------------------------
+
+    def _deliver_heartbeat(self, shard: int, row: tuple) -> None:
+        # Ship the shard's buffered rows first so the marker never
+        # overtakes data routed before it — both travel the same queue.
+        self._ship(shard)
+        if self.inline:
+            self._engines[shard].heartbeat(row)
+        else:
+            self._queues[shard].put(("heartbeat", row))
+
+    def heartbeat(self, row: tuple) -> None:
+        """Route punctuation to the shard owning ``row``'s group key.
+
+        The marker advances event time on that shard only (closing time
+        buckets it has passed, with the same late/equal no-op rules as
+        :meth:`QueryEngine.heartbeat`); it is never counted or aggregated.
+        Useful when punctuation is per-substream — e.g. one quiet source
+        whose keys all hash to one shard.  For stream-wide punctuation use
+        :meth:`heartbeat_all`.
+        """
+        self._ensure_open()
+        self._deliver_heartbeat(self._route(row), row)
+
+    def heartbeat_all(self, row: tuple) -> None:
+        """Broadcast punctuation to every shard (global event time)."""
+        self._ensure_open()
+        for shard in range(self.shards):
+            self._deliver_heartbeat(shard, row)
+
+    def drain(self) -> list[ResultRow]:
+        """Result rows of time buckets closed by the shards so far.
+
+        Requires ``emit_on_bucket_change=True`` (otherwise always empty).
+        Each shard's rows arrive in its own emission order; across shards
+        they are concatenated in shard order — per-bucket rows are only
+        grouped within a shard, since every shard closes buckets at its
+        own pace.  Cleared on read, like :meth:`QueryEngine.drain`.
+
+        Note that :meth:`query` ships buffered rows, which can itself
+        close buckets; emitted rows never appear in query results, so
+        callers interleaving the two should drain *after* querying too.
+        """
+        self._ensure_open()
+        if self.inline:
+            rows: list[ResultRow] = []
+            for engine in self._engines:
+                rows.extend(engine.drain())
+            return rows
+        for queue in self._queues:
+            queue.put(("drain",))
+        rows = []
+        for shard, conn in enumerate(self._conns):
+            try:
+                reply = conn.recv()
+            except EOFError:
+                raise QueryError(
+                    f"shard worker {shard} died before answering drain"
+                ) from None
+            if reply[0] == "error":
+                raise QueryError(f"shard worker failed: {reply[1]}")
+            rows.extend(reply[1])
+        return rows
+
     # -- querying -----------------------------------------------------------------
 
     def partial_states(self) -> list[bytes]:
@@ -370,11 +442,14 @@ class ShardedEngine:
     def close(self) -> dict:
         """Stop the workers; returns per-shard ingested-tuple counts.
 
-        Idempotent.  Pending buffered rows are shipped first so every
-        routed tuple is accounted for in the returned counts.
+        Idempotent: the first call tears the workers down and caches its
+        result; every later call (including ``__exit__`` after an explicit
+        ``close()``) is a no-op returning the same counts.  Pending
+        buffered rows are shipped first so every routed tuple is accounted
+        for in the returned counts.
         """
         if self._closed:
-            return {"tuples_per_shard": []}
+            return self._close_stats
         counts: list[int] = []
         if self.inline:
             self._ship_all()
@@ -398,7 +473,8 @@ class ShardedEngine:
                 queue.close()
                 queue.join_thread()
         self._closed = True
-        return {"tuples_per_shard": counts}
+        self._close_stats = {"tuples_per_shard": counts}
+        return self._close_stats
 
     def __enter__(self) -> "ShardedEngine":
         return self

@@ -9,11 +9,19 @@ Protocol (messages on the worker's bounded input queue, in order):
 
 ``("rows", [tuple, ...])``
     Ingest one batch via the engine's batched ``insert_many`` path.
+``("heartbeat", row)``
+    Advance event time via the engine's ``heartbeat`` — punctuation, not
+    data.  No reply; ordering relative to earlier ``rows`` batches is
+    preserved because both travel the same queue.
 ``("state",)``
     Reply on the result pipe with ``("state", partial_state_bytes)`` —
     the serde-encoded snapshot of everything ingested so far.  The worker
     keeps its state and keeps ingesting: merge-at-query, not
     merge-per-batch.
+``("drain",)``
+    Reply ``("rows", [ResultRow, ...])`` with the result rows of time
+    buckets the engine has closed so far (cleared on read, exactly like
+    :meth:`~repro.dsms.engine.QueryEngine.drain`).
 ``("stop",)``
     Reply ``("stopped", tuples_in)`` and exit.
 
@@ -52,6 +60,7 @@ class ShardPlan:
     low_table_size: int = 4096
     registry_factory: Callable[..., UdafRegistry] = default_registry
     registry_params: dict = field(default_factory=dict)
+    emit_on_bucket_change: bool = False
 
     def build_engine(self) -> QueryEngine:
         """Parse the query with a freshly built registry and plan it.
@@ -67,6 +76,7 @@ class ShardPlan:
             self.schema,
             two_level=self.two_level,
             low_table_size=self.low_table_size,
+            emit_on_bucket_change=self.emit_on_bucket_change,
         )
 
 
@@ -86,8 +96,12 @@ def shard_worker_main(plan: ShardPlan, shard_id: int, in_queue, conn) -> None:
             tag = message[0]
             if tag == "rows":
                 engine.insert_many(message[1])
+            elif tag == "heartbeat":
+                engine.heartbeat(message[1])
             elif tag == "state":
                 conn.send(("state", engine.partial_state_bytes()))
+            elif tag == "drain":
+                conn.send(("rows", engine.drain()))
             elif tag == "stop":
                 conn.send(("stopped", engine.tuples_processed))
                 break

@@ -1,0 +1,56 @@
+"""``repro.serve``: network serving for continuous queries.
+
+The paper's systems (Gigascope, the DSMS of Section V) are *services*:
+tuples arrive over a tap, queries run continuously, answers are read out
+while the stream keeps flowing.  This package is that deployment shape for
+the reproduction — an asyncio TCP server
+(:class:`~repro.serve.server.StreamServer`) running one engine (single or
+sharded, :mod:`repro.serve.backend`) behind a small framed wire protocol
+(:mod:`repro.serve.protocol`), plus sync/async client libraries
+(:mod:`repro.serve.client`).
+
+Quick start::
+
+    from repro.serve import build_backend, StreamServer, ThreadedServer
+    from repro.serve import ServeClient
+
+    backend = build_backend(sql, schema, shards=4)
+    with ThreadedServer(StreamServer(backend)) as server:
+        with ServeClient(server.host, server.port) as client:
+            client.insert(rows)
+            for row in client.query():
+                print(row)
+
+The CLI fronts the same pieces as ``repro serve`` and ``repro client``.
+"""
+
+from repro.serve.backend import (
+    ShardedBackend,
+    SingleEngineBackend,
+    build_backend,
+)
+from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    Frame,
+    FrameDecoder,
+    RemoteError,
+)
+from repro.serve.server import CHECKPOINT_FILENAME, StreamServer, ThreadedServer
+
+__all__ = [
+    "AsyncServeClient",
+    "CHECKPOINT_FILENAME",
+    "Frame",
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
+    "RemoteError",
+    "ServeClient",
+    "ShardedBackend",
+    "SingleEngineBackend",
+    "StreamServer",
+    "ThreadedServer",
+    "WIRE_VERSION",
+    "build_backend",
+]

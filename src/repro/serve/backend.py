@@ -1,0 +1,202 @@
+"""Engine backends the server drives: one query, single- or sharded-core.
+
+Both backends expose the same small surface — batched ingest, punctuation,
+non-destructive merge-at-query reads, and partial-state checkpoints — so
+:class:`~repro.serve.server.StreamServer` never cares which one it holds.
+
+**Query semantics.**  A served query answers over *everything ingested so
+far* and leaves the engine running: the backend snapshots partial states
+(the Section VI-B mergeable form), folds them into throwaway collector
+engines, and finalizes those.  HAVING / ORDER BY / LIMIT apply to the
+merged whole, exactly like an unsharded flush.  Result order is the
+engine's flush order (group keys sorted by ``repr``).
+
+**Checkpoints.**  ``partial_blobs()`` is also the crash-recovery story:
+the server persists the blobs on graceful shutdown and feeds them back via
+``restore_blobs`` on start.  Restored state is held as pre-merged partials
+— for the sharded backend it lives *beside* the live shards and joins at
+query time, so restoring never needs to re-partition old state across
+workers.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ParameterError
+from repro.core.merge import merge_all
+from repro.dsms.engine import QueryEngine, ResultRow
+from repro.dsms.schema import Schema
+from repro.parallel.sharded import ShardedEngine, stable_route
+from repro.parallel.worker import ShardPlan
+
+__all__ = ["SingleEngineBackend", "ShardedBackend", "build_backend"]
+
+
+class _BackendBase:
+    """Shared plumbing: the plan, and blob folding for queries/restores."""
+
+    kind = "?"
+
+    def __init__(self, plan: ShardPlan):
+        self._plan = plan
+        self.sql = plan.build_engine().query.sql()
+        self.schema: Schema = plan.schema
+
+    def _fold(self, blobs: list[bytes]) -> list[ResultRow]:
+        collectors = []
+        for blob in blobs:
+            collector = self._plan.build_engine()
+            collector.merge_partial(blob)
+            collectors.append(collector)
+        if not collectors:
+            return []
+        return merge_all(collectors).flush()
+
+
+class SingleEngineBackend(_BackendBase):
+    """One in-process :class:`QueryEngine` behind the server."""
+
+    kind = "single"
+
+    def __init__(self, plan: ShardPlan):
+        super().__init__(plan)
+        self._engine = plan.build_engine()
+
+    def insert_many(self, rows: list[tuple]) -> None:
+        """Ingest one batch through the engine's batched path."""
+        self._engine.insert_many(rows)
+
+    def heartbeat(self, row: tuple) -> None:
+        """Advance event time via punctuation (no data)."""
+        self._engine.heartbeat(row)
+
+    def query(self) -> list[ResultRow]:
+        """Merged results over everything ingested so far (non-destructive)."""
+        return self._fold([self._engine.partial_state_bytes()])
+
+    def partial_blobs(self) -> list[bytes]:
+        """The engine's partial state, as a one-element blob list."""
+        return [self._engine.partial_state_bytes()]
+
+    def restore_blobs(self, blobs: list[bytes]) -> None:
+        """Fold checkpoint blobs back into the live engine."""
+        for blob in blobs:
+            self._engine.merge_partial(blob)
+
+    @property
+    def tuples_in(self) -> int:
+        return self._engine.tuples_processed
+
+    def stats(self) -> dict:
+        """Backend statistics: tuples, groups, state volume."""
+        return {
+            "backend": self.kind,
+            "tuples_in": self._engine.tuples_processed,
+            "tuples_selected": self._engine.tuples_selected,
+            "groups": self._engine.group_count,
+            "state_bytes": self._engine.state_size_bytes(),
+        }
+
+    def close(self) -> None:
+        """Nothing to tear down for the in-process engine."""
+
+
+class ShardedBackend(_BackendBase):
+    """A :class:`~repro.parallel.sharded.ShardedEngine` behind the server.
+
+    Restored checkpoint blobs are kept as a side table of pre-merged
+    partials; queries and new checkpoints fold them together with the
+    live shard states, so a restart mid-stream answers identically to an
+    uninterrupted run.
+    """
+
+    kind = "sharded"
+
+    def __init__(self, plan: ShardPlan, shards: int, processes: int | None):
+        super().__init__(plan)
+        self._restored: list[bytes] = []
+        self._sharded = ShardedEngine(
+            plan.sql,
+            plan.schema,
+            shards=shards,
+            processes=processes,
+            two_level=plan.two_level,
+            low_table_size=plan.low_table_size,
+            registry_factory=plan.registry_factory,
+            registry_params=plan.registry_params,
+            router=stable_route,
+        )
+
+    def insert_many(self, rows: list[tuple]) -> None:
+        """Route one batch across the shards."""
+        self._sharded.insert_many(rows)
+
+    def heartbeat(self, row: tuple) -> None:
+        """Broadcast punctuation to every shard."""
+        self._sharded.heartbeat_all(row)
+
+    def query(self) -> list[ResultRow]:
+        """Merged results over restored + live shard states."""
+        return self._fold(self.partial_blobs())
+
+    def partial_blobs(self) -> list[bytes]:
+        """Restored checkpoint blobs plus live per-shard states."""
+        return list(self._restored) + self._sharded.partial_states()
+
+    def restore_blobs(self, blobs: list[bytes]) -> None:
+        """Adopt checkpoint blobs as pre-merged partials beside the shards."""
+        # Validate each blob eagerly (wrong query/schema must fail at
+        # restore time, not at the first query) by test-merging into a
+        # throwaway collector; keep the raw bytes for query-time folds.
+        for blob in blobs:
+            probe = self._plan.build_engine()
+            probe.merge_partial(blob)
+        self._restored.extend(bytes(blob) for blob in blobs)
+
+    @property
+    def tuples_in(self) -> int:
+        return self._sharded.rows_routed
+
+    def stats(self) -> dict:
+        """Backend statistics: per-shard routing counts plus totals."""
+        stats = self._sharded.stats()
+        stats.update(
+            backend=self.kind,
+            tuples_in=self._sharded.rows_routed,
+            restored_blobs=len(self._restored),
+        )
+        return stats
+
+    def close(self) -> None:
+        """Shut down the sharded engine (workers, queues)."""
+        self._sharded.close()
+
+
+def build_backend(
+    sql: str,
+    schema: Schema,
+    *,
+    shards: int = 0,
+    processes: int | None = 0,
+    two_level: bool = True,
+    low_table_size: int = 4096,
+    registry_params: dict | None = None,
+):
+    """Build the serving backend for one query.
+
+    ``shards=0`` (the default) serves from a single in-process engine;
+    ``shards>=1`` builds a :class:`ShardedBackend` with that many
+    partitions (``processes=0`` keeps the shards inline — deterministic
+    and CI-safe; ``None`` runs one OS process per shard).
+    """
+    if shards < 0:
+        raise ParameterError(f"shards must be >= 0, got {shards!r}")
+    plan = ShardPlan(
+        sql=sql,
+        schema=schema,
+        two_level=two_level,
+        low_table_size=low_table_size,
+        registry_params=dict(registry_params or {}),
+    )
+    if shards == 0:
+        return SingleEngineBackend(plan)
+    return ShardedBackend(plan, shards=shards, processes=processes)

@@ -1,0 +1,415 @@
+"""Client library for the ``repro.serve`` protocol (sync and asyncio).
+
+:class:`ServeClient` is a plain-socket, blocking client — what the CLI,
+the test suite, and the loopback benchmark use.  :class:`AsyncServeClient`
+is the same surface on asyncio streams for callers already inside an
+event loop.  Both are *sans-server*: all framing lives in
+:mod:`repro.serve.protocol`, so the transports stay thin.
+
+Credit discipline: the WELCOME frame grants an insert window; every
+:meth:`~ServeClient.insert` spends one credit and the server returns it
+(CREDIT) once the batch is ingested.  At zero credits the client blocks
+reading frames until a credit arrives — backpressure, not buffering.
+
+Server-pushed frames (subscription RESULTs) can interleave with the reply
+the client is waiting on; they are buffered in arrival order and consumed
+by :meth:`~ServeClient.pushes`.  ERROR frames raise
+:class:`~repro.serve.protocol.RemoteError` carrying the structured code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+from repro.serve import protocol
+from repro.serve.protocol import Frame, FrameDecoder, RemoteError
+
+__all__ = ["ServeClient", "AsyncServeClient"]
+
+#: How many bytes one ``recv`` asks the socket for.
+_RECV_BYTES = 64 * 1024
+
+
+class _ClientCore:
+    """Transport-free client state machine shared by both clients.
+
+    Subclasses provide ``_send_bytes`` and ``_recv_bytes`` (the only
+    transport-touching operations); everything else — handshake payloads,
+    credit accounting, reply matching, push buffering — lives here.
+    """
+
+    def __init__(self, max_frame_bytes: int = protocol.MAX_FRAME_BYTES):
+        self._decoder = FrameDecoder(max_frame_bytes)
+        self._max_frame_bytes = max_frame_bytes
+        self._pending: list[Frame] = []
+        self._pushes: list[Frame] = []
+        self.credits = 0
+        self.window = 0
+        self.server_info: dict = {}
+
+    # -- frame bookkeeping ---------------------------------------------------------
+
+    def _hello_payload(self, schema_names: list | None) -> dict:
+        payload = {"wire_version": protocol.WIRE_VERSION, "client": "repro"}
+        if schema_names is not None:
+            payload["schema"] = list(schema_names)
+        return payload
+
+    def _absorb(self, frame: Frame) -> Frame | None:
+        """Book-keep one incoming frame; return it if a caller should see it.
+
+        CREDIT frames update the window and vanish; subscription pushes
+        (RESULT with a ``sub`` field) are queued for :meth:`pushes`; ERROR
+        frames raise.  Anything else is a direct reply.
+        """
+        if frame.ftype == protocol.CREDIT:
+            self.credits += int(frame.payload.get("credits", 1))
+            return None
+        if frame.ftype == protocol.RESULT and "sub" in frame.payload:
+            self._pushes.append(frame)
+            return None
+        if frame.ftype == protocol.ERROR:
+            raise RemoteError(
+                frame.payload.get("code", "error"),
+                frame.payload.get("message", ""),
+            )
+        return frame
+
+    def _buffered_reply(self) -> Frame | None:
+        if self._pending:
+            return self._pending.pop(0)
+        return None
+
+    def _decode_chunk(self, data: bytes) -> None:
+        if not data:
+            raise ConnectionError("server closed the connection")
+        self._decoder.feed(data)
+        for frame in self._decoder.frames():
+            seen = self._absorb(frame)
+            if seen is not None:
+                self._pending.append(seen)
+
+    @staticmethod
+    def _expect(frame: Frame, ftype: int) -> Frame:
+        if frame.ftype != ftype:
+            raise RemoteError(
+                "unexpected-frame",
+                f"expected {protocol.frame_name(ftype)}, got {frame.name}",
+            )
+        return frame
+
+    def drain_pushes(self) -> list[dict]:
+        """Subscription results buffered so far (decoded, arrival order)."""
+        frames, self._pushes = self._pushes, []
+        return [
+            {
+                "sub": frame.payload.get("sub"),
+                "seq": frame.payload.get("seq"),
+                "done": frame.payload.get("done", False),
+                "rows": protocol.decode_result_rows(frame.payload["rows"]),
+            }
+            for frame in frames
+        ]
+
+    def has_pushes(self) -> bool:
+        return bool(self._pushes)
+
+
+class ServeClient(_ClientCore):
+    """Blocking TCP client; performs the HELLO handshake on construction.
+
+    Usable as a context manager::
+
+        with ServeClient(host, port) as client:
+            client.insert(rows)
+            results = client.query()
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        schema_names: list | None = None,
+        timeout_s: float | None = 30.0,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ):
+        super().__init__(max_frame_bytes)
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        try:
+            self._send(protocol.HELLO, self._hello_payload(schema_names))
+            welcome = self._expect(self._recv_reply(), protocol.WELCOME)
+            self.server_info = welcome.payload
+            self.credits = int(welcome.payload.get("credits", 1))
+            self.window = self.credits
+        except BaseException:
+            self._sock.close()
+            raise
+
+    # -- transport -----------------------------------------------------------------
+
+    def _send(self, ftype: int, payload: dict | None = None) -> None:
+        self._sock.sendall(
+            protocol.encode_frame(
+                ftype, payload, max_frame_bytes=self._max_frame_bytes
+            )
+        )
+
+    def _recv_reply(self) -> Frame:
+        """Next non-bookkeeping frame, reading from the socket as needed."""
+        while True:
+            frame = self._buffered_reply()
+            if frame is not None:
+                return frame
+            self._decode_chunk(self._sock.recv(_RECV_BYTES))
+
+    def _await_credit(self) -> None:
+        while self.credits < 1:
+            frame = self._buffered_reply()
+            if frame is not None:
+                raise RemoteError(
+                    "unexpected-frame",
+                    f"got {frame.name} while waiting for CREDIT",
+                )
+            self._decode_chunk(self._sock.recv(_RECV_BYTES))
+
+    # -- protocol surface ----------------------------------------------------------
+
+    @property
+    def query_sql(self) -> str:
+        return self.server_info.get("query", "")
+
+    def insert(self, rows: list[tuple]) -> None:
+        """Send one INSERT batch, honouring the credit window."""
+        self._await_credit()
+        self.credits -= 1
+        self._send(protocol.INSERT, {"rows": protocol.encode_rows(rows)})
+
+    def flush(self) -> None:
+        """Block until every in-flight INSERT has been acknowledged.
+
+        Inserts pipeline up to the credit window, so a rejected batch
+        raises :class:`RemoteError` on a *later* read; ``flush`` waits for
+        all outstanding credits, surfacing any such error deterministically.
+        """
+        while self.credits < self.window:
+            frame = self._buffered_reply()
+            if frame is not None:
+                raise RemoteError(
+                    "unexpected-frame",
+                    f"got {frame.name} while waiting for CREDIT",
+                )
+            self._decode_chunk(self._sock.recv(_RECV_BYTES))
+
+    def heartbeat(self, row: tuple) -> None:
+        """Send punctuation: advances event time without contributing data."""
+        self._send(protocol.HEARTBEAT, {"row": list(row)})
+
+    def query(self) -> list[dict]:
+        """Evaluate the continuous query over everything ingested so far."""
+        self._send(protocol.QUERY)
+        reply = self._expect(self._recv_reply(), protocol.RESULT)
+        return protocol.decode_result_rows(reply.payload["rows"])
+
+    def subscribe(self, interval_s: float, count: int | None = None) -> None:
+        """Ask for periodic RESULT pushes; collect them via :meth:`results`."""
+        self._send(
+            protocol.SUBSCRIBE, {"interval_s": interval_s, "count": count}
+        )
+
+    def results(self, count: int) -> list[dict]:
+        """Block until ``count`` subscription pushes have arrived."""
+        collected: list[dict] = []
+        while len(collected) < count:
+            if not self.has_pushes():
+                frame = self._buffered_reply()
+                if frame is not None:
+                    raise RemoteError(
+                        "unexpected-frame",
+                        f"got {frame.name} while waiting for pushes",
+                    )
+                self._decode_chunk(self._sock.recv(_RECV_BYTES))
+            collected.extend(self.drain_pushes())
+        return collected
+
+    def checkpoint(self) -> dict:
+        """Force a server-side checkpoint; returns ``{"path", "bytes"}``."""
+        self._send(protocol.CHECKPOINT)
+        return self._expect(
+            self._recv_reply(), protocol.CHECKPOINT_OK
+        ).payload
+
+    def stats(self) -> dict:
+        """Server / backend / metrics statistics."""
+        self._send(protocol.STATS)
+        return self._expect(self._recv_reply(), protocol.STATS_OK).payload
+
+    def close(self) -> dict:
+        """Graceful BYE → GOODBYE; returns the connection totals."""
+        try:
+            self._send(protocol.BYE)
+            goodbye = self._expect(self._recv_reply(), protocol.GOODBYE)
+            return goodbye.payload
+        finally:
+            self._sock.close()
+
+    def close_abruptly(self) -> None:
+        """Drop the socket with no BYE (tests: mid-stream disconnects)."""
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            self.close()
+        except (OSError, RemoteError, ConnectionError):
+            pass
+
+
+class AsyncServeClient(_ClientCore):
+    """The same protocol surface on asyncio streams.
+
+    Construct via :meth:`connect` (the handshake is async)::
+
+        client = await AsyncServeClient.connect(host, port)
+        await client.insert(rows)
+        rows = await client.query()
+        await client.close()
+    """
+
+    def __init__(self, reader, writer, max_frame_bytes: int):
+        super().__init__(max_frame_bytes)
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        schema_names: list | None = None,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ) -> "AsyncServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, max_frame_bytes)
+        try:
+            await client._send(
+                protocol.HELLO, client._hello_payload(schema_names)
+            )
+            welcome = client._expect(
+                await client._recv_reply(), protocol.WELCOME
+            )
+            client.server_info = welcome.payload
+            client.credits = int(welcome.payload.get("credits", 1))
+            client.window = client.credits
+        except BaseException:
+            writer.close()
+            raise
+        return client
+
+    async def _send(self, ftype: int, payload: dict | None = None) -> None:
+        self._writer.write(
+            protocol.encode_frame(
+                ftype, payload, max_frame_bytes=self._max_frame_bytes
+            )
+        )
+        await self._writer.drain()
+
+    async def _recv_reply(self) -> Frame:
+        while True:
+            frame = self._buffered_reply()
+            if frame is not None:
+                return frame
+            self._decode_chunk(await self._reader.read(_RECV_BYTES))
+
+    async def _await_credit(self) -> None:
+        while self.credits < 1:
+            frame = self._buffered_reply()
+            if frame is not None:
+                raise RemoteError(
+                    "unexpected-frame",
+                    f"got {frame.name} while waiting for CREDIT",
+                )
+            self._decode_chunk(await self._reader.read(_RECV_BYTES))
+
+    async def insert(self, rows: list[tuple]) -> None:
+        """Send one INSERT batch, honouring the credit window."""
+        await self._await_credit()
+        self.credits -= 1
+        await self._send(protocol.INSERT, {"rows": protocol.encode_rows(rows)})
+
+    async def flush(self) -> None:
+        """Async twin of :meth:`ServeClient.flush`."""
+        while self.credits < self.window:
+            frame = self._buffered_reply()
+            if frame is not None:
+                raise RemoteError(
+                    "unexpected-frame",
+                    f"got {frame.name} while waiting for CREDIT",
+                )
+            self._decode_chunk(await self._reader.read(_RECV_BYTES))
+
+    async def heartbeat(self, row: tuple) -> None:
+        """Send punctuation: advances event time without contributing data."""
+        await self._send(protocol.HEARTBEAT, {"row": list(row)})
+
+    async def query(self) -> list[dict]:
+        """Evaluate the continuous query over everything ingested so far."""
+        await self._send(protocol.QUERY)
+        reply = self._expect(await self._recv_reply(), protocol.RESULT)
+        return protocol.decode_result_rows(reply.payload["rows"])
+
+    async def subscribe(
+        self, interval_s: float, count: int | None = None
+    ) -> None:
+        """Ask for periodic RESULT pushes; collect them via :meth:`results`."""
+        await self._send(
+            protocol.SUBSCRIBE, {"interval_s": interval_s, "count": count}
+        )
+
+    async def results(self, count: int) -> list[dict]:
+        """Block until ``count`` subscription pushes have arrived."""
+        collected: list[dict] = []
+        while len(collected) < count:
+            if not self.has_pushes():
+                frame = self._buffered_reply()
+                if frame is not None:
+                    raise RemoteError(
+                        "unexpected-frame",
+                        f"got {frame.name} while waiting for pushes",
+                    )
+                self._decode_chunk(await self._reader.read(_RECV_BYTES))
+            collected.extend(self.drain_pushes())
+        return collected
+
+    async def checkpoint(self) -> dict:
+        """Force a server-side checkpoint; returns ``{"path", "bytes"}``."""
+        await self._send(protocol.CHECKPOINT)
+        return self._expect(
+            await self._recv_reply(), protocol.CHECKPOINT_OK
+        ).payload
+
+    async def stats(self) -> dict:
+        """Server / backend / metrics statistics."""
+        await self._send(protocol.STATS)
+        return self._expect(
+            await self._recv_reply(), protocol.STATS_OK
+        ).payload
+
+    async def close(self) -> dict:
+        """Graceful BYE -> GOODBYE; returns the connection totals."""
+        try:
+            await self._send(protocol.BYE)
+            goodbye = self._expect(
+                await self._recv_reply(), protocol.GOODBYE
+            )
+            return goodbye.payload
+        finally:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (OSError, ConnectionError):  # pragma: no cover
+                pass

@@ -1,0 +1,273 @@
+"""The ``repro.serve`` wire protocol: versioned, length-prefixed frames.
+
+The paper's system runs as a *service*: Gigascope answers continuous GSQL
+queries over a live packet tap.  This module is the reproduction's front
+door — a small binary protocol that a client speaks to stream tuples into
+a server-resident engine and read continuously re-evaluated results back.
+
+Frame layout (all integers big-endian)::
+
+    +----------------+------------+------------------------+
+    | length: uint32 | type: byte | body: UTF-8 JSON       |
+    +----------------+------------+------------------------+
+
+``length`` counts the type byte plus the body.  Bodies are JSON objects;
+values that JSON would mangle (non-finite floats, tuple-vs-list identity)
+travel through the same tagged encoding as the engine's partial states
+(:func:`repro.core.protocol.tag_key`), so result rows round-trip the wire
+byte-exactly.
+
+Frame types
+-----------
+
+========== ===== ============ ====================================================
+name       code  direction    body
+========== ===== ============ ====================================================
+HELLO      1     client → srv ``wire_version``, ``schema`` (names), ``client``
+WELCOME    2     srv → client negotiated ``credits``, server ``query``/``schema``
+INSERT     3     client → srv ``rows`` (list of tuples); consumes one credit
+CREDIT     4     srv → client ``credits`` granted back (backpressure)
+HEARTBEAT  5     client → srv ``row`` — punctuation, advances event time only
+QUERY      6     client → srv (empty) request merged results now
+RESULT     7     srv → client ``rows``; pushes carry ``sub``/``seq``/``done``
+SUBSCRIBE  8     client → srv ``interval_s``, ``count`` — periodic RESULT pushes
+CHECKPOINT 9     client → srv (empty) force a state-dir checkpoint
+CHECK_OK   10    srv → client ``path``, ``bytes``
+STATS      11    client → srv (empty)
+STATS_OK   12    srv → client server/backend/metrics statistics
+ERROR      13    srv → client structured ``code`` + ``message`` (+ ``frame``)
+BYE        14    client → srv (empty) graceful goodbye
+GOODBYE    15    srv → client ``tuples_in`` — connection totals, then close
+========== ===== ============ ====================================================
+
+Framing errors (bad length, oversized frame, undecodable body) are
+*connection-scoped*: the server answers with ERROR and drops that
+connection, never the process.  Semantic errors (bad rows, unknown frame
+type, a query failure) are *frame-scoped*: ERROR is sent and the
+connection keeps going.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.core.errors import ProtocolError
+from repro.core.protocol import tag_key, untag_key
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
+    "HEADER",
+    "Frame",
+    "FrameDecoder",
+    "RemoteError",
+    "encode_frame",
+    "decode_frame_body",
+    "encode_rows",
+    "decode_rows",
+    "encode_result_rows",
+    "decode_result_rows",
+    "frame_name",
+]
+
+#: Protocol revision carried in HELLO; servers reject any other value.
+WIRE_VERSION = 1
+
+#: Default ceiling on ``length``; larger frames are rejected before the
+#: body is buffered, so a hostile length prefix cannot balloon memory.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: ``struct`` format of the length prefix.
+HEADER = struct.Struct(">I")
+
+# Frame type codes (see the module docstring table).
+HELLO = 1
+WELCOME = 2
+INSERT = 3
+CREDIT = 4
+HEARTBEAT = 5
+QUERY = 6
+RESULT = 7
+SUBSCRIBE = 8
+CHECKPOINT = 9
+CHECKPOINT_OK = 10
+STATS = 11
+STATS_OK = 12
+ERROR = 13
+BYE = 14
+GOODBYE = 15
+
+_FRAME_NAMES = {
+    HELLO: "HELLO",
+    WELCOME: "WELCOME",
+    INSERT: "INSERT",
+    CREDIT: "CREDIT",
+    HEARTBEAT: "HEARTBEAT",
+    QUERY: "QUERY",
+    RESULT: "RESULT",
+    SUBSCRIBE: "SUBSCRIBE",
+    CHECKPOINT: "CHECKPOINT",
+    CHECKPOINT_OK: "CHECKPOINT_OK",
+    STATS: "STATS",
+    STATS_OK: "STATS_OK",
+    ERROR: "ERROR",
+    BYE: "BYE",
+    GOODBYE: "GOODBYE",
+}
+
+
+def frame_name(ftype: int) -> str:
+    """Human-readable name of a frame type (``type-N`` when unknown)."""
+    return _FRAME_NAMES.get(ftype, f"type-{ftype}")
+
+
+class Frame(tuple):
+    """A decoded frame: ``(ftype, payload)`` with named access."""
+
+    __slots__ = ()
+
+    def __new__(cls, ftype: int, payload: dict) -> "Frame":
+        return tuple.__new__(cls, (ftype, payload))
+
+    @property
+    def ftype(self) -> int:
+        return self[0]
+
+    @property
+    def payload(self) -> dict:
+        return self[1]
+
+    @property
+    def name(self) -> str:
+        return frame_name(self[0])
+
+
+class RemoteError(ProtocolError):
+    """An ERROR frame received from the server, surfaced client-side."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+def encode_frame(
+    ftype: int, payload: dict | None = None, *, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> bytes:
+    """Serialize one frame (header + type byte + JSON body)."""
+    body = json.dumps(
+        payload or {}, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    length = 1 + len(body)
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"{frame_name(ftype)} frame is {length} bytes; "
+            f"the wire limit is {max_frame_bytes}"
+        )
+    return HEADER.pack(length) + bytes([ftype]) + body
+
+
+def decode_frame_body(body: bytes | bytearray) -> Frame:
+    """Parse the post-header part of a frame (type byte + JSON body)."""
+    if not body:
+        raise ProtocolError("empty frame (zero-length body)")
+    try:
+        payload = json.loads(bytes(body[1:]).decode("utf-8") or "{}")
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return Frame(body[0], payload)
+
+
+class FrameDecoder:
+    """Incremental frame parser for a byte stream (sync clients, tests).
+
+    Feed arbitrary chunks with :meth:`feed`; iterate complete frames with
+    :meth:`frames`.  Framing violations raise :class:`ProtocolError` —
+    after that the stream position is undefined and the connection should
+    be dropped, mirroring the server's behaviour.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        """Append a received chunk to the internal reassembly buffer."""
+        self._buffer.extend(data)
+
+    def frames(self):
+        """Yield every complete :class:`Frame` buffered so far."""
+        while True:
+            if len(self._buffer) < HEADER.size:
+                return
+            (length,) = HEADER.unpack_from(self._buffer)
+            if length == 0:
+                raise ProtocolError("empty frame (zero-length body)")
+            if length > self.max_frame_bytes:
+                raise ProtocolError(
+                    f"oversized frame: {length} bytes "
+                    f"(limit {self.max_frame_bytes})"
+                )
+            if len(self._buffer) < HEADER.size + length:
+                return
+            body = self._buffer[HEADER.size:HEADER.size + length]
+            del self._buffer[:HEADER.size + length]
+            yield decode_frame_body(body)
+
+
+# -- row encodings -----------------------------------------------------------------
+
+
+def encode_rows(rows) -> list:
+    """Stream tuples → JSON-safe lists (types are validated server-side)."""
+    return [list(row) for row in rows]
+
+
+def decode_rows(data: list) -> list:
+    """Inverse of :func:`encode_rows`; shape errors become ProtocolError."""
+    if not isinstance(data, list):
+        raise ProtocolError("INSERT rows must be a list")
+    try:
+        return [tuple(row) for row in data]
+    except TypeError as exc:
+        raise ProtocolError(f"malformed row in INSERT frame: {exc}") from exc
+
+
+def _tag_value(value):
+    if isinstance(value, list):
+        return ["list", [_tag_value(part) for part in value]]
+    return tag_key(value)
+
+
+def _untag_value(tag):
+    kind = tag[0]
+    if kind == "list":
+        return [_untag_value(part) for part in tag[1]]
+    return untag_key(tag)
+
+
+def encode_result_rows(rows) -> list:
+    """Result rows (alias → value dicts) → tagged JSON, order-preserving.
+
+    Values go through the engine's key tagging (plus a ``list`` tag for
+    list-valued finalizers like heavy-hitter reports), so non-finite
+    floats and int/float/tuple identity survive the wire exactly.
+    """
+    return [
+        [[alias, _tag_value(value)] for alias, value in row.items()]
+        for row in rows
+    ]
+
+
+def decode_result_rows(data: list) -> list:
+    """Inverse of :func:`encode_result_rows`."""
+    try:
+        return [
+            {alias: _untag_value(tag) for alias, tag in row} for row in data
+        ]
+    except (TypeError, ValueError, IndexError) as exc:
+        raise ProtocolError(f"malformed RESULT rows: {exc}") from exc

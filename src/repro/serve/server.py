@@ -1,0 +1,572 @@
+"""`StreamServer`: asyncio TCP ingestion + continuous-query serving.
+
+One server owns one continuous query (like a GS instance owns a GSQL
+query) behind a :mod:`repro.serve.backend`.  Clients speak the framed
+protocol of :mod:`repro.serve.protocol`; any number may connect, and all
+feed the same engine — partitioned merges happen behind the backend, not
+per connection.
+
+Design notes:
+
+* **Atomic handlers, no engine lock.**  Engine calls are synchronous and
+  contain no ``await``, so under asyncio's cooperative scheduling each
+  frame's engine work is atomic — concurrent connections interleave only
+  *between* frames.  The cost is that a huge INSERT briefly blocks the
+  loop; the credit window keeps that bounded.
+* **Credit-based backpressure.**  WELCOME grants ``credit_window``
+  credits; each INSERT consumes one and earns a CREDIT frame back once
+  the batch has been ingested.  A well-behaved client therefore never has
+  more than ``credit_window`` unprocessed batches in flight — the wire
+  analogue of the bounded ``mp.Queue`` between the shard router and its
+  workers.  A client that ignores credits just fills kernel socket
+  buffers: the server reads one frame at a time, so memory stays bounded
+  regardless.
+* **Failure scoping.**  Framing violations (bad length, oversized frame,
+  undecodable body) poison the byte stream, so the server answers ERROR
+  and drops that connection.  Semantic problems (unknown frame type, bad
+  rows, engine errors) answer ERROR and keep the connection.  Nothing a
+  client sends can take the process down.
+* **Checkpoint on shutdown.**  With a ``state_dir``, a graceful stop
+  drains connections and persists every backend partial state through
+  :func:`repro.core.serde.dump_partials_checkpoint`; a server started
+  over the same directory restores it and resumes mid-stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+from repro.core.errors import DecayError, ParameterError, ProtocolError
+from repro.core.serde import dump_partials_checkpoint, load_partials_checkpoint
+from repro.serve import protocol
+from repro.serve.protocol import HEADER, encode_frame, frame_name
+
+__all__ = ["StreamServer", "ThreadedServer", "CHECKPOINT_FILENAME"]
+
+#: Name of the checkpoint file inside ``state_dir``.
+CHECKPOINT_FILENAME = "checkpoint.json"
+
+
+class _CloseConnection(Exception):
+    """Internal: raised by handlers to end the connection after a reply."""
+
+
+class _Connection:
+    """Per-connection state: writer serialization, credits, subscriptions."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self.hello_done = False
+        self.tuples_in = 0
+        self.subscriptions: list[asyncio.Task] = []
+        self._next_sub = 1
+        self._write_lock = asyncio.Lock()
+
+    def next_subscription_id(self) -> int:
+        sub = self._next_sub
+        self._next_sub += 1
+        return sub
+
+    async def send(self, ftype: int, payload: dict | None = None) -> None:
+        async with self._write_lock:
+            self.writer.write(encode_frame(ftype, payload))
+            await self.writer.drain()
+
+    async def close(self) -> None:
+        for task in self.subscriptions:
+            task.cancel()
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (OSError, asyncio.CancelledError):  # pragma: no cover
+            pass
+
+
+class StreamServer:
+    """Serve one continuous query over TCP.
+
+    Parameters
+    ----------
+    backend:
+        A :mod:`repro.serve.backend` engine backend (built by
+        :func:`~repro.serve.backend.build_backend`).
+    host / port:
+        Listen address; ``port=0`` picks a free port (see :attr:`port`
+        after :meth:`start`).
+    credit_window:
+        INSERT batches a client may have in flight (the backpressure
+        bound granted in WELCOME).
+    max_frame_bytes:
+        Frame size ceiling; oversized frames are rejected before their
+        body is read.
+    idle_timeout_s:
+        Drop connections silent for this long (None = never).
+    state_dir:
+        Directory for the shutdown checkpoint; restored on :meth:`start`.
+        None disables checkpointing (CHECKPOINT frames then fail with a
+        structured error).
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when
+        enabled, records connection/frame/row counters, ingest rate, and
+        per-frame-type latency quantiles under ``serve.*``.
+    """
+
+    def __init__(
+        self,
+        backend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        credit_window: int = 8,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        idle_timeout_s: float | None = None,
+        state_dir: str | None = None,
+        metrics=None,
+    ):
+        if credit_window < 1:
+            raise ParameterError(
+                f"credit_window must be >= 1, got {credit_window!r}"
+            )
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self.credit_window = credit_window
+        self.max_frame_bytes = max_frame_bytes
+        self.idle_timeout_s = idle_timeout_s
+        self.state_dir = state_dir
+        self.metrics = metrics
+        self._obs = metrics is not None and getattr(metrics, "enabled", False)
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[_Connection] = set()
+        self._stopping = False
+        self.started_at: float | None = None
+        self.frames_total = 0
+        self.rows_total = 0
+        self.errors_total = 0
+        self.connections_total = 0
+        self.restored_blobs = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def checkpoint_path(self) -> str | None:
+        if self.state_dir is None:
+            return None
+        return os.path.join(self.state_dir, CHECKPOINT_FILENAME)
+
+    async def start(self) -> None:
+        """Bind the listener, restoring a checkpoint first if one exists."""
+        path = self.checkpoint_path
+        if path is not None and os.path.exists(path):
+            with open(path) as handle:
+                envelope = json.load(handle)
+            blobs = load_partials_checkpoint(
+                envelope, self.backend.sql, self.backend.schema.names()
+            )
+            self.backend.restore_blobs(blobs)
+            self.restored_blobs = len(blobs)
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        self.started_at = time.time()
+
+    async def stop(self) -> str | None:
+        """Graceful shutdown: drain connections, checkpoint, close.
+
+        Returns the checkpoint path (None without a ``state_dir``).
+        Idempotent.
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._connections):
+            await conn.close()
+        self._connections.clear()
+        path = self.write_checkpoint()
+        self.backend.close()
+        return path
+
+    def write_checkpoint(self) -> str | None:
+        """Persist every backend partial state to ``state_dir`` (atomic)."""
+        path = self.checkpoint_path
+        if path is None:
+            return None
+        envelope = dump_partials_checkpoint(
+            self.backend.sql,
+            self.backend.schema.names(),
+            self.backend.partial_blobs(),
+        )
+        os.makedirs(self.state_dir, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(envelope, handle)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    # -- statistics ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Server-side statistics plus the backend's and metrics snapshot."""
+        server = {
+            "connections": len(self._connections),
+            "connections_total": self.connections_total,
+            "frames_total": self.frames_total,
+            "rows_total": self.rows_total,
+            "errors_total": self.errors_total,
+            "uptime_s": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "credit_window": self.credit_window,
+            "restored_blobs": self.restored_blobs,
+            "checkpoint_path": self.checkpoint_path,
+        }
+        stats = {"server": server, "backend": self.backend.stats()}
+        if self._obs:
+            stats["metrics"] = self.metrics.snapshot()
+        return stats
+
+    # -- connection handling ------------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        conn = _Connection(reader, writer)
+        self._connections.add(conn)
+        self.connections_total += 1
+        if self._obs:
+            self.metrics.counter("serve.connections").add(1.0)
+            self.metrics.gauge("serve.connections.open").set(
+                float(len(self._connections))
+            )
+        try:
+            while not self._stopping:
+                try:
+                    frame = await self._read_frame(reader)
+                except asyncio.IncompleteReadError:
+                    break  # peer went away between (or mid-) frames
+                except asyncio.TimeoutError:
+                    await self._error(
+                        conn, "idle-timeout",
+                        f"no frames for {self.idle_timeout_s:g}s", close=True,
+                    )
+                    break
+                except ProtocolError as error:
+                    await self._error(
+                        conn, "malformed-frame", str(error), close=True
+                    )
+                    break
+                try:
+                    await self._dispatch(conn, frame)
+                except _CloseConnection:
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            self._connections.discard(conn)
+            await conn.close()
+            if self._obs:
+                self.metrics.gauge("serve.connections.open").set(
+                    float(len(self._connections))
+                )
+
+    async def _read_frame(self, reader) -> protocol.Frame:
+        read = reader.readexactly(HEADER.size)
+        if self.idle_timeout_s is not None:
+            header = await asyncio.wait_for(read, self.idle_timeout_s)
+        else:
+            header = await read
+        (length,) = HEADER.unpack(header)
+        if length == 0:
+            raise ProtocolError("empty frame (zero-length body)")
+        if length > self.max_frame_bytes:
+            raise ProtocolError(
+                f"oversized frame: {length} bytes (limit {self.max_frame_bytes})"
+            )
+        body = await reader.readexactly(length)
+        return protocol.decode_frame_body(body)
+
+    async def _error(
+        self, conn: _Connection, code: str, message: str,
+        *, close: bool = False, frame: int | None = None,
+    ) -> None:
+        self.errors_total += 1
+        if self._obs:
+            self.metrics.counter("serve.errors").add(1.0)
+        payload = {"code": code, "message": message}
+        if frame is not None:
+            payload["frame"] = frame_name(frame)
+        try:
+            await conn.send(protocol.ERROR, payload)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            close = True
+        if close:
+            raise _CloseConnection()
+
+    async def _dispatch(self, conn: _Connection, frame: protocol.Frame) -> None:
+        self.frames_total += 1
+        if self._obs:
+            self.metrics.counter("serve.frames").add(1.0)
+        handler = self._HANDLERS.get(frame.ftype)
+        if handler is None:
+            await self._error(
+                conn, "unknown-frame",
+                f"unknown frame type {frame.ftype}", frame=frame.ftype,
+            )
+            return
+        if not conn.hello_done and frame.ftype != protocol.HELLO:
+            await self._error(
+                conn, "handshake-required",
+                f"{frame.name} before HELLO", close=True, frame=frame.ftype,
+            )
+            return
+        if self._obs:
+            with self.metrics.timer(f"serve.frame.{frame.name}.us"):
+                await handler(self, conn, frame.payload)
+        else:
+            await handler(self, conn, frame.payload)
+
+    # -- frame handlers -----------------------------------------------------------
+
+    async def _handle_hello(self, conn: _Connection, payload: dict) -> None:
+        version = payload.get("wire_version")
+        if version != protocol.WIRE_VERSION:
+            await self._error(
+                conn, "wire-version",
+                f"server speaks wire version {protocol.WIRE_VERSION}, "
+                f"client sent {version!r}", close=True,
+            )
+            return
+        names = self.backend.schema.names()
+        offered = payload.get("schema")
+        if offered is not None and offered != names:
+            await self._error(
+                conn, "schema-mismatch",
+                f"server stream schema is {names}, client offered {offered}",
+                close=True,
+            )
+            return
+        conn.hello_done = True
+        await conn.send(
+            protocol.WELCOME,
+            {
+                "wire_version": protocol.WIRE_VERSION,
+                "server": "repro.serve",
+                "query": self.backend.sql,
+                "schema": names,
+                "backend": self.backend.kind,
+                "credits": self.credit_window,
+                "max_frame_bytes": self.max_frame_bytes,
+            },
+        )
+
+    def _checked_rows(self, payload: dict) -> list[tuple]:
+        rows = protocol.decode_rows(payload.get("rows", []))
+        schema = self.backend.schema
+        for row in rows:
+            schema.validate(row)
+        return rows
+
+    async def _handle_insert(self, conn: _Connection, payload: dict) -> None:
+        try:
+            rows = self._checked_rows(payload)
+            self.backend.insert_many(rows)
+        except DecayError as error:
+            # The batch was rejected wholesale (validation happens before
+            # ingest), so state is untouched; the credit is still returned.
+            await self._error(conn, "bad-rows", str(error))
+            await conn.send(protocol.CREDIT, {"credits": 1})
+            return
+        conn.tuples_in += len(rows)
+        self.rows_total += len(rows)
+        if self._obs:
+            self.metrics.rate("serve.ingest.rows").observe(float(len(rows)))
+        await conn.send(protocol.CREDIT, {"credits": 1})
+
+    async def _handle_heartbeat(self, conn: _Connection, payload: dict) -> None:
+        row = payload.get("row")
+        try:
+            if not isinstance(row, list):
+                raise ProtocolError("HEARTBEAT needs a tuple-shaped 'row'")
+            marker = tuple(row)
+            self.backend.schema.validate(marker)
+            self.backend.heartbeat(marker)
+        except DecayError as error:
+            await self._error(conn, "bad-heartbeat", str(error))
+
+    async def _handle_query(self, conn: _Connection, payload: dict) -> None:
+        try:
+            rows = self.backend.query()
+        except DecayError as error:
+            await self._error(conn, "query-failed", str(error))
+            return
+        await conn.send(
+            protocol.RESULT,
+            {"rows": protocol.encode_result_rows(rows)},
+        )
+
+    async def _handle_subscribe(self, conn: _Connection, payload: dict) -> None:
+        interval = payload.get("interval_s")
+        count = payload.get("count")
+        if not isinstance(interval, (int, float)) or interval <= 0:
+            await self._error(
+                conn, "bad-subscribe",
+                f"interval_s must be a positive number, got {interval!r}",
+            )
+            return
+        if count is not None and (not isinstance(count, int) or count < 1):
+            await self._error(
+                conn, "bad-subscribe",
+                f"count must be a positive integer or null, got {count!r}",
+            )
+            return
+        sub = conn.next_subscription_id()
+        task = asyncio.get_running_loop().create_task(
+            self._push_results(conn, sub, float(interval), count)
+        )
+        conn.subscriptions.append(task)
+
+    async def _push_results(
+        self, conn: _Connection, sub: int, interval: float, count: int | None
+    ) -> None:
+        """One subscription: evaluate-and-push until done or disconnected."""
+        seq = 0
+        try:
+            while count is None or seq < count:
+                seq += 1
+                try:
+                    rows = self.backend.query()
+                except DecayError as error:  # pragma: no cover - defensive
+                    await conn.send(
+                        protocol.ERROR,
+                        {"code": "query-failed", "message": str(error),
+                         "sub": sub},
+                    )
+                    return
+                done = count is not None and seq >= count
+                await conn.send(
+                    protocol.RESULT,
+                    {
+                        "rows": protocol.encode_result_rows(rows),
+                        "sub": sub,
+                        "seq": seq,
+                        "done": done,
+                    },
+                )
+                if not done:
+                    await asyncio.sleep(interval)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # subscriber went away; the read loop handles teardown
+
+    async def _handle_checkpoint(self, conn: _Connection, payload: dict) -> None:
+        if self.state_dir is None:
+            await self._error(
+                conn, "no-state-dir",
+                "server was started without --state-dir; nothing to "
+                "checkpoint to",
+            )
+            return
+        path = self.write_checkpoint()
+        await conn.send(
+            protocol.CHECKPOINT_OK,
+            {"path": path, "bytes": os.path.getsize(path)},
+        )
+
+    async def _handle_stats(self, conn: _Connection, payload: dict) -> None:
+        await conn.send(protocol.STATS_OK, self.stats())
+
+    async def _handle_bye(self, conn: _Connection, payload: dict) -> None:
+        await conn.send(protocol.GOODBYE, {"tuples_in": conn.tuples_in})
+        raise _CloseConnection()
+
+    _HANDLERS = {
+        protocol.HELLO: _handle_hello,
+        protocol.INSERT: _handle_insert,
+        protocol.HEARTBEAT: _handle_heartbeat,
+        protocol.QUERY: _handle_query,
+        protocol.SUBSCRIBE: _handle_subscribe,
+        protocol.CHECKPOINT: _handle_checkpoint,
+        protocol.STATS: _handle_stats,
+        protocol.BYE: _handle_bye,
+    }
+
+
+class ThreadedServer:
+    """Run a :class:`StreamServer` on a background event loop.
+
+    The in-process harness used by the test suite, the loopback benchmark,
+    and anyone embedding the server next to synchronous code::
+
+        with ThreadedServer(StreamServer(backend)) as server:
+            client = ServeClient(server.host, server.port)
+
+    ``start()`` returns once the listener is bound; ``stop()`` runs the
+    server's graceful shutdown (checkpoint included) and joins the thread.
+    """
+
+    def __init__(self, server: StreamServer):
+        self.server = server
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as error:  # startup failed: surface in start()
+            self._startup_error = error
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    def start(self) -> "ThreadedServer":
+        """Spawn the loop thread; returns once the listener is bound."""
+        if self._thread is not None and self._thread.is_alive():
+            return self  # idempotent: `serve().start()` inside `with`
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self) -> str | None:
+        """Gracefully stop the server; returns the checkpoint path."""
+        if self._loop is None or not self._thread or not self._thread.is_alive():
+            return None
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        path = future.result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        return path
+
+    def __enter__(self) -> "ThreadedServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

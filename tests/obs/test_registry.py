@@ -109,6 +109,36 @@ class TestSnapshot:
         assert "(no metrics recorded)" in format_snapshot({"metrics": {}})
 
 
+class TestTimer:
+    def test_timer_records_into_a_latency_sketch(self, clock):
+        registry = MetricsRegistry(clock=clock)
+        with registry.timer("op.us"):
+            pass
+        metric = registry.latency("op.us")
+        assert metric.count == 1
+        assert metric.quantile(0.5) >= 0.0
+
+    def test_timer_records_even_when_the_block_raises(self, clock):
+        registry = MetricsRegistry(clock=clock)
+        with pytest.raises(RuntimeError):
+            with registry.timer("op.us"):
+                raise RuntimeError("boom")
+        assert registry.latency("op.us").count == 1
+
+    def test_timer_on_disabled_registry_registers_nothing(self, clock):
+        registry = MetricsRegistry(enabled=False, clock=clock)
+        with registry.timer("op.us"):
+            pass
+        assert len(registry) == 0
+
+    def test_timer_reuses_the_named_metric(self, clock):
+        registry = MetricsRegistry(clock=clock)
+        for _ in range(3):
+            with registry.timer("op.us"):
+                pass
+        assert registry.latency("op.us").count == 3
+
+
 class TestMerge:
     def test_merge_unions_names_and_sums_counters(self, clock):
         a = MetricsRegistry(clock=clock)

@@ -217,9 +217,23 @@ class TestLifecycle:
         assert sum(counts) == len(rows)
 
     def test_close_is_idempotent(self):
+        # Regression: a second close() used to drop the counts and return
+        # an empty list; now it returns the first call's cached result.
         engine = ShardedEngine(COUNT_SUM_SQL, SCHEMA, shards=2, processes=0)
-        engine.close()
-        assert engine.close() == {"tuples_per_shard": []}
+        engine.insert_many(make_rows(40))
+        first = engine.close()
+        assert sum(first["tuples_per_shard"]) == 40
+        assert engine.close() == first
+
+    def test_exit_after_explicit_close_is_noop(self):
+        with ShardedEngine(
+            COUNT_SUM_SQL, SCHEMA, shards=2, processes=0
+        ) as engine:
+            engine.insert_many(make_rows(25))
+            stats = engine.close()
+        # __exit__ ran close() again: no raise, cached counts intact.
+        assert engine.close() == stats
+        assert sum(stats["tuples_per_shard"]) == 25
 
     def test_operations_after_close_raise(self):
         engine = ShardedEngine(COUNT_SUM_SQL, SCHEMA, shards=2, processes=0)
@@ -363,3 +377,109 @@ class TestRealProcesses:
         ) as engine:
             engine.insert_many(rows)
             assert engine.query() == unsharded(COUNT_SUM_SQL, rows)
+
+
+BUCKET_SQL = "select tb, destIP, count(*) as c from TCP group by time/60 as tb, destIP"
+
+
+def hb(time: int, dest: str = "") -> tuple:
+    """A tuple-shaped punctuation marker carrying only a timestamp."""
+    return (time, "", dest, 0, 0, "")
+
+
+class TestShardedHeartbeat:
+    """Punctuation routing mirrors the engine-level heartbeat semantics:
+    markers close only buckets they have *passed*, per shard."""
+
+    def make(self, **kwargs) -> ShardedEngine:
+        return ShardedEngine(
+            BUCKET_SQL, SCHEMA, shards=2, processes=0,
+            emit_on_bucket_change=True, **kwargs,
+        )
+
+    def test_broadcast_closes_quiet_buckets(self):
+        with self.make() as engine:
+            engine.insert_many(
+                [(i, "s", f"h{i % 3}", 80, 100, "tcp") for i in range(4)]
+            )
+            assert engine.drain() == []
+            engine.heartbeat_all(hb(65))  # minute 1: minute 0 closes everywhere
+            drained = engine.drain()
+            assert sorted(map(repr, drained)) == sorted(
+                map(repr, unsharded(BUCKET_SQL,
+                                    [(i, "s", f"h{i % 3}", 80, 100, "tcp")
+                                     for i in range(4)]))
+            )
+            # Punctuation contributed no data.
+            assert engine.rows_routed == 4
+            assert engine.query() == []
+
+    def test_routed_heartbeat_reaches_owning_shard_only(self):
+        # Deterministic placement: destIP h1 -> shard 0, everything else
+        # -> shard 1.  A marker keyed h2 must not close h1's bucket.
+        router = lambda key, n: 0 if key == "h1" else 1  # noqa: E731
+        with self.make(shard_key="destIP", router=router) as engine:
+            engine.insert_many([(1, "s", "h1", 80, 100, "tcp")])
+            engine.heartbeat(hb(65, dest="h2"))  # owning shard: 1 (not h1's)
+            assert engine.drain() == []
+            engine.heartbeat(hb(65, dest="h1"))  # now shard 0 advances
+            assert engine.drain() == [{"tb": 0, "destIP": "h1", "c": 1}]
+
+    def test_late_and_equal_heartbeats_are_noops(self):
+        # Mirrors tests/dsms late/equal-heartbeat regressions at shard level.
+        with self.make() as engine:
+            engine.insert_many([(65, "s", "h1", 80, 100, "tcp")])  # minute 1
+            engine.heartbeat_all(hb(30))   # late marker in closed minute 0
+            assert engine.drain() == []    # minute 1 stays open, not split
+            engine.heartbeat_all(hb(70))   # equal bucket: still a no-op
+            assert engine.drain() == []
+            engine.insert_many([(70, "s", "h1", 80, 100, "tcp")])
+            engine.heartbeat_all(hb(130))
+            assert engine.drain() == [{"tb": 1, "destIP": "h1", "c": 2}]
+
+    def test_heartbeats_match_heartbeat_free_run(self):
+        data = [(t, "s", f"h{t % 2}", 80, 100, "tcp")
+                for t in (0, 65, 70, 130)]
+        with self.make(router=stable_route) as noisy, \
+                self.make(router=stable_route) as plain:
+            for row in data:
+                plain.process(row)
+                noisy.process(row)
+                noisy.heartbeat_all(hb(row[0]))               # equal
+                noisy.heartbeat_all(hb(max(0, row[0] - 120)))  # late
+            # drain → query → drain: querying ships buffered rows, which
+            # can itself close buckets, so a final drain picks those up.
+            plain_rows = plain.drain() + plain.query() + plain.drain()
+            noisy_rows = noisy.drain() + noisy.query() + noisy.drain()
+            assert sorted(map(repr, plain_rows)) == sorted(map(repr, noisy_rows))
+
+    def test_heartbeat_flushes_buffered_rows_first(self):
+        # A marker must never overtake data routed before it: buffered
+        # rows ship before the heartbeat is delivered.
+        with self.make(batch_size=512) as engine:
+            engine.process((0, "s", "h1", 80, 100, "tcp"))  # still buffered
+            engine.heartbeat_all(hb(65))
+            assert engine.drain() == [{"tb": 0, "destIP": "h1", "c": 1}]
+
+    def test_heartbeat_after_close_raises(self):
+        engine = self.make()
+        engine.close()
+        with pytest.raises(QueryError, match="closed"):
+            engine.heartbeat(hb(65))
+
+    @pytest.mark.slow
+    def test_process_mode_heartbeat_and_drain(self):
+        with ShardedEngine(
+            BUCKET_SQL, SCHEMA, shards=2, emit_on_bucket_change=True,
+            batch_size=8,
+        ) as engine:
+            engine.insert_many(
+                [(i, "s", f"h{i % 3}", 80, 100, "tcp") for i in range(6)]
+            )
+            engine.heartbeat_all(hb(65))
+            drained = engine.drain()
+            assert sorted(map(repr, drained)) == sorted(
+                map(repr, unsharded(BUCKET_SQL,
+                                    [(i, "s", f"h{i % 3}", 80, 100, "tcp")
+                                     for i in range(6)]))
+            )

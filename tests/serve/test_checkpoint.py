@@ -1,0 +1,177 @@
+"""Checkpoint → restart → resume: served state survives a server death.
+
+The acceptance bar is *byte-identical results*: a stream split across a
+shutdown/restart must answer exactly like an uninterrupted run, for both
+the single and the sharded backend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.core.serde import (
+    PARTIALS_CHECKPOINT_VERSION,
+    dump_partials_checkpoint,
+    load_partials_checkpoint,
+)
+from repro.serve import (
+    CHECKPOINT_FILENAME,
+    ServeClient,
+    StreamServer,
+    ThreadedServer,
+    build_backend,
+)
+from repro.workloads.netflow import PACKET_SCHEMA
+from tests.serve.util import SQL, canon, expected_rows, make_rows
+
+
+def serve_with_state(state_dir, shards: int = 0) -> ThreadedServer:
+    backend = build_backend(SQL, PACKET_SCHEMA, shards=shards, processes=0)
+    return ThreadedServer(
+        StreamServer(backend, state_dir=str(state_dir))
+    ).start()
+
+
+class TestGracefulShutdownCheckpoint:
+    @pytest.mark.parametrize("shards", [0, 4])
+    def test_restart_resumes_byte_identical(self, tmp_path, shards):
+        rows = make_rows(240)
+
+        server = serve_with_state(tmp_path, shards)
+        with ServeClient(server.host, server.port) as client:
+            client.insert(rows[:120])
+            client.flush()
+        path = server.stop()
+        assert path == str(tmp_path / CHECKPOINT_FILENAME)
+        assert os.path.exists(path)
+
+        server = serve_with_state(tmp_path, shards)
+        with ServeClient(server.host, server.port) as client:
+            stats = client.stats()
+            assert stats["server"]["restored_blobs"] == (shards or 1)
+            client.insert(rows[120:])
+            client.flush()
+            resumed = client.query()
+        server.stop()
+
+        # byte-identical: same canonical reprs as one uninterrupted run
+        assert canon(resumed) == canon(expected_rows(SQL, rows))
+
+    def test_double_restart_chains_checkpoints(self, tmp_path):
+        rows = make_rows(300)
+        thirds = [rows[:100], rows[100:200], rows[200:]]
+        for chunk in thirds:
+            server = serve_with_state(tmp_path, shards=2)
+            with ServeClient(server.host, server.port) as client:
+                client.insert(chunk)
+                client.flush()
+                final = client.query()
+            server.stop()
+        assert canon(final) == canon(expected_rows(SQL, rows))
+
+    def test_stop_is_idempotent(self, tmp_path):
+        server = serve_with_state(tmp_path)
+        assert server.stop() is not None
+        assert server.stop() is None  # second stop: thread already gone
+
+
+class TestExplicitCheckpointFrame:
+    def test_checkpoint_frame_writes_and_reports(self, tmp_path):
+        rows = make_rows(80)
+        server = serve_with_state(tmp_path, shards=2)
+        try:
+            with ServeClient(server.host, server.port) as client:
+                client.insert(rows)
+                client.flush()
+                info = client.checkpoint()
+                assert info["path"] == str(tmp_path / CHECKPOINT_FILENAME)
+                assert info["bytes"] == os.path.getsize(info["path"])
+        finally:
+            server.stop()
+
+    def test_explicit_checkpoint_survives_hard_kill(self, tmp_path):
+        """CHECKPOINT then *no* graceful stop: restore still works.
+
+        Simulates a crash after the last explicit checkpoint — the rows
+        ingested before the CHECKPOINT frame survive; nothing after it
+        was promised.
+        """
+        rows = make_rows(160)
+        server = serve_with_state(tmp_path, shards=2)
+        with ServeClient(server.host, server.port) as client:
+            client.insert(rows[:80])
+            client.flush()
+            client.checkpoint()
+        # hard kill: drop the thread's loop without StreamServer.stop()
+        server._loop.call_soon_threadsafe(server._loop.stop)
+        server._thread.join(timeout=30)
+
+        server = serve_with_state(tmp_path, shards=2)
+        with ServeClient(server.host, server.port) as client:
+            client.insert(rows[80:])
+            client.flush()
+            resumed = client.query()
+        server.stop()
+        assert canon(resumed) == canon(expected_rows(SQL, rows))
+
+
+class TestCheckpointEnvelope:
+    def test_roundtrip(self):
+        blobs = [b"\x01one", b"\x01two"]
+        envelope = dump_partials_checkpoint(SQL, PACKET_SCHEMA.names(), blobs)
+        assert envelope["version"] == PARTIALS_CHECKPOINT_VERSION
+        assert envelope["kind"] == "engine-partials"
+        restored = load_partials_checkpoint(
+            envelope, SQL, PACKET_SCHEMA.names()
+        )
+        assert restored == blobs
+
+    def test_envelope_is_json_safe(self):
+        envelope = dump_partials_checkpoint(
+            SQL, PACKET_SCHEMA.names(), [b"\x00\xff"]
+        )
+        assert json.loads(json.dumps(envelope)) == envelope
+
+    def test_wrong_query_rejected(self):
+        envelope = dump_partials_checkpoint(SQL, PACKET_SCHEMA.names(), [])
+        with pytest.raises(ParameterError, match="different query"):
+            load_partials_checkpoint(
+                envelope, "select x from TCP group by x", PACKET_SCHEMA.names()
+            )
+
+    def test_wrong_schema_rejected(self):
+        envelope = dump_partials_checkpoint(SQL, PACKET_SCHEMA.names(), [])
+        with pytest.raises(ParameterError, match="different schema"):
+            load_partials_checkpoint(envelope, SQL, ["a", "b"])
+
+    def test_wrong_version_rejected(self):
+        envelope = dump_partials_checkpoint(SQL, PACKET_SCHEMA.names(), [])
+        envelope["version"] = 99
+        with pytest.raises(ParameterError, match="version"):
+            load_partials_checkpoint(envelope, SQL, PACKET_SCHEMA.names())
+
+    def test_wrong_kind_rejected(self):
+        envelope = dump_partials_checkpoint(SQL, PACKET_SCHEMA.names(), [])
+        envelope["kind"] = "something-else"
+        with pytest.raises(ParameterError, match="kind"):
+            load_partials_checkpoint(envelope, SQL, PACKET_SCHEMA.names())
+
+    def test_restore_for_other_query_fails_at_startup(self, tmp_path):
+        server = serve_with_state(tmp_path)
+        with ServeClient(server.host, server.port) as client:
+            client.insert(make_rows(10))
+            client.flush()
+        server.stop()
+
+        other = build_backend(
+            "select destIP, count(*) as c from TCP group by destIP",
+            PACKET_SCHEMA,
+        )
+        with pytest.raises(ParameterError, match="different query"):
+            ThreadedServer(
+                StreamServer(other, state_dir=str(tmp_path))
+            ).start()

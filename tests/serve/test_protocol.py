@@ -1,0 +1,191 @@
+"""Unit tests for the wire protocol: framing, decoding, row encodings."""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.serve import protocol
+from repro.serve.protocol import (
+    Frame,
+    FrameDecoder,
+    RemoteError,
+    decode_frame_body,
+    decode_result_rows,
+    decode_rows,
+    encode_frame,
+    encode_result_rows,
+    encode_rows,
+    frame_name,
+)
+
+
+class TestFrameEncoding:
+    def test_roundtrip(self):
+        wire = encode_frame(protocol.INSERT, {"rows": [[1, "a"]]})
+        (length,) = protocol.HEADER.unpack(wire[:4])
+        assert length == len(wire) - 4
+        frame = decode_frame_body(wire[4:])
+        assert frame.ftype == protocol.INSERT
+        assert frame.name == "INSERT"
+        assert frame.payload == {"rows": [[1, "a"]]}
+
+    def test_empty_payload_is_empty_object(self):
+        wire = encode_frame(protocol.QUERY)
+        frame = decode_frame_body(wire[4:])
+        assert frame.payload == {}
+
+    def test_oversized_frame_rejected_at_encode(self):
+        with pytest.raises(ProtocolError, match="wire limit"):
+            encode_frame(
+                protocol.INSERT,
+                {"rows": ["x" * 100]},
+                max_frame_bytes=64,
+            )
+
+    def test_nan_rejected_by_plain_json_encoding(self):
+        # Raw payloads are strict JSON; non-finite floats must travel
+        # through the tagged result encoding instead.
+        with pytest.raises(ValueError):
+            encode_frame(protocol.RESULT, {"x": math.nan})
+
+    def test_frame_names(self):
+        assert frame_name(protocol.HELLO) == "HELLO"
+        assert frame_name(protocol.GOODBYE) == "GOODBYE"
+        assert frame_name(99) == "type-99"
+
+    def test_frame_is_a_tuple(self):
+        frame = Frame(protocol.QUERY, {"a": 1})
+        ftype, payload = frame
+        assert (ftype, payload) == (protocol.QUERY, {"a": 1})
+
+
+class TestDecodeFrameBody:
+    def test_empty_body_rejected(self):
+        with pytest.raises(ProtocolError, match="empty frame"):
+            decode_frame_body(b"")
+
+    def test_undecodable_utf8_rejected(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_frame_body(bytes([protocol.QUERY]) + b"\xff\xfe{")
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_frame_body(bytes([protocol.QUERY]) + b"{nope")
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame_body(bytes([protocol.QUERY]) + b"[1,2]")
+
+    def test_type_byte_only_means_empty_payload(self):
+        frame = decode_frame_body(bytes([protocol.STATS]))
+        assert frame.ftype == protocol.STATS
+        assert frame.payload == {}
+
+
+class TestFrameDecoder:
+    def test_single_frame(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(protocol.QUERY))
+        frames = list(decoder.frames())
+        assert [f.ftype for f in frames] == [protocol.QUERY]
+
+    def test_byte_at_a_time(self):
+        wire = encode_frame(protocol.INSERT, {"rows": [[1, 2, 3]]})
+        decoder = FrameDecoder()
+        collected = []
+        for i in range(len(wire)):
+            decoder.feed(wire[i : i + 1])
+            collected.extend(decoder.frames())
+        assert len(collected) == 1
+        assert collected[0].payload == {"rows": [[1, 2, 3]]}
+
+    def test_multiple_frames_in_one_chunk(self):
+        wire = encode_frame(protocol.QUERY) + encode_frame(
+            protocol.STATS
+        ) + encode_frame(protocol.BYE)
+        decoder = FrameDecoder()
+        decoder.feed(wire)
+        assert [f.ftype for f in decoder.frames()] == [
+            protocol.QUERY,
+            protocol.STATS,
+            protocol.BYE,
+        ]
+
+    def test_partial_frame_is_retained(self):
+        wire = encode_frame(protocol.QUERY)
+        decoder = FrameDecoder()
+        decoder.feed(wire[:-1])
+        assert list(decoder.frames()) == []
+        decoder.feed(wire[-1:])
+        assert len(list(decoder.frames())) == 1
+
+    def test_zero_length_frame_rejected(self):
+        decoder = FrameDecoder()
+        decoder.feed(struct.pack(">I", 0))
+        with pytest.raises(ProtocolError, match="empty frame"):
+            list(decoder.frames())
+
+    def test_oversized_frame_rejected_before_body_arrives(self):
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        decoder.feed(struct.pack(">I", 1 << 30))
+        with pytest.raises(ProtocolError, match="oversized"):
+            list(decoder.frames())
+
+
+class TestRowEncodings:
+    def test_stream_rows_roundtrip(self):
+        rows = [(1, 2.5, "a", "b", 3, 4, 5, "TCP")]
+        assert decode_rows(encode_rows(rows)) == rows
+
+    def test_rows_must_be_a_list(self):
+        with pytest.raises(ProtocolError, match="must be a list"):
+            decode_rows({"not": "a list"})
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(ProtocolError, match="malformed row"):
+            decode_rows([17])
+
+    def test_result_rows_roundtrip_exactly(self):
+        rows = [
+            {"tb": 4, "ip": "10.0.0.1", "c": 7, "s": 2.75},
+            {"tb": 4, "ip": "x", "c": 0, "s": math.inf},
+            {"tb": 5, "ip": "y", "nested": (1, "k"), "top": [("a", 2.0)]},
+        ]
+        decoded = decode_result_rows(
+            json.loads(json.dumps(encode_result_rows(rows)))
+        )
+        assert decoded == rows
+        # identity-sensitive checks JSON alone would lose
+        assert isinstance(decoded[0]["s"], float)
+        assert isinstance(decoded[2]["nested"], tuple)
+        assert isinstance(decoded[2]["top"], list)
+        assert isinstance(decoded[2]["top"][0], tuple)
+
+    def test_result_rows_preserve_alias_order(self):
+        rows = [{"z": 1, "a": 2, "m": 3}]
+        decoded = decode_result_rows(encode_result_rows(rows))
+        assert list(decoded[0]) == ["z", "a", "m"]
+
+    def test_nan_survives_result_encoding(self):
+        [row] = decode_result_rows(encode_result_rows([{"v": math.nan}]))
+        assert math.isnan(row["v"])
+
+    def test_malformed_result_rows_rejected(self):
+        with pytest.raises(ProtocolError, match="malformed RESULT"):
+            decode_result_rows([[["alias"]]])
+
+
+class TestRemoteError:
+    def test_carries_code_and_message(self):
+        error = RemoteError("bad-rows", "arity mismatch")
+        assert error.code == "bad-rows"
+        assert "bad-rows" in str(error)
+        assert "arity mismatch" in str(error)
+
+    def test_is_a_protocol_error(self):
+        assert isinstance(RemoteError("x", "y"), ProtocolError)

@@ -1,0 +1,214 @@
+"""Hostile-input tests: the server must never die, whatever a client sends.
+
+Framing violations cost the offender its connection (with a structured
+ERROR first); semantic mistakes cost nothing but an ERROR frame.  Every
+test ends by proving the server still answers a fresh, well-behaved
+client — failure stays connection-scoped.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro.serve import ServeClient, protocol
+from tests.serve.util import RawConnection, make_rows, serve
+
+
+def assert_still_serving(server) -> None:
+    """A fresh connection ingests and queries — the process survived."""
+    with ServeClient(server.host, server.port) as client:
+        client.insert(make_rows(40))
+        client.flush()
+        assert client.query()  # non-empty results, no errors
+
+
+class TestHandshake:
+    def test_wrong_wire_version_rejected_and_closed(self):
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.send_frame(protocol.HELLO, {"wire_version": 999})
+            error = raw.read_frame()
+            assert error.ftype == protocol.ERROR
+            assert error.payload["code"] == "wire-version"
+            assert raw.closed_by_server()
+            assert_still_serving(server)
+
+    def test_missing_wire_version_rejected(self):
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.send_frame(protocol.HELLO, {})
+            assert raw.read_frame().payload["code"] == "wire-version"
+            assert raw.closed_by_server()
+
+    def test_schema_mismatch_rejected(self):
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.send_frame(
+                protocol.HELLO,
+                {"wire_version": protocol.WIRE_VERSION, "schema": ["a", "b"]},
+            )
+            assert raw.read_frame().payload["code"] == "schema-mismatch"
+            assert raw.closed_by_server()
+
+    def test_frames_before_hello_rejected_and_closed(self):
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.send_frame(protocol.QUERY)
+            error = raw.read_frame()
+            assert error.payload["code"] == "handshake-required"
+            assert raw.closed_by_server()
+            assert_still_serving(server)
+
+
+class TestMalformedFrames:
+    def test_zero_length_frame_closes_connection(self):
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.hello()
+            raw.send_raw(struct.pack(">I", 0))
+            error = raw.read_frame()
+            assert error.ftype == protocol.ERROR
+            assert error.payload["code"] == "malformed-frame"
+            assert raw.closed_by_server()
+            assert_still_serving(server)
+
+    def test_oversized_frame_rejected_before_body(self):
+        with serve(max_frame_bytes=4096) as server:
+            raw = RawConnection(server.host, server.port)
+            raw.hello()
+            # claim a gigabyte; send none of it
+            raw.send_raw(struct.pack(">I", 1 << 30))
+            error = raw.read_frame()
+            assert error.payload["code"] == "malformed-frame"
+            assert "oversized" in error.payload["message"]
+            assert raw.closed_by_server()
+            assert_still_serving(server)
+
+    def test_undecodable_body_closes_connection(self):
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.hello()
+            body = bytes([protocol.INSERT]) + b"\xff\xfe not json"
+            raw.send_raw(struct.pack(">I", len(body)) + body)
+            assert raw.read_frame().payload["code"] == "malformed-frame"
+            assert raw.closed_by_server()
+            assert_still_serving(server)
+
+    def test_non_object_body_closes_connection(self):
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.hello()
+            body = bytes([protocol.QUERY]) + b"[1,2,3]"
+            raw.send_raw(struct.pack(">I", len(body)) + body)
+            assert raw.read_frame().payload["code"] == "malformed-frame"
+            assert raw.closed_by_server()
+
+    def test_truncated_frame_then_disconnect(self):
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.hello()
+            # promise 100 bytes, deliver 3, vanish
+            raw.send_raw(struct.pack(">I", 100) + b"abc")
+            raw.close()
+            assert_still_serving(server)
+
+    def test_random_garbage_fuzz(self):
+        rng = random.Random(0xC0FFEE)
+        with serve() as server:
+            for trial in range(25):
+                raw = RawConnection(server.host, server.port)
+                blob = rng.randbytes(rng.randrange(1, 200))
+                try:
+                    raw.send_raw(blob)
+                    raw.sock.settimeout(0.25)
+                    # server replies ERROR (maybe) and closes; both fine
+                    while raw.sock.recv(65536):
+                        pass
+                except (ConnectionError, TimeoutError, OSError):
+                    pass
+                finally:
+                    raw.close()
+            assert_still_serving(server)
+
+
+class TestSemanticErrors:
+    def test_unknown_frame_type_keeps_connection(self):
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.hello()
+            raw.send_frame(200, {"x": 1})
+            error = raw.read_frame()
+            assert error.payload["code"] == "unknown-frame"
+            assert error.payload["frame"] == "type-200"
+            # connection still usable
+            raw.send_frame(protocol.QUERY)
+            assert raw.read_frame().ftype == protocol.RESULT
+            raw.close()
+
+    def test_bad_rows_keep_connection_and_state(self):
+        rows = make_rows(30)
+        with serve() as server:
+            with ServeClient(server.host, server.port) as client:
+                client.insert(rows)
+                client.flush()
+                with pytest.raises(Exception) as excinfo:
+                    client.insert([(1, "too", "short")])
+                    client.flush()
+                assert getattr(excinfo.value, "code", "") == "bad-rows"
+                # state unchanged by the rejected batch
+                stats = client.stats()
+                assert stats["backend"]["tuples_in"] == len(rows)
+
+    def test_wrongly_typed_rows_rejected(self):
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.hello()
+            raw.send_frame(
+                protocol.INSERT,
+                {"rows": [["not-an-int", 1.0, "a", "b", 1, 2, 3, "TCP"]]},
+            )
+            error = raw.read_frame()
+            assert error.payload["code"] == "bad-rows"
+            assert raw.read_frame().ftype == protocol.CREDIT
+            raw.close()
+
+    def test_checkpoint_without_state_dir_is_an_error(self):
+        with serve() as server:  # no state_dir
+            with ServeClient(server.host, server.port) as client:
+                with pytest.raises(Exception) as excinfo:
+                    client.checkpoint()
+                assert getattr(excinfo.value, "code", "") == "no-state-dir"
+                # connection survives
+                assert client.stats()["server"]["errors_total"] == 1
+
+
+class TestDisconnects:
+    def test_abrupt_disconnect_mid_stream(self):
+        rows = make_rows(60)
+        with serve(shards=2) as server:
+            client = ServeClient(server.host, server.port)
+            client.insert(rows[:30])
+            client.close_abruptly()  # no BYE, credits still in flight
+            assert_still_serving(server)
+
+    def test_disconnect_with_live_subscription(self):
+        with serve() as server:
+            client = ServeClient(server.host, server.port)
+            client.insert(make_rows(10))
+            client.subscribe(0.01)  # unbounded pushes
+            client.results(2)  # ensure the push task is running
+            client.close_abruptly()
+            assert_still_serving(server)
+
+    def test_idle_connection_times_out(self):
+        with serve(idle_timeout_s=0.2) as server:
+            raw = RawConnection(server.host, server.port)
+            raw.hello()
+            error = raw.read_frame()  # arrives after ~0.2s of silence
+            assert error.ftype == protocol.ERROR
+            assert error.payload["code"] == "idle-timeout"
+            assert raw.closed_by_server()
+            assert_still_serving(server)

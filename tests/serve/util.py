@@ -1,0 +1,86 @@
+"""Shared helpers for the serve test suite: fixtures-by-hand, raw sockets."""
+
+from __future__ import annotations
+
+import socket
+
+from repro.dsms.engine import run_query
+from repro.dsms.parser import parse_query
+from repro.dsms.udaf import default_registry
+from repro.serve import StreamServer, ThreadedServer, build_backend, protocol
+from repro.workloads.netflow import PACKET_SCHEMA
+
+SQL = (
+    "select tb, destIP, count(*) as c, sum(len) as s from TCP "
+    "group by time/60 as tb, destIP"
+)
+
+
+def make_rows(n: int, start: int = 100) -> list[tuple]:
+    return [
+        (
+            start + i,
+            float(start + i),
+            "10.0.0.1",
+            f"d{i % 5}",
+            80,
+            443,
+            40 + i % 17,
+            "TCP",
+        )
+        for i in range(n)
+    ]
+
+
+def canon(rows) -> list[str]:
+    """Order-insensitive canonical form of result rows."""
+    return sorted(repr(sorted(row.items())) for row in rows)
+
+
+def expected_rows(sql: str, rows: list[tuple]) -> list[dict]:
+    query = parse_query(sql, default_registry())
+    return [dict(row) for row in run_query(query, PACKET_SCHEMA, rows)]
+
+
+def serve(sql: str = SQL, **kwargs) -> ThreadedServer:
+    shards = kwargs.pop("shards", 0)
+    backend = build_backend(sql, PACKET_SCHEMA, shards=shards, processes=0)
+    return ThreadedServer(StreamServer(backend, **kwargs)).start()
+
+
+class RawConnection:
+    """A bare socket speaking hand-crafted bytes, for malformed-frame tests."""
+
+    def __init__(self, host: str, port: int):
+        self.sock = socket.create_connection((host, port), timeout=10)
+        self.decoder = protocol.FrameDecoder()
+
+    def hello(self) -> None:
+        self.send_frame(protocol.HELLO, {"wire_version": protocol.WIRE_VERSION})
+        assert self.read_frame().ftype == protocol.WELCOME
+
+    def send_frame(self, ftype: int, payload: dict | None = None) -> None:
+        self.sock.sendall(protocol.encode_frame(ftype, payload))
+
+    def send_raw(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def read_frame(self):
+        while True:
+            for frame in self.decoder.frames():
+                return frame
+            data = self.sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self.decoder.feed(data)
+
+    def closed_by_server(self) -> bool:
+        """True once the server has closed its end (EOF on read)."""
+        self.sock.settimeout(10)
+        try:
+            return self.sock.recv(65536) == b""
+        except (ConnectionResetError, TimeoutError):
+            return True
+
+    def close(self) -> None:
+        self.sock.close()
