@@ -55,6 +55,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--batch-size", type=int, default=512, help="rows per INSERT frame"
     )
+    parser.add_argument(
+        "--no-recovery",
+        action="store_true",
+        help="skip the crash/restart recovery-time measurement",
+    )
     args = parser.parse_args(argv)
 
     artifact = run_serve_suite(
@@ -62,6 +67,7 @@ def main(argv=None) -> int:
         repeats=args.repeats,
         batch_size=args.batch_size,
         shard_counts=tuple(args.shards),
+        recovery=not args.no_recovery,
     )
     write_artifact(artifact, args.out)
 
@@ -89,6 +95,19 @@ def main(argv=None) -> int:
         if not match:
             failures.append(
                 f"served result ({label}) does not match the in-process run"
+            )
+    if "serve.recovery.restart_ms" in entries:
+        restart = entries["serve.recovery.restart_ms"]["value"]
+        replay = entries["serve.recovery.replay_ms"]["value"]
+        recovered = entries["serve.recovery.match"]["value"] == 1.0
+        print(
+            f"  recovery: restart {restart:,.1f} ms, client reconnect+"
+            f"replay {replay:,.1f} ms, results "
+            f"{'ok' if recovered else 'FAIL'} (report-only timings)"
+        )
+        if not recovered:
+            failures.append(
+                "post-recovery result does not match the uninterrupted run"
             )
     print(f"wrote {args.out}")
     for failure in failures:

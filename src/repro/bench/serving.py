@@ -13,7 +13,10 @@ Gating follows the repo's host-independence rule:
   must equal an in-process run of the same query on the same trace;
 * ``checkpoint_bytes`` is gated: the shutdown checkpoint is deterministic
   (stable routing, canonical JSON), so its size only changes when the
-  serialization format does — which is exactly what the gate should catch.
+  serialization format does — which is exactly what the gate should catch;
+* recovery times (``recovery.restart_ms``, ``recovery.replay_ms``) are
+  recorded, not gated — wall-clock of a crash/restart cycle is pure host
+  noise; ``recovery.match`` (post-recovery result equality) is exact.
 """
 
 from __future__ import annotations
@@ -95,18 +98,68 @@ def _time_served(trace, shards: int, batch_size: int, repeats: int):
     return statistics.median(rates), _canon(served), checkpoint_bytes
 
 
+def _time_recovery(trace, batch_size: int, repeats: int):
+    """Crash/recover cycle: (restart ms, client replay ms, results match).
+
+    Ingests half the trace, checkpoints, hard-drops the server loop (no
+    graceful shutdown — the crash path), then measures two recovery
+    costs separately: bringing a server back up on the same state dir
+    (restore + bind), and a retrying client reconnecting, replaying its
+    unacknowledged batches, and streaming the rest of the trace.
+    """
+    restart_ms, replay_ms = [], []
+    match = True
+    half = len(trace) // 2
+    for __ in range(repeats):
+        with tempfile.TemporaryDirectory() as state_dir:
+            backend = build_backend(SERVE_SQL, PACKET_SCHEMA, processes=0)
+            server = ThreadedServer(
+                StreamServer(backend, state_dir=state_dir)
+            ).start()
+            port = server.port
+            client = ServeClient(
+                server.host, port, retries=10, backoff_s=0.01, jitter=False
+            )
+            try:
+                for begin in range(0, half, batch_size):
+                    client.insert(trace[begin:min(begin + batch_size, half)])
+                client.flush()
+                client.checkpoint()
+                server.kill()  # crash: no graceful-shutdown checkpoint
+
+                start = time.perf_counter_ns()
+                backend = build_backend(SERVE_SQL, PACKET_SCHEMA, processes=0)
+                server = ThreadedServer(
+                    StreamServer(backend, state_dir=state_dir, port=port)
+                ).start()
+                restart_ms.append((time.perf_counter_ns() - start) / 1e6)
+
+                start = time.perf_counter_ns()
+                for begin in range(half, len(trace), batch_size):
+                    client.insert(trace[begin:begin + batch_size])
+                client.flush()  # includes the reconnect + backoff + replay
+                replay_ms.append((time.perf_counter_ns() - start) / 1e6)
+                match = match and _canon(client.query()) == _expected(trace)
+            finally:
+                client.close()
+                server.stop()
+    return statistics.median(restart_ms), statistics.median(replay_ms), match
+
+
 def run_serve_suite(
     name: str = "serve",
     scale: float = 1.0,
     repeats: int = 3,
     batch_size: int = 512,
     shard_counts: tuple[int, ...] = (0, 4),
+    recovery: bool = True,
 ) -> dict:
     """Run the serving suite, returning a BENCH artifact dict.
 
     ``shard_counts`` selects the backends: 0 is the single in-process
     engine, N >= 1 an N-way sharded backend (inline shards — the wire cost
-    is what this suite isolates, not multiprocessing).
+    is what this suite isolates, not multiprocessing).  ``recovery`` adds
+    the crash/restart cycle measurements (report-only timings).
     """
     if scale <= 0:
         raise ParameterError(f"scale must be positive, got {scale!r}")
@@ -141,6 +194,20 @@ def run_serve_suite(
         entries[f"{prefix}.checkpoint_bytes"] = _entry(
             float(checkpoint_bytes), "bytes", gate=True
         )
+    if recovery:
+        restart_ms, replay_ms, recovered = _time_recovery(
+            trace, batch_size, repeats
+        )
+        entries["serve.recovery.restart_ms"] = _entry(
+            restart_ms, "ms", gate=False
+        )
+        entries["serve.recovery.replay_ms"] = _entry(
+            replay_ms, "ms", gate=False
+        )
+        entries["serve.recovery.match"] = _entry(
+            1.0 if recovered else 0.0, "bool", gate=True,
+            higher_is_better=True, exact=True,
+        )
     return {
         "name": name,
         "version": ARTIFACT_VERSION,
@@ -152,6 +219,7 @@ def run_serve_suite(
             "repeats": repeats,
             "batch_size": batch_size,
             "shard_counts": list(shard_counts),
+            "recovery": recovery,
             "cpu_count": os.cpu_count(),
             "sql": SERVE_SQL,
         },

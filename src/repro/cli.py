@@ -231,6 +231,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_frame_bytes=args.max_frame_bytes,
         idle_timeout_s=args.idle_timeout,
         state_dir=args.state_dir,
+        checkpoint_interval_s=args.checkpoint_interval,
         metrics=MetricsRegistry(enabled=not args.no_metrics),
     )
 
@@ -277,7 +278,11 @@ def _client_session(args: argparse.Namespace):
 
     try:
         return ServeClient(
-            args.host, args.port, schema_names=PACKET_SCHEMA.names()
+            args.host,
+            args.port,
+            schema_names=PACKET_SCHEMA.names(),
+            retries=getattr(args, "retries", 0),
+            backoff_s=getattr(args, "backoff", 0.05),
         )
     except ConnectionError as error:
         raise DecayError(
@@ -475,6 +480,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--state-dir", default=None,
                        help="checkpoint directory (written on graceful "
                        "shutdown, restored on start)")
+    serve.add_argument("--checkpoint-interval", type=float, default=None,
+                       help="also checkpoint every this many seconds "
+                       "(crash recovery; requires --state-dir)")
     serve.add_argument("--port-file", default=None,
                        help="write 'host port' here once listening")
     serve.add_argument("--run-seconds", type=float, default=None,
@@ -498,6 +506,12 @@ def build_parser() -> argparse.ArgumentParser:
     def _client_common(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--host", default="127.0.0.1", help="server address")
         sub.add_argument("--port", type=int, required=True, help="server port")
+        sub.add_argument("--retries", type=int, default=0,
+                         help="reconnect attempts after a transport error "
+                         "(0 = fail fast)")
+        sub.add_argument("--backoff", type=float, default=0.05,
+                         help="initial reconnect backoff in seconds "
+                         "(doubles per attempt, jittered)")
 
     replay = client_commands.add_parser(
         "replay", help="stream a trace CSV into the server"

@@ -4,10 +4,20 @@
 GROUP BY key across shard worker processes, each running a private
 :class:`~repro.dsms.engine.QueryEngine`, and answers queries by merging
 serde-encoded partial states — the parallel pattern the paper's fixed
-numerators make exact.
+numerators make exact.  The same mergeability powers the supervisor: a
+dead worker is respawned and re-seeded from its last checkpointed partial
+state, with the lost delta reported as a
+:class:`~repro.parallel.supervision.ShardFailure`.
 """
 
 from repro.parallel.sharded import ShardedEngine, stable_route
+from repro.parallel.supervision import ShardFailure
 from repro.parallel.worker import ShardPlan, shard_worker_main
 
-__all__ = ["ShardedEngine", "ShardPlan", "shard_worker_main", "stable_route"]
+__all__ = [
+    "ShardedEngine",
+    "ShardFailure",
+    "ShardPlan",
+    "shard_worker_main",
+    "stable_route",
+]

@@ -26,11 +26,24 @@ router, which is what the determinism tests pin: the sharded result equals
 the unsharded engine exactly for commutative exact aggregates (count/sum/
 min/max/avg over integer-valued data; float-valued sums agree within
 reassociation tolerance, see DESIGN.md §7).
+
+**Supervision (DESIGN.md §9).**  The same mergeability makes a dead worker
+cheap: its partial state is an ordinary summary, so the supervisor respawns
+the process from the pickle-safe :class:`~repro.parallel.worker.ShardPlan`,
+re-seeds it from the shard's most recent checkpointed blob, and the rebuilt
+shard merges back into queries exactly.  Every ship and every reply checks
+worker liveness with a bounded wait, so a ``kill -9`` never hangs the
+router on a full queue; the unrecoverable delta (rows shipped after the
+last acknowledged checkpoint) is surfaced as a structured
+:class:`~repro.parallel.supervision.ShardFailure` and through the metrics
+registry.  Checkpoints refresh for free on every :meth:`partial_states`
+(hence every :meth:`query`), or on demand via :meth:`checkpoint`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_module
 import time
 from typing import Callable, Iterable
 
@@ -40,10 +53,21 @@ from repro.core.protocol import StreamSummary
 from repro.dsms.engine import QueryEngine, ResultRow
 from repro.dsms.schema import Schema
 from repro.dsms.udaf import UdafRegistry, default_registry
+from repro.parallel.supervision import ShardFailure
 from repro.parallel.worker import ShardPlan, shard_worker_main
 from repro.sketches.kmv import hash_to_unit
 
 __all__ = ["ShardedEngine"]
+
+#: How long one bounded ``queue.put`` waits before re-checking worker
+#: liveness.  Small enough that a dead worker is noticed promptly; large
+#: enough that a healthy-but-busy worker is not polled hot.
+_PUT_POLL_S = 0.05
+
+#: How long ``close()`` waits for any single worker reply / join before
+#: escalating (skip, then terminate).  Close is bounded by a few of these
+#: per shard, never by a dead worker's queue.
+_CLOSE_WAIT_S = 5.0
 
 
 def stable_route(key: object, shards: int) -> int:
@@ -97,13 +121,27 @@ class ShardedEngine:
     metrics:
         Optional enabled :class:`~repro.obs.registry.MetricsRegistry`;
         records per-shard throughput (``parallel.shard<i>.rows``), queue
-        depth at send time, merged-state volume, and merge latency under
-        ``parallel.*``.  None/disabled leaves the hot path untouched.
+        depth at send time, merged-state volume, merge latency, and —
+        under supervision — worker failures, respawns, and lost-row
+        deltas under ``parallel.*``.  None/disabled leaves the hot path
+        untouched.
     emit_on_bucket_change:
         Forwarded to every worker's :class:`QueryEngine`: each shard
         watches the first GROUP BY key and finalizes earlier buckets as
         its own substream passes them (collect with :meth:`drain`).
         Punctuation arrives via :meth:`heartbeat` / :meth:`heartbeat_all`.
+    supervise:
+        When True (default), dead worker processes are detected on every
+        ship and reply, respawned from the shard's last checkpoint, and
+        reported via :attr:`failures` instead of hanging the router or
+        failing the query.  ``False`` restores fail-fast semantics:
+        a dead worker raises :class:`QueryError` at the next reply (and
+        :meth:`close` still returns within its timeout).
+    max_respawns:
+        Supervised mode only: how many times any single shard may be
+        respawned before the engine gives up and raises
+        :class:`QueryError` (a crash-looping worker indicates a bug, not
+        transient bad luck).
     """
 
     def __init__(
@@ -124,6 +162,8 @@ class ShardedEngine:
         start_method: str | None = None,
         metrics=None,
         emit_on_bucket_change: bool = False,
+        supervise: bool = True,
+        max_respawns: int = 3,
     ):
         if shards < 1:
             raise ParameterError(f"shards must be >= 1, got {shards!r}")
@@ -136,9 +176,15 @@ class ShardedEngine:
             raise ParameterError(f"batch_size must be >= 1, got {batch_size!r}")
         if queue_depth < 1:
             raise ParameterError(f"queue_depth must be >= 1, got {queue_depth!r}")
+        if max_respawns < 0:
+            raise ParameterError(
+                f"max_respawns must be >= 0, got {max_respawns!r}"
+            )
         self.shards = shards
         self.inline = processes == 0
         self.batch_size = batch_size
+        self.supervise = supervise
+        self.max_respawns = max_respawns
         self._plan = ShardPlan(
             sql=sql,
             schema=schema,
@@ -177,24 +223,23 @@ class ShardedEngine:
         self._queues: list = []
         self._conns: list = []
         self._engines: list[QueryEngine] = []
+        self._queue_depth = queue_depth
+        # Supervision state: per-shard loss accounting and checkpoints.
+        self._shipped_total = [0] * shards
+        self._ckpt_mark = [0] * shards
+        self._ckpt_blobs: list[bytes | None] = [None] * shards
+        self._respawns = [0] * shards
+        self._failures: list[ShardFailure] = []
         self._obs_init(metrics)
         if self.inline:
             self._engines = [self._plan.build_engine() for __ in range(shards)]
+            self._context = None
         else:
-            context = multiprocessing.get_context(start_method)
+            self._context = multiprocessing.get_context(start_method)
             for shard in range(shards):
-                queue = context.Queue(maxsize=queue_depth)
-                parent_conn, child_conn = context.Pipe(duplex=False)
-                process = context.Process(
-                    target=shard_worker_main,
-                    args=(self._plan, shard, queue, child_conn),
-                    daemon=True,
-                    name=f"repro-shard-{shard}",
-                )
-                process.start()
-                child_conn.close()
+                queue, conn, process = self._spawn(shard)
                 self._queues.append(queue)
-                self._conns.append(parent_conn)
+                self._conns.append(conn)
                 self._workers.append(process)
 
     @staticmethod
@@ -222,6 +267,7 @@ class ShardedEngine:
                 )
 
     def _obs_init(self, metrics) -> None:
+        self._metrics = metrics
         self._obs = metrics is not None and getattr(metrics, "enabled", False)
         if not self._obs:
             return
@@ -232,6 +278,147 @@ class ShardedEngine:
         self._m_queue_depth = metrics.gauge("parallel.queue.depth")
         self._m_merge_us = metrics.latency("parallel.query.merge_us")
         self._m_state_bytes = metrics.counter("parallel.query.state_bytes")
+        self._m_failures = metrics.counter("parallel.failures")
+        self._m_respawns = metrics.counter("parallel.respawns")
+        self._m_rows_lost = metrics.counter("parallel.rows_lost")
+
+    # -- worker lifecycle ---------------------------------------------------------
+
+    def _spawn(self, shard: int):
+        """Start one worker process with a fresh queue and reply pipe."""
+        queue = self._context.Queue(maxsize=self._queue_depth)
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=shard_worker_main,
+            args=(self._plan, shard, queue, child_conn),
+            daemon=True,
+            name=f"repro-shard-{shard}",
+        )
+        process.start()
+        child_conn.close()
+        return queue, parent_conn, process
+
+    def _abandon_transport(self, shard: int) -> None:
+        """Discard a dead worker's queue and pipe without blocking.
+
+        ``cancel_join_thread`` first: the queue's feeder thread may hold
+        batches nobody will ever read, and ``close``/``join_thread`` would
+        wait on that buffer draining into a pipe with no reader.
+        """
+        queue = self._queues[shard]
+        queue.cancel_join_thread()
+        queue.close()
+        try:
+            self._conns[shard].close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+    def _recover(self, shard: int, phase: str) -> None:
+        """Respawn a dead shard worker from its last checkpoint.
+
+        Records a :class:`ShardFailure` with the exact lost delta (rows
+        shipped since the last acknowledged checkpoint die with the
+        worker: they were either in its memory or on its abandoned
+        queue), re-seeds the replacement from the checkpoint blob, and
+        resets the shard's loss accounting to the recovered baseline.
+        Raises :class:`QueryError` once ``max_respawns`` is exhausted.
+        """
+        process = self._workers[shard]
+        process.join(timeout=0)
+        lost = self._shipped_total[shard] - self._ckpt_mark[shard]
+        recovered = self._ckpt_mark[shard]
+        self._abandon_transport(shard)
+        respawned = self._respawns[shard] < self.max_respawns
+        failure = ShardFailure(
+            shard=shard,
+            pid=process.pid,
+            exitcode=process.exitcode,
+            detected_at=time.time(),
+            phase=phase,
+            rows_recovered=recovered,
+            rows_lost_min=lost,
+            rows_lost_max=lost,
+            respawned=respawned,
+        )
+        self._failures.append(failure)
+        if self._obs:
+            self._m_failures.add(1.0)
+            self._m_rows_lost.add(float(lost))
+        if not respawned:
+            raise QueryError(
+                f"shard worker {shard} died {self._respawns[shard] + 1} "
+                f"time(s) (exitcode {process.exitcode}); respawn budget of "
+                f"{self.max_respawns} exhausted"
+            )
+        self._respawns[shard] += 1
+        queue, conn, new_process = self._spawn(shard)
+        self._queues[shard] = queue
+        self._conns[shard] = conn
+        self._workers[shard] = new_process
+        blob = self._ckpt_blobs[shard]
+        if blob is not None:
+            queue.put(("merge", blob))
+        # The replacement's durable content is exactly the checkpoint.
+        self._shipped_total[shard] = recovered
+        self._ckpt_mark[shard] = recovered
+        if self._obs:
+            self._m_respawns.add(1.0)
+
+    def _put(self, shard: int, message: tuple, phase: str) -> None:
+        """Queue ``message`` to a shard, never hanging on a dead worker.
+
+        Unsupervised mode keeps the plain blocking put (backpressure with
+        no liveness cost).  Supervised mode alternates bounded puts with
+        ``is_alive`` polls, so a worker killed while its queue is full is
+        detected within ``_PUT_POLL_S`` and recovered; the message then
+        goes to the replacement.
+        """
+        if not self.supervise:
+            self._queues[shard].put(message)
+            return
+        while True:
+            if not self._workers[shard].is_alive():
+                self._recover(shard, phase)
+            try:
+                self._queues[shard].put(message, timeout=_PUT_POLL_S)
+                return
+            except queue_module.Full:
+                continue
+
+    def _request_state(self, shard: int) -> bytes:
+        """Ask one shard for its partial state; recover through deaths.
+
+        The reply includes every batch shipped before the request (same
+        queue, FIFO), so a successful reply doubles as a checkpoint: the
+        blob and the rows-shipped mark recorded at request time become
+        the shard's recovery point.
+        """
+        attempts = 0
+        while True:
+            mark = self._shipped_total[shard]
+            self._put(shard, ("state",), "request")
+            try:
+                reply = self._conns[shard].recv()
+            except EOFError:
+                if not self.supervise:
+                    raise QueryError(
+                        f"shard worker {shard} died before answering; "
+                        "check for exceptions in the worker log"
+                    ) from None
+                attempts += 1
+                self._recover(shard, "request")
+                if attempts > self.max_respawns:  # pragma: no cover - guard
+                    raise QueryError(
+                        f"shard worker {shard} kept dying during state "
+                        "collection"
+                    ) from None
+                continue
+            if reply[0] == "error":
+                raise QueryError(f"shard worker failed: {reply[1]}")
+            blob = reply[1]
+            self._ckpt_mark[shard] = mark
+            self._ckpt_blobs[shard] = blob
+            return blob
 
     # -- routing / ingestion ------------------------------------------------------
 
@@ -288,13 +475,13 @@ class ShardedEngine:
         if self.inline:
             self._engines[shard].insert_many(buffer)
         else:
-            queue = self._queues[shard]
             if self._obs:
                 try:
-                    self._m_queue_depth.set(float(queue.qsize()))
+                    self._m_queue_depth.set(float(self._queues[shard].qsize()))
                 except NotImplementedError:  # pragma: no cover - macOS qsize
                     pass
-            queue.put(("rows", buffer))  # blocks when full: backpressure
+            self._put(shard, ("rows", buffer), "ship")
+            self._shipped_total[shard] += len(buffer)
         if self._obs:
             self._m_shard_rows[shard].add(float(len(buffer)))
             self._m_batches.add(1.0)
@@ -312,7 +499,7 @@ class ShardedEngine:
         if self.inline:
             self._engines[shard].heartbeat(row)
         else:
-            self._queues[shard].put(("heartbeat", row))
+            self._put(shard, ("heartbeat", row), "ship")
 
     def heartbeat(self, row: tuple) -> None:
         """Route punctuation to the shard owning ``row``'s group key.
@@ -352,13 +539,17 @@ class ShardedEngine:
             for engine in self._engines:
                 rows.extend(engine.drain())
             return rows
-        for queue in self._queues:
-            queue.put(("drain",))
         rows = []
-        for shard, conn in enumerate(self._conns):
+        for shard in range(self.shards):
+            self._put(shard, ("drain",), "request")
             try:
-                reply = conn.recv()
+                reply = self._conns[shard].recv()
             except EOFError:
+                if self.supervise:
+                    # Emitted-but-unsent rows died with the worker; the
+                    # loss is already covered by the checkpoint delta.
+                    self._recover(shard, "request")
+                    continue
                 raise QueryError(
                     f"shard worker {shard} died before answering drain"
                 ) from None
@@ -371,26 +562,62 @@ class ShardedEngine:
 
     def partial_states(self) -> list[bytes]:
         """One serde-encoded partial state per shard (pending rows shipped
-        first).  Workers keep their state and keep ingesting."""
+        first).  Workers keep their state and keep ingesting.
+
+        Under supervision every successful reply refreshes that shard's
+        recovery checkpoint, so a steady query (or :meth:`checkpoint`)
+        cadence bounds the worst-case lost delta to one inter-query
+        window of rows.
+        """
         self._ensure_open()
         self._ship_all()
         if self.inline:
             return [engine.partial_state_bytes() for engine in self._engines]
-        for queue in self._queues:
-            queue.put(("state",))
+        # Pipelined: every request is queued before the first reply is
+        # read, so shards snapshot concurrently.  No ship can interleave
+        # (single-threaded router), so the post-put row total is the mark.
+        marks = []
+        for shard in range(self.shards):
+            self._put(shard, ("state",), "request")
+            marks.append(self._shipped_total[shard])
         blobs: list[bytes] = []
-        for shard, conn in enumerate(self._conns):
+        for shard in range(self.shards):
             try:
-                reply = conn.recv()
+                reply = self._conns[shard].recv()
             except EOFError:
-                raise QueryError(
-                    f"shard worker {shard} died before answering; "
-                    "check for exceptions in the worker log"
-                ) from None
+                if not self.supervise:
+                    raise QueryError(
+                        f"shard worker {shard} died before answering; "
+                        "check for exceptions in the worker log"
+                    ) from None
+                self._recover(shard, "request")
+                blobs.append(self._request_state(shard))
+                continue
             if reply[0] == "error":
                 raise QueryError(f"shard worker failed: {reply[1]}")
+            self._ckpt_mark[shard] = marks[shard]
+            self._ckpt_blobs[shard] = reply[1]
             blobs.append(reply[1])
         return blobs
+
+    def checkpoint(self) -> dict:
+        """Refresh every shard's recovery point; returns per-shard info.
+
+        Collects partial states exactly like :meth:`partial_states` (so
+        rows shipped before the call are captured) and keeps the blobs as
+        the re-seed source for any later respawn.  Returns
+        ``{"shards": n, "blob_bytes": [...], "rows_captured": [...]}``.
+        """
+        blobs = self.partial_states()
+        if self.inline:
+            captured = [engine.tuples_processed for engine in self._engines]
+        else:
+            captured = list(self._ckpt_mark)
+        return {
+            "shards": self.shards,
+            "blob_bytes": [len(blob) for blob in blobs],
+            "rows_captured": captured,
+        }
 
     def query(self) -> list[ResultRow]:
         """Merged results over everything ingested so far.
@@ -423,6 +650,11 @@ class ShardedEngine:
         """Tuples accepted by the router so far (shipped or buffered)."""
         return self._rows_routed
 
+    @property
+    def failures(self) -> list[ShardFailure]:
+        """Detected worker deaths, in detection order (copy)."""
+        return list(self._failures)
+
     def stats(self) -> dict:
         """Router-side statistics plus per-shard buffered counts."""
         return {
@@ -431,6 +663,10 @@ class ShardedEngine:
             "rows_routed": self._rows_routed,
             "buffered": [len(b) for b in self._buffers],
             "batch_size": self.batch_size,
+            "supervised": self.supervise,
+            "respawns": list(self._respawns),
+            "failures": [failure.to_dict() for failure in self._failures],
+            "rows_lost": sum(f.rows_lost_max for f in self._failures),
         }
 
     # -- lifecycle ----------------------------------------------------------------
@@ -438,6 +674,19 @@ class ShardedEngine:
     def _ensure_open(self) -> None:
         if self._closed:
             raise QueryError("ShardedEngine is closed")
+
+    def _try_put(self, shard: int, message: tuple) -> bool:
+        """Best-effort put for shutdown: bounded, never respawns."""
+        deadline = time.monotonic() + _CLOSE_WAIT_S
+        while True:
+            if not self._workers[shard].is_alive():
+                return False
+            try:
+                self._queues[shard].put(message, timeout=_PUT_POLL_S)
+                return True
+            except queue_module.Full:
+                if time.monotonic() >= deadline:
+                    return False
 
     def close(self) -> dict:
         """Stop the workers; returns per-shard ingested-tuple counts.
@@ -447,6 +696,13 @@ class ShardedEngine:
         ``close()``) is a no-op returning the same counts.  Pending
         buffered rows are shipped first so every routed tuple is accounted
         for in the returned counts.
+
+        Bounded even when a worker died mid-batch with a full queue: every
+        wait (stop delivery, reply, join) carries a timeout, dead shards
+        report ``-1``, stragglers are terminated, and every queue is
+        released with ``cancel_join_thread`` before ``close`` — the feeder
+        thread of an abandoned queue must never be joined against a pipe
+        nobody reads.
         """
         if self._closed:
             return self._close_stats
@@ -455,23 +711,37 @@ class ShardedEngine:
             self._ship_all()
             counts = [engine.tuples_processed for engine in self._engines]
         else:
-            self._ship_all()
-            for queue in self._queues:
-                queue.put(("stop",))
-            for conn in self._conns:
+            stopped = []
+            for shard in range(self.shards):
+                buffer = self._buffers[shard]
+                if buffer and self._try_put(shard, ("rows", buffer)):
+                    self._buffers[shard] = []
+                    self._shipped_total[shard] += len(buffer)
+                stopped.append(self._try_put(shard, ("stop",)))
+            for shard, conn in enumerate(self._conns):
+                if not stopped[shard] or not conn.poll(_CLOSE_WAIT_S):
+                    counts.append(-1)
+                    continue
                 try:
                     reply = conn.recv()
                     counts.append(reply[1] if reply[0] == "stopped" else -1)
                 except EOFError:
                     counts.append(-1)
-                conn.close()
             for process in self._workers:
-                process.join(timeout=10.0)
-                if process.is_alive():  # pragma: no cover - hung worker
+                process.join(timeout=_CLOSE_WAIT_S)
+                if process.is_alive():
                     process.terminate()
             for queue in self._queues:
+                queue.cancel_join_thread()
                 queue.close()
-                queue.join_thread()
+            for conn in self._conns:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already torn down
+                    pass
+            for process in self._workers:
+                if process.exitcode is None:
+                    process.join(timeout=_CLOSE_WAIT_S)
         self._closed = True
         self._close_stats = {"tuples_per_shard": counts}
         return self._close_stats

@@ -1,0 +1,63 @@
+"""Supervision records for sharded ingestion: what died, what was lost.
+
+The paper's fixed-numerator decomposition (Section VI-B) is what makes a
+shard worker *cheap to lose*: its decayed partial state is an ordinary
+mergeable summary, so the most recent checkpointed blob can be folded
+into a fresh worker and the rebuilt shard merges back into queries
+exactly — no other shard is touched, no stream replay is needed.  What
+cannot be recovered is the delta between the last checkpoint and the
+crash; :class:`ShardFailure` records that delta precisely.
+
+The supervisor itself lives in :class:`repro.parallel.sharded.ShardedEngine`
+(it owns the queues and processes); this module holds the data it
+surfaces so callers and the observability layer can consume failures
+without importing multiprocessing machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["ShardFailure"]
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One detected shard-worker death, with exact loss accounting.
+
+    Loss bounds are batch-exact: every row shipped to the shard after its
+    last *acknowledged* checkpoint is lost with the worker (it was either
+    in the dead engine's memory or in its abandoned queue), and every row
+    captured by that checkpoint is recovered by the re-seed.  When the
+    two bounds are equal — the common case — the delta is exact; they can
+    differ only when the failure interrupted an in-flight checkpoint,
+    where rows snapshotted but never acknowledged may or may not have
+    reached durable state.
+    """
+
+    #: Shard index (== worker index) that died.
+    shard: int
+    #: OS pid of the dead worker process (None if never started).
+    pid: int | None
+    #: Process exit code as multiprocessing reports it (negative =
+    #: killed by that signal number; None if unknown).
+    exitcode: int | None
+    #: ``time.time()`` at detection.
+    detected_at: float
+    #: Where the death was noticed: ``"ship"``, ``"request"``, or
+    #: ``"close"``.
+    phase: str
+    #: Rows captured by the checkpoint blob the respawn was re-seeded
+    #: from (0 when no checkpoint existed).
+    rows_recovered: int
+    #: Lower bound on rows lost with the worker.
+    rows_lost_min: int
+    #: Upper bound on rows lost with the worker.
+    rows_lost_max: int
+    #: Whether a replacement worker was started (False on the final
+    #: failure once the respawn budget is exhausted, and during close).
+    respawned: bool
+
+    def to_dict(self) -> dict:
+        """JSON-safe form, as exposed through ``ShardedEngine.stats()``."""
+        return asdict(self)

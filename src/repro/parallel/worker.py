@@ -13,6 +13,10 @@ Protocol (messages on the worker's bounded input queue, in order):
     Advance event time via the engine's ``heartbeat`` — punctuation, not
     data.  No reply; ordering relative to earlier ``rows`` batches is
     preserved because both travel the same queue.
+``("merge", blob)``
+    Fold a serde-encoded partial state into the engine — how the
+    supervisor re-seeds a respawned worker from the shard's most recent
+    checkpoint before any new batches arrive.  No reply.
 ``("state",)``
     Reply on the result pipe with ``("state", partial_state_bytes)`` —
     the serde-encoded snapshot of everything ingested so far.  The worker
@@ -98,6 +102,8 @@ def shard_worker_main(plan: ShardPlan, shard_id: int, in_queue, conn) -> None:
                 engine.insert_many(message[1])
             elif tag == "heartbeat":
                 engine.heartbeat(message[1])
+            elif tag == "merge":
+                engine.merge_partial(message[1])
             elif tag == "state":
                 conn.send(("state", engine.partial_state_bytes()))
             elif tag == "drain":

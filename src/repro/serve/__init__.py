@@ -29,7 +29,11 @@ from repro.serve.backend import (
     SingleEngineBackend,
     build_backend,
 )
-from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.client import (
+    AsyncServeClient,
+    ClientConnectionError,
+    ServeClient,
+)
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     WIRE_VERSION,
@@ -42,6 +46,7 @@ from repro.serve.server import CHECKPOINT_FILENAME, StreamServer, ThreadedServer
 __all__ = [
     "AsyncServeClient",
     "CHECKPOINT_FILENAME",
+    "ClientConnectionError",
     "Frame",
     "FrameDecoder",
     "MAX_FRAME_BYTES",

@@ -15,31 +15,75 @@ Server-pushed frames (subscription RESULTs) can interleave with the reply
 the client is waiting on; they are buffered in arrival order and consumed
 by :meth:`~ServeClient.pushes`.  ERROR frames raise
 :class:`~repro.serve.protocol.RemoteError` carrying the structured code.
+
+Failure handling: any transport error (``socket.timeout``, a reset, EOF)
+marks the client **dead** — the socket is closed and every later call
+fails fast with the same structured :class:`ClientConnectionError` instead
+of confusing errors off a half-broken stream.  With ``retries > 0`` the
+client instead reconnects with exponential backoff + jitter and replays
+exactly the unacknowledged INSERT batches: each batch carries a ``seq``
+the server echoes on its CREDIT, so an acked batch is never re-sent and an
+unacked one is sent at most once per connection epoch.
+:meth:`~ServeClient.flush` then reports a deterministic per-batch outcome
+(``acked`` or ``replayed``) even across a server restart.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
+import time
 
+from repro.core.errors import DecayError, ProtocolError
 from repro.serve import protocol
 from repro.serve.protocol import Frame, FrameDecoder, RemoteError
 
-__all__ = ["ServeClient", "AsyncServeClient"]
+__all__ = ["ServeClient", "AsyncServeClient", "ClientConnectionError"]
 
 #: How many bytes one ``recv`` asks the socket for.
 _RECV_BYTES = 64 * 1024
 
 
+class ClientConnectionError(DecayError, ConnectionError):
+    """The client's transport is gone (timeout, reset, or EOF).
+
+    Raised by the call that hit the error and by every call after it: a
+    dead client stays dead (fail-fast) unless it was built with
+    ``retries > 0``, in which case the failing call reconnects and
+    resumes.  ``last_error`` keeps the underlying transport exception.
+    """
+
+    def __init__(self, message: str, last_error: BaseException | None = None):
+        super().__init__(message)
+        self.last_error = last_error
+
+
 class _ClientCore:
     """Transport-free client state machine shared by both clients.
 
-    Subclasses provide ``_send_bytes`` and ``_recv_bytes`` (the only
-    transport-touching operations); everything else — handshake payloads,
-    credit accounting, reply matching, push buffering — lives here.
+    Subclasses provide the transport-touching operations; everything else
+    — handshake payloads, credit accounting, reply matching, push
+    buffering, batch-sequence bookkeeping, backoff schedules — lives here.
     """
 
-    def __init__(self, max_frame_bytes: int = protocol.MAX_FRAME_BYTES):
+    def __init__(
+        self,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        jitter: bool = True,
+    ):
+        if retries < 0:
+            raise protocol.ProtocolError(
+                f"retries must be >= 0, got {retries!r}"
+            )
+        if backoff_s <= 0 or backoff_max_s <= 0:
+            raise protocol.ProtocolError(
+                "backoff_s and backoff_max_s must be positive, got "
+                f"{backoff_s!r}/{backoff_max_s!r}"
+            )
         self._decoder = FrameDecoder(max_frame_bytes)
         self._max_frame_bytes = max_frame_bytes
         self._pending: list[Frame] = []
@@ -47,6 +91,20 @@ class _ClientCore:
         self.credits = 0
         self.window = 0
         self.server_info: dict = {}
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self.jitter = jitter
+        self.reconnects = 0
+        self._dead: ClientConnectionError | None = None
+        self._closed = False
+        self._close_info: dict = {}
+        # Batch-replay accounting: every INSERT gets a client-unique seq;
+        # the server echoes it on the CREDIT that acknowledges the batch.
+        self._next_seq = 1
+        self._unacked: dict[int, list] = {}  # seq -> encoded rows (FIFO)
+        self._sent_on_conn: set[int] = set()  # seqs sent this connection
+        self._outcomes: dict[int, str] = {}  # seq -> "sent" | "replayed"
 
     # -- frame bookkeeping ---------------------------------------------------------
 
@@ -56,15 +114,32 @@ class _ClientCore:
             payload["schema"] = list(schema_names)
         return payload
 
+    def _reset_stream_state(self, welcome: Frame) -> None:
+        """Adopt a fresh connection: new decoder, full credit window."""
+        self.server_info = welcome.payload
+        self.credits = int(welcome.payload.get("credits", 1))
+        self.window = self.credits
+        self._decoder = FrameDecoder(self._max_frame_bytes)
+        self._pending = []
+        self._sent_on_conn = set()
+
     def _absorb(self, frame: Frame) -> Frame | None:
         """Book-keep one incoming frame; return it if a caller should see it.
 
-        CREDIT frames update the window and vanish; subscription pushes
-        (RESULT with a ``sub`` field) are queued for :meth:`pushes`; ERROR
-        frames raise.  Anything else is a direct reply.
+        CREDIT frames update the window, acknowledge their batch, and
+        vanish; subscription pushes (RESULT with a ``sub`` field) are
+        queued for :meth:`pushes`; ERROR frames raise.  Anything else is
+        a direct reply.
         """
         if frame.ftype == protocol.CREDIT:
             self.credits += int(frame.payload.get("credits", 1))
+            seq = frame.payload.get("seq")
+            if seq is not None:
+                self._unacked.pop(seq, None)
+            elif self._unacked:
+                # Pre-seq server: credits return in send order, so the
+                # oldest outstanding batch is the one acknowledged.
+                self._unacked.pop(next(iter(self._unacked)))
             return None
         if frame.ftype == protocol.RESULT and "sub" in frame.payload:
             self._pushes.append(frame)
@@ -115,6 +190,57 @@ class _ClientCore:
     def has_pushes(self) -> bool:
         return bool(self._pushes)
 
+    # -- failure / retry bookkeeping -----------------------------------------------
+
+    @property
+    def auto_reconnect(self) -> bool:
+        """Whether transport errors trigger reconnect instead of fail-fast."""
+        return self.retries > 0
+
+    @property
+    def unacked_batches(self) -> list[int]:
+        """Seqs of INSERT batches sent but not yet credited, oldest first."""
+        return list(self._unacked)
+
+    def _mark_dead(self, error: BaseException) -> ClientConnectionError:
+        """Record the transport death; all later calls fail with this."""
+        if self._dead is None:
+            self._dead = ClientConnectionError(
+                f"connection lost: {error}", last_error=error
+            )
+        return self._dead
+
+    def _ensure_usable(self) -> None:
+        if self._closed:
+            raise ClientConnectionError("client is closed")
+        if self._dead is not None:
+            raise self._dead
+
+    def _register_batch(self, rows) -> tuple[int, list]:
+        """Assign the next seq to a batch and track it until its CREDIT."""
+        encoded = protocol.encode_rows(rows)
+        seq = self._next_seq
+        self._next_seq += 1
+        self._unacked[seq] = encoded
+        self._outcomes[seq] = "sent"
+        return seq, encoded
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff with (optional) jitter, capped."""
+        delay = min(self.backoff_max_s, self.backoff_s * (2.0 ** attempt))
+        if self.jitter:
+            delay *= 0.5 + 0.5 * random.random()
+        return delay
+
+    def _flush_report(self) -> dict:
+        """Per-batch outcomes since the previous flush; clears the window."""
+        outcomes = {
+            seq: ("replayed" if state == "replayed" else "acked")
+            for seq, state in self._outcomes.items()
+        }
+        self._outcomes = {}
+        return {"outcomes": outcomes, "reconnects": self.reconnects}
+
 
 class ServeClient(_ClientCore):
     """Blocking TCP client; performs the HELLO handshake on construction.
@@ -124,6 +250,12 @@ class ServeClient(_ClientCore):
         with ServeClient(host, port) as client:
             client.insert(rows)
             results = client.query()
+
+    With ``retries=N`` (opt-in) the client survives transport failures and
+    server restarts: failed calls reconnect with exponential backoff
+    (``backoff_s`` doubling per attempt up to ``backoff_max_s``, jittered),
+    and unacknowledged INSERT batches are replayed by ``seq`` — see the
+    module docstring for the exact semantics.
     """
 
     def __init__(
@@ -134,27 +266,84 @@ class ServeClient(_ClientCore):
         schema_names: list | None = None,
         timeout_s: float | None = 30.0,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        jitter: bool = True,
     ):
-        super().__init__(max_frame_bytes)
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
-        try:
-            self._send(protocol.HELLO, self._hello_payload(schema_names))
-            welcome = self._expect(self._recv_reply(), protocol.WELCOME)
-            self.server_info = welcome.payload
-            self.credits = int(welcome.payload.get("credits", 1))
-            self.window = self.credits
-        except BaseException:
-            self._sock.close()
-            raise
+        super().__init__(
+            max_frame_bytes,
+            retries=retries,
+            backoff_s=backoff_s,
+            backoff_max_s=backoff_max_s,
+            jitter=jitter,
+        )
+        self._host = host
+        self._port = port
+        self._schema_names = schema_names
+        self._timeout_s = timeout_s
+        self._sock: socket.socket | None = None
+        self._connect()
 
     # -- transport -----------------------------------------------------------------
 
-    def _send(self, ftype: int, payload: dict | None = None) -> None:
-        self._sock.sendall(
-            protocol.encode_frame(
-                ftype, payload, max_frame_bytes=self._max_frame_bytes
-            )
+    def _connect(self) -> None:
+        """Dial and handshake; adopt the fresh connection on success."""
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout_s
         )
+        try:
+            sock.sendall(
+                protocol.encode_frame(
+                    protocol.HELLO,
+                    self._hello_payload(self._schema_names),
+                    max_frame_bytes=self._max_frame_bytes,
+                )
+            )
+            decoder = FrameDecoder(self._max_frame_bytes)
+            welcome = None
+            while welcome is None:
+                data = sock.recv(_RECV_BYTES)
+                if not data:
+                    raise ConnectionError("server closed during handshake")
+                decoder.feed(data)
+                for frame in decoder.frames():
+                    if frame.ftype == protocol.ERROR:
+                        raise RemoteError(
+                            frame.payload.get("code", "error"),
+                            frame.payload.get("message", ""),
+                        )
+                    welcome = self._expect(frame, protocol.WELCOME)
+                    break
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+        self._reset_stream_state(welcome)
+
+    def _send(self, ftype: int, payload: dict | None = None) -> None:
+        self._ensure_usable()
+        data = protocol.encode_frame(
+            ftype, payload, max_frame_bytes=self._max_frame_bytes
+        )
+        try:
+            self._sock.sendall(data)
+        except (ConnectionError, OSError) as error:
+            self._sock.close()
+            raise self._mark_dead(error) from error
+
+    def _pump(self) -> None:
+        """Read one chunk into the decoder, marking the client dead on
+        any transport error (timeout included) so no later call ever
+        reuses the poisoned socket."""
+        self._ensure_usable()
+        try:
+            self._decode_chunk(self._sock.recv(_RECV_BYTES))
+        except (ConnectionError, OSError) as error:
+            if isinstance(error, ClientConnectionError):
+                raise
+            self._sock.close()
+            raise self._mark_dead(error) from error
 
     def _recv_reply(self) -> Frame:
         """Next non-bookkeeping frame, reading from the socket as needed."""
@@ -162,7 +351,7 @@ class ServeClient(_ClientCore):
             frame = self._buffered_reply()
             if frame is not None:
                 return frame
-            self._decode_chunk(self._sock.recv(_RECV_BYTES))
+            self._pump()
 
     def _await_credit(self) -> None:
         while self.credits < 1:
@@ -172,7 +361,62 @@ class ServeClient(_ClientCore):
                     "unexpected-frame",
                     f"got {frame.name} while waiting for CREDIT",
                 )
-            self._decode_chunk(self._sock.recv(_RECV_BYTES))
+            self._pump()
+
+    # -- reconnect / retry ---------------------------------------------------------
+
+    def _reconnect(self) -> None:
+        """Rebuild the connection with backoff; replay unacked batches."""
+        last: BaseException | None = self._dead
+        for attempt in range(self.retries):
+            time.sleep(self._backoff_delay(attempt))
+            try:
+                self._connect()
+            except (ConnectionError, OSError) as error:
+                last = error
+                continue
+            self._dead = None
+            self.reconnects += 1
+            try:
+                self._replay_unacked()
+            except (ClientConnectionError, ConnectionError, OSError) as error:
+                last = error
+                continue
+            return
+        raise ClientConnectionError(
+            f"reconnect to {self._host}:{self._port} failed after "
+            f"{self.retries} attempt(s): {last}",
+            last_error=last,
+        )
+
+    def _replay_unacked(self) -> None:
+        """Re-send every unacknowledged batch once, in seq order.
+
+        The fresh WELCOME granted a full credit window and at most
+        ``window`` batches can be outstanding, so replay never waits for
+        credit.  Batches acked on the old connection are never re-sent —
+        at most once per batch relative to the server's restored state.
+        """
+        for seq, encoded in list(self._unacked.items()):
+            self.credits -= 1
+            self._sent_on_conn.add(seq)
+            self._outcomes[seq] = "replayed"
+            self._send(protocol.INSERT, {"rows": encoded, "seq": seq})
+
+    def _retrying(self, operation):
+        """Run ``operation``, reconnecting across transport deaths."""
+        attempts = 0
+        while True:
+            if self._dead is not None:
+                if not self.auto_reconnect or self._closed:
+                    raise self._dead
+                self._reconnect()
+            try:
+                return operation()
+            except ClientConnectionError:
+                attempts += 1
+                if not self.auto_reconnect or attempts > self.retries:
+                    raise
 
     # -- protocol surface ----------------------------------------------------------
 
@@ -180,42 +424,80 @@ class ServeClient(_ClientCore):
     def query_sql(self) -> str:
         return self.server_info.get("query", "")
 
-    def insert(self, rows: list[tuple]) -> None:
-        """Send one INSERT batch, honouring the credit window."""
-        self._await_credit()
-        self.credits -= 1
-        self._send(protocol.INSERT, {"rows": protocol.encode_rows(rows)})
+    def insert(self, rows: list[tuple]) -> int:
+        """Send one INSERT batch, honouring the credit window.
 
-    def flush(self) -> None:
+        Returns the batch's ``seq``.  With retries enabled the batch is
+        delivered across reconnects (replayed only if unacknowledged);
+        without, a transport error marks the client dead and raises.
+        """
+        seq, encoded = self._register_batch(rows)
+
+        def deliver() -> int:
+            # Already acked (or replayed by a reconnect) — nothing to do.
+            if seq not in self._unacked or seq in self._sent_on_conn:
+                return seq
+            self._await_credit()
+            self.credits -= 1
+            self._sent_on_conn.add(seq)
+            self._send(protocol.INSERT, {"rows": encoded, "seq": seq})
+            return seq
+
+        return self._retrying(deliver)
+
+    def flush(self) -> dict:
         """Block until every in-flight INSERT has been acknowledged.
 
         Inserts pipeline up to the credit window, so a rejected batch
         raises :class:`RemoteError` on a *later* read; ``flush`` waits for
         all outstanding credits, surfacing any such error deterministically.
+
+        Returns a report: ``{"outcomes": {seq: "acked" | "replayed"},
+        "reconnects": total}`` covering every batch inserted since the
+        previous flush — deterministic even across a server restart
+        (``replayed`` batches were re-sent after a reconnect, everything
+        else was acknowledged first try).
         """
-        while self.credits < self.window:
-            frame = self._buffered_reply()
-            if frame is not None:
-                raise RemoteError(
-                    "unexpected-frame",
-                    f"got {frame.name} while waiting for CREDIT",
-                )
-            self._decode_chunk(self._sock.recv(_RECV_BYTES))
+
+        def wait() -> None:
+            while self.credits < self.window or self._unacked:
+                frame = self._buffered_reply()
+                if frame is not None:
+                    raise RemoteError(
+                        "unexpected-frame",
+                        f"got {frame.name} while waiting for CREDIT",
+                    )
+                self._pump()
+
+        self._retrying(wait)
+        return self._flush_report()
 
     def heartbeat(self, row: tuple) -> None:
         """Send punctuation: advances event time without contributing data."""
-        self._send(protocol.HEARTBEAT, {"row": list(row)})
+        self._retrying(
+            lambda: self._send(protocol.HEARTBEAT, {"row": list(row)})
+        )
 
     def query(self) -> list[dict]:
         """Evaluate the continuous query over everything ingested so far."""
-        self._send(protocol.QUERY)
-        reply = self._expect(self._recv_reply(), protocol.RESULT)
-        return protocol.decode_result_rows(reply.payload["rows"])
+
+        def ask() -> list[dict]:
+            self._send(protocol.QUERY)
+            reply = self._expect(self._recv_reply(), protocol.RESULT)
+            return protocol.decode_result_rows(reply.payload["rows"])
+
+        return self._retrying(ask)
 
     def subscribe(self, interval_s: float, count: int | None = None) -> None:
-        """Ask for periodic RESULT pushes; collect them via :meth:`results`."""
-        self._send(
-            protocol.SUBSCRIBE, {"interval_s": interval_s, "count": count}
+        """Ask for periodic RESULT pushes; collect them via :meth:`results`.
+
+        Subscriptions are per-connection state: a reconnect does not
+        re-subscribe (re-issue :meth:`subscribe` after a retry if needed).
+        """
+        self._retrying(
+            lambda: self._send(
+                protocol.SUBSCRIBE, {"interval_s": interval_s, "count": count}
+            )
         )
 
     def results(self, count: int) -> list[dict]:
@@ -229,43 +511,66 @@ class ServeClient(_ClientCore):
                         "unexpected-frame",
                         f"got {frame.name} while waiting for pushes",
                     )
-                self._decode_chunk(self._sock.recv(_RECV_BYTES))
+                self._pump()
             collected.extend(self.drain_pushes())
         return collected
 
     def checkpoint(self) -> dict:
         """Force a server-side checkpoint; returns ``{"path", "bytes"}``."""
-        self._send(protocol.CHECKPOINT)
-        return self._expect(
-            self._recv_reply(), protocol.CHECKPOINT_OK
-        ).payload
+
+        def ask() -> dict:
+            self._send(protocol.CHECKPOINT)
+            return self._expect(
+                self._recv_reply(), protocol.CHECKPOINT_OK
+            ).payload
+
+        return self._retrying(ask)
 
     def stats(self) -> dict:
         """Server / backend / metrics statistics."""
-        self._send(protocol.STATS)
-        return self._expect(self._recv_reply(), protocol.STATS_OK).payload
+
+        def ask() -> dict:
+            self._send(protocol.STATS)
+            return self._expect(self._recv_reply(), protocol.STATS_OK).payload
+
+        return self._retrying(ask)
 
     def close(self) -> dict:
-        """Graceful BYE → GOODBYE; returns the connection totals."""
+        """Graceful BYE → GOODBYE; returns the connection totals.
+
+        Idempotent and exception-free on a dead or already-closed
+        transport (the :meth:`close_abruptly` contract): if the server
+        dropped the connection first — idle timeout, restart — close
+        simply releases the socket and returns ``{}``; repeated calls
+        return the first result.
+        """
+        if self._closed:
+            return self._close_info
+        if self._dead is None:
+            try:
+                self._send(protocol.BYE)
+                goodbye = self._expect(self._recv_reply(), protocol.GOODBYE)
+                self._close_info = goodbye.payload
+            except (ProtocolError, ClientConnectionError, ConnectionError,
+                    OSError):
+                self._close_info = {}
+        self._closed = True
         try:
-            self._send(protocol.BYE)
-            goodbye = self._expect(self._recv_reply(), protocol.GOODBYE)
-            return goodbye.payload
-        finally:
             self._sock.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+        return self._close_info
 
     def close_abruptly(self) -> None:
         """Drop the socket with no BYE (tests: mid-stream disconnects)."""
+        self._closed = True
         self._sock.close()
 
     def __enter__(self) -> "ServeClient":
         return self
 
     def __exit__(self, *exc_info) -> None:
-        try:
-            self.close()
-        except (OSError, RemoteError, ConnectionError):
-            pass
+        self.close()
 
 
 class AsyncServeClient(_ClientCore):
@@ -277,12 +582,34 @@ class AsyncServeClient(_ClientCore):
         await client.insert(rows)
         rows = await client.query()
         await client.close()
+
+    Supports the same opt-in ``retries`` / backoff / seq-replay semantics
+    as :class:`ServeClient`, with ``asyncio.sleep`` backoff.
     """
 
-    def __init__(self, reader, writer, max_frame_bytes: int):
-        super().__init__(max_frame_bytes)
+    def __init__(
+        self,
+        reader,
+        writer,
+        max_frame_bytes: int,
+        *,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        jitter: bool = True,
+    ):
+        super().__init__(
+            max_frame_bytes,
+            retries=retries,
+            backoff_s=backoff_s,
+            backoff_max_s=backoff_max_s,
+            jitter=jitter,
+        )
         self._reader = reader
         self._writer = writer
+        self._host: str | None = None
+        self._port: int | None = None
+        self._schema_names: list | None = None
 
     @classmethod
     async def connect(
@@ -292,38 +619,82 @@ class AsyncServeClient(_ClientCore):
         *,
         schema_names: list | None = None,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        jitter: bool = True,
     ) -> "AsyncServeClient":
         reader, writer = await asyncio.open_connection(host, port)
-        client = cls(reader, writer, max_frame_bytes)
+        client = cls(
+            reader,
+            writer,
+            max_frame_bytes,
+            retries=retries,
+            backoff_s=backoff_s,
+            backoff_max_s=backoff_max_s,
+            jitter=jitter,
+        )
+        client._host = host
+        client._port = port
+        client._schema_names = schema_names
         try:
-            await client._send(
-                protocol.HELLO, client._hello_payload(schema_names)
-            )
-            welcome = client._expect(
-                await client._recv_reply(), protocol.WELCOME
-            )
-            client.server_info = welcome.payload
-            client.credits = int(welcome.payload.get("credits", 1))
-            client.window = client.credits
+            await client._handshake()
         except BaseException:
             writer.close()
             raise
         return client
 
-    async def _send(self, ftype: int, payload: dict | None = None) -> None:
+    async def _handshake(self) -> None:
         self._writer.write(
             protocol.encode_frame(
-                ftype, payload, max_frame_bytes=self._max_frame_bytes
+                protocol.HELLO,
+                self._hello_payload(self._schema_names),
+                max_frame_bytes=self._max_frame_bytes,
             )
         )
         await self._writer.drain()
+        decoder = FrameDecoder(self._max_frame_bytes)
+        welcome = None
+        while welcome is None:
+            data = await self._reader.read(_RECV_BYTES)
+            if not data:
+                raise ConnectionError("server closed during handshake")
+            decoder.feed(data)
+            for frame in decoder.frames():
+                welcome = self._expect(frame, protocol.WELCOME)
+                break
+        self._reset_stream_state(welcome)
+
+    # -- transport -----------------------------------------------------------------
+
+    async def _send(self, ftype: int, payload: dict | None = None) -> None:
+        self._ensure_usable()
+        data = protocol.encode_frame(
+            ftype, payload, max_frame_bytes=self._max_frame_bytes
+        )
+        try:
+            self._writer.write(data)
+            await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            self._writer.close()
+            raise self._mark_dead(error) from error
+
+    async def _pump(self) -> None:
+        self._ensure_usable()
+        try:
+            self._decode_chunk(await self._reader.read(_RECV_BYTES))
+        except (ConnectionError, OSError) as error:
+            if isinstance(error, ClientConnectionError):
+                raise
+            self._writer.close()
+            raise self._mark_dead(error) from error
 
     async def _recv_reply(self) -> Frame:
         while True:
             frame = self._buffered_reply()
             if frame is not None:
                 return frame
-            self._decode_chunk(await self._reader.read(_RECV_BYTES))
+            await self._pump()
 
     async def _await_credit(self) -> None:
         while self.credits < 1:
@@ -333,42 +704,125 @@ class AsyncServeClient(_ClientCore):
                     "unexpected-frame",
                     f"got {frame.name} while waiting for CREDIT",
                 )
-            self._decode_chunk(await self._reader.read(_RECV_BYTES))
+            await self._pump()
 
-    async def insert(self, rows: list[tuple]) -> None:
-        """Send one INSERT batch, honouring the credit window."""
-        await self._await_credit()
-        self.credits -= 1
-        await self._send(protocol.INSERT, {"rows": protocol.encode_rows(rows)})
+    # -- reconnect / retry ---------------------------------------------------------
 
-    async def flush(self) -> None:
-        """Async twin of :meth:`ServeClient.flush`."""
-        while self.credits < self.window:
-            frame = self._buffered_reply()
-            if frame is not None:
-                raise RemoteError(
-                    "unexpected-frame",
-                    f"got {frame.name} while waiting for CREDIT",
+    async def _reconnect(self) -> None:
+        last: BaseException | None = self._dead
+        for attempt in range(self.retries):
+            await asyncio.sleep(self._backoff_delay(attempt))
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self._host, self._port
                 )
-            self._decode_chunk(await self._reader.read(_RECV_BYTES))
+            except (ConnectionError, OSError) as error:
+                last = error
+                continue
+            self._reader, self._writer = reader, writer
+            try:
+                await self._handshake()
+            except (ConnectionError, OSError) as error:
+                writer.close()
+                last = error
+                continue
+            self._dead = None
+            self.reconnects += 1
+            try:
+                await self._replay_unacked()
+            except (ClientConnectionError, ConnectionError, OSError) as error:
+                last = error
+                continue
+            return
+        raise ClientConnectionError(
+            f"reconnect to {self._host}:{self._port} failed after "
+            f"{self.retries} attempt(s): {last}",
+            last_error=last,
+        )
+
+    async def _replay_unacked(self) -> None:
+        for seq, encoded in list(self._unacked.items()):
+            self.credits -= 1
+            self._sent_on_conn.add(seq)
+            self._outcomes[seq] = "replayed"
+            await self._send(protocol.INSERT, {"rows": encoded, "seq": seq})
+
+    async def _retrying(self, operation):
+        attempts = 0
+        while True:
+            if self._dead is not None:
+                if not self.auto_reconnect or self._closed:
+                    raise self._dead
+                await self._reconnect()
+            try:
+                return await operation()
+            except ClientConnectionError:
+                attempts += 1
+                if not self.auto_reconnect or attempts > self.retries:
+                    raise
+
+    # -- protocol surface ----------------------------------------------------------
+
+    async def insert(self, rows: list[tuple]) -> int:
+        """Send one INSERT batch, honouring the credit window."""
+        seq, encoded = self._register_batch(rows)
+
+        async def deliver() -> int:
+            if seq not in self._unacked or seq in self._sent_on_conn:
+                return seq
+            await self._await_credit()
+            self.credits -= 1
+            self._sent_on_conn.add(seq)
+            await self._send(protocol.INSERT, {"rows": encoded, "seq": seq})
+            return seq
+
+        return await self._retrying(deliver)
+
+    async def flush(self) -> dict:
+        """Async twin of :meth:`ServeClient.flush` (same outcome report)."""
+
+        async def wait() -> None:
+            while self.credits < self.window or self._unacked:
+                frame = self._buffered_reply()
+                if frame is not None:
+                    raise RemoteError(
+                        "unexpected-frame",
+                        f"got {frame.name} while waiting for CREDIT",
+                    )
+                await self._pump()
+
+        await self._retrying(wait)
+        return self._flush_report()
 
     async def heartbeat(self, row: tuple) -> None:
         """Send punctuation: advances event time without contributing data."""
-        await self._send(protocol.HEARTBEAT, {"row": list(row)})
+
+        async def send() -> None:
+            await self._send(protocol.HEARTBEAT, {"row": list(row)})
+
+        await self._retrying(send)
 
     async def query(self) -> list[dict]:
         """Evaluate the continuous query over everything ingested so far."""
-        await self._send(protocol.QUERY)
-        reply = self._expect(await self._recv_reply(), protocol.RESULT)
-        return protocol.decode_result_rows(reply.payload["rows"])
+
+        async def ask() -> list[dict]:
+            await self._send(protocol.QUERY)
+            reply = self._expect(await self._recv_reply(), protocol.RESULT)
+            return protocol.decode_result_rows(reply.payload["rows"])
+
+        return await self._retrying(ask)
 
     async def subscribe(
         self, interval_s: float, count: int | None = None
     ) -> None:
         """Ask for periodic RESULT pushes; collect them via :meth:`results`."""
-        await self._send(
-            protocol.SUBSCRIBE, {"interval_s": interval_s, "count": count}
-        )
+
+        async def send() -> None:
+            await self._send(
+                protocol.SUBSCRIBE, {"interval_s": interval_s, "count": count}
+            )
+
+        await self._retrying(send)
 
     async def results(self, count: int) -> list[dict]:
         """Block until ``count`` subscription pushes have arrived."""
@@ -381,35 +835,54 @@ class AsyncServeClient(_ClientCore):
                         "unexpected-frame",
                         f"got {frame.name} while waiting for pushes",
                     )
-                self._decode_chunk(await self._reader.read(_RECV_BYTES))
+                await self._pump()
             collected.extend(self.drain_pushes())
         return collected
 
     async def checkpoint(self) -> dict:
         """Force a server-side checkpoint; returns ``{"path", "bytes"}``."""
-        await self._send(protocol.CHECKPOINT)
-        return self._expect(
-            await self._recv_reply(), protocol.CHECKPOINT_OK
-        ).payload
+
+        async def ask() -> dict:
+            await self._send(protocol.CHECKPOINT)
+            return self._expect(
+                await self._recv_reply(), protocol.CHECKPOINT_OK
+            ).payload
+
+        return await self._retrying(ask)
 
     async def stats(self) -> dict:
         """Server / backend / metrics statistics."""
-        await self._send(protocol.STATS)
-        return self._expect(
-            await self._recv_reply(), protocol.STATS_OK
-        ).payload
+
+        async def ask() -> dict:
+            await self._send(protocol.STATS)
+            return self._expect(
+                await self._recv_reply(), protocol.STATS_OK
+            ).payload
+
+        return await self._retrying(ask)
 
     async def close(self) -> dict:
-        """Graceful BYE -> GOODBYE; returns the connection totals."""
-        try:
-            await self._send(protocol.BYE)
-            goodbye = self._expect(
-                await self._recv_reply(), protocol.GOODBYE
-            )
-            return goodbye.payload
-        finally:
-            self._writer.close()
+        """Graceful BYE → GOODBYE; returns the connection totals.
+
+        Idempotent and exception-free on a dead transport, like
+        :meth:`ServeClient.close`.
+        """
+        if self._closed:
+            return self._close_info
+        if self._dead is None:
             try:
-                await self._writer.wait_closed()
-            except (OSError, ConnectionError):  # pragma: no cover
-                pass
+                await self._send(protocol.BYE)
+                goodbye = self._expect(
+                    await self._recv_reply(), protocol.GOODBYE
+                )
+                self._close_info = goodbye.payload
+            except (ProtocolError, ClientConnectionError, ConnectionError,
+                    OSError):
+                self._close_info = {}
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (OSError, ConnectionError):  # pragma: no cover
+            pass
+        return self._close_info

@@ -25,8 +25,10 @@ name       code  direction    body
 ========== ===== ============ ====================================================
 HELLO      1     client → srv ``wire_version``, ``schema`` (names), ``client``
 WELCOME    2     srv → client negotiated ``credits``, server ``query``/``schema``
-INSERT     3     client → srv ``rows`` (list of tuples); consumes one credit
-CREDIT     4     srv → client ``credits`` granted back (backpressure)
+INSERT     3     client → srv ``rows`` (list of tuples); consumes one credit;
+                              optional ``seq`` — client batch id for replay
+CREDIT     4     srv → client ``credits`` granted back (backpressure); echoes
+                              the INSERT's ``seq`` so acks key to batches
 HEARTBEAT  5     client → srv ``row`` — punctuation, advances event time only
 QUERY      6     client → srv (empty) request merged results now
 RESULT     7     srv → client ``rows``; pushes carry ``sub``/``seq``/``done``

@@ -26,10 +26,15 @@ Design notes:
   and drops that connection.  Semantic problems (unknown frame type, bad
   rows, engine errors) answer ERROR and keep the connection.  Nothing a
   client sends can take the process down.
-* **Checkpoint on shutdown.**  With a ``state_dir``, a graceful stop
-  drains connections and persists every backend partial state through
-  :func:`repro.core.serde.dump_partials_checkpoint`; a server started
-  over the same directory restores it and resumes mid-stream.
+* **Checkpoint on shutdown — and on an interval.**  With a ``state_dir``,
+  a graceful stop drains connections and persists every backend partial
+  state through :func:`repro.core.serde.dump_partials_checkpoint`; a
+  server started over the same directory restores it and resumes
+  mid-stream.  A production crash never grants a graceful stop, so
+  ``checkpoint_interval_s`` additionally writes the same atomic
+  (write-then-rename) checkpoint from a background task: restart after a
+  ``kill -9`` resumes from the last completed interval instead of from
+  empty, bounding the lost delta to one interval of ingest (DESIGN.md §9).
 """
 
 from __future__ import annotations
@@ -110,6 +115,11 @@ class StreamServer:
         Directory for the shutdown checkpoint; restored on :meth:`start`.
         None disables checkpointing (CHECKPOINT frames then fail with a
         structured error).
+    checkpoint_interval_s:
+        Write a background checkpoint this often (requires ``state_dir``;
+        None disables periodic checkpointing).  Writes are atomic
+        (temp-file + rename), so a crash mid-write never corrupts the
+        previous checkpoint.
     metrics:
         Optional :class:`~repro.obs.registry.MetricsRegistry`; when
         enabled, records connection/frame/row counters, ingest rate, and
@@ -126,12 +136,24 @@ class StreamServer:
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
         idle_timeout_s: float | None = None,
         state_dir: str | None = None,
+        checkpoint_interval_s: float | None = None,
         metrics=None,
     ):
         if credit_window < 1:
             raise ParameterError(
                 f"credit_window must be >= 1, got {credit_window!r}"
             )
+        if checkpoint_interval_s is not None:
+            if checkpoint_interval_s <= 0:
+                raise ParameterError(
+                    f"checkpoint_interval_s must be positive, "
+                    f"got {checkpoint_interval_s!r}"
+                )
+            if state_dir is None:
+                raise ParameterError(
+                    "checkpoint_interval_s requires a state_dir to "
+                    "checkpoint into"
+                )
         self.backend = backend
         self.host = host
         self.port = port
@@ -139,17 +161,22 @@ class StreamServer:
         self.max_frame_bytes = max_frame_bytes
         self.idle_timeout_s = idle_timeout_s
         self.state_dir = state_dir
+        self.checkpoint_interval_s = checkpoint_interval_s
         self.metrics = metrics
         self._obs = metrics is not None and getattr(metrics, "enabled", False)
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[_Connection] = set()
         self._stopping = False
+        self._checkpoint_task: asyncio.Task | None = None
         self.started_at: float | None = None
         self.frames_total = 0
         self.rows_total = 0
         self.errors_total = 0
         self.connections_total = 0
         self.restored_blobs = 0
+        self.checkpoints_written = 0
+        self.checkpoint_errors = 0
+        self.last_checkpoint_at: float | None = None
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -175,6 +202,34 @@ class StreamServer:
         )
         self.host, self.port = self._server.sockets[0].getsockname()[:2]
         self.started_at = time.time()
+        if self.checkpoint_interval_s is not None:
+            self._checkpoint_task = asyncio.get_running_loop().create_task(
+                self._checkpoint_loop()
+            )
+
+    async def _checkpoint_loop(self) -> None:
+        """Background periodic checkpointing (the crash-recovery story).
+
+        Engine calls are synchronous, so each checkpoint is atomic with
+        respect to INSERT handling under asyncio's cooperative scheduling
+        — a blob never captures half a batch.  A failing write is counted
+        and retried next interval rather than killing the task: serving
+        degraded beats not serving.
+        """
+        while True:
+            await asyncio.sleep(self.checkpoint_interval_s)
+            try:
+                self.write_checkpoint()
+                self.checkpoints_written += 1
+                self.last_checkpoint_at = time.time()
+                if self._obs:
+                    self.metrics.counter("serve.checkpoints").add(1.0)
+            except asyncio.CancelledError:  # pragma: no cover - shutdown
+                raise
+            except Exception:  # pragma: no cover - disk full and friends
+                self.checkpoint_errors += 1
+                if self._obs:
+                    self.metrics.counter("serve.checkpoint_errors").add(1.0)
 
     async def stop(self) -> str | None:
         """Graceful shutdown: drain connections, checkpoint, close.
@@ -183,6 +238,13 @@ class StreamServer:
         Idempotent.
         """
         self._stopping = True
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            try:
+                await self._checkpoint_task
+            except asyncio.CancelledError:
+                pass
+            self._checkpoint_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -228,6 +290,10 @@ class StreamServer:
             "credit_window": self.credit_window,
             "restored_blobs": self.restored_blobs,
             "checkpoint_path": self.checkpoint_path,
+            "checkpoint_interval_s": self.checkpoint_interval_s,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_errors": self.checkpoint_errors,
+            "last_checkpoint_at": self.last_checkpoint_at,
         }
         stats = {"server": server, "backend": self.backend.stats()}
         if self._obs:
@@ -374,6 +440,12 @@ class StreamServer:
         return rows
 
     async def _handle_insert(self, conn: _Connection, payload: dict) -> None:
+        # The echoed batch seq lets a retrying client match each CREDIT
+        # to the exact batch it acknowledges (idempotent replay keying);
+        # clients that send no seq get the bare frame, unchanged.
+        credit: dict = {"credits": 1}
+        if payload.get("seq") is not None:
+            credit["seq"] = payload["seq"]
         try:
             rows = self._checked_rows(payload)
             self.backend.insert_many(rows)
@@ -381,13 +453,13 @@ class StreamServer:
             # The batch was rejected wholesale (validation happens before
             # ingest), so state is untouched; the credit is still returned.
             await self._error(conn, "bad-rows", str(error))
-            await conn.send(protocol.CREDIT, {"credits": 1})
+            await conn.send(protocol.CREDIT, credit)
             return
         conn.tuples_in += len(rows)
         self.rows_total += len(rows)
         if self._obs:
             self.metrics.rate("serve.ingest.rows").observe(float(len(rows)))
-        await conn.send(protocol.CREDIT, {"credits": 1})
+        await conn.send(protocol.CREDIT, credit)
 
     async def _handle_heartbeat(self, conn: _Connection, payload: dict) -> None:
         row = payload.get("row")
@@ -564,6 +636,42 @@ class ThreadedServer:
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=30)
         return path
+
+    def kill(self) -> None:
+        """Simulate a crash: tear everything down with *no* graceful
+        shutdown — no final checkpoint, connections aborted, the
+        listening socket released so a successor can rebind the port.
+
+        The in-process analogue of SIGKILL for crash-recovery tests and
+        the recovery benchmark: the only durable state afterwards is
+        whatever checkpoints were already on disk.  Idempotent.
+        """
+        if self._loop is None or not self._thread or not self._thread.is_alive():
+            return
+
+        async def drop() -> None:
+            server = self.server
+            if server._checkpoint_task is not None:
+                server._checkpoint_task.cancel()
+                server._checkpoint_task = None
+            if server._server is not None:
+                server._server.close()
+                await server._server.wait_closed()
+                server._server = None
+            for conn in list(server._connections):
+                for task in conn.subscriptions:
+                    task.cancel()
+                conn.writer.transport.abort()
+            server._connections.clear()
+            # Let the transports' scheduled connection_lost callbacks run
+            # so the sockets actually close (RST) before the loop dies.
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+
+        future = asyncio.run_coroutine_threadsafe(drop(), self._loop)
+        future.result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
 
     def __enter__(self) -> "ThreadedServer":
         return self.start()

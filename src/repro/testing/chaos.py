@@ -1,0 +1,258 @@
+"""Fault injection for the fault-tolerance layer (crash tests, benchmarks).
+
+Three primitives:
+
+- :func:`wait_until` — poll a condition with a hard deadline, the
+  backbone of every crash test (no bare ``sleep`` guesses).
+- :func:`kill_worker` — SIGKILL one shard worker of a
+  :class:`~repro.parallel.sharded.ShardedEngine` and wait until the OS
+  has actually reaped it, so the next ingest call deterministically sees
+  a dead process.
+- :class:`ServerProcess` — run ``repro serve`` as a real subprocess that
+  can be SIGKILLed between periodic checkpoints and restarted on the
+  same ``--state-dir``, exactly the crash-recovery scenario of
+  DESIGN.md §9.
+
+Everything here is in-tree (not test-only) so the recovery benchmark can
+measure the same scenarios the tests assert on.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.serve.server import CHECKPOINT_FILENAME
+
+__all__ = ["ServerProcess", "kill_worker", "wait_until"]
+
+
+def wait_until(
+    predicate,
+    timeout_s: float = 30.0,
+    interval_s: float = 0.02,
+    message: str = "condition",
+):
+    """Poll ``predicate`` until it returns a truthy value; that value is
+    returned.  Raises :class:`TimeoutError` after ``timeout_s``."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"timed out after {timeout_s:.1f}s waiting for {message}"
+            )
+        time.sleep(interval_s)
+
+
+def kill_worker(engine, shard: int, sig: int = signal.SIGKILL) -> int:
+    """Kill one shard worker process and wait for the OS to reap it.
+
+    Returns the dead worker's pid.  The engine is *not* told — the next
+    supervised ingest or state request discovers the corpse, which is the
+    whole point: tests exercise the detection path, not a back door.
+    """
+    if engine.inline:
+        raise ValueError("cannot kill a worker of an inline engine")
+    process = engine._workers[shard]
+    pid = process.pid
+    os.kill(pid, sig)
+    # ``is_alive`` flips only once the process has been waited on;
+    # multiprocessing does that internally when polled.
+    wait_until(
+        lambda: not process.is_alive(),
+        timeout_s=10.0,
+        message=f"shard {shard} worker (pid {pid}) to die",
+    )
+    return pid
+
+
+class ServerProcess:
+    """A real ``repro serve`` subprocess with crash/restart controls.
+
+    Drives the CLI entry point (``python -m repro serve``) so the crash
+    path under test is byte-for-byte the deployed one.  Readiness uses
+    ``--port-file`` (written only after the listener is bound), never a
+    sleep.  Usable as a context manager; :meth:`kill` SIGKILLs the
+    process mid-flight, after which a new :class:`ServerProcess` on the
+    same ``state_dir`` exercises restart-from-checkpoint.
+    """
+
+    def __init__(
+        self,
+        sql: str,
+        *,
+        state_dir: str | None = None,
+        checkpoint_interval_s: float | None = None,
+        shards: int = 0,
+        multiprocess: bool = False,
+        credit_window: int = 8,
+        port: int = 0,
+        extra_args: tuple = (),
+        startup_timeout_s: float = 30.0,
+    ):
+        self.sql = sql
+        self.state_dir = state_dir
+        self.checkpoint_interval_s = checkpoint_interval_s
+        self.startup_timeout_s = startup_timeout_s
+        self._argv = [
+            sys.executable, "-m", "repro", "serve", sql,
+            "--port", str(port),
+            "--credit-window", str(credit_window),
+        ]
+        if shards:
+            self._argv += ["--shards", str(shards)]
+        if multiprocess:
+            self._argv += ["--multiprocess"]
+        if state_dir is not None:
+            self._argv += ["--state-dir", state_dir]
+        if checkpoint_interval_s is not None:
+            self._argv += ["--checkpoint-interval", str(checkpoint_interval_s)]
+        self._argv += list(extra_args)
+        self._process: subprocess.Popen | None = None
+        self._port_file: str | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> "ServerProcess":
+        """Spawn the server and block until it is accepting connections."""
+        if self._process is not None:
+            raise RuntimeError("server already started")
+        base = self.state_dir or os.getcwd()
+        self._port_file = os.path.join(
+            base, f".serve-port-{os.getpid()}-{id(self)}"
+        )
+        if os.path.exists(self._port_file):
+            os.unlink(self._port_file)
+        argv = self._argv + ["--port-file", self._port_file]
+        self._process = subprocess.Popen(
+            argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=os.environ.copy(),
+        )
+        try:
+            wait_until(
+                self._try_read_port,
+                timeout_s=self.startup_timeout_s,
+                message="server port file",
+            )
+        except TimeoutError:
+            output = self._collect_output(kill_first=True)
+            raise RuntimeError(
+                f"repro serve failed to become ready:\n{output}"
+            ) from None
+        return self
+
+    def _try_read_port(self) -> bool:
+        if self._process.poll() is not None:
+            output = self._collect_output(kill_first=False)
+            raise RuntimeError(
+                f"repro serve exited during startup "
+                f"(code {self._process.returncode}):\n{output}"
+            )
+        try:
+            with open(self._port_file) as handle:
+                line = handle.read().strip()
+        except FileNotFoundError:
+            return False
+        if not line:
+            return False
+        host, port = line.split()
+        self.host, self.port = host, int(port)
+        return True
+
+    def _collect_output(self, kill_first: bool) -> str:
+        if kill_first and self._process.poll() is None:
+            self._process.kill()
+        try:
+            output, _ = self._process.communicate(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+            return "<no output: process did not exit>"
+        return (output or b"").decode("utf-8", "replace")
+
+    @property
+    def pid(self) -> int:
+        return self._process.pid
+
+    def alive(self) -> bool:
+        """Whether the server subprocess is currently running."""
+        return self._process is not None and self._process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL the server — no checkpoint, no goodbye — and reap it."""
+        if self._process is None:
+            return
+        if self._process.poll() is None:
+            self._process.kill()
+        self._process.wait(timeout=30)
+        self._cleanup_port_file()
+
+    def stop(self, timeout_s: float = 30.0) -> int:
+        """Graceful SIGTERM shutdown (writes a final checkpoint when
+        configured with a state dir); returns the exit code."""
+        if self._process is None:
+            raise RuntimeError("server not started")
+        if self._process.poll() is None:
+            self._process.send_signal(signal.SIGTERM)
+        try:
+            self._process.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self._process.kill()
+            self._process.wait(timeout=30)
+        self._cleanup_port_file()
+        return self._process.returncode
+
+    def _cleanup_port_file(self) -> None:
+        if self._port_file and os.path.exists(self._port_file):
+            os.unlink(self._port_file)
+
+    def __enter__(self) -> "ServerProcess":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        if self.alive():
+            self.stop()
+        else:
+            self.kill()
+
+    # -- checkpoint observation ----------------------------------------------------
+
+    @property
+    def checkpoint_path(self) -> str | None:
+        if self.state_dir is None:
+            return None
+        return os.path.join(self.state_dir, CHECKPOINT_FILENAME)
+
+    def checkpoint_bytes(self) -> bytes | None:
+        """Current checkpoint contents, or None if none written yet."""
+        path = self.checkpoint_path
+        if path is None or not os.path.exists(path):
+            return None
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def wait_for_checkpoint(
+        self, *, different_from: bytes | None = None, timeout_s: float = 30.0
+    ) -> bytes:
+        """Block until a checkpoint exists (and differs from
+        ``different_from`` when given); returns its bytes."""
+
+        def ready():
+            data = self.checkpoint_bytes()
+            if data is None:
+                return None
+            if different_from is not None and data == different_from:
+                return None
+            return data
+
+        return wait_until(
+            ready, timeout_s=timeout_s, message="a periodic checkpoint"
+        )
