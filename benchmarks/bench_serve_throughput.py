@@ -8,14 +8,18 @@ Usage::
         [--scale 1.0] [--batch-size 512]
 
 Streams the smoke count/sum workload through a real ``repro.serve`` TCP
-loopback connection — framing, JSON bodies, credit round-trips and all —
+loopback connection — framing, codec bodies, credit round-trips and all —
 into a single-engine backend and a 4-way (inline) sharded backend, and
-compares against the in-process ``insert_many`` baseline.  Writes the
-standard ``BENCH_serve.json`` artifact.
+compares against the in-process ``insert_many`` baseline.  Each backend
+is measured twice: columnar v2 ``INSERT_COLS`` framing (primary) and the
+v1 row-JSON ablation.  Sharded backends get a third pass on real worker
+processes.  Writes the standard ``BENCH_serve.json`` artifact.
 
-Gating is host-independent: throughput and wire overhead are recorded
-only; the gated entries are served-vs-in-process result equality (exact)
-and the deterministic shutdown-checkpoint size.
+Gating is host-independent: absolute throughput is recorded only; the
+gated entries are served-vs-in-process result equality (exact), the
+deterministic shutdown-checkpoint size, the single-server columnar wire
+overhead (absolute ceiling 2.0x in-process), and — on hosts with >= 4
+cores — the multiprocess sharded speedup over in-process (floor 1.0x).
 """
 
 from __future__ import annotations
@@ -60,6 +64,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the crash/restart recovery-time measurement",
     )
+    parser.add_argument(
+        "--no-multiprocess",
+        action="store_true",
+        help="skip the real-worker-process pass for sharded backends",
+    )
     args = parser.parse_args(argv)
 
     artifact = run_serve_suite(
@@ -68,34 +77,80 @@ def main(argv=None) -> int:
         batch_size=args.batch_size,
         shard_counts=tuple(args.shards),
         recovery=not args.no_recovery,
+        multiprocess=not args.no_multiprocess,
     )
     write_artifact(artifact, args.out)
 
     entries = artifact["entries"]
     inprocess = entries["serve.inprocess.rows_per_sec"]["value"]
+    cores = os.cpu_count() or 1
     print(
-        f"serve throughput (loopback TCP, {os.cpu_count()} core(s), "
+        f"serve throughput (loopback TCP, {cores} core(s), "
         f"{artifact['config']['trace_tuples']:,} rows, "
         f"batch {artifact['config']['batch_size']})"
     )
-    print(f"{'backend':>10} {'rows/s':>12} {'overhead':>9} "
-          f"{'ckpt bytes':>11} {'match':>6}")
-    print(f"{'in-proc':>10} {inprocess:>12,.0f} {'1.00x':>9} "
-          f"{'-':>11} {'-':>6}")
+    print(f"{'backend':>12} {'rows/s':>12} {'overhead':>9} "
+          f"{'vs rows':>8} {'ckpt bytes':>11} {'match':>6}")
+    print(f"{'in-proc':>12} {inprocess:>12,.0f} {'1.00x':>9} "
+          f"{'-':>8} {'-':>11} {'-':>6}")
     failures = []
     for shards in args.shards:
         label = "single" if shards == 0 else f"sharded{shards}"
         prefix = f"serve.{label}"
         rate = entries[f"{prefix}.rows_per_sec"]["value"]
         overhead = entries[f"{prefix}.wire_overhead"]["value"]
+        speedup = entries[f"{prefix}.columnar_speedup"]["value"]
         ckpt = entries[f"{prefix}.checkpoint_bytes"]["value"]
         match = entries[f"{prefix}.match_inprocess"]["value"] == 1.0
-        print(f"{label:>10} {rate:>12,.0f} {overhead:>8.2f}x "
-              f"{ckpt:>11,.0f} {'ok' if match else 'FAIL':>6}")
+        print(f"{label:>12} {rate:>12,.0f} {overhead:>8.2f}x "
+              f"{speedup:>7.2f}x {ckpt:>11,.0f} "
+              f"{'ok' if match else 'FAIL':>6}")
         if not match:
             failures.append(
                 f"served result ({label}) does not match the in-process run"
             )
+        row_rate = entries[f"{prefix}.row_frames.rows_per_sec"]["value"]
+        row_match = (
+            entries[f"{prefix}.row_frames.match_inprocess"]["value"] == 1.0
+        )
+        print(f"{label + '/rows':>12} {row_rate:>12,.0f} "
+              f"{inprocess / row_rate:>8.2f}x {'-':>8} {'-':>11} "
+              f"{'ok' if row_match else 'FAIL':>6}")
+        if not row_match:
+            failures.append(
+                f"row-frame served result ({label}) does not match the "
+                "in-process run"
+            )
+        if shards == 0 and overhead > 2.0:
+            failures.append(
+                f"single-server columnar wire overhead {overhead:.2f}x "
+                "exceeds the 2.0x ceiling"
+            )
+        mp_key = f"{prefix}.mp.rows_per_sec"
+        if mp_key in entries:
+            mp_rate = entries[mp_key]["value"]
+            mp_speedup = entries[f"{prefix}.mp.speedup_vs_inprocess"]
+            mp_match = (
+                entries[f"{prefix}.mp.match_inprocess"]["value"] == 1.0
+            )
+            print(f"{label + '/mp':>12} {mp_rate:>12,.0f} "
+                  f"{inprocess / mp_rate:>8.2f}x {'-':>8} {'-':>11} "
+                  f"{'ok' if mp_match else 'FAIL':>6}")
+            if not mp_match:
+                failures.append(
+                    f"multiprocess served result ({label}) does not match "
+                    "the in-process run"
+                )
+            if mp_speedup["gate"] and mp_speedup["value"] < 1.0:
+                failures.append(
+                    f"multiprocess sharded speedup {mp_speedup['value']:.2f}x"
+                    f" is below the 1.0x floor on a {cores}-core host"
+                )
+            elif not mp_speedup["gate"]:
+                print(
+                    f"  ({label} mp speedup {mp_speedup['value']:.2f}x vs "
+                    f"in-process: report-only on a {cores}-core host)"
+                )
     if "serve.recovery.restart_ms" in entries:
         restart = entries["serve.recovery.restart_ms"]["value"]
         replay = entries["serve.recovery.replay_ms"]["value"]

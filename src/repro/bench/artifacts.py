@@ -93,6 +93,7 @@ def _entry(
     gate: bool,
     higher_is_better: bool = False,
     exact: bool = False,
+    limit: float | None = None,
 ) -> dict:
     entry = {
         "value": value,
@@ -104,6 +105,13 @@ def _entry(
         # Exact entries tolerate no drift at all: correctness booleans and
         # other quantities where "within 2x" would be meaningless.
         entry["exact"] = True
+    if limit is not None:
+        # Absolute worst acceptable value, direction-aware: a ceiling for
+        # lower-is-better entries, a floor for higher-is-better ones.  The
+        # gate fails when the *current* value crosses it, regardless of
+        # how the baseline compares — used for contractual bounds like
+        # "columnar wire overhead stays under 2x in-process".
+        entry["limit"] = limit
     return entry
 
 
@@ -261,10 +269,13 @@ def compare_artifacts(baseline: dict, current: dict, threshold: float = 2.0) -> 
     regresses when ``current > baseline * threshold``; higher-is-better when
     ``current < baseline / threshold``.  Entries marked ``exact`` (merge
     correctness and other booleans) regress on *any* difference from the
-    baseline value — the threshold does not apply to them.  Ungated entries
-    are reported for context only.  Gated entries missing from ``current``
-    count as regressions (a silently dropped benchmark must not pass the
-    gate).
+    baseline value — the threshold does not apply to them.  Entries carrying
+    a ``limit`` additionally regress when the current value crosses that
+    absolute bound (above it for lower-is-better, below it for higher-is-
+    better) even if the relative drift stays inside the threshold.  Ungated
+    entries are reported for context only.  Gated entries missing from
+    ``current`` count as regressions (a silently dropped benchmark must not
+    pass the gate).
     """
     if threshold < 1.0:
         raise ParameterError(f"threshold must be >= 1.0, got {threshold!r}")
@@ -292,20 +303,32 @@ def compare_artifacts(baseline: dict, current: dict, threshold: float = 2.0) -> 
             regressed = base["gate"] and ratio < 1.0 / threshold
         else:
             regressed = base["gate"] and ratio > threshold
+        limit = cur.get("limit", base.get("limit"))
+        if (
+            not regressed
+            and base["gate"]
+            and not base.get("exact")
+            and limit is not None
+        ):
+            if base.get("higher_is_better"):
+                regressed = cur_value < limit
+            else:
+                regressed = cur_value > limit
         if regressed:
             regressions.append(name)
-        rows.append(
-            {
-                "name": name,
-                "status": "regressed" if regressed else "ok",
-                "gate": base["gate"],
-                "exact": bool(base.get("exact")),
-                "baseline": base_value,
-                "current": cur_value,
-                "ratio": ratio,
-                "unit": base.get("unit", ""),
-            }
-        )
+        row = {
+            "name": name,
+            "status": "regressed" if regressed else "ok",
+            "gate": base["gate"],
+            "exact": bool(base.get("exact")),
+            "baseline": base_value,
+            "current": cur_value,
+            "ratio": ratio,
+            "unit": base.get("unit", ""),
+        }
+        if limit is not None:
+            row["limit"] = limit
+        rows.append(row)
     return {
         "threshold": threshold,
         "baseline_name": baseline.get("name"),

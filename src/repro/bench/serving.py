@@ -7,8 +7,22 @@ sharded backend, versus the in-process ``insert_many`` baseline.
 
 Gating follows the repo's host-independence rule:
 
-* throughput (``rows_per_sec``, ``wire_overhead``) is recorded, not gated
-  — it moves with the host's syscall and JSON cost;
+* absolute throughput (``rows_per_sec``) is recorded, not gated — it
+  moves with the host's syscall and codec cost;
+* ``wire_overhead`` for the single-server backend is gated with an
+  absolute ceiling of 2.0x: it is a paired same-host ratio (each served
+  pass divided by an in-process run timed immediately before it), so
+  host speed and load drift cancel and the columnar data plane's
+  contractual bound — loopback ingest within 2x of in-process — holds
+  everywhere.  The sharded ratio additionally pays routing, so it stays
+  report-only;
+* the ``row_frames.*`` entries are the v1 row-JSON ablation and
+  ``columnar_speedup`` the ratio between the two framings — report-only
+  context for what typed column batches buy on the wire;
+* ``mp.speedup_vs_inprocess`` (real worker processes) is gated with a
+  floor of 1.0 only when the host has at least ``max(4, shards)`` cores;
+  on smaller hosts the number is recorded for the table but a speedup is
+  not a fair expectation;
 * ``match_inprocess`` is gated **exactly**: results served over the wire
   must equal an in-process run of the same query on the same trace;
 * ``checkpoint_bytes`` is gated: the shutdown checkpoint is deterministic
@@ -72,30 +86,64 @@ def _time_inprocess(trace, batch_size: int, repeats: int) -> float:
     return statistics.median(rates)
 
 
-def _time_served(trace, shards: int, batch_size: int, repeats: int):
-    """Loopback ingest through a real server: (rows/s, match, ckpt bytes)."""
-    rates = []
+def _time_served(
+    trace,
+    shards: int,
+    batch_size: int,
+    repeats: int,
+    *,
+    columnar: bool = True,
+    processes: int | None = 0,
+):
+    """Loopback ingest through a real server.
+
+    Returns ``(rows/s, overhead, served rows, checkpoint bytes)`` where
+    ``overhead`` is the median of *paired* per-repeat ratios: each served
+    pass is bracketed by an in-process ``insert_many`` run immediately
+    before and after it, and the harmonic mean of the two rates (i.e. the
+    mean elapsed time) divides the served rate.  Adjacent measurements
+    see the same host conditions, so the ratio cancels load drift that
+    would dominate a cross-phase comparison on a busy (or single-core)
+    machine.
+
+    ``columnar`` selects the client framing (v2 INSERT_COLS batches vs
+    the v1 row-JSON ablation); ``processes=None`` runs the sharded
+    backend on real worker processes instead of inline shards.
+    """
+    rates, ratios = [], []
     served = None
     checkpoint_bytes = 0
     for __ in range(repeats):
+        before_rate = _time_inprocess(trace, batch_size, 1)
         backend = build_backend(
-            SERVE_SQL, PACKET_SCHEMA, shards=shards, processes=0
+            SERVE_SQL, PACKET_SCHEMA, shards=shards, processes=processes
         )
         with tempfile.TemporaryDirectory() as state_dir:
             server = ThreadedServer(
                 StreamServer(backend, state_dir=state_dir)
             ).start()
-            with ServeClient(server.host, server.port) as client:
+            with ServeClient(
+                server.host, server.port, columnar=columnar
+            ) as client:
                 start = time.perf_counter_ns()
                 for begin in range(0, len(trace), batch_size):
                     client.insert(trace[begin:begin + batch_size])
                 client.flush()
                 elapsed = time.perf_counter_ns() - start
-                rates.append(len(trace) / (elapsed / 1e9))
+                rate = len(trace) / (elapsed / 1e9)
+                rates.append(rate)
                 served = client.query()
             path = server.stop()
             checkpoint_bytes = os.path.getsize(path)
-    return statistics.median(rates), _canon(served), checkpoint_bytes
+        after_rate = _time_inprocess(trace, batch_size, 1)
+        paired_rate = statistics.harmonic_mean([before_rate, after_rate])
+        ratios.append(paired_rate / rate)
+    return (
+        statistics.median(rates),
+        statistics.median(ratios),
+        _canon(served),
+        checkpoint_bytes,
+    )
 
 
 def _time_recovery(trace, batch_size: int, repeats: int):
@@ -153,13 +201,17 @@ def run_serve_suite(
     batch_size: int = 512,
     shard_counts: tuple[int, ...] = (0, 4),
     recovery: bool = True,
+    multiprocess: bool = True,
 ) -> dict:
     """Run the serving suite, returning a BENCH artifact dict.
 
     ``shard_counts`` selects the backends: 0 is the single in-process
     engine, N >= 1 an N-way sharded backend (inline shards — the wire cost
     is what this suite isolates, not multiprocessing).  ``recovery`` adds
-    the crash/restart cycle measurements (report-only timings).
+    the crash/restart cycle measurements (report-only timings);
+    ``multiprocess`` adds a real-worker-process pass per sharded backend,
+    whose speedup over in-process is gated (floor 1.0) only on hosts with
+    enough cores to make parallelism a fair expectation.
     """
     if scale <= 0:
         raise ParameterError(f"scale must be positive, got {scale!r}")
@@ -177,15 +229,24 @@ def run_serve_suite(
     )
     for shards in shard_counts:
         label = "single" if shards == 0 else f"sharded{shards}"
-        rate, served, checkpoint_bytes = _time_served(
+        rate, overhead, served, checkpoint_bytes = _time_served(
             trace, shards, batch_size, repeats
+        )
+        row_rate, __, row_served, __ = _time_served(
+            trace, shards, batch_size, repeats, columnar=False
         )
         prefix = f"serve.{label}"
         entries[f"{prefix}.rows_per_sec"] = _entry(
             rate, "rows/s", gate=False, higher_is_better=True
         )
+        # The contractual bound from the columnar data plane (DESIGN §10):
+        # single-server loopback ingest stays within 2x the in-process
+        # rate.  Wire overhead is a paired same-host ratio, so it gates
+        # cleanly; the sharded ratio also pays shard routing and stays
+        # report-only.
         entries[f"{prefix}.wire_overhead"] = _entry(
-            inprocess_rate / rate, "x in-process", gate=False
+            overhead, "x in-process",
+            gate=shards == 0, limit=2.0 if shards == 0 else None,
         )
         entries[f"{prefix}.match_inprocess"] = _entry(
             1.0 if served == expected else 0.0, "bool", gate=True,
@@ -194,6 +255,39 @@ def run_serve_suite(
         entries[f"{prefix}.checkpoint_bytes"] = _entry(
             float(checkpoint_bytes), "bytes", gate=True
         )
+        # Row-framing ablation: the same stream through v1 JSON INSERT
+        # frames.  The speedup is what the columnar plane buys on the wire.
+        entries[f"{prefix}.row_frames.rows_per_sec"] = _entry(
+            row_rate, "rows/s", gate=False, higher_is_better=True
+        )
+        entries[f"{prefix}.row_frames.match_inprocess"] = _entry(
+            1.0 if row_served == expected else 0.0, "bool", gate=True,
+            higher_is_better=True, exact=True,
+        )
+        entries[f"{prefix}.columnar_speedup"] = _entry(
+            rate / row_rate, "x row frames", gate=False,
+            higher_is_better=True,
+        )
+        if shards > 0 and multiprocess:
+            # Real worker processes: the served sharded rate should beat
+            # the in-process single core once the host has the cores for
+            # it; on smaller hosts the speedup is recorded, not gated.
+            mp_rate, mp_overhead, mp_served, __ = _time_served(
+                trace, shards, batch_size, repeats, processes=None
+            )
+            cores = os.cpu_count() or 1
+            entries[f"{prefix}.mp.rows_per_sec"] = _entry(
+                mp_rate, "rows/s", gate=False, higher_is_better=True
+            )
+            entries[f"{prefix}.mp.speedup_vs_inprocess"] = _entry(
+                1.0 / mp_overhead, "x in-process",
+                gate=cores >= max(4, shards), higher_is_better=True,
+                limit=1.0 if cores >= max(4, shards) else None,
+            )
+            entries[f"{prefix}.mp.match_inprocess"] = _entry(
+                1.0 if mp_served == expected else 0.0, "bool", gate=True,
+                higher_is_better=True, exact=True,
+            )
     if recovery:
         restart_ms, replay_ms, recovered = _time_recovery(
             trace, batch_size, repeats
@@ -220,6 +314,7 @@ def run_serve_suite(
             "batch_size": batch_size,
             "shard_counts": list(shard_counts),
             "recovery": recovery,
+            "multiprocess": multiprocess,
             "cpu_count": os.cpu_count(),
             "sql": SERVE_SQL,
         },

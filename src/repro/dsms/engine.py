@@ -117,6 +117,7 @@ class QueryEngine:
         self._validate()
         self._where_fn = query.where.compile(schema) if query.where else None
         self._group_fns = tuple(g.expression.compile(schema) for g in query.group_by)
+        self._cols_plan = _UNBUILT  # built lazily on first insert_cols
         self._group_aliases = tuple(g.alias for g in query.group_by)
         self._agg_plans = tuple(
             _AggPlan(item, schema) for item in query.select if item.is_aggregate
@@ -320,6 +321,193 @@ class QueryEngine:
             key_rows = [row]
             pending[key] = (states, key_rows, key_rows.append)
         self._apply_pending(pending)
+
+    # -- columnar path ------------------------------------------------------------
+
+    @property
+    def has_columnar_plan(self) -> bool:
+        """True when :meth:`insert_cols` runs fully columnar (no row tuples)."""
+        return self._columnar_plan() is not None
+
+    def _columnar_plan(self):
+        """(where, group, args) columnar closures, or None to fall back.
+
+        The plan exists when the WHERE clause (if any), every GROUP BY
+        expression, and every aggregate argument have a columnar form
+        (:meth:`~repro.dsms.expressions.Expression.compile_cols`).  Built
+        once, on first use.
+        """
+        plan = self._cols_plan
+        if plan is not _UNBUILT:
+            return plan
+        schema = self.schema
+        query = self.query
+        where = None
+        ok = True
+        if query.where is not None:
+            where = query.where.compile_cols(schema)
+            ok = where is not None
+        group_fns = []
+        if ok:
+            for group in query.group_by:
+                fn = group.expression.compile_cols(schema)
+                if fn is None:
+                    ok = False
+                    break
+                group_fns.append(fn)
+        arg_fns: list[tuple] = []
+        if ok:
+            for item in query.select:
+                if not item.is_aggregate:
+                    continue
+                compiled = tuple(
+                    arg.compile_cols(schema) for arg in item.aggregate.args
+                )
+                if any(fn is None for fn in compiled):
+                    ok = False
+                    break
+                arg_fns.append(compiled)
+        self._cols_plan = (where, tuple(group_fns), tuple(arg_fns)) if ok else None
+        return self._cols_plan
+
+    def insert_cols(self, cols: list) -> None:
+        """Offer a batch as per-field columns; results match :meth:`insert_many`
+        bit for bit.
+
+        ``cols`` holds one equal-length list per schema field (the
+        transpose of the rows :meth:`insert_many` takes).  When the plan
+        is fully columnar the batch never materializes a row tuple: the
+        WHERE mask, group keys, and every aggregate argument are computed
+        column-at-a-time up front, and the stateful grouping loop walks
+        row *indices*.  The loop performs group creation, low-table
+        eviction, and bucket-close emission at exactly the same stream
+        positions as :meth:`insert_many` — every UDAF state sees the
+        identical sequence of ``update``/``update_many`` calls with
+        identical arguments.  Plans with no columnar form (short-circuit
+        WHERE clauses, exotic expressions) transpose and delegate.
+        """
+        if cols:
+            count = len(cols[0])
+            for index, col in enumerate(cols):
+                if len(col) != count:
+                    raise QueryError(
+                        f"ragged columnar batch: column {index} has "
+                        f"{len(col)} rows, column 0 has {count}"
+                    )
+        else:
+            count = 0
+        if count == 0:
+            return
+        plan = self._columnar_plan()
+        if plan is None:
+            self.insert_many(list(zip(*cols)))
+            return
+        where_fn, group_fns, agg_arg_fns = plan
+        self._tuples_in += count
+        if where_fn is not None:
+            mask = where_fn(cols, count)
+            selected = [i for i, keep in enumerate(mask) if keep]
+            if len(selected) != count:
+                cols = [[col[i] for i in selected] for col in cols]
+                count = len(selected)
+        self._tuples_selected += count
+        if count == 0:
+            return
+        if not group_fns:
+            keys: list[tuple] = [()] * count
+        elif len(group_fns) == 1:
+            keys = [(k,) for k in group_fns[0](cols, count)]
+        else:
+            keys = list(zip(*(fn(cols, count) for fn in group_fns)))
+        # One columnar evaluation per aggregate argument for the whole
+        # batch — this is what the row path pays per tuple per group.
+        arg_cols = tuple(
+            tuple(fn(cols, count) for fn in fns) for fns in agg_arg_fns
+        )
+        watch_bucket = self._emit_on_bucket_change
+        two_level = self.two_level
+        low = self._low
+        high = self._high
+        low_get = low.get
+        high_get = high.get
+        agg_plans = self._agg_plans
+        capacity = self.low_table_size
+        # key -> (states, row indices, indices.append); mirrors insert_many.
+        pending: dict[tuple, tuple] = {}
+        pending_get = pending.get
+        for index, key in enumerate(keys):
+            if watch_bucket:
+                bucket = key[0]
+                if self._current_bucket is _NO_BUCKET:
+                    self._current_bucket = bucket
+                elif bucket != self._current_bucket:
+                    self._apply_pending_cols(pending, arg_cols)
+                    pending = {}
+                    pending_get = pending.get
+                    self._flush_bucket(self._current_bucket)
+                    self._current_bucket = bucket
+            entry = pending_get(key)
+            if entry is not None:
+                entry[2](index)
+                continue
+            if two_level:
+                states = low_get(key)
+                if states is None:
+                    if len(low) >= capacity:
+                        evicted_key, evicted_states = low.popitem()
+                        evicted = pending.pop(evicted_key, None)
+                        if evicted is not None:
+                            self._apply_batch_cols(
+                                evicted_states, evicted[1], arg_cols
+                            )
+                        self._merge_up(evicted_key, evicted_states)
+                        self._low_evictions += 1
+                    states = [plan.udaf.create() for plan in agg_plans]
+                    low[key] = states
+            else:
+                states = high_get(key)
+                if states is None:
+                    states = [plan.udaf.create() for plan in agg_plans]
+                    high[key] = states
+            indices = [index]
+            pending[key] = (states, indices, indices.append)
+        self._apply_pending_cols(pending, arg_cols)
+
+    def _apply_pending_cols(self, pending: dict, arg_cols: tuple) -> None:
+        agg_plans = self._agg_plans
+        for states, indices, _append in pending.values():
+            if len(indices) == 1:
+                index = indices[0]
+                for plan, state, acols in zip(agg_plans, states, arg_cols):
+                    if plan.star:
+                        plan.udaf.update(state, ())
+                    elif len(acols) == 1:
+                        plan.udaf.update(state, (acols[0][index],))
+                    else:
+                        plan.udaf.update(
+                            state, tuple(col[index] for col in acols)
+                        )
+            else:
+                self._apply_batch_cols(states, indices, arg_cols)
+
+    def _apply_batch_cols(
+        self, states: list, indices: list[int], arg_cols: tuple
+    ) -> None:
+        for plan, state, acols in zip(self._agg_plans, states, arg_cols):
+            if plan.star:
+                batch = [()] * len(indices)
+            elif len(acols) == 1:
+                col = acols[0]
+                batch = [(col[i],) for i in indices]
+            elif len(acols) == 2:
+                first, second = acols
+                batch = [(first[i], second[i]) for i in indices]
+            else:
+                batch = [tuple(col[i] for col in acols) for i in indices]
+            if len(batch) == 1:
+                plan.udaf.update(state, batch[0])
+            else:
+                plan.udaf.update_many(state, batch)
 
     def _apply_pending(self, pending: dict[tuple, tuple]) -> None:
         agg_plans = self._agg_plans
@@ -777,6 +965,9 @@ class _NoBucket:
 
 
 _NO_BUCKET = _NoBucket()
+
+#: Sentinel marking a columnar plan not built yet (None means "no plan").
+_UNBUILT = object()
 
 
 def run_query(

@@ -15,6 +15,16 @@ quadratic-decay example::
 For per-tuple speed every expression compiles to a Python closure over the
 schema's field positions (:meth:`Expression.compile`); the tree-walking
 :meth:`Expression.evaluate` exists for clarity and tests.
+
+Expressions that can be evaluated a *column at a time* additionally
+compile to a columnar closure ``(cols, n) -> column``
+(:meth:`Expression.compile_cols`) — a plain column reference returns the
+input column itself with no copy, and arithmetic maps elementwise.  The
+engine's :meth:`~repro.dsms.engine.QueryEngine.insert_cols` uses these to
+skip materializing row tuples entirely.  Each element goes through the
+same scalar operation as the row path, so results are bit-identical.
+``compile_cols`` returns ``None`` where columnar evaluation could change
+semantics — notably AND/OR, whose row form short-circuits.
 """
 
 from __future__ import annotations
@@ -41,6 +51,9 @@ __all__ = [
 
 Row = tuple
 Evaluator = Callable[[Row], object]
+
+#: Columnar closure: ``(columns, row_count) -> column`` (a list of values).
+ColsEvaluator = Callable[[list, int], list]
 
 _ARITHMETIC = {
     "+": operator.add,
@@ -88,6 +101,16 @@ class Expression(ABC):
     def compile(self, schema: Schema) -> Evaluator:
         """Compile to a closure ``row -> value`` resolved against ``schema``."""
 
+    def compile_cols(self, schema: Schema) -> ColsEvaluator | None:
+        """Compile to a columnar closure ``(cols, n) -> column``, or None.
+
+        None means this expression has no columnar form (the caller falls
+        back to row-at-a-time evaluation).  When a closure is returned it
+        applies the very same scalar operation per element as
+        :meth:`compile`, so the two paths produce identical values.
+        """
+        return None
+
     @abstractmethod
     def columns(self) -> set[str]:
         """Names of all columns referenced."""
@@ -113,6 +136,11 @@ class Column(Expression):
         index = schema.index_of(self.name)
         return lambda row: row[index]
 
+    def compile_cols(self, schema: Schema) -> ColsEvaluator:
+        index = schema.index_of(self.name)
+        # The input column *is* the result — no per-element work at all.
+        return lambda cols, n: cols[index]
+
     def columns(self) -> set[str]:
         return {self.name}
 
@@ -132,6 +160,10 @@ class Literal(Expression):
     def compile(self, schema: Schema) -> Evaluator:
         value = self.value
         return lambda row: value
+
+    def compile_cols(self, schema: Schema) -> ColsEvaluator:
+        value = self.value
+        return lambda cols, n: [value] * n
 
     def columns(self) -> set[str]:
         return set()
@@ -169,6 +201,16 @@ class BinaryOp(Expression):
         fn = _ARITHMETIC[self.op]
         return lambda row: fn(left(row), right(row))
 
+    def compile_cols(self, schema: Schema) -> ColsEvaluator | None:
+        left = self.left.compile_cols(schema)
+        right = self.right.compile_cols(schema)
+        if left is None or right is None:
+            return None
+        fn = _gsql_divide if self.op == "/" else _ARITHMETIC[self.op]
+        return lambda cols, n: [
+            fn(a, b) for a, b in zip(left(cols, n), right(cols, n))
+        ]
+
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
 
@@ -193,6 +235,12 @@ class UnaryOp(Expression):
     def compile(self, schema: Schema) -> Evaluator:
         operand = self.operand.compile(schema)
         return lambda row: -operand(row)  # type: ignore[operator]
+
+    def compile_cols(self, schema: Schema) -> ColsEvaluator | None:
+        operand = self.operand.compile_cols(schema)
+        if operand is None:
+            return None
+        return lambda cols, n: [-v for v in operand(cols, n)]
 
     def columns(self) -> set[str]:
         return self.operand.columns()
@@ -223,6 +271,16 @@ class Comparison(Expression):
         right = self.right.compile(schema)
         fn = _COMPARISONS[self.op]
         return lambda row: fn(left(row), right(row))
+
+    def compile_cols(self, schema: Schema) -> ColsEvaluator | None:
+        left = self.left.compile_cols(schema)
+        right = self.right.compile_cols(schema)
+        if left is None or right is None:
+            return None
+        fn = _COMPARISONS[self.op]
+        return lambda cols, n: [
+            fn(a, b) for a, b in zip(left(cols, n), right(cols, n))
+        ]
 
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
@@ -300,6 +358,18 @@ class FunctionCall(Expression):
             single = compiled[0]
             return lambda row: fn(single(row))
         return lambda row: fn(*(c(row) for c in compiled))
+
+    def compile_cols(self, schema: Schema) -> ColsEvaluator | None:
+        fn = _FUNCTIONS[self.name]
+        compiled = [a.compile_cols(schema) for a in self.args]
+        if any(c is None for c in compiled):
+            return None
+        if len(compiled) == 1:
+            single = compiled[0]
+            return lambda cols, n: [fn(v) for v in single(cols, n)]
+        return lambda cols, n: [
+            fn(*args) for args in zip(*(c(cols, n) for c in compiled))
+        ]
 
     def columns(self) -> set[str]:
         names: set[str] = set()

@@ -95,6 +95,45 @@ class Schema:
                     f"field {field.name!r} expects {expected.__name__}, got {value!r}"
                 )
 
+    def validate_cols(self, cols: list) -> int:
+        """Check a columnar batch against the schema; returns the row count.
+
+        The columnar twin of :meth:`validate`: one arity check for the
+        whole batch, one length check and one type sweep per column —
+        O(fields + values) with no per-row tuple in sight.  Raises
+        :class:`SchemaError` naming the first offending field.
+        """
+        if len(cols) != len(self.fields):
+            raise SchemaError(
+                f"arity mismatch: schema has {len(self.fields)} fields, "
+                f"batch has {len(cols)} columns"
+            )
+        count = len(cols[0]) if cols else 0
+        for column, field in zip(cols, self.fields):
+            if len(column) != count:
+                raise SchemaError(
+                    f"ragged batch: column {field.name!r} has {len(column)} "
+                    f"rows, column {self.fields[0].name!r} has {count}"
+                )
+            expected = field.type.python_type()
+            accepted = (int, float) if expected is float else expected
+            # Sweep the (tiny) set of distinct value types instead of
+            # isinstance-checking every value: C-level map/set makes this
+            # O(values) with a constant ~10x smaller, and issubclass keeps
+            # the same semantics (bool still passes an int field).
+            if all(issubclass(t, accepted) for t in set(map(type, column))):
+                continue
+            bad = next(v for v in column if not isinstance(v, accepted))
+            if expected is float:
+                raise SchemaError(
+                    f"field {field.name!r} expects a number, got {bad!r}"
+                )
+            raise SchemaError(
+                f"field {field.name!r} expects {expected.__name__}, "
+                f"got {bad!r}"
+            )
+        return count
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         cols = ", ".join(f"{f.name} {f.type.value}" for f in self.fields)
         return f"Schema({cols})"

@@ -503,6 +503,14 @@ class WeightedQuantilesUdaf(Udaf):
     def update(self, state: QDigest, args: tuple) -> None:
         state.update(int(args[0]), args[1])
 
+    def update_many(self, state: QDigest, args_batch: list[tuple]) -> None:
+        if not args_batch:
+            return
+        state.update_many(
+            [int(args[0]) for args in args_batch],
+            [args[1] for args in args_batch],
+        )
+
     def finalize(self, state: QDigest) -> list[int]:
         if state.total_weight == 0.0:
             return []

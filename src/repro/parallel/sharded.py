@@ -47,12 +47,14 @@ import queue as queue_module
 import time
 from typing import Callable, Iterable
 
+from repro.core.cols import pack_cols
 from repro.core.errors import ParameterError, QueryError
 from repro.core.merge import merge_all
 from repro.core.protocol import StreamSummary
 from repro.dsms.engine import QueryEngine, ResultRow
 from repro.dsms.schema import Schema
 from repro.dsms.udaf import UdafRegistry, default_registry
+from repro.parallel.shmring import ShmRing
 from repro.parallel.supervision import ShardFailure
 from repro.parallel.worker import ShardPlan, shard_worker_main
 from repro.sketches.kmv import hash_to_unit
@@ -108,6 +110,20 @@ class ShardedEngine:
         factory must be picklable under spawn start methods.
     two_level / low_table_size:
         Forwarded to every worker's :class:`QueryEngine`.
+    transport:
+        How *columnar* batches (:meth:`insert_cols`) cross the process
+        boundary.  ``"cols"`` (default) packs each per-shard partition
+        with :func:`repro.core.cols.pack_cols` and ships raw bytes on
+        the queue — one dense buffer instead of a pickled list of
+        tuples.  ``"pickle"`` ships the column lists pickled (the
+        ablation baseline).  ``"shm"`` writes packed bytes into a
+        per-shard :class:`~repro.parallel.shmring.ShmRing` and queues
+        only ``(offset, nbytes)`` control messages; payloads larger
+        than the ring fall back to the queue.  Row-path batches
+        (:meth:`process` / :meth:`insert_many`) always travel as
+        pickled tuples, unchanged.  Ignored when inline.
+    ring_bytes:
+        Capacity of each shard's shared-memory ring (``"shm"`` only).
     shard_key:
         Optional schema column name to route on (cheap tuple index)
         instead of evaluating the GROUP BY expressions in the router.
@@ -157,6 +173,8 @@ class ShardedEngine:
         registry_params: dict | None = None,
         two_level: bool = True,
         low_table_size: int = 4096,
+        transport: str = "cols",
+        ring_bytes: int = 8 * 1024 * 1024,
         shard_key: str | None = None,
         router: Callable[[object, int], int] | None = None,
         start_method: str | None = None,
@@ -180,9 +198,18 @@ class ShardedEngine:
             raise ParameterError(
                 f"max_respawns must be >= 0, got {max_respawns!r}"
             )
+        if transport not in ("cols", "pickle", "shm"):
+            raise ParameterError(
+                f"transport must be 'cols', 'pickle', or 'shm', "
+                f"got {transport!r}"
+            )
+        if ring_bytes < 1:
+            raise ParameterError(f"ring_bytes must be >= 1, got {ring_bytes!r}")
         self.shards = shards
         self.inline = processes == 0
         self.batch_size = batch_size
+        self.transport = transport
+        self._ring_bytes = ring_bytes
         self.supervise = supervise
         self.max_respawns = max_respawns
         self._plan = ShardPlan(
@@ -203,6 +230,11 @@ class ShardedEngine:
         self._group_fns = tuple(
             g.expression.compile(schema) for g in template.query.group_by
         )
+        # Columnar twins of the routing expressions; None entries mean
+        # insert_cols falls back to row-at-a-time key evaluation.
+        self._group_col_fns = tuple(
+            g.expression.compile_cols(schema) for g in template.query.group_by
+        )
         if shard_key is not None:
             self._shard_index: int | None = schema.index_of(shard_key)
         else:
@@ -222,6 +254,7 @@ class ShardedEngine:
         self._workers: list = []
         self._queues: list = []
         self._conns: list = []
+        self._rings: list[ShmRing | None] = []
         self._engines: list[QueryEngine] = []
         self._queue_depth = queue_depth
         # Supervision state: per-shard loss accounting and checkpoints.
@@ -237,10 +270,11 @@ class ShardedEngine:
         else:
             self._context = multiprocessing.get_context(start_method)
             for shard in range(shards):
-                queue, conn, process = self._spawn(shard)
+                queue, conn, process, ring = self._spawn(shard)
                 self._queues.append(queue)
                 self._conns.append(conn)
                 self._workers.append(process)
+                self._rings.append(ring)
 
     @staticmethod
     def _validate_shardable(template: QueryEngine) -> None:
@@ -285,18 +319,23 @@ class ShardedEngine:
     # -- worker lifecycle ---------------------------------------------------------
 
     def _spawn(self, shard: int):
-        """Start one worker process with a fresh queue and reply pipe."""
+        """Start one worker process with a fresh queue, pipe, and ring."""
         queue = self._context.Queue(maxsize=self._queue_depth)
         parent_conn, child_conn = self._context.Pipe(duplex=False)
+        ring = (
+            ShmRing.create(self._ring_bytes, self._context)
+            if self.transport == "shm"
+            else None
+        )
         process = self._context.Process(
             target=shard_worker_main,
-            args=(self._plan, shard, queue, child_conn),
+            args=(self._plan, shard, queue, child_conn, ring),
             daemon=True,
             name=f"repro-shard-{shard}",
         )
         process.start()
         child_conn.close()
-        return queue, parent_conn, process
+        return queue, parent_conn, process, ring
 
     def _abandon_transport(self, shard: int) -> None:
         """Discard a dead worker's queue and pipe without blocking.
@@ -312,6 +351,10 @@ class ShardedEngine:
             self._conns[shard].close()
         except OSError:  # pragma: no cover - already torn down
             pass
+        ring = self._rings[shard]
+        if ring is not None:
+            ring.close()
+            ring.unlink()
 
     def _recover(self, shard: int, phase: str) -> None:
         """Respawn a dead shard worker from its last checkpoint.
@@ -351,10 +394,11 @@ class ShardedEngine:
                 f"{self.max_respawns} exhausted"
             )
         self._respawns[shard] += 1
-        queue, conn, new_process = self._spawn(shard)
+        queue, conn, new_process, ring = self._spawn(shard)
         self._queues[shard] = queue
         self._conns[shard] = conn
         self._workers[shard] = new_process
+        self._rings[shard] = ring
         blob = self._ckpt_blobs[shard]
         if blob is not None:
             queue.put(("merge", blob))
@@ -467,6 +511,80 @@ class ShardedEngine:
         for shard in full:
             self._ship(shard)
 
+    def insert_cols(self, cols: list) -> None:
+        """Route one columnar batch; per-shard partitions ship immediately.
+
+        ``cols`` is one list per schema field, all the same length (as a
+        serve backend hands over from an ``INSERT_COLS`` frame).  Rows
+        are routed to exactly the shards :meth:`insert_many` would route
+        the transposed batch to — GROUP BY keys come from the columnar
+        compiled expressions when available — and each shard's partition
+        stays columnar end to end: packed with
+        :func:`repro.core.cols.pack_cols` (or the ``transport`` chosen
+        at construction) on the way out, ingested through the worker
+        engine's ``insert_cols`` bulk path on the way in.  Results are
+        bit-identical to the row path.
+
+        Any rows the shard buffered via :meth:`process` /
+        :meth:`insert_many` ship first, so interleaving the two paths
+        preserves per-shard arrival order.
+        """
+        self._ensure_open()
+        if not cols:
+            return
+        count = len(cols[0])
+        for index, column in enumerate(cols):
+            if len(column) != count:
+                raise QueryError(
+                    f"ragged columnar batch: column {index} has "
+                    f"{len(column)} rows, column 0 has {count}"
+                )
+        if count == 0:
+            return
+        keys = self._shard_keys(cols, count)
+        router = self._router
+        n = self.shards
+        index_lists: list[list[int]] = [[] for __ in range(n)]
+        if keys is None:
+            # No GROUP BY: continue the row path's round-robin counter.
+            start = self._round_robin
+            self._round_robin = (start + count) % n
+            for i in range(count):
+                index_lists[(start + i) % n].append(i)
+        else:
+            for i, key in enumerate(keys):
+                index_lists[router(key, n)].append(i)
+        self._rows_routed += count
+        for shard, indices in enumerate(index_lists):
+            if not indices:
+                continue
+            self._ship(shard)
+            if len(indices) == count:
+                self._ship_cols(shard, cols, count)
+            else:
+                part = [[column[i] for i in indices] for column in cols]
+                self._ship_cols(shard, part, len(indices))
+
+    def _shard_keys(self, cols: list, count: int):
+        """Routing key per row of a columnar batch (None = no GROUP BY)."""
+        if self._shard_index is not None:
+            return cols[self._shard_index]
+        fns = self._group_col_fns
+        if not fns:
+            return None
+        if all(fn is not None for fn in fns):
+            if len(fns) == 1:
+                return fns[0](cols, count)
+            return list(zip(*(fn(cols, count) for fn in fns)))
+        # Some routing expression has no columnar twin (e.g. a boolean
+        # short-circuit): evaluate keys row-at-a-time, same as _route.
+        rows = list(zip(*cols))
+        row_fns = self._group_fns
+        if len(row_fns) == 1:
+            fn = row_fns[0]
+            return [fn(row) for row in rows]
+        return [tuple(fn(row) for fn in row_fns) for row in rows]
+
     def _ship(self, shard: int) -> None:
         buffer = self._buffers[shard]
         if not buffer:
@@ -485,6 +603,51 @@ class ShardedEngine:
         if self._obs:
             self._m_shard_rows[shard].add(float(len(buffer)))
             self._m_batches.add(1.0)
+
+    def _ship_cols(self, shard: int, part: list, count: int) -> None:
+        """Deliver one shard's columnar partition over the transport."""
+        if self.inline:
+            self._engines[shard].insert_cols(part)
+        else:
+            if self._obs:
+                try:
+                    self._m_queue_depth.set(float(self._queues[shard].qsize()))
+                except NotImplementedError:  # pragma: no cover - macOS qsize
+                    pass
+            if self.transport == "pickle":
+                self._put(shard, ("cols", part), "ship")
+            else:
+                payload = pack_cols(part)
+                if (
+                    self.transport == "shm"
+                    and len(payload) <= self._ring_bytes
+                ):
+                    offset = self._ring_write(shard, payload)
+                    self._put(
+                        shard, ("shmc", offset, len(payload)), "ship"
+                    )
+                else:
+                    # "cols", or an shm payload too big for the ring.
+                    self._put(shard, ("colb", payload), "ship")
+            self._shipped_total[shard] += count
+        if self._obs:
+            self._m_shard_rows[shard].add(float(count))
+            self._m_batches.add(1.0)
+
+    def _ring_write(self, shard: int, payload: bytes) -> int:
+        """Write one payload into the shard's ring, surviving worker death.
+
+        Mirrors :meth:`_put`: supervised mode alternates bounded write
+        attempts with liveness checks (recovery replaces the ring along
+        with the worker); unsupervised mode just keeps trying, matching
+        the blocking queue ``put``.
+        """
+        while True:
+            if self.supervise and not self._workers[shard].is_alive():
+                self._recover(shard, "ship")
+            offset = self._rings[shard].try_write(payload, timeout=_PUT_POLL_S)
+            if offset is not None:
+                return offset
 
     def _ship_all(self) -> None:
         for shard in range(self.shards):
@@ -663,6 +826,7 @@ class ShardedEngine:
             "rows_routed": self._rows_routed,
             "buffered": [len(b) for b in self._buffers],
             "batch_size": self.batch_size,
+            "transport": self.transport,
             "supervised": self.supervise,
             "respawns": list(self._respawns),
             "failures": [failure.to_dict() for failure in self._failures],
@@ -742,6 +906,10 @@ class ShardedEngine:
             for process in self._workers:
                 if process.exitcode is None:
                     process.join(timeout=_CLOSE_WAIT_S)
+            for ring in self._rings:
+                if ring is not None:
+                    ring.close()
+                    ring.unlink()
         self._closed = True
         self._close_stats = {"tuples_per_shard": counts}
         return self._close_stats

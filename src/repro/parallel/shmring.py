@@ -1,0 +1,149 @@
+"""Single-producer/single-consumer shared-memory ring for shard batches.
+
+The default shard transport ships packed column batches as bytes on the
+worker's ``multiprocessing.Queue``, which still copies each payload
+through a pipe.  :class:`ShmRing` is the opt-in zero-pipe alternative
+(``ShardedEngine(transport="shm")``): the router writes each payload into
+a ``multiprocessing.shared_memory`` segment and sends only a tiny
+``(offset, nbytes)`` control message on the queue; the worker copies the
+payload straight out of shared memory.
+
+Flow control is a classic SPSC byte ring: the producer tracks its total
+bytes written locally; the consumer advances a shared ``consumed``
+counter after each read.  Free space is ``capacity - (written -
+consumed)``, so the producer can never overwrite bytes the worker has
+not copied out yet.  Writes wrap at the capacity boundary (payloads may
+split across the wrap; :meth:`read` re-joins them), and a payload larger
+than the whole ring is the caller's problem — ``ShardedEngine`` falls
+back to the queue transport for those.
+
+Ordering is guaranteed by the control queue: the worker learns offsets
+in FIFO order from the same queue that carries every other shard
+message, so ring payloads never overtake heartbeats or state requests.
+
+The ring pickles by segment *name* (what ``Process`` args need under
+spawn); the producer side owns the segment and must :meth:`unlink` it.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import shared_memory
+
+from repro.core.errors import ParameterError
+
+__all__ = ["ShmRing"]
+
+
+class ShmRing:
+    """A byte ring over one ``SharedMemory`` segment (one per shard).
+
+    Build the producer side with :meth:`create`; the consumer side is
+    made by pickling (the ring travels to the worker in its ``Process``
+    args, which is also how the shared ``consumed`` counter is allowed
+    to cross the process boundary).
+    """
+
+    def __init__(self, capacity: int, consumed, *, name: str | None = None):
+        if capacity < 1:
+            raise ParameterError(f"ring capacity must be >= 1, got {capacity!r}")
+        if name is None:
+            self._shm = shared_memory.SharedMemory(create=True, size=capacity)
+            self._owner = True
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._owner = False
+        self.capacity = capacity
+        self._consumed = consumed
+        self._written = 0
+
+    @classmethod
+    def create(cls, capacity: int, ctx) -> "ShmRing":
+        """Producer-side constructor; ``ctx`` is a multiprocessing context."""
+        return cls(capacity, ctx.Value("Q", 0))
+
+    # -- pickling (Process args under spawn) ---------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "name": self._shm.name,
+            "consumed": self._consumed,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.capacity = state["capacity"]
+        self._consumed = state["consumed"]
+        self._shm = shared_memory.SharedMemory(name=state["name"])
+        self._owner = False
+        self._written = 0
+
+    # -- producer side -------------------------------------------------------------
+
+    def free_bytes(self) -> int:
+        """Bytes the producer may write without overtaking the consumer."""
+        return self.capacity - (self._written - self._consumed.value)
+
+    def try_write(
+        self, data: bytes, timeout: float = 0.05, poll_s: float = 0.002
+    ) -> int | None:
+        """Write one payload; returns its ring offset, or None on timeout.
+
+        Blocks (polling the consumed counter) until the ring has room or
+        ``timeout`` elapses — the caller uses the timeout to interleave
+        worker-liveness checks, exactly like the bounded queue ``put``.
+        Payloads larger than the ring raise :class:`ParameterError`.
+        """
+        nbytes = len(data)
+        if nbytes > self.capacity:
+            raise ParameterError(
+                f"payload of {nbytes} bytes exceeds ring capacity "
+                f"{self.capacity}"
+            )
+        deadline = time.monotonic() + timeout
+        while self.free_bytes() < nbytes:
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(poll_s)
+        offset = self._written % self.capacity
+        buf = self._shm.buf
+        end = offset + nbytes
+        if end <= self.capacity:
+            buf[offset:end] = data
+        else:
+            first = self.capacity - offset
+            buf[offset:self.capacity] = data[:first]
+            buf[: nbytes - first] = data[first:]
+        self._written += nbytes
+        return offset
+
+    # -- consumer side -------------------------------------------------------------
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Copy one payload out and release its bytes back to the producer."""
+        buf = self._shm.buf
+        end = offset + nbytes
+        if end <= self.capacity:
+            data = bytes(buf[offset:end])
+        else:
+            data = bytes(buf[offset:]) + bytes(buf[: end - self.capacity])
+        with self._consumed.get_lock():
+            self._consumed.value += nbytes
+        return data
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach this process's mapping (both sides)."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exported views alive
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side only; idempotent)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass

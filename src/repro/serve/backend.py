@@ -65,6 +65,10 @@ class SingleEngineBackend(_BackendBase):
         """Ingest one batch through the engine's batched path."""
         self._engine.insert_many(rows)
 
+    def insert_cols(self, cols: list) -> None:
+        """Ingest one columnar batch through the engine's bulk path."""
+        self._engine.insert_cols(cols)
+
     def heartbeat(self, row: tuple) -> None:
         """Advance event time via punctuation (no data)."""
         self._engine.heartbeat(row)
@@ -111,7 +115,13 @@ class ShardedBackend(_BackendBase):
 
     kind = "sharded"
 
-    def __init__(self, plan: ShardPlan, shards: int, processes: int | None):
+    def __init__(
+        self,
+        plan: ShardPlan,
+        shards: int,
+        processes: int | None,
+        transport: str = "cols",
+    ):
         super().__init__(plan)
         self._restored: list[bytes] = []
         self._sharded = ShardedEngine(
@@ -124,11 +134,16 @@ class ShardedBackend(_BackendBase):
             registry_factory=plan.registry_factory,
             registry_params=plan.registry_params,
             router=stable_route,
+            transport=transport,
         )
 
     def insert_many(self, rows: list[tuple]) -> None:
         """Route one batch across the shards."""
         self._sharded.insert_many(rows)
+
+    def insert_cols(self, cols: list) -> None:
+        """Partition one columnar batch across the shards column-wise."""
+        self._sharded.insert_cols(cols)
 
     def heartbeat(self, row: tuple) -> None:
         """Broadcast punctuation to every shard."""
@@ -180,13 +195,16 @@ def build_backend(
     two_level: bool = True,
     low_table_size: int = 4096,
     registry_params: dict | None = None,
+    transport: str = "cols",
 ):
     """Build the serving backend for one query.
 
     ``shards=0`` (the default) serves from a single in-process engine;
     ``shards>=1`` builds a :class:`ShardedBackend` with that many
     partitions (``processes=0`` keeps the shards inline — deterministic
-    and CI-safe; ``None`` runs one OS process per shard).
+    and CI-safe; ``None`` runs one OS process per shard).  ``transport``
+    picks how columnar batches reach the shard workers — see
+    :class:`~repro.parallel.sharded.ShardedEngine`.
     """
     if shards < 0:
         raise ParameterError(f"shards must be >= 0, got {shards!r}")
@@ -199,4 +217,6 @@ def build_backend(
     )
     if shards == 0:
         return SingleEngineBackend(plan)
-    return ShardedBackend(plan, shards=shards, processes=processes)
+    return ShardedBackend(
+        plan, shards=shards, processes=processes, transport=transport
+    )

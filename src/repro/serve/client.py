@@ -74,6 +74,8 @@ class _ClientCore:
         backoff_s: float = 0.05,
         backoff_max_s: float = 2.0,
         jitter: bool = True,
+        columnar: bool = True,
+        batch_rows: int = 1024,
     ):
         if retries < 0:
             raise protocol.ProtocolError(
@@ -83,6 +85,10 @@ class _ClientCore:
             raise protocol.ProtocolError(
                 "backoff_s and backoff_max_s must be positive, got "
                 f"{backoff_s!r}/{backoff_max_s!r}"
+            )
+        if batch_rows < 1:
+            raise protocol.ProtocolError(
+                f"batch_rows must be >= 1, got {batch_rows!r}"
             )
         self._decoder = FrameDecoder(max_frame_bytes)
         self._max_frame_bytes = max_frame_bytes
@@ -99,17 +105,29 @@ class _ClientCore:
         self._dead: ClientConnectionError | None = None
         self._closed = False
         self._close_info: dict = {}
+        # Columnar negotiation: the client HELLOs its preferred version
+        # and adopts whatever WELCOME grants; batches are framed at send
+        # time, so replays survive a server up/downgrade mid-stream.
+        self._columnar = columnar
+        self._prefer_version = (
+            protocol.WIRE_VERSION if columnar else protocol.MIN_WIRE_VERSION
+        )
+        self.negotiated_version = protocol.MIN_WIRE_VERSION
+        # Client-side accumulation (the append() knob): rows buffer here
+        # until batch_rows are ready, then ship as one batch.
+        self.batch_rows = batch_rows
+        self._row_buffer: list[tuple] = []
         # Batch-replay accounting: every INSERT gets a client-unique seq;
         # the server echoes it on the CREDIT that acknowledges the batch.
         self._next_seq = 1
-        self._unacked: dict[int, list] = {}  # seq -> encoded rows (FIFO)
+        self._unacked: dict[int, list] = {}  # seq -> raw rows (FIFO)
         self._sent_on_conn: set[int] = set()  # seqs sent this connection
         self._outcomes: dict[int, str] = {}  # seq -> "sent" | "replayed"
 
     # -- frame bookkeeping ---------------------------------------------------------
 
     def _hello_payload(self, schema_names: list | None) -> dict:
-        payload = {"wire_version": protocol.WIRE_VERSION, "client": "repro"}
+        payload = {"wire_version": self._prefer_version, "client": "repro"}
         if schema_names is not None:
             payload["schema"] = list(schema_names)
         return payload
@@ -117,11 +135,38 @@ class _ClientCore:
     def _reset_stream_state(self, welcome: Frame) -> None:
         """Adopt a fresh connection: new decoder, full credit window."""
         self.server_info = welcome.payload
+        self.negotiated_version = int(
+            welcome.payload.get("wire_version", protocol.MIN_WIRE_VERSION)
+        )
         self.credits = int(welcome.payload.get("credits", 1))
         self.window = self.credits
         self._decoder = FrameDecoder(self._max_frame_bytes)
         self._pending = []
         self._sent_on_conn = set()
+
+    @property
+    def columnar_active(self) -> bool:
+        """True when batches go out as INSERT_COLS on this connection."""
+        return self._columnar and self.negotiated_version >= 2
+
+    def _insert_frame(self, seq: int, rows: list[tuple]) -> bytes:
+        """Frame one batch for the negotiated wire version.
+
+        Framing happens at send time, not registration time: a batch
+        registered against a v2 connection but replayed after reconnecting
+        to a v1 server goes out as a row INSERT, and vice versa.
+        """
+        if self.columnar_active:
+            return protocol.encode_cols(
+                protocol.rows_to_cols(rows),
+                seq=seq,
+                max_frame_bytes=self._max_frame_bytes,
+            )
+        return protocol.encode_frame(
+            protocol.INSERT,
+            {"rows": protocol.encode_rows(rows), "seq": seq},
+            max_frame_bytes=self._max_frame_bytes,
+        )
 
     def _absorb(self, frame: Frame) -> Frame | None:
         """Book-keep one incoming frame; return it if a caller should see it.
@@ -217,13 +262,17 @@ class _ClientCore:
             raise self._dead
 
     def _register_batch(self, rows) -> tuple[int, list]:
-        """Assign the next seq to a batch and track it until its CREDIT."""
-        encoded = protocol.encode_rows(rows)
+        """Assign the next seq to a batch and track it until its CREDIT.
+
+        Batches are tracked as raw row tuples (not encoded frames) so the
+        wire format is chosen per connection at send time.
+        """
+        rows = [tuple(row) for row in rows]
         seq = self._next_seq
         self._next_seq += 1
-        self._unacked[seq] = encoded
+        self._unacked[seq] = rows
         self._outcomes[seq] = "sent"
-        return seq, encoded
+        return seq, rows
 
     def _backoff_delay(self, attempt: int) -> float:
         """Exponential backoff with (optional) jitter, capped."""
@@ -270,6 +319,8 @@ class ServeClient(_ClientCore):
         backoff_s: float = 0.05,
         backoff_max_s: float = 2.0,
         jitter: bool = True,
+        columnar: bool = True,
+        batch_rows: int = 1024,
     ):
         super().__init__(
             max_frame_bytes,
@@ -277,6 +328,8 @@ class ServeClient(_ClientCore):
             backoff_s=backoff_s,
             backoff_max_s=backoff_max_s,
             jitter=jitter,
+            columnar=columnar,
+            batch_rows=batch_rows,
         )
         self._host = host
         self._port = port
@@ -288,6 +341,24 @@ class ServeClient(_ClientCore):
     # -- transport -----------------------------------------------------------------
 
     def _connect(self) -> None:
+        """Dial and handshake, falling back to the row wire if rejected.
+
+        A pre-columnar server that refuses the v2 HELLO outright (code
+        ``wire-version``) gets one redial at the minimum version; all
+        other handshake errors propagate.
+        """
+        try:
+            self._dial()
+        except RemoteError as error:
+            if (
+                error.code != "wire-version"
+                or self._prefer_version <= protocol.MIN_WIRE_VERSION
+            ):
+                raise
+            self._prefer_version = protocol.MIN_WIRE_VERSION
+            self._dial()
+
+    def _dial(self) -> None:
         """Dial and handshake; adopt the fresh connection on success."""
         sock = socket.create_connection(
             (self._host, self._port), timeout=self._timeout_s
@@ -322,10 +393,14 @@ class ServeClient(_ClientCore):
         self._reset_stream_state(welcome)
 
     def _send(self, ftype: int, payload: dict | None = None) -> None:
-        self._ensure_usable()
-        data = protocol.encode_frame(
-            ftype, payload, max_frame_bytes=self._max_frame_bytes
+        self._send_raw(
+            protocol.encode_frame(
+                ftype, payload, max_frame_bytes=self._max_frame_bytes
+            )
         )
+
+    def _send_raw(self, data: bytes) -> None:
+        self._ensure_usable()
         try:
             self._sock.sendall(data)
         except (ConnectionError, OSError) as error:
@@ -397,11 +472,11 @@ class ServeClient(_ClientCore):
         credit.  Batches acked on the old connection are never re-sent —
         at most once per batch relative to the server's restored state.
         """
-        for seq, encoded in list(self._unacked.items()):
+        for seq, rows in list(self._unacked.items()):
             self.credits -= 1
             self._sent_on_conn.add(seq)
             self._outcomes[seq] = "replayed"
-            self._send(protocol.INSERT, {"rows": encoded, "seq": seq})
+            self._send_raw(self._insert_frame(seq, rows))
 
     def _retrying(self, operation):
         """Run ``operation``, reconnecting across transport deaths."""
@@ -431,7 +506,7 @@ class ServeClient(_ClientCore):
         delivered across reconnects (replayed only if unacknowledged);
         without, a transport error marks the client dead and raises.
         """
-        seq, encoded = self._register_batch(rows)
+        seq, batch = self._register_batch(rows)
 
         def deliver() -> int:
             # Already acked (or replayed by a reconnect) — nothing to do.
@@ -440,10 +515,23 @@ class ServeClient(_ClientCore):
             self._await_credit()
             self.credits -= 1
             self._sent_on_conn.add(seq)
-            self._send(protocol.INSERT, {"rows": encoded, "seq": seq})
+            self._send_raw(self._insert_frame(seq, batch))
             return seq
 
         return self._retrying(deliver)
+
+    def append(self, row: tuple) -> int | None:
+        """Buffer one row client-side; ship when ``batch_rows`` accumulate.
+
+        Returns the shipped batch's seq when this append triggered a
+        send, else ``None``.  :meth:`flush` ships any partial buffer
+        first, so appended rows are never stranded.
+        """
+        self._row_buffer.append(tuple(row))
+        if len(self._row_buffer) >= self.batch_rows:
+            batch, self._row_buffer = self._row_buffer, []
+            return self.insert(batch)
+        return None
 
     def flush(self) -> dict:
         """Block until every in-flight INSERT has been acknowledged.
@@ -458,6 +546,9 @@ class ServeClient(_ClientCore):
         (``replayed`` batches were re-sent after a reconnect, everything
         else was acknowledged first try).
         """
+        if self._row_buffer:
+            batch, self._row_buffer = self._row_buffer, []
+            self.insert(batch)
 
         def wait() -> None:
             while self.credits < self.window or self._unacked:
@@ -597,6 +688,8 @@ class AsyncServeClient(_ClientCore):
         backoff_s: float = 0.05,
         backoff_max_s: float = 2.0,
         jitter: bool = True,
+        columnar: bool = True,
+        batch_rows: int = 1024,
     ):
         super().__init__(
             max_frame_bytes,
@@ -604,6 +697,8 @@ class AsyncServeClient(_ClientCore):
             backoff_s=backoff_s,
             backoff_max_s=backoff_max_s,
             jitter=jitter,
+            columnar=columnar,
+            batch_rows=batch_rows,
         )
         self._reader = reader
         self._writer = writer
@@ -623,6 +718,8 @@ class AsyncServeClient(_ClientCore):
         backoff_s: float = 0.05,
         backoff_max_s: float = 2.0,
         jitter: bool = True,
+        columnar: bool = True,
+        batch_rows: int = 1024,
     ) -> "AsyncServeClient":
         reader, writer = await asyncio.open_connection(host, port)
         client = cls(
@@ -633,12 +730,30 @@ class AsyncServeClient(_ClientCore):
             backoff_s=backoff_s,
             backoff_max_s=backoff_max_s,
             jitter=jitter,
+            columnar=columnar,
+            batch_rows=batch_rows,
         )
         client._host = host
         client._port = port
         client._schema_names = schema_names
         try:
             await client._handshake()
+        except RemoteError as error:
+            writer.close()
+            if (
+                error.code != "wire-version"
+                or client._prefer_version <= protocol.MIN_WIRE_VERSION
+            ):
+                raise
+            # Pre-columnar server: redial on the row wire.
+            client._prefer_version = protocol.MIN_WIRE_VERSION
+            reader, writer = await asyncio.open_connection(host, port)
+            client._reader, client._writer = reader, writer
+            try:
+                await client._handshake()
+            except BaseException:
+                writer.close()
+                raise
         except BaseException:
             writer.close()
             raise
@@ -661,6 +776,11 @@ class AsyncServeClient(_ClientCore):
                 raise ConnectionError("server closed during handshake")
             decoder.feed(data)
             for frame in decoder.frames():
+                if frame.ftype == protocol.ERROR:
+                    raise RemoteError(
+                        frame.payload.get("code", "error"),
+                        frame.payload.get("message", ""),
+                    )
                 welcome = self._expect(frame, protocol.WELCOME)
                 break
         self._reset_stream_state(welcome)
@@ -668,10 +788,14 @@ class AsyncServeClient(_ClientCore):
     # -- transport -----------------------------------------------------------------
 
     async def _send(self, ftype: int, payload: dict | None = None) -> None:
-        self._ensure_usable()
-        data = protocol.encode_frame(
-            ftype, payload, max_frame_bytes=self._max_frame_bytes
+        await self._send_raw(
+            protocol.encode_frame(
+                ftype, payload, max_frame_bytes=self._max_frame_bytes
+            )
         )
+
+    async def _send_raw(self, data: bytes) -> None:
+        self._ensure_usable()
         try:
             self._writer.write(data)
             await self._writer.drain()
@@ -722,6 +846,16 @@ class AsyncServeClient(_ClientCore):
             self._reader, self._writer = reader, writer
             try:
                 await self._handshake()
+            except RemoteError as error:
+                writer.close()
+                if (
+                    error.code == "wire-version"
+                    and self._prefer_version > protocol.MIN_WIRE_VERSION
+                ):
+                    self._prefer_version = protocol.MIN_WIRE_VERSION
+                    last = error
+                    continue
+                raise
             except (ConnectionError, OSError) as error:
                 writer.close()
                 last = error
@@ -741,11 +875,11 @@ class AsyncServeClient(_ClientCore):
         )
 
     async def _replay_unacked(self) -> None:
-        for seq, encoded in list(self._unacked.items()):
+        for seq, rows in list(self._unacked.items()):
             self.credits -= 1
             self._sent_on_conn.add(seq)
             self._outcomes[seq] = "replayed"
-            await self._send(protocol.INSERT, {"rows": encoded, "seq": seq})
+            await self._send_raw(self._insert_frame(seq, rows))
 
     async def _retrying(self, operation):
         attempts = 0
@@ -765,7 +899,7 @@ class AsyncServeClient(_ClientCore):
 
     async def insert(self, rows: list[tuple]) -> int:
         """Send one INSERT batch, honouring the credit window."""
-        seq, encoded = self._register_batch(rows)
+        seq, batch = self._register_batch(rows)
 
         async def deliver() -> int:
             if seq not in self._unacked or seq in self._sent_on_conn:
@@ -773,13 +907,24 @@ class AsyncServeClient(_ClientCore):
             await self._await_credit()
             self.credits -= 1
             self._sent_on_conn.add(seq)
-            await self._send(protocol.INSERT, {"rows": encoded, "seq": seq})
+            await self._send_raw(self._insert_frame(seq, batch))
             return seq
 
         return await self._retrying(deliver)
 
+    async def append(self, row: tuple) -> int | None:
+        """Async twin of :meth:`ServeClient.append` (client-side batching)."""
+        self._row_buffer.append(tuple(row))
+        if len(self._row_buffer) >= self.batch_rows:
+            batch, self._row_buffer = self._row_buffer, []
+            return await self.insert(batch)
+        return None
+
     async def flush(self) -> dict:
         """Async twin of :meth:`ServeClient.flush` (same outcome report)."""
+        if self._row_buffer:
+            batch, self._row_buffer = self._row_buffer, []
+            await self.insert(batch)
 
         async def wait() -> None:
             while self.credits < self.window or self._unacked:

@@ -17,6 +17,29 @@ travel through the same tagged encoding as the engine's partial states
 (:func:`repro.core.protocol.tag_key`), so result rows round-trip the wire
 byte-exactly.
 
+One frame type is the exception: ``INSERT_COLS`` (wire version 2) carries
+a *binary* body — a batch of stream tuples transposed into typed column
+buffers, so a million-row batch costs one ``struct`` unpack per column
+instead of a million tagged JSON values.  Layout after the type byte::
+
+    +----+---------+------------+------------+----------------------+
+    | v  | seq+1   | rows: u32  | cols: u16  | column block × cols  |
+    | u8 | u64     |            |            |                      |
+    +----+---------+------------+------------+----------------------+
+
+    column block := kind: u8 | nbytes: u32 | payload[nbytes]
+
+    kind 1  i64     payload = rows × int64
+    kind 2  f64     payload = rows × float64
+    kind 3  str     payload = rows × u32 byte-lengths, then UTF-8 blobs
+    kind 4  tagged  payload = JSON list of tag_key-tagged values
+
+``seq+1`` is zero when the batch carries no sequence number.  The per-
+column ``kind`` is chosen from the *values* (falling back to ``tagged``
+for mixed or out-of-range columns), so int/float/str identity survives
+the wire bit-exactly — the columnar path produces byte-identical results
+to row frames.
+
 Frame types
 -----------
 
@@ -40,13 +63,22 @@ STATS_OK   12    srv → client server/backend/metrics statistics
 ERROR      13    srv → client structured ``code`` + ``message`` (+ ``frame``)
 BYE        14    client → srv (empty) graceful goodbye
 GOODBYE    15    srv → client ``tuples_in`` — connection totals, then close
+INSERT_COLS 16   client → srv binary columnar batch (wire version >= 2);
+                              same credit/seq semantics as INSERT
 ========== ===== ============ ====================================================
 
-Framing errors (bad length, oversized frame, undecodable body) are
-*connection-scoped*: the server answers with ERROR and drops that
-connection, never the process.  Semantic errors (bad rows, unknown frame
-type, a query failure) are *frame-scoped*: ERROR is sent and the
-connection keeps going.
+Version negotiation: HELLO carries the client's highest ``wire_version``;
+the server answers WELCOME with ``wire_version = min(client, server)``
+and both sides speak that.  A v1 client on a v2 server keeps sending row
+INSERT frames; a v2 client on a v1 server falls back to row frames.
+``INSERT_COLS`` on a connection that negotiated v1 is a frame-scoped
+``wire-version`` error.
+
+Framing errors (bad length, oversized frame, undecodable body — columnar
+bodies included) are *connection-scoped*: the server answers with ERROR
+and drops that connection, never the process.  Semantic errors (bad rows,
+unknown frame type, a query failure) are *frame-scoped*: ERROR is sent
+and the connection keeps going.
 """
 
 from __future__ import annotations
@@ -54,11 +86,24 @@ from __future__ import annotations
 import json
 import struct
 
+from repro.core.cols import (
+    COL_F64,
+    COL_I64,
+    COL_STR,
+    COL_TAGGED,
+    COLS_CODEC_VERSION,
+    cols_to_rows,
+    pack_cols,
+    rows_to_cols,
+    tag_value as _tag_value,
+    unpack_cols,
+    untag_value as _untag_value,
+)
 from repro.core.errors import ProtocolError
-from repro.core.protocol import tag_key, untag_key
 
 __all__ = [
     "WIRE_VERSION",
+    "MIN_WIRE_VERSION",
     "MAX_FRAME_BYTES",
     "HEADER",
     "Frame",
@@ -68,13 +113,26 @@ __all__ = [
     "decode_frame_body",
     "encode_rows",
     "decode_rows",
+    "encode_cols",
+    "decode_cols",
+    "rows_to_cols",
+    "cols_to_rows",
+    "COLS_CODEC_VERSION",
+    "COL_I64",
+    "COL_F64",
+    "COL_STR",
+    "COL_TAGGED",
     "encode_result_rows",
     "decode_result_rows",
     "frame_name",
+    "negotiate_version",
 ]
 
-#: Protocol revision carried in HELLO; servers reject any other value.
-WIRE_VERSION = 1
+#: Highest protocol revision this build speaks (carried in HELLO).
+WIRE_VERSION = 2
+
+#: Oldest revision still accepted; v1 peers speak row INSERT frames only.
+MIN_WIRE_VERSION = 1
 
 #: Default ceiling on ``length``; larger frames are rejected before the
 #: body is buffered, so a hostile length prefix cannot balloon memory.
@@ -99,6 +157,7 @@ STATS_OK = 12
 ERROR = 13
 BYE = 14
 GOODBYE = 15
+INSERT_COLS = 16
 
 _FRAME_NAMES = {
     HELLO: "HELLO",
@@ -116,12 +175,26 @@ _FRAME_NAMES = {
     ERROR: "ERROR",
     BYE: "BYE",
     GOODBYE: "GOODBYE",
+    INSERT_COLS: "INSERT_COLS",
 }
 
 
 def frame_name(ftype: int) -> str:
     """Human-readable name of a frame type (``type-N`` when unknown)."""
     return _FRAME_NAMES.get(ftype, f"type-{ftype}")
+
+
+def negotiate_version(client_version) -> int | None:
+    """The wire version a server should speak with a client, or None.
+
+    The result is ``min(client, WIRE_VERSION)``; clients older than
+    :data:`MIN_WIRE_VERSION` (and junk versions) get ``None`` — reject.
+    """
+    if not isinstance(client_version, int) or isinstance(client_version, bool):
+        return None
+    if client_version < MIN_WIRE_VERSION:
+        return None
+    return min(client_version, WIRE_VERSION)
 
 
 class Frame(tuple):
@@ -169,10 +242,23 @@ def encode_frame(
     return HEADER.pack(length) + bytes([ftype]) + body
 
 
-def decode_frame_body(body: bytes | bytearray) -> Frame:
-    """Parse the post-header part of a frame (type byte + JSON body)."""
-    if not body:
+def decode_frame_body(body) -> Frame:
+    """Parse the post-header part of a frame (type byte + body).
+
+    Accepts ``bytes``, ``bytearray``, or a ``memoryview`` slice — the
+    decoder feeds views straight off its reassembly buffer, so nothing is
+    copied until actual Python values are built.
+    """
+    if not len(body):
         raise ProtocolError("empty frame (zero-length body)")
+    ftype = body[0]
+    if ftype == INSERT_COLS:
+        with memoryview(body) as view:
+            cols, seq, count = decode_cols(view[1:])
+        payload = {"cols": cols, "count": count}
+        if seq is not None:
+            payload["seq"] = seq
+        return Frame(INSERT_COLS, payload)
     try:
         payload = json.loads(bytes(body[1:]).decode("utf-8") or "{}")
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -181,7 +267,7 @@ def decode_frame_body(body: bytes | bytearray) -> Frame:
         raise ProtocolError(
             f"frame body must be a JSON object, got {type(payload).__name__}"
         )
-    return Frame(body[0], payload)
+    return Frame(ftype, payload)
 
 
 class FrameDecoder:
@@ -191,34 +277,62 @@ class FrameDecoder:
     :meth:`frames`.  Framing violations raise :class:`ProtocolError` —
     after that the stream position is undefined and the connection should
     be dropped, mirroring the server's behaviour.
+
+    The reassembly buffer is index-tracked: consumed frames advance a read
+    position instead of shifting the buffer left on every frame (which
+    made a chunk of *m* frames cost O(m²) bytes moved), and frame bodies
+    are handed to :func:`decode_frame_body` as ``memoryview`` slices with
+    no intermediate copy.  The consumed prefix is compacted away once it
+    passes ``compact_bytes`` or the buffer is fully drained.
     """
 
-    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+    def __init__(
+        self,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        *,
+        compact_bytes: int = 1 << 16,
+    ):
         self.max_frame_bytes = max_frame_bytes
+        self.compact_bytes = compact_bytes
         self._buffer = bytearray()
+        self._pos = 0
 
     def feed(self, data: bytes) -> None:
         """Append a received chunk to the internal reassembly buffer."""
+        pos = self._pos
+        if pos and (pos >= len(self._buffer) or pos >= self.compact_bytes):
+            del self._buffer[:pos]
+            self._pos = 0
         self._buffer.extend(data)
 
     def frames(self):
         """Yield every complete :class:`Frame` buffered so far."""
-        while True:
-            if len(self._buffer) < HEADER.size:
-                return
-            (length,) = HEADER.unpack_from(self._buffer)
-            if length == 0:
-                raise ProtocolError("empty frame (zero-length body)")
-            if length > self.max_frame_bytes:
-                raise ProtocolError(
-                    f"oversized frame: {length} bytes "
-                    f"(limit {self.max_frame_bytes})"
-                )
-            if len(self._buffer) < HEADER.size + length:
-                return
-            body = self._buffer[HEADER.size:HEADER.size + length]
-            del self._buffer[:HEADER.size + length]
-            yield decode_frame_body(body)
+        buffer = self._buffer
+        pos = self._pos
+        header_size = HEADER.size
+        try:
+            while True:
+                if len(buffer) - pos < header_size:
+                    return
+                (length,) = HEADER.unpack_from(buffer, pos)
+                if length == 0:
+                    raise ProtocolError("empty frame (zero-length body)")
+                if length > self.max_frame_bytes:
+                    raise ProtocolError(
+                        f"oversized frame: {length} bytes "
+                        f"(limit {self.max_frame_bytes})"
+                    )
+                if len(buffer) - pos < header_size + length:
+                    return
+                start = pos + header_size
+                pos = start + length
+                # The view must be released before yielding: an exported
+                # memoryview would make the next feed()'s extend blow up.
+                with memoryview(buffer) as view:
+                    frame = decode_frame_body(view[start:pos])
+                yield frame
+        finally:
+            self._pos = pos
 
 
 # -- row encodings -----------------------------------------------------------------
@@ -239,17 +353,43 @@ def decode_rows(data: list) -> list:
         raise ProtocolError(f"malformed row in INSERT frame: {exc}") from exc
 
 
-def _tag_value(value):
-    if isinstance(value, list):
-        return ["list", [_tag_value(part) for part in value]]
-    return tag_key(value)
+# -- columnar encoding (wire version 2) --------------------------------------------
+#
+# The codec itself lives in :mod:`repro.core.cols` (the shard transport
+# packs the same batches without importing this package); this module
+# re-exports it and adds the wire framing.
 
 
-def _untag_value(tag):
-    kind = tag[0]
-    if kind == "list":
-        return [_untag_value(part) for part in tag[1]]
-    return untag_key(tag)
+def encode_cols(
+    cols,
+    *,
+    seq: int | None = None,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> bytes:
+    """Serialize a complete INSERT_COLS frame from per-field columns.
+
+    ``cols`` is a list of equal-length columns (one per schema field), as
+    produced by :func:`rows_to_cols`.  Returns header + type byte + binary
+    body, ready for the socket.
+    """
+    body = pack_cols(cols, seq=seq)
+    length = 1 + len(body)
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"INSERT_COLS frame is {length} bytes; "
+            f"the wire limit is {max_frame_bytes}"
+        )
+    return HEADER.pack(length) + bytes([INSERT_COLS]) + body
+
+
+def decode_cols(body) -> tuple[list[list], int | None, int]:
+    """Parse an INSERT_COLS body → ``(columns, seq, row_count)``.
+
+    Any truncation, trailing garbage, or malformed column payload raises
+    :class:`ProtocolError` — these are framing errors, connection-scoped
+    like every other undecodable body.
+    """
+    return unpack_cols(body)
 
 
 def encode_result_rows(rows) -> list:

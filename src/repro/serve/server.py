@@ -67,6 +67,7 @@ class _Connection:
         self.reader = reader
         self.writer = writer
         self.hello_done = False
+        self.wire_version = protocol.WIRE_VERSION  # negotiated at HELLO
         self.tuples_in = 0
         self.subscriptions: list[asyncio.Task] = []
         self._next_sub = 1
@@ -402,13 +403,16 @@ class StreamServer:
 
     async def _handle_hello(self, conn: _Connection, payload: dict) -> None:
         version = payload.get("wire_version")
-        if version != protocol.WIRE_VERSION:
+        negotiated = protocol.negotiate_version(version)
+        if negotiated is None:
             await self._error(
                 conn, "wire-version",
-                f"server speaks wire version {protocol.WIRE_VERSION}, "
+                f"server speaks wire versions "
+                f"{protocol.MIN_WIRE_VERSION}..{protocol.WIRE_VERSION}, "
                 f"client sent {version!r}", close=True,
             )
             return
+        conn.wire_version = negotiated
         names = self.backend.schema.names()
         offered = payload.get("schema")
         if offered is not None and offered != names:
@@ -422,7 +426,7 @@ class StreamServer:
         await conn.send(
             protocol.WELCOME,
             {
-                "wire_version": protocol.WIRE_VERSION,
+                "wire_version": conn.wire_version,
                 "server": "repro.serve",
                 "query": self.backend.sql,
                 "schema": names,
@@ -459,6 +463,37 @@ class StreamServer:
         self.rows_total += len(rows)
         if self._obs:
             self.metrics.rate("serve.ingest.rows").observe(float(len(rows)))
+        await conn.send(protocol.CREDIT, credit)
+
+    async def _handle_insert_cols(self, conn: _Connection, payload: dict) -> None:
+        # Columnar twin of _handle_insert: the frame body was already
+        # parsed into typed columns by the protocol layer, so this handler
+        # validates column-at-a-time and feeds the backend's bulk path —
+        # no row tuple is built anywhere between socket and UDAF state.
+        credit: dict = {"credits": 1}
+        if payload.get("seq") is not None:
+            credit["seq"] = payload["seq"]
+        if conn.wire_version < 2:
+            await self._error(
+                conn, "wire-version",
+                "INSERT_COLS requires wire version >= 2; this connection "
+                f"negotiated {conn.wire_version}",
+            )
+            await conn.send(protocol.CREDIT, credit)
+            return
+        cols = payload.get("cols", [])
+        try:
+            count = self.backend.schema.validate_cols(cols)
+            self.backend.insert_cols(cols)
+        except DecayError as error:
+            # Rejected wholesale before ingest; the credit still returns.
+            await self._error(conn, "bad-rows", str(error))
+            await conn.send(protocol.CREDIT, credit)
+            return
+        conn.tuples_in += count
+        self.rows_total += count
+        if self._obs:
+            self.metrics.rate("serve.ingest.rows").observe(float(count))
         await conn.send(protocol.CREDIT, credit)
 
     async def _handle_heartbeat(self, conn: _Connection, payload: dict) -> None:
@@ -560,6 +595,7 @@ class StreamServer:
     _HANDLERS = {
         protocol.HELLO: _handle_hello,
         protocol.INSERT: _handle_insert,
+        protocol.INSERT_COLS: _handle_insert_cols,
         protocol.HEARTBEAT: _handle_heartbeat,
         protocol.QUERY: _handle_query,
         protocol.SUBSCRIBE: _handle_subscribe,

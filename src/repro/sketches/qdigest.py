@@ -108,6 +108,67 @@ class QDigest(StreamSummary):
         if self._updates_since_compress >= self.k:
             self.compress()
 
+    def update_many(self, first, second=None) -> None:
+        """Batch ingest: the :meth:`update` loop with the leaf fold inlined.
+
+        Bit-identical to per-item updates: dict lookups and the running
+        total are hoisted into locals, but compression fires at exactly
+        the same points with exactly the same totals, so the node layout
+        matches the loop's.  A mid-batch validation error leaves the
+        prefix before it applied — same as the per-item loop.
+        """
+        if second is not None and len(first) != len(second):
+            raise ParameterError(
+                f"column lengths differ: {len(first)} != {len(second)}"
+            )
+        counts = self._counts
+        get = counts.get
+        universe = self.universe
+        k = self.k
+        isnan = math.isnan
+        total = self._total
+        since = self._updates_since_compress
+        try:
+            if second is None:
+                for value in first:
+                    if not 0 <= value < universe:
+                        raise ParameterError(
+                            f"value must be in [0, {universe}), got {value!r}"
+                        )
+                    leaf = universe + value
+                    counts[leaf] = get(leaf, 0.0) + 1.0
+                    total += 1.0
+                    since += 1
+                    if since >= k:
+                        self._total = total
+                        self._updates_since_compress = since
+                        self.compress()
+                        since = 0
+            else:
+                for value, weight in zip(first, second):
+                    if not 0 <= value < universe:
+                        raise ParameterError(
+                            f"value must be in [0, {universe}), got {value!r}"
+                        )
+                    if weight < 0 or isnan(weight):
+                        raise ParameterError(
+                            f"weight must be >= 0, got {weight!r}"
+                        )
+                    if weight == 0.0:
+                        continue
+                    leaf = universe + value
+                    counts[leaf] = get(leaf, 0.0) + weight
+                    total += weight
+                    since += 1
+                    if since >= k:
+                        self._total = total
+                        self._updates_since_compress = since
+                        self.compress()
+                        since = 0
+        finally:
+            self._total = total
+            self._updates_since_compress = since
+
     # -- structure maintenance ------------------------------------------------------
 
     def _node_range(self, node: int) -> tuple[int, int]:

@@ -192,6 +192,91 @@ class TestExactEntries:
         assert "exact" in format_comparison(report)
 
 
+class TestLimitEntries:
+    def _limited(self, value: float, limit: float, **extra) -> dict:
+        entry = {
+            "value": value,
+            "unit": "x",
+            "gate": True,
+            "higher_is_better": False,
+            "limit": limit,
+        }
+        entry.update(extra)
+        return entry
+
+    def test_ceiling_crossed_regresses_inside_threshold(self):
+        # 1.5 -> 2.2 is well inside a 2x relative threshold, but crosses
+        # the absolute 2.0 ceiling — the contractual bound wins.
+        base = {"name": "b", "entries": {"m": self._limited(1.5, 2.0)}}
+        over = {"name": "c", "entries": {"m": self._limited(2.2, 2.0)}}
+        report = compare_artifacts(base, over, threshold=2.0)
+        assert report["regressions"] == ["m"]
+        assert "REGRESSED" in format_comparison(report)
+
+    def test_under_the_ceiling_passes(self):
+        base = {"name": "b", "entries": {"m": self._limited(1.5, 2.0)}}
+        near = {"name": "c", "entries": {"m": self._limited(1.9, 2.0)}}
+        assert compare_artifacts(base, near, threshold=2.0)["regressions"] == []
+
+    def test_floor_for_higher_is_better(self):
+        base = {
+            "name": "b",
+            "entries": {
+                "m": self._limited(1.4, 1.0, higher_is_better=True)
+            },
+        }
+        above = {
+            "name": "c",
+            "entries": {
+                "m": self._limited(1.1, 1.0, higher_is_better=True)
+            },
+        }
+        below = {
+            "name": "c",
+            "entries": {
+                "m": self._limited(0.9, 1.0, higher_is_better=True)
+            },
+        }
+        assert compare_artifacts(base, above, threshold=2.0)["regressions"] == []
+        assert compare_artifacts(base, below, threshold=2.0)["regressions"] == [
+            "m"
+        ]
+
+    def test_relative_threshold_still_applies_inside_the_limit(self):
+        # A 3x blowup regresses on the relative rule even though the
+        # current value stays under a (loose) ceiling.
+        base = {"name": "b", "entries": {"m": self._limited(1.0, 100.0)}}
+        blown = {"name": "c", "entries": {"m": self._limited(3.0, 100.0)}}
+        assert compare_artifacts(base, blown, threshold=2.0)["regressions"] == [
+            "m"
+        ]
+
+    def test_ungated_entry_ignores_its_limit(self):
+        entry = self._limited(5.0, 2.0, gate=False)
+        base = {"name": "b", "entries": {"m": dict(entry)}}
+        cur = {"name": "c", "entries": {"m": dict(entry, value=9.0)}}
+        assert compare_artifacts(base, cur, threshold=2.0)["regressions"] == []
+
+    def test_limit_survives_the_report_row(self):
+        base = {"name": "b", "entries": {"m": self._limited(1.5, 2.0)}}
+        report = compare_artifacts(base, base, threshold=2.0)
+        (row,) = report["rows"]
+        assert row["limit"] == 2.0
+
+    def test_serve_baseline_carries_the_wire_overhead_ceiling(self):
+        import pathlib
+
+        baseline = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks" / "baselines" / "BENCH_serve.json"
+        )
+        artifact = load_artifact(str(baseline))
+        entry = artifact["entries"]["serve.single.wire_overhead"]
+        assert entry["gate"] is True
+        assert entry["limit"] == 2.0
+        assert entry["value"] < 2.0
+
+
 class TestScalingSuite:
     @pytest.fixture(scope="class")
     def scaling_artifact(self):

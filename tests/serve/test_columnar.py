@@ -1,0 +1,341 @@
+"""The columnar data plane over the wire: negotiation, framing scope,
+client batching, and end-to-end equality with the row path.
+
+Contract under test (DESIGN.md §10): INSERT_COLS is a pure transport
+change — switching a client between row and columnar framing, or a
+server between wire versions, never changes a query answer.  Errors keep
+their scopes: an undecodable columnar body is a framing violation
+(connection-scoped, like any garbage body), while a well-formed batch
+that fails schema validation — or arrives on a v1-negotiated connection —
+costs one ERROR frame and nothing else.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.serve import ServeClient, protocol
+from repro.serve.protocol import FrameDecoder, encode_frame
+from tests.serve.test_fault_tolerance import serve_with_state
+from tests.serve.test_robustness import assert_still_serving
+from tests.serve.util import (
+    SQL,
+    RawConnection,
+    canon,
+    expected_rows,
+    make_rows,
+    serve,
+)
+
+
+def cols_frame(rows, seq=None) -> bytes:
+    return protocol.encode_cols(protocol.rows_to_cols(rows), seq=seq)
+
+
+class TestNegotiationMatrix:
+    @pytest.mark.parametrize(
+        ("offered", "negotiated"),
+        [
+            (protocol.MIN_WIRE_VERSION, protocol.MIN_WIRE_VERSION),
+            (protocol.WIRE_VERSION, protocol.WIRE_VERSION),
+            (protocol.WIRE_VERSION + 1, protocol.WIRE_VERSION),
+            (999, protocol.WIRE_VERSION),
+        ],
+    )
+    def test_accepted_versions(self, offered, negotiated):
+        assert protocol.negotiate_version(offered) == negotiated
+
+    @pytest.mark.parametrize(
+        "offered", [0, -1, True, False, "2", 2.0, None, [2], {}]
+    )
+    def test_rejected_versions(self, offered):
+        assert protocol.negotiate_version(offered) is None
+
+    def test_welcome_reports_the_negotiated_version(self):
+        with serve() as server:
+            for offered, expect in [(1, 1), (2, 2), (999, 2)]:
+                raw = RawConnection(server.host, server.port)
+                raw.send_frame(protocol.HELLO, {"wire_version": offered})
+                welcome = raw.read_frame()
+                assert welcome.ftype == protocol.WELCOME
+                assert welcome.payload["wire_version"] == expect
+                raw.close()
+
+
+class TestFrameScopedErrors:
+    def test_insert_cols_on_v1_connection_is_frame_scoped(self):
+        # A v1-negotiated connection sending INSERT_COLS is a semantic
+        # mistake, not a framing violation: ERROR + the credit returns,
+        # and the connection keeps working in row mode.
+        rows = make_rows(20)
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.send_frame(protocol.HELLO, {"wire_version": 1})
+            assert raw.read_frame().ftype == protocol.WELCOME
+            raw.send_raw(cols_frame(rows, seq=5))
+            error = raw.read_frame()
+            assert error.ftype == protocol.ERROR
+            assert error.payload["code"] == "wire-version"
+            credit = raw.read_frame()
+            assert credit.ftype == protocol.CREDIT
+            assert credit.payload["seq"] == 5
+            # row framing still works on the same connection
+            raw.send_frame(
+                protocol.INSERT, {"rows": protocol.encode_rows(rows)}
+            )
+            assert raw.read_frame().ftype == protocol.CREDIT
+            raw.send_frame(protocol.QUERY)
+            result = raw.read_frame()
+            assert result.ftype == protocol.RESULT
+            assert canon(
+                protocol.decode_result_rows(result.payload["rows"])
+            ) == canon(expected_rows(SQL, rows))
+            raw.close()
+
+    def test_schema_arity_mismatch_is_frame_scoped(self):
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.hello()
+            raw.send_raw(protocol.encode_cols([[1, 2], ["a", "b"]], seq=1))
+            error = raw.read_frame()
+            assert error.payload["code"] == "bad-rows"
+            assert raw.read_frame().ftype == protocol.CREDIT
+            # nothing was ingested, connection survives
+            raw.send_frame(protocol.STATS)
+            stats = raw.read_frame()
+            assert stats.payload["server"]["rows_total"] == 0
+            raw.close()
+
+    def test_wrongly_typed_column_is_frame_scoped(self):
+        rows = [("not-an-int",) + make_rows(1)[0][1:]]
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.hello()
+            raw.send_raw(cols_frame(rows))
+            assert raw.read_frame().payload["code"] == "bad-rows"
+            assert raw.read_frame().ftype == protocol.CREDIT
+            raw.close()
+
+
+class TestFramingViolations:
+    def test_truncated_columnar_body_closes_connection(self):
+        wire = cols_frame(make_rows(10), seq=1)
+        # keep the length prefix honest about the truncated body
+        body = wire[4:-7]
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.hello()
+            raw.send_raw(struct.pack(">I", len(body)) + body)
+            error = raw.read_frame()
+            assert error.payload["code"] == "malformed-frame"
+            assert raw.closed_by_server()
+            assert_still_serving(server)
+
+    def test_garbage_columnar_body_closes_connection(self):
+        body = bytes([protocol.INSERT_COLS]) + b"\xde\xad\xbe\xef" * 8
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.hello()
+            raw.send_raw(struct.pack(">I", len(body)) + body)
+            assert raw.read_frame().payload["code"] == "malformed-frame"
+            assert raw.closed_by_server()
+            assert_still_serving(server)
+
+    def test_mutation_fuzz_never_kills_the_server(self):
+        # Random single-byte mutations of a valid INSERT_COLS frame: each
+        # is either still decodable (ERROR or CREDIT comes back) or a
+        # framing violation (ERROR + close).  Either way the server lives.
+        rng = random.Random(0xDECAF)
+        wire = bytearray(cols_frame(make_rows(8), seq=3))
+        with serve() as server:
+            for trial in range(30):
+                blob = bytearray(wire)
+                index = rng.randrange(4, len(blob))  # keep the prefix sane
+                blob[index] ^= 1 << rng.randrange(8)
+                raw = RawConnection(server.host, server.port)
+                try:
+                    raw.hello()
+                    raw.send_raw(bytes(blob))
+                    reply = raw.read_frame()
+                    assert reply.ftype in (protocol.ERROR, protocol.CREDIT)
+                except (ConnectionError, TimeoutError, OSError):
+                    pass
+                finally:
+                    raw.close()
+            assert_still_serving(server)
+
+    def test_oversized_columnar_frame_rejected_at_encode(self):
+        rows = make_rows(1000)
+        with pytest.raises(ProtocolError, match="wire limit"):
+            protocol.encode_cols(
+                protocol.rows_to_cols(rows), max_frame_bytes=256
+            )
+
+
+class TestFrameDecoderCompaction:
+    """Regression: the decoder used to shift its buffer left once per
+    frame, so a chunk of m frames moved O(m²) bytes."""
+
+    def test_no_per_frame_buffer_shift(self):
+        frames = [encode_frame(protocol.QUERY, {"i": i}) for i in range(500)]
+        decoder = FrameDecoder()
+        decoder.feed(b"".join(frames))
+        buffered = len(decoder._buffer)
+        assert len(list(decoder.frames())) == 500
+        # consumed frames advanced the read position only; the buffer was
+        # never compacted mid-iteration
+        assert len(decoder._buffer) == buffered
+        assert decoder._pos == buffered
+
+    def test_drained_buffer_compacts_on_next_feed(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(protocol.QUERY))
+        list(decoder.frames())
+        decoder.feed(b"")
+        assert len(decoder._buffer) == 0
+        assert decoder._pos == 0
+
+    def test_partial_tail_survives_compaction(self):
+        first = encode_frame(protocol.QUERY, {"pad": "x" * 100})
+        second = encode_frame(protocol.STATS)
+        decoder = FrameDecoder(compact_bytes=16)
+        decoder.feed(first + second[:3])
+        assert [f.ftype for f in decoder.frames()] == [protocol.QUERY]
+        # next feed crosses compact_bytes: the consumed prefix is dropped,
+        # the partial tail is preserved and completes normally
+        decoder.feed(second[3:])
+        assert decoder._pos == 0
+        assert [f.ftype for f in decoder.frames()] == [protocol.STATS]
+
+    def test_interleaved_columnar_and_json_frames(self):
+        rows = make_rows(6)
+        wire = (
+            encode_frame(protocol.QUERY)
+            + cols_frame(rows, seq=9)
+            + encode_frame(protocol.STATS)
+        )
+        decoder = FrameDecoder()
+        collected = []
+        for i in range(0, len(wire), 7):  # ragged chunks
+            decoder.feed(wire[i : i + 7])
+            collected.extend(decoder.frames())
+        assert [f.ftype for f in collected] == [
+            protocol.QUERY,
+            protocol.INSERT_COLS,
+            protocol.STATS,
+        ]
+        cols_payload = collected[1].payload
+        assert cols_payload["seq"] == 9
+        assert cols_payload["count"] == len(rows)
+        assert protocol.cols_to_rows(cols_payload["cols"]) == rows
+
+
+class TestEndToEndEquality:
+    @pytest.mark.parametrize("shards", [0, 4])
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_each_framing_matches_the_in_process_run(self, shards, columnar):
+        rows = make_rows(300)
+        with serve(shards=shards) as server:
+            with ServeClient(
+                server.host, server.port, columnar=columnar
+            ) as client:
+                assert client.columnar_active is columnar
+                for start in range(0, len(rows), 37):
+                    client.insert(rows[start : start + 37])
+                client.flush()
+                served = client.query()
+        assert canon(served) == canon(expected_rows(SQL, rows))
+
+    def test_server_counts_columnar_rows(self):
+        rows = make_rows(128)
+        with serve() as server:
+            with ServeClient(server.host, server.port) as client:
+                client.insert(rows)
+                client.flush()
+                stats = client.stats()
+        assert stats["server"]["rows_total"] == len(rows)
+        assert stats["backend"]["tuples_in"] == len(rows)
+
+    def test_append_batches_client_side(self):
+        rows = make_rows(100)
+        with serve() as server:
+            with ServeClient(
+                server.host, server.port, batch_rows=32
+            ) as client:
+                shipped = [seq for row in rows if (seq := client.append(row)) is not None]
+                assert len(shipped) == 3  # 96 rows in three full batches
+                report = client.flush()  # ships the 4-row remainder
+                assert len(report["outcomes"]) == 4
+                assert canon(client.query()) == canon(
+                    expected_rows(SQL, rows)
+                )
+
+    def test_batch_rows_must_be_positive(self):
+        with serve() as server:
+            with pytest.raises(ProtocolError, match="batch_rows"):
+                ServeClient(server.host, server.port, batch_rows=0)
+
+
+class TestVersionFallback:
+    def test_client_redials_a_v1_only_server(self, monkeypatch):
+        # Simulate a legacy server that only accepts its own version: the
+        # client's first dial earns a wire-version reject, the automatic
+        # redial offers v1, and ingestion proceeds in row framing.
+        rows = make_rows(60)
+        monkeypatch.setattr(
+            protocol,
+            "negotiate_version",
+            lambda version: 1 if version == 1 else None,
+        )
+        with serve() as server:
+            with ServeClient(server.host, server.port) as client:
+                assert client.negotiated_version == 1
+                assert not client.columnar_active
+                client.insert(rows)
+                client.flush()
+                assert canon(client.query()) == canon(
+                    expected_rows(SQL, rows)
+                )
+
+    def test_columnar_false_offers_v1_outright(self):
+        with serve() as server:
+            with ServeClient(
+                server.host, server.port, columnar=False
+            ) as client:
+                assert client.negotiated_version == 1
+
+
+class TestColumnarReplay:
+    def test_unacked_columnar_batches_replay_across_restart(self, tmp_path):
+        # Satellite (f): seq-keyed replay must cover columnar framing —
+        # the batch that dies with the first server is re-sent as
+        # INSERT_COLS after the reconnect, exactly once.
+        rows = make_rows(200)
+        first = serve_with_state(tmp_path)
+        port = first.port
+        client = ServeClient(
+            first.host, port, retries=10, backoff_s=0.01, jitter=False
+        )
+        try:
+            assert client.columnar_active
+            seq1 = client.insert(rows[:100])
+            assert client.flush()["outcomes"] == {seq1: "acked"}
+            first.stop()
+            second = serve_with_state(tmp_path, port=port)
+            try:
+                seq2 = client.insert(rows[100:])
+                report = client.flush()
+                assert report["outcomes"][seq2] == "replayed"
+                assert report["reconnects"] == 1
+                assert client.columnar_active  # renegotiated at v2
+                assert canon(client.query()) == canon(
+                    expected_rows(SQL, rows)
+                )
+            finally:
+                second.stop()
+        finally:
+            client.close()

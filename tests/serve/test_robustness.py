@@ -27,14 +27,24 @@ def assert_still_serving(server) -> None:
 
 class TestHandshake:
     def test_wrong_wire_version_rejected_and_closed(self):
+        # Versions below MIN_WIRE_VERSION are rejected outright; versions
+        # *above* ours negotiate down (see test_protocol negotiation matrix).
         with serve() as server:
             raw = RawConnection(server.host, server.port)
-            raw.send_frame(protocol.HELLO, {"wire_version": 999})
+            raw.send_frame(protocol.HELLO, {"wire_version": 0})
             error = raw.read_frame()
             assert error.ftype == protocol.ERROR
             assert error.payload["code"] == "wire-version"
             assert raw.closed_by_server()
             assert_still_serving(server)
+
+    def test_future_wire_version_negotiates_down(self):
+        with serve() as server:
+            raw = RawConnection(server.host, server.port)
+            raw.send_frame(protocol.HELLO, {"wire_version": 999})
+            welcome = raw.read_frame()
+            assert welcome.ftype == protocol.WELCOME
+            assert welcome.payload["wire_version"] == protocol.WIRE_VERSION
 
     def test_missing_wire_version_rejected(self):
         with serve() as server:

@@ -180,7 +180,7 @@ class TestStats:
         assert stats["backend"]["backend"] == "sharded"
         metric_names = stats["metrics"]["metrics"]
         assert "serve.ingest.rows" in metric_names
-        assert "serve.frame.INSERT.us" in metric_names
+        assert "serve.frame.INSERT_COLS.us" in metric_names
         assert "serve.frame.QUERY.us" in metric_names
 
     def test_stats_without_metrics_registry(self):
