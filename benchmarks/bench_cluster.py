@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Cluster benchmark: 3-node fan-out equality, recovery, rebalance.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py \
+        [--out BENCH_cluster.json] [--nodes 3] [--repeats 3] \
+        [--scale 1.0] [--batch-size 256]
+
+Streams the mergeable count/sum workload through a coordinator-routed
+fleet of in-process nodes and compares against a single in-process
+engine on the same trace, then exercises the two cluster-only paths:
+a kill-and-respawn of one node after a cluster checkpoint, and a
+decommission rebalance (PARTIALS blob ship to the heir).  Writes the
+standard ``BENCH_cluster.json`` artifact.
+
+Gating is host-independent: throughput, respawn time and decommission
+time are recorded only; the gated entries are result equality with the
+single-engine run (exact, for the plain / post-recovery / post-rebalance
+passes) and zero rows lost across the checkpointed kill (exact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.artifacts import write_artifact  # noqa: E402
+from repro.bench.cluster import run_cluster_suite  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_cluster.json",
+        help="artifact path (default BENCH_cluster.json)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=3, help="cluster size (default 3)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing passes (median kept)"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="trace rate multiplier"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=256, help="rows per client batch"
+    )
+    args = parser.parse_args(argv)
+
+    artifact = run_cluster_suite(
+        scale=args.scale,
+        repeats=args.repeats,
+        nodes=args.nodes,
+        batch_size=args.batch_size,
+    )
+    write_artifact(artifact, args.out)
+
+    entries = artifact["entries"]
+    cores = os.cpu_count() or 1
+    prefix = f"cluster.{args.nodes}node"
+    inprocess = entries["cluster.inprocess.rows_per_sec"]["value"]
+    rate = entries[f"{prefix}.rows_per_sec"]["value"]
+    respawn = entries[f"{prefix}.recovery.respawn_ms"]["value"]
+    lost = entries[f"{prefix}.recovery.rows_lost"]["value"]
+    decommission = entries["cluster.rebalance.decommission_ms"]["value"]
+    print(
+        f"cluster throughput ({args.nodes} in-process nodes, {cores} "
+        f"core(s), {artifact['config']['trace_tuples']:,} rows, "
+        f"batch {artifact['config']['batch_size']})"
+    )
+    print(f"{'pass':>12} {'rows/s':>12} {'overhead':>9} {'match':>6}")
+    print(f"{'in-proc':>12} {inprocess:>12,.0f} {'1.00x':>9} {'-':>6}")
+    failures = []
+    checks = [
+        (f"{args.nodes}-node", f"{prefix}.match_single",
+         "cluster result does not match the single-engine run"),
+        ("recovery", f"{prefix}.recovery.match_single",
+         "post-recovery result does not match the single-engine run"),
+        ("rebalance", "cluster.rebalance.match_single",
+         "post-rebalance result does not match the single-engine run"),
+    ]
+    matches = {}
+    for label, key, message in checks:
+        ok = entries[key]["value"] == 1.0
+        matches[label] = ok
+        if not ok:
+            failures.append(message)
+    print(
+        f"{args.nodes}-node".rjust(12)
+        + f" {rate:>12,.0f} {inprocess / rate:>8.2f}x "
+        + ("ok" if matches[f"{args.nodes}-node"] else "FAIL").rjust(6)
+    )
+    print(
+        f"  recovery: kill+respawn+replay {respawn:,.1f} ms "
+        f"(report-only), rows lost {lost:.0f}, results "
+        f"{'ok' if matches['recovery'] else 'FAIL'}"
+    )
+    if lost != 0.0:
+        failures.append(
+            f"{lost:.0f} rows lost across a checkpointed kill "
+            "(exact gate is 0)"
+        )
+    print(
+        f"  rebalance: decommission {decommission:,.1f} ms "
+        f"(report-only), results "
+        f"{'ok' if matches['rebalance'] else 'FAIL'}"
+    )
+    print(f"wrote {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

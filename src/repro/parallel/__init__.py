@@ -10,14 +10,17 @@ state, with the lost delta reported as a
 :class:`~repro.parallel.supervision.ShardFailure`.
 """
 
-from repro.parallel.sharded import ShardedEngine, stable_route
+from repro.parallel.routing import GroupKeyRouter, stable_route, validate_mergeable
+from repro.parallel.sharded import ShardedEngine
 from repro.parallel.supervision import ShardFailure
 from repro.parallel.worker import ShardPlan, shard_worker_main
 
 __all__ = [
+    "GroupKeyRouter",
     "ShardedEngine",
     "ShardFailure",
     "ShardPlan",
     "shard_worker_main",
     "stable_route",
+    "validate_mergeable",
 ]

@@ -1,0 +1,130 @@
+"""Group-key routing shared by the sharded engine and the cluster tier.
+
+Section VI-B's fixed-numerator decomposition means *where* a tuple lands
+never affects the answer — merge-at-query folds same-key partials from
+any placement.  Routing is therefore purely a performance and balance
+concern, and both partitioned runtimes want the same machinery:
+
+* :class:`GroupKeyRouter` evaluates the GROUP BY expressions (or a
+  designated ``shard_key`` column) to produce one routing key per tuple,
+  with a columnar twin for ``INSERT_COLS`` batches;
+* :func:`stable_route` maps a key to one of ``n`` integer shards,
+  deterministically across processes and hosts (blake2b, not the
+  per-interpreter builtin ``hash``);
+* :func:`validate_mergeable` rejects queries whose per-group state has
+  no merge rule at plan time — a partitioned run of those could not
+  match any single-stream semantics.
+
+:class:`~repro.parallel.sharded.ShardedEngine` routes keys to worker
+indexes with a modulus; :class:`repro.cluster.HashRing` routes the same
+keys to named nodes with consistent hashing.  Sharing the key
+computation keeps the two tiers' placements built from identical key
+material.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import QueryError
+from repro.core.protocol import StreamSummary
+from repro.dsms.engine import QueryEngine
+from repro.dsms.schema import Schema
+
+from repro.sketches.kmv import hash_to_unit
+
+__all__ = ["GroupKeyRouter", "stable_route", "validate_mergeable"]
+
+
+def stable_route(key: object, shards: int) -> int:
+    """Deterministic shard assignment (blake2b, not builtin ``hash``).
+
+    Stable across processes, runs, and hosts — what the benchmarks use so
+    per-shard numbers are reproducible.  The builtin-``hash`` default is
+    faster but randomized per interpreter for strings.
+    """
+    return int(hash_to_unit(key) * shards) % shards
+
+
+def validate_mergeable(template: QueryEngine) -> None:
+    """Reject queries whose per-group state cannot merge.
+
+    Mergeable builtins merge by definition; sketch adapters merge via
+    their :class:`StreamSummary` state.  Sampler states (reservoir and
+    friends) keep RNG-path-dependent state with no merge rule, so a
+    partitioned run could not match any single-stream semantics — fail
+    at plan time with a clear message rather than at the first query.
+    """
+    for plan in template._agg_plans:
+        if plan.udaf.mergeable:
+            continue
+        probe = plan.udaf.create()
+        if (
+            not isinstance(probe, StreamSummary)
+            or type(probe).merge is StreamSummary.merge
+        ):
+            raise QueryError(
+                f"aggregate {plan.udaf.name!r} (select item "
+                f"{plan.alias!r}) has unmergeable state and cannot be "
+                "sharded; run it on a single engine"
+            )
+
+
+class GroupKeyRouter:
+    """Per-tuple routing keys for one query over one schema.
+
+    Evaluates the compiled GROUP BY expressions — or, when ``shard_key``
+    names a schema column, just indexes that column — to produce the key
+    a placement function maps to a shard or node.  Keeps columnar twins
+    of the expressions so ``INSERT_COLS`` batches route without
+    transposing (falling back to row-at-a-time evaluation when an
+    expression has no columnar form).
+
+    ``keyed`` is False when the query has no GROUP BY and no
+    ``shard_key``: a single global group, where any placement merges
+    correctly and the caller should spread load round-robin.
+    """
+
+    def __init__(self, query, schema: Schema, shard_key: str | None = None):
+        self._group_fns = tuple(
+            g.expression.compile(schema) for g in query.group_by
+        )
+        # Columnar twins of the routing expressions; None entries mean
+        # keys() falls back to row-at-a-time key evaluation.
+        self._group_col_fns = tuple(
+            g.expression.compile_cols(schema) for g in query.group_by
+        )
+        if shard_key is not None:
+            self._shard_index: int | None = schema.index_of(shard_key)
+        else:
+            self._shard_index = None
+
+    @property
+    def keyed(self) -> bool:
+        """False when every tuple belongs to the single global group."""
+        return self._shard_index is not None or bool(self._group_fns)
+
+    def key(self, row: tuple) -> object:
+        """The routing key of one tuple (call only when :attr:`keyed`)."""
+        if self._shard_index is not None:
+            return row[self._shard_index]
+        fns = self._group_fns
+        if len(fns) == 1:
+            return fns[0](row)
+        return tuple(fn(row) for fn in fns)
+
+    def keys(self, cols: list, count: int) -> list:
+        """Routing key per row of a columnar batch (when :attr:`keyed`)."""
+        if self._shard_index is not None:
+            return cols[self._shard_index]
+        fns = self._group_col_fns
+        if all(fn is not None for fn in fns):
+            if len(fns) == 1:
+                return fns[0](cols, count)
+            return list(zip(*(fn(cols, count) for fn in fns)))
+        # Some routing expression has no columnar twin (e.g. a boolean
+        # short-circuit): evaluate keys row-at-a-time, same as key().
+        rows = list(zip(*cols))
+        row_fns = self._group_fns
+        if len(row_fns) == 1:
+            fn = row_fns[0]
+            return [fn(row) for row in rows]
+        return [tuple(fn(row) for fn in row_fns) for row in rows]

@@ -50,16 +50,19 @@ from typing import Callable, Iterable
 from repro.core.cols import pack_cols
 from repro.core.errors import ParameterError, QueryError
 from repro.core.merge import merge_all
-from repro.core.protocol import StreamSummary
 from repro.dsms.engine import QueryEngine, ResultRow
 from repro.dsms.schema import Schema
 from repro.dsms.udaf import UdafRegistry, default_registry
+from repro.parallel.routing import (
+    GroupKeyRouter,
+    stable_route,
+    validate_mergeable,
+)
 from repro.parallel.shmring import ShmRing
 from repro.parallel.supervision import ShardFailure
 from repro.parallel.worker import ShardPlan, shard_worker_main
-from repro.sketches.kmv import hash_to_unit
 
-__all__ = ["ShardedEngine"]
+__all__ = ["ShardedEngine", "stable_route"]
 
 #: How long one bounded ``queue.put`` waits before re-checking worker
 #: liveness.  Small enough that a dead worker is noticed promptly; large
@@ -70,16 +73,6 @@ _PUT_POLL_S = 0.05
 #: escalating (skip, then terminate).  Close is bounded by a few of these
 #: per shard, never by a dead worker's queue.
 _CLOSE_WAIT_S = 5.0
-
-
-def stable_route(key: object, shards: int) -> int:
-    """Deterministic shard assignment (blake2b, not builtin ``hash``).
-
-    Stable across processes, runs, and hosts — what the benchmarks use so
-    per-shard numbers are reproducible.  The builtin-``hash`` default is
-    faster but randomized per interpreter for strings.
-    """
-    return int(hash_to_unit(key) * shards) % shards
 
 
 class ShardedEngine:
@@ -224,21 +217,12 @@ class ShardedEngine:
         # Local plan: validates the query against the schema up front and
         # provides the compiled GROUP BY expressions for routing.
         template = self._plan.build_engine()
-        self._validate_shardable(template)
+        validate_mergeable(template)
         self.parsed_query = template.query
         self.schema = schema
-        self._group_fns = tuple(
-            g.expression.compile(schema) for g in template.query.group_by
+        self._routing = GroupKeyRouter(
+            template.query, schema, shard_key=shard_key
         )
-        # Columnar twins of the routing expressions; None entries mean
-        # insert_cols falls back to row-at-a-time key evaluation.
-        self._group_col_fns = tuple(
-            g.expression.compile_cols(schema) for g in template.query.group_by
-        )
-        if shard_key is not None:
-            self._shard_index: int | None = schema.index_of(shard_key)
-        else:
-            self._shard_index = None
         if router is not None:
             self._router = router
         else:
@@ -275,30 +259,6 @@ class ShardedEngine:
                 self._conns.append(conn)
                 self._workers.append(process)
                 self._rings.append(ring)
-
-    @staticmethod
-    def _validate_shardable(template: QueryEngine) -> None:
-        """Reject queries whose per-group state cannot merge.
-
-        Mergeable builtins merge by definition; sketch adapters merge via
-        their :class:`StreamSummary` state.  Sampler states (reservoir and
-        friends) keep RNG-path-dependent state with no merge rule, so a
-        sharded run could not match any single-stream semantics — fail at
-        plan time with a clear message rather than at the first query.
-        """
-        for plan in template._agg_plans:
-            if plan.udaf.mergeable:
-                continue
-            probe = plan.udaf.create()
-            if (
-                not isinstance(probe, StreamSummary)
-                or type(probe).merge is StreamSummary.merge
-            ):
-                raise QueryError(
-                    f"aggregate {plan.udaf.name!r} (select item "
-                    f"{plan.alias!r}) has unmergeable state and cannot be "
-                    "sharded; run it on a single engine"
-                )
 
     def _obs_init(self, metrics) -> None:
         self._metrics = metrics
@@ -467,20 +427,13 @@ class ShardedEngine:
     # -- routing / ingestion ------------------------------------------------------
 
     def _route(self, row: tuple) -> int:
-        fns = self._group_fns
-        if self._shard_index is not None:
-            key: object = row[self._shard_index]
-        elif not fns:
+        if not self._routing.keyed:
             # No GROUP BY: a single global group; any placement merges
             # correctly, so spread load round-robin.
             shard = self._round_robin
             self._round_robin = (shard + 1) % self.shards
             return shard
-        elif len(fns) == 1:
-            key = fns[0](row)
-        else:
-            key = tuple(fn(row) for fn in fns)
-        return self._router(key, self.shards)
+        return self._router(self._routing.key(row), self.shards)
 
     def process(self, row: tuple) -> None:
         """Route one tuple to its shard (batched; see ``batch_size``)."""
@@ -567,23 +520,9 @@ class ShardedEngine:
 
     def _shard_keys(self, cols: list, count: int):
         """Routing key per row of a columnar batch (None = no GROUP BY)."""
-        if self._shard_index is not None:
-            return cols[self._shard_index]
-        fns = self._group_col_fns
-        if not fns:
+        if not self._routing.keyed:
             return None
-        if all(fn is not None for fn in fns):
-            if len(fns) == 1:
-                return fns[0](cols, count)
-            return list(zip(*(fn(cols, count) for fn in fns)))
-        # Some routing expression has no columnar twin (e.g. a boolean
-        # short-circuit): evaluate keys row-at-a-time, same as _route.
-        rows = list(zip(*cols))
-        row_fns = self._group_fns
-        if len(row_fns) == 1:
-            fn = row_fns[0]
-            return [fn(row) for row in rows]
-        return [tuple(fn(row) for fn in row_fns) for row in rows]
+        return self._routing.keys(cols, count)
 
     def _ship(self, shard: int) -> None:
         buffer = self._buffers[shard]

@@ -247,6 +247,16 @@ class _ClientCore:
         """Seqs of INSERT batches sent but not yet credited, oldest first."""
         return list(self._unacked)
 
+    @property
+    def unacked_rows(self) -> int:
+        """Rows in batches sent but not yet credited.
+
+        These rows will be replayed after a reconnect, so a router doing
+        loss accounting counts only *acked* rows (``sent - unacked``)
+        against a node's last checkpoint.
+        """
+        return sum(len(rows) for rows in self._unacked.values())
+
     def _mark_dead(self, error: BaseException) -> ClientConnectionError:
         """Record the transport death; all later calls fail with this."""
         if self._dead is None:
@@ -623,6 +633,36 @@ class ServeClient(_ClientCore):
         def ask() -> dict:
             self._send(protocol.STATS)
             return self._expect(self._recv_reply(), protocol.STATS_OK).payload
+
+        return self._retrying(ask)
+
+    def partials(self) -> list[bytes]:
+        """The server backend's partial-state blobs (mergeable, exact).
+
+        What a cluster coordinator fans out to every node and folds with
+        :func:`repro.core.merge.merge_all`; the node keeps its state and
+        keeps ingesting.
+        """
+
+        def ask() -> list[bytes]:
+            self._send(protocol.PARTIALS)
+            reply = self._expect(self._recv_reply(), protocol.PARTIALS_OK)
+            return protocol.decode_blobs(reply.payload.get("blobs", []))
+
+        return self._retrying(ask)
+
+    def adopt(self, blobs: list[bytes]) -> int:
+        """Fold foreign partial-state blobs into the server's backend.
+
+        The shard-rebalance shipping path: blobs taken from one node
+        (via :meth:`partials` or its on-disk checkpoint) merge exactly
+        into another.  Returns the number of blobs adopted.
+        """
+
+        def ask() -> int:
+            self._send(protocol.ADOPT, {"blobs": protocol.encode_blobs(blobs)})
+            reply = self._expect(self._recv_reply(), protocol.ADOPT_OK)
+            return int(reply.payload.get("adopted", 0))
 
         return self._retrying(ask)
 

@@ -65,7 +65,22 @@ BYE        14    client → srv (empty) graceful goodbye
 GOODBYE    15    srv → client ``tuples_in`` — connection totals, then close
 INSERT_COLS 16   client → srv binary columnar batch (wire version >= 2);
                               same credit/seq semantics as INSERT
+PARTIALS   17    client → srv (empty) request the backend's partial-state
+                              blobs (the Section VI-B mergeable form)
+PARTIALS_OK 18   srv → client ``blobs`` (hex), ``tuples_in`` — what a
+                              cluster router folds with ``merge_all``
+ADOPT      19    client → srv ``blobs`` (hex) — fold foreign partial
+                              states into this backend (shard rebalance)
+ADOPT_OK   20    srv → client ``adopted`` — blob count folded in
 ========== ===== ============ ====================================================
+
+``PARTIALS`` / ``ADOPT`` are the cluster tier's router frames: a
+coordinator fans ``PARTIALS`` out to every node and folds the returned
+blobs exactly (fixed numerators make decayed partials mergeable), and
+ships checkpoint blobs *between* nodes with ``ADOPT`` when a shard moves.
+They are capability frames within wire version 2 — a server predating
+them answers with a frame-scoped ``unknown-frame`` error and the
+connection keeps going.
 
 Version negotiation: HELLO carries the client's highest ``wire_version``;
 the server answers WELCOME with ``wire_version = min(client, server)``
@@ -124,6 +139,8 @@ __all__ = [
     "COL_TAGGED",
     "encode_result_rows",
     "decode_result_rows",
+    "encode_blobs",
+    "decode_blobs",
     "frame_name",
     "negotiate_version",
 ]
@@ -158,6 +175,10 @@ ERROR = 13
 BYE = 14
 GOODBYE = 15
 INSERT_COLS = 16
+PARTIALS = 17
+PARTIALS_OK = 18
+ADOPT = 19
+ADOPT_OK = 20
 
 _FRAME_NAMES = {
     HELLO: "HELLO",
@@ -176,6 +197,10 @@ _FRAME_NAMES = {
     BYE: "BYE",
     GOODBYE: "GOODBYE",
     INSERT_COLS: "INSERT_COLS",
+    PARTIALS: "PARTIALS",
+    PARTIALS_OK: "PARTIALS_OK",
+    ADOPT: "ADOPT",
+    ADOPT_OK: "ADOPT_OK",
 }
 
 
@@ -390,6 +415,25 @@ def decode_cols(body) -> tuple[list[list], int | None, int]:
     like every other undecodable body.
     """
     return unpack_cols(body)
+
+
+def encode_blobs(blobs) -> list[str]:
+    """Partial-state blobs → hex strings (PARTIALS_OK / ADOPT bodies).
+
+    Hex keeps the frame body plain JSON — inspectable, and the same
+    encoding the on-disk partials checkpoint uses.
+    """
+    return [bytes(blob).hex() for blob in blobs]
+
+
+def decode_blobs(data) -> list[bytes]:
+    """Inverse of :func:`encode_blobs`; shape errors become ProtocolError."""
+    if not isinstance(data, list):
+        raise ProtocolError("blobs must be a list of hex strings")
+    try:
+        return [bytes.fromhex(blob) for blob in data]
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed partial-state blob: {exc}") from exc
 
 
 def encode_result_rows(rows) -> list:

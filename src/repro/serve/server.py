@@ -585,6 +585,40 @@ class StreamServer:
             {"path": path, "bytes": os.path.getsize(path)},
         )
 
+    async def _handle_partials(self, conn: _Connection, payload: dict) -> None:
+        # The cluster router's read path: the node's mergeable partial
+        # states, exactly what the shutdown checkpoint persists.  The
+        # backend keeps its state and keeps ingesting (merge-at-query).
+        try:
+            blobs = self.backend.partial_blobs()
+        except DecayError as error:
+            await self._error(conn, "partials-failed", str(error))
+            return
+        await conn.send(
+            protocol.PARTIALS_OK,
+            {
+                "blobs": protocol.encode_blobs(blobs),
+                "tuples_in": self.backend.tuples_in,
+            },
+        )
+
+    async def _handle_adopt(self, conn: _Connection, payload: dict) -> None:
+        # The cluster router's rebalance path: fold partial states taken
+        # from another node into this backend.  Blob validation happens
+        # in restore_blobs (wrong query/schema fails here, frame-scoped),
+        # so a bad shipment never corrupts the engine.
+        try:
+            blobs = protocol.decode_blobs(payload.get("blobs", []))
+        except ProtocolError as error:
+            await self._error(conn, "bad-adopt", str(error))
+            return
+        try:
+            self.backend.restore_blobs(blobs)
+        except DecayError as error:
+            await self._error(conn, "bad-adopt", str(error))
+            return
+        await conn.send(protocol.ADOPT_OK, {"adopted": len(blobs)})
+
     async def _handle_stats(self, conn: _Connection, payload: dict) -> None:
         await conn.send(protocol.STATS_OK, self.stats())
 
@@ -600,6 +634,8 @@ class StreamServer:
         protocol.QUERY: _handle_query,
         protocol.SUBSCRIBE: _handle_subscribe,
         protocol.CHECKPOINT: _handle_checkpoint,
+        protocol.PARTIALS: _handle_partials,
+        protocol.ADOPT: _handle_adopt,
         protocol.STATS: _handle_stats,
         protocol.BYE: _handle_bye,
     }

@@ -27,7 +27,7 @@ import time
 
 from repro.serve.server import CHECKPOINT_FILENAME
 
-__all__ = ["ServerProcess", "kill_worker", "wait_until"]
+__all__ = ["ServerProcess", "kill_node", "kill_worker", "wait_until"]
 
 
 def wait_until(
@@ -72,6 +72,27 @@ def kill_worker(engine, shard: int, sig: int = signal.SIGKILL) -> int:
     return pid
 
 
+def kill_node(node, sig: int = signal.SIGKILL) -> int:
+    """Kill a cluster :class:`~repro.cluster.nodes.ProcessNode`'s server
+    process behind the coordinator's back and wait for the OS to reap it.
+
+    Returns the dead server's pid.  Like :func:`kill_worker`, nobody is
+    told — the coordinator discovers the corpse when its next operation
+    on that node escalates past the client's reconnect budget, which is
+    the recovery path cluster chaos tests exist to exercise.
+    """
+    pid = node.pid
+    if pid is None:
+        raise ValueError(f"node {node.name!r} has no server process")
+    os.kill(pid, sig)
+    wait_until(
+        lambda: not node.alive(),
+        timeout_s=10.0,
+        message=f"node {node.name!r} (pid {pid}) to die",
+    )
+    return pid
+
+
 class ServerProcess:
     """A real ``repro serve`` subprocess with crash/restart controls.
 
@@ -95,11 +116,13 @@ class ServerProcess:
         port: int = 0,
         extra_args: tuple = (),
         startup_timeout_s: float = 30.0,
+        log_path: str | None = None,
     ):
         self.sql = sql
         self.state_dir = state_dir
         self.checkpoint_interval_s = checkpoint_interval_s
         self.startup_timeout_s = startup_timeout_s
+        self.log_path = log_path
         self._argv = [
             sys.executable, "-m", "repro", "serve", sql,
             "--port", str(port),
@@ -115,6 +138,7 @@ class ServerProcess:
             self._argv += ["--checkpoint-interval", str(checkpoint_interval_s)]
         self._argv += list(extra_args)
         self._process: subprocess.Popen | None = None
+        self._log_handle = None
         self._port_file: str | None = None
         self.host: str | None = None
         self.port: int | None = None
@@ -132,9 +156,17 @@ class ServerProcess:
         if os.path.exists(self._port_file):
             os.unlink(self._port_file)
         argv = self._argv + ["--port-file", self._port_file]
+        if self.log_path is not None:
+            # Append so a respawn on the same path keeps the crash's tail;
+            # CI uploads these files when a cluster test fails.
+            self._log_handle = open(self.log_path, "ab")
+            stdout = self._log_handle
+        else:
+            self._log_handle = None
+            stdout = subprocess.PIPE
         self._process = subprocess.Popen(
             argv,
-            stdout=subprocess.PIPE,
+            stdout=stdout,
             stderr=subprocess.STDOUT,
             env=os.environ.copy(),
         )
@@ -176,7 +208,19 @@ class ServerProcess:
             output, _ = self._process.communicate(timeout=10)
         except subprocess.TimeoutExpired:  # pragma: no cover - last resort
             return "<no output: process did not exit>"
+        if self._log_handle is not None:
+            self._close_log()
+            try:
+                with open(self.log_path, "rb") as handle:
+                    return handle.read().decode("utf-8", "replace")
+            except OSError:  # pragma: no cover - log vanished
+                return "<no output: log file unreadable>"
         return (output or b"").decode("utf-8", "replace")
+
+    def _close_log(self) -> None:
+        if self._log_handle is not None:
+            self._log_handle.close()
+            self._log_handle = None
 
     @property
     def pid(self) -> int:
@@ -193,6 +237,7 @@ class ServerProcess:
         if self._process.poll() is None:
             self._process.kill()
         self._process.wait(timeout=30)
+        self._close_log()
         self._cleanup_port_file()
 
     def stop(self, timeout_s: float = 30.0) -> int:
@@ -207,6 +252,7 @@ class ServerProcess:
         except subprocess.TimeoutExpired:
             self._process.kill()
             self._process.wait(timeout=30)
+        self._close_log()
         self._cleanup_port_file()
         return self._process.returncode
 

@@ -326,3 +326,64 @@ class TestScalingSuite:
             run_scaling_suite(scale=0.0)
         with pytest.raises(ParameterError):
             run_scaling_suite(repeats=0)
+
+
+class TestClusterSuite:
+    @pytest.fixture(scope="class")
+    def cluster_artifact(self):
+        from repro.bench.cluster import run_cluster_suite
+
+        # Two in-process nodes, one pass, a tiny trace: enough to walk
+        # every suite phase (ingest, recovery, rebalance) under pytest.
+        return run_cluster_suite(
+            name="test-cluster",
+            scale=0.1,
+            repeats=1,
+            nodes=2,
+            batch_size=64,
+        )
+
+    def test_envelope_and_entries(self, cluster_artifact):
+        assert cluster_artifact["version"] == ARTIFACT_VERSION
+        entries = cluster_artifact["entries"]
+        assert entries["cluster.inprocess.rows_per_sec"]["value"] > 0
+        assert entries["cluster.2node.rows_per_sec"]["value"] > 0
+        assert entries["cluster.2node.recovery.respawn_ms"]["value"] > 0
+        assert entries["cluster.rebalance.decommission_ms"]["value"] > 0
+
+    def test_equality_gates_hold_exactly(self, cluster_artifact):
+        entries = cluster_artifact["entries"]
+        for name in (
+            "cluster.2node.match_single",
+            "cluster.2node.recovery.match_single",
+            "cluster.rebalance.match_single",
+        ):
+            assert entries[name] == {
+                "value": 1.0,
+                "unit": "bool",
+                "gate": True,
+                "higher_is_better": True,
+                "exact": True,
+            }
+        lost = entries["cluster.2node.recovery.rows_lost"]
+        assert lost["value"] == 0.0
+        assert lost["gate"] and lost["exact"]
+
+    def test_timing_entries_ungated(self, cluster_artifact):
+        for name, entry in cluster_artifact["entries"].items():
+            if name.endswith("rows_per_sec") or name.endswith("_ms"):
+                assert not entry["gate"], name
+
+    def test_self_comparison_passes_gate(self, cluster_artifact):
+        report = compare_artifacts(cluster_artifact, cluster_artifact)
+        assert report["regressions"] == []
+
+    def test_rejects_bad_parameters(self):
+        from repro.bench.cluster import run_cluster_suite
+
+        with pytest.raises(ParameterError):
+            run_cluster_suite(scale=0.0)
+        with pytest.raises(ParameterError):
+            run_cluster_suite(repeats=0)
+        with pytest.raises(ParameterError):
+            run_cluster_suite(nodes=1)
