@@ -56,6 +56,12 @@ Three commands make the library usable without writing Python:
 
         python -m repro cluster "select tb, destIP, count(*) as c from TCP
             group by time/60 as tb, destIP" --nodes 3 --verify
+
+``store``
+    Inspect a tiered group-state store directory (``repro.store``, as
+    written by ``serve --store-dir``)::
+
+        python -m repro store inspect /var/lib/repro/state
 """
 
 from __future__ import annotations
@@ -231,6 +237,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "eh_epsilon": args.epsilon,
             "sample_size": args.sample_size,
         },
+        store_dir=args.store_dir,
+        store_hot_groups=args.store_hot_groups,
     )
     server = StreamServer(
         backend,
@@ -436,6 +444,83 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_inspect(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.core.errors import StoreError
+    from repro.store import MANIFEST_NAME, SegmentReader
+
+    directory = args.directory
+    if not os.path.isdir(directory):
+        print(f"error: {directory!r} is not a directory", file=sys.stderr)
+        return 2
+    report: dict = {"directory": directory}
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    manifest = None
+    if os.path.exists(manifest_path):
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        live_by_segment: dict[str, int] = {}
+        for seg, _off, _len in manifest.get("directory", {}).values():
+            live_by_segment[seg] = live_by_segment.get(seg, 0) + 1
+        report["manifest"] = {
+            "version": manifest.get("version"),
+            "query": manifest.get("query"),
+            "tuples_in": manifest.get("tuples_in"),
+            "groups": len(manifest.get("directory", {})),
+            "segments": manifest.get("segments", []),
+        }
+    else:
+        live_by_segment = {}
+        report["manifest"] = None
+    segments = []
+    seg_dir = os.path.join(directory, "segments")
+    names = sorted(os.listdir(seg_dir)) if os.path.isdir(seg_dir) else []
+    for name in names:
+        path = os.path.join(seg_dir, name)
+        entry: dict = {"name": name, "bytes": os.path.getsize(path)}
+        if name.endswith(".quarantined"):
+            entry["status"] = "quarantined"
+        elif name.endswith(".tmp"):
+            entry["status"] = "staging (open writer or crash leftover)"
+        else:
+            try:
+                reader = SegmentReader(path)
+                # Full scan: CRC-check every record, not just the footer.
+                # An inspect exists to find rot before a query does.
+                for _offset, _record in reader.iter_records():
+                    pass
+                entry["status"] = "ok"
+                entry["records"] = reader.records
+                entry["live"] = live_by_segment.get(name, 0)
+            except StoreError as error:
+                entry["status"] = f"corrupt: {error}"
+        segments.append(entry)
+    report["segments"] = segments
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"store: {directory}")
+    if manifest is None:
+        print("manifest: none (store was not checkpointed)")
+    else:
+        m = report["manifest"]
+        print(
+            f"manifest: v{m['version']}, {m['groups']:,} group(s), "
+            f"{len(m['segments'])} segment(s) referenced"
+        )
+        print(f"query: {m['query']}")
+    for entry in segments:
+        line = f"  {entry['name']:<28} {entry['bytes']:>12,} B  {entry['status']}"
+        if "records" in entry:
+            line += f"  ({entry['records']:,} records, {entry['live']:,} live)"
+        print(line)
+    if not segments:
+        print("  (no segment files)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -562,6 +647,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="accuracy for sketch-backed aggregates")
     serve.add_argument("--sample-size", type=int, default=100,
                        help="k for sampler UDAFs")
+    serve.add_argument("--store-dir", default=None,
+                       help="tiered group-state directory: spill groups "
+                       "beyond the hot budget to segment files here "
+                       "(results unchanged; restarts recover from the "
+                       "store manifest)")
+    serve.add_argument("--store-hot-groups", type=int, default=4096,
+                       help="groups kept in RAM per engine when "
+                       "--store-dir is set")
     serve.set_defaults(handler=_cmd_serve)
 
     cluster = commands.add_parser(
@@ -649,6 +742,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _client_common(client_checkpoint)
     client_checkpoint.set_defaults(handler=_cmd_client_checkpoint)
+
+    store = commands.add_parser(
+        "store", help="inspect tiered group-state store directories"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    store_inspect = store_commands.add_parser(
+        "inspect", help="dump a store's manifest and segment metadata"
+    )
+    store_inspect.add_argument("directory",
+                               help="store directory (as passed to "
+                               "--store-dir; for sharded stores, one "
+                               "shard<i> subdirectory)")
+    store_inspect.add_argument("--json", action="store_true",
+                               help="emit the report as JSON")
+    store_inspect.set_defaults(handler=_cmd_store_inspect)
 
     stats = commands.add_parser(
         "stats", help="render the observability snapshot of the last bench run"

@@ -62,6 +62,24 @@ class SchemaError(DecayError, ValueError):
     """A tuple or expression does not conform to the stream schema."""
 
 
+class StoreError(DecayError, ValueError):
+    """A tiered-store segment is unreadable, corrupt, or inconsistent.
+
+    Raised by :mod:`repro.store` when an on-disk record fails its CRC,
+    a segment is truncated mid-record, or a manifest references state
+    that no longer exists.  Carries the offending ``segment`` path and
+    record ``offset`` (when known) so operators can quarantine the exact
+    file — the store never crashes on bad bytes and never silently
+    returns a wrong answer derived from them.
+    """
+
+    def __init__(self, message: str, segment: str | None = None,
+                 offset: int | None = None):
+        super().__init__(message)
+        self.segment = segment
+        self.offset = offset
+
+
 class OverflowGuardError(DecayError, OverflowError):
     """An internal ``g(t_i - L)`` weight exceeded the representable range.
 

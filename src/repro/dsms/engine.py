@@ -98,6 +98,13 @@ class QueryEngine:
         methods on the instance, not by per-tuple flag checks.
     metrics_name:
         Label used in metric names (defaults to ``"query"``).
+    store:
+        Optional :class:`~repro.store.tiered.TieredStore`.  When given,
+        the store bounds how many groups stay in RAM: cold groups spill
+        to on-disk segments and fault back in exactly on first touch, so
+        results stay byte-identical to the all-RAM engine (see
+        :mod:`repro.store`).  When None (the default), nothing changes —
+        the dict-backed path is untouched.
     """
 
     def __init__(
@@ -109,6 +116,7 @@ class QueryEngine:
         emit_on_bucket_change: bool = False,
         metrics=None,
         metrics_name: str = "query",
+        store=None,
     ):
         if low_table_size < 1:
             raise QueryError(f"low_table_size must be >= 1, got {low_table_size!r}")
@@ -147,6 +155,12 @@ class QueryEngine:
             from repro.obs.instrument import EngineInstrumentation
 
             self._obs = EngineInstrumentation(self, metrics, metrics_name)
+        self._store = None
+        if store is not None:
+            # Sets self._store, swaps _high for a fault-in view, and
+            # shadows process() — after instrumentation, so store
+            # accounting wraps the instrumented methods.
+            store.attach(self)
 
     # -- statistics ---------------------------------------------------------------
 
@@ -167,10 +181,17 @@ class QueryEngine:
 
     @property
     def group_count(self) -> int:
-        """Number of live groups (low + high level)."""
+        """Number of live groups (low + high level, plus spilled groups)."""
         keys = set(self._high)
         keys.update(self._low)
+        if self._store is not None:
+            keys.update(self._store.cold_key_set())
         return len(keys)
+
+    @property
+    def store(self):
+        """The attached :class:`~repro.store.tiered.TieredStore`, or None."""
+        return self._store
 
     def _validate(self) -> None:
         if not self.query.select:
@@ -321,6 +342,10 @@ class QueryEngine:
             key_rows = [row]
             pending[key] = (states, key_rows, key_rows.append)
         self._apply_pending(pending)
+        if self._store is not None:
+            # One call per batch, never per tuple: the store accounts the
+            # touched keys and enforces the hot-tier budget.
+            self._store.observe_batch(keys)
 
     # -- columnar path ------------------------------------------------------------
 
@@ -472,6 +497,8 @@ class QueryEngine:
             indices = [index]
             pending[key] = (states, indices, indices.append)
         self._apply_pending_cols(pending, arg_cols)
+        if self._store is not None:
+            self._store.observe_batch(keys)
 
     def _apply_pending_cols(self, pending: dict, arg_cols: tuple) -> None:
         agg_plans = self._agg_plans
@@ -586,6 +613,10 @@ class QueryEngine:
     # -- output ------------------------------------------------------------------
 
     def _flush_bucket(self, bucket: object) -> None:
+        if self._store is not None:
+            # A closing bucket's groups may have been evicted; fault them
+            # all in so the emission covers the full bucket.
+            self._store.load_bucket(bucket)
         if self.two_level:
             stale = [key for key in self._low if key[0] == bucket]
             for key in stale:
@@ -735,10 +766,25 @@ class QueryEngine:
     def flush(self) -> list[ResultRow]:
         """Finalize everything still open and return all pending results."""
         self._drain_low()
-        rows = [
-            self._finalize_group(key, self._high.pop(key))
-            for key in sorted(self._high, key=repr)
-        ]
+        high = self._high
+        store = self._store
+        if store is None:
+            rows = [
+                self._finalize_group(key, high.pop(key))
+                for key in sorted(high, key=repr)
+            ]
+        else:
+            # Stream cold groups one at a time instead of faulting the
+            # whole keyspace into RAM; hot and cold key sets are disjoint
+            # so the union sorts exactly like the all-RAM table.
+            keys = set(high)
+            keys.update(store.cold_key_set())
+            rows = []
+            for key in sorted(keys, key=repr):
+                states = high.pop(key, None)
+                if states is None:
+                    states = store.fault_in(key)
+                rows.append(self._finalize_group(key, states))
         self._emitted.extend(self._postprocess(rows))
         self._current_bucket = _NO_BUCKET
         return self.drain()
@@ -754,10 +800,19 @@ class QueryEngine:
         via :meth:`restore`; processing then resumes exactly where the
         checkpoint was taken.
         """
+        if self._store is not None:
+            raise QueryError(
+                "store-backed engines checkpoint through the store: call "
+                "store_checkpoint() — spilled state is referenced in the "
+                "segment files, never re-serialized"
+            )
         if not self._all_mergeable:
             raise QueryError(
                 "checkpoint requires all aggregates to be mergeable builtins; "
-                "sketch/sampler UDAF state is checkpointed via repro.core.serde"
+                "snapshot sketch/sampler queries with partial_state_bytes() "
+                "and restore them into a fresh engine via merge_partial() "
+                "(the repro.core.serde payloads cover every UDAF, RNG state "
+                "included)"
             )
         def encode_table(table: dict[tuple, list]) -> list:
             return [[list(key), [list(s) for s in states]]
@@ -776,6 +831,11 @@ class QueryEngine:
 
     def restore(self, data: dict) -> None:
         """Load a :meth:`checkpoint` into this (freshly constructed) engine."""
+        if self._store is not None:
+            raise QueryError(
+                "store-backed engines restore from the store's manifest at "
+                "construction time; do not call restore()"
+            )
         if data.get("version") != 1:
             raise QueryError(f"unsupported checkpoint version {data.get('version')!r}")
         if self._tuples_in:
@@ -792,6 +852,21 @@ class QueryEngine:
         self._tuples_in = data["tuples_in"]
         self._tuples_selected = data["tuples_selected"]
         self._low_evictions = data["low_evictions"]
+
+    def store_checkpoint(self) -> str:
+        """Persist a store-backed engine via the tiered store's manifest.
+
+        Hot state is serialized once into a checkpoint segment; cold
+        state is referenced where it already sits on disk.  A fresh
+        engine built with a store over the same directory resumes from
+        here.  Returns the manifest path.
+        """
+        if self._store is None:
+            raise QueryError(
+                "store_checkpoint() needs a store-backed engine; "
+                "plain engines use checkpoint()/partial_state_bytes()"
+            )
+        return self._store.checkpoint()
 
     # -- partial state (Section VI-B at engine granularity) -----------------------
 
@@ -819,14 +894,31 @@ class QueryEngine:
         from repro.core.serde import dump_summary
 
         self._drain_low()
+        store = self._store
+        if store is None:
+            snapshot_keys = sorted(self._high, key=repr)
+        else:
+            union = set(self._high)
+            union.update(store.cold_key_set())
+            snapshot_keys = sorted(union, key=repr)
         groups = []
-        for key in sorted(self._high, key=repr):
-            encoded = []
-            for state in self._high[key]:
-                if isinstance(state, StreamSummary):
-                    encoded.append(["summary", dump_summary(state)])
-                else:
-                    encoded.append(["plain", [encode_number(v) for v in state]])
+        for key in snapshot_keys:
+            states = dict.get(self._high, key)
+            if states is None:
+                # Cold group: splice its stored encodings verbatim — they
+                # are the same representation this loop would produce, so
+                # no decode/re-encode round-trip (and no fault-in; the
+                # snapshot is non-destructive).
+                encoded = store.encoded_states(key)
+            else:
+                encoded = []
+                for state in states:
+                    if isinstance(state, StreamSummary):
+                        encoded.append(["summary", dump_summary(state)])
+                    else:
+                        encoded.append(
+                            ["plain", [encode_number(v) for v in state]]
+                        )
             groups.append([[tag_key(part) for part in key], encoded])
         return {
             "version": PARTIAL_STATE_VERSION,

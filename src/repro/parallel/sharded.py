@@ -151,6 +151,14 @@ class ShardedEngine:
         respawned before the engine gives up and raises
         :class:`QueryError` (a crash-looping worker indicates a bug, not
         transient bad luck).
+    store_dir / store_hot_groups:
+        Tiered group-state storage (:mod:`repro.store`).  When
+        ``store_dir`` is set each shard worker attaches a
+        :class:`~repro.store.tiered.TieredStore` over
+        ``<store_dir>/shard<i>`` and keeps at most ``store_hot_groups``
+        groups in RAM; every state reply persists the shard's segment
+        manifest, and a supervised respawn rebuilds the worker from
+        those segments instead of re-shipping a checkpoint blob.
     """
 
     def __init__(
@@ -175,6 +183,8 @@ class ShardedEngine:
         emit_on_bucket_change: bool = False,
         supervise: bool = True,
         max_respawns: int = 3,
+        store_dir: str | None = None,
+        store_hot_groups: int = 4096,
     ):
         if shards < 1:
             raise ParameterError(f"shards must be >= 1, got {shards!r}")
@@ -213,6 +223,8 @@ class ShardedEngine:
             registry_factory=registry_factory,
             registry_params=dict(registry_params or {}),
             emit_on_bucket_change=emit_on_bucket_change,
+            store_dir=store_dir,
+            store_hot_groups=store_hot_groups,
         )
         # Local plan: validates the query against the schema up front and
         # provides the compiled GROUP BY expressions for routing.
@@ -249,7 +261,12 @@ class ShardedEngine:
         self._failures: list[ShardFailure] = []
         self._obs_init(metrics)
         if self.inline:
-            self._engines = [self._plan.build_engine() for __ in range(shards)]
+            self._engines = [
+                self._plan.build_engine(
+                    store_dir=self._plan.shard_store_dir(shard)
+                )
+                for shard in range(shards)
+            ]
             self._context = None
         else:
             self._context = multiprocessing.get_context(start_method)
@@ -360,7 +377,10 @@ class ShardedEngine:
         self._workers[shard] = new_process
         self._rings[shard] = ring
         blob = self._ckpt_blobs[shard]
-        if blob is not None:
+        if blob is not None and self._plan.store_dir is None:
+            # Store-backed shards recover from their own segment manifest
+            # (written with every state reply) when the replacement builds
+            # its engine; re-shipping the blob would double-count.
             queue.put(("merge", blob))
         # The replacement's durable content is exactly the checkpoint.
         self._shipped_total[shard] = recovered
@@ -674,7 +694,13 @@ class ShardedEngine:
         self._ensure_open()
         self._ship_all()
         if self.inline:
-            return [engine.partial_state_bytes() for engine in self._engines]
+            # Same contract as the worker's state handler: a snapshot of
+            # a store-backed shard also makes its manifest durable.
+            blobs = [engine.partial_state_bytes() for engine in self._engines]
+            for engine in self._engines:
+                if engine.store is not None:
+                    engine.store_checkpoint()
+            return blobs
         # Pipelined: every request is queued before the first reply is
         # read, so shards snapshot concurrently.  No ship can interleave
         # (single-threaded router), so the post-put row total is the mark.
@@ -813,6 +839,9 @@ class ShardedEngine:
         if self.inline:
             self._ship_all()
             counts = [engine.tuples_processed for engine in self._engines]
+            for engine in self._engines:
+                if engine.store is not None:
+                    engine.store.close()
         else:
             stopped = []
             for shard in range(self.shards):

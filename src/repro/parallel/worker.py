@@ -49,6 +49,7 @@ of deadlocking on a silent child death.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -70,6 +71,14 @@ class ShardPlan:
     default is :func:`repro.dsms.udaf.default_registry` with
     ``registry_params`` as keyword arguments, which covers every builtin
     and adapter aggregate.
+
+    ``store_dir`` configures tiered group-state storage (see
+    :mod:`repro.store`): each shard worker owns the subdirectory
+    ``<store_dir>/shard<i>``, so spilled segments double as the shard's
+    checkpoint substrate.  The plan only *carries* the configuration —
+    engines get a store when the caller asks for one via
+    :meth:`build_engine`, so collector engines built from the same plan
+    stay plain dict-backed.
     """
 
     sql: str
@@ -79,22 +88,44 @@ class ShardPlan:
     registry_factory: Callable[..., UdafRegistry] = default_registry
     registry_params: dict = field(default_factory=dict)
     emit_on_bucket_change: bool = False
+    store_dir: str | None = None
+    store_hot_groups: int = 4096
+    store_segment_bytes: int = 4 << 20
 
-    def build_engine(self) -> QueryEngine:
+    def shard_store_dir(self, shard_id: int) -> str | None:
+        """The store directory one shard worker owns (None when storeless)."""
+        if self.store_dir is None:
+            return None
+        return os.path.join(self.store_dir, f"shard{shard_id}")
+
+    def build_engine(self, store_dir: str | None = None) -> QueryEngine:
         """Parse the query with a freshly built registry and plan it.
 
         Each worker gets private UDAF instances (samplers count per-group
         RNG streams on the UDAF object), so shards never share mutable
-        plan state.
+        plan state.  ``store_dir`` attaches a fresh
+        :class:`~repro.store.tiered.TieredStore` over that directory
+        (recovering its manifest if one exists); the default builds a
+        plain all-RAM engine — what query-time collectors want.
         """
         registry = self.registry_factory(**self.registry_params)
         query = parse_query(self.sql, registry)
+        store = None
+        if store_dir is not None:
+            from repro.store import TieredStore
+
+            store = TieredStore(
+                store_dir,
+                hot_groups=self.store_hot_groups,
+                segment_bytes=self.store_segment_bytes,
+            )
         return QueryEngine(
             query,
             self.schema,
             two_level=self.two_level,
             low_table_size=self.low_table_size,
             emit_on_bucket_change=self.emit_on_bucket_change,
+            store=store,
         )
 
 
@@ -113,7 +144,7 @@ def shard_worker_main(
     it with pre-loaded queues).
     """
     try:
-        engine = plan.build_engine()
+        engine = plan.build_engine(store_dir=plan.shard_store_dir(shard_id))
         while True:
             message = in_queue.get()
             tag = message[0]
@@ -131,10 +162,19 @@ def shard_worker_main(
             elif tag == "merge":
                 engine.merge_partial(message[1])
             elif tag == "state":
-                conn.send(("state", engine.partial_state_bytes()))
+                blob = engine.partial_state_bytes()
+                if engine.store is not None:
+                    # Make the manifest durable before acknowledging: the
+                    # parent treats a state reply as this shard's recovery
+                    # point, and a store-backed respawn recovers from the
+                    # segments, not from a re-shipped blob.
+                    engine.store_checkpoint()
+                conn.send(("state", blob))
             elif tag == "drain":
                 conn.send(("rows", engine.drain()))
             elif tag == "stop":
+                if engine.store is not None:
+                    engine.store.close()
                 conn.send(("stopped", engine.tuples_processed))
                 break
             else:

@@ -51,15 +51,32 @@ class _BackendBase:
             return []
         return merge_all(collectors).flush()
 
+    def checkpoint_blobs(self) -> list[bytes]:
+        """The blobs a graceful-shutdown checkpoint should persist.
+
+        Defaults to :meth:`partial_blobs`; store-backed backends override
+        this to checkpoint through their segment manifest instead and
+        return nothing for the blob file.
+        """
+        return self.partial_blobs()
+
 
 class SingleEngineBackend(_BackendBase):
-    """One in-process :class:`QueryEngine` behind the server."""
+    """One in-process :class:`QueryEngine` behind the server.
+
+    With ``plan.store_dir`` set, the engine runs store-backed: groups
+    beyond the hot budget live in on-disk segments (results unchanged —
+    merge-at-query is exact), restarts recover from the store manifest
+    at construction, and checkpoints go through
+    :meth:`QueryEngine.store_checkpoint` — hot state serialized once,
+    spilled state referenced where it already sits.
+    """
 
     kind = "single"
 
     def __init__(self, plan: ShardPlan):
         super().__init__(plan)
-        self._engine = plan.build_engine()
+        self._engine = plan.build_engine(store_dir=plan.store_dir)
 
     def insert_many(self, rows: list[tuple]) -> None:
         """Ingest one batch through the engine's batched path."""
@@ -90,18 +107,36 @@ class SingleEngineBackend(_BackendBase):
     def tuples_in(self) -> int:
         return self._engine.tuples_processed
 
+    def checkpoint_blobs(self) -> list[bytes]:
+        """Checkpoint through the store manifest when one is attached.
+
+        A store-backed engine's durable state already lives in its
+        segment directory; ``store_checkpoint()`` publishes the manifest
+        and the server's blob file stays empty.  Storeless engines fall
+        back to the blob checkpoint.
+        """
+        if self._engine.store is not None:
+            self._engine.store_checkpoint()
+            return []
+        return self.partial_blobs()
+
     def stats(self) -> dict:
         """Backend statistics: tuples, groups, state volume."""
-        return {
+        stats = {
             "backend": self.kind,
             "tuples_in": self._engine.tuples_processed,
             "tuples_selected": self._engine.tuples_selected,
             "groups": self._engine.group_count,
             "state_bytes": self._engine.state_size_bytes(),
         }
+        if self._engine.store is not None:
+            stats["store"] = self._engine.store.stats()
+        return stats
 
     def close(self) -> None:
-        """Nothing to tear down for the in-process engine."""
+        """Close the store (if any); the engine itself needs no teardown."""
+        if self._engine.store is not None:
+            self._engine.store.close()
 
 
 class ShardedBackend(_BackendBase):
@@ -135,6 +170,8 @@ class ShardedBackend(_BackendBase):
             registry_params=plan.registry_params,
             router=stable_route,
             transport=transport,
+            store_dir=plan.store_dir,
+            store_hot_groups=plan.store_hot_groups,
         )
 
     def insert_many(self, rows: list[tuple]) -> None:
@@ -196,6 +233,8 @@ def build_backend(
     low_table_size: int = 4096,
     registry_params: dict | None = None,
     transport: str = "cols",
+    store_dir: str | None = None,
+    store_hot_groups: int = 4096,
 ):
     """Build the serving backend for one query.
 
@@ -205,6 +244,13 @@ def build_backend(
     and CI-safe; ``None`` runs one OS process per shard).  ``transport``
     picks how columnar batches reach the shard workers — see
     :class:`~repro.parallel.sharded.ShardedEngine`.
+
+    ``store_dir`` turns on tiered group-state storage (:mod:`repro.store`):
+    each engine keeps at most ``store_hot_groups`` groups in RAM and
+    spills the rest to segment files under the directory (per-shard
+    subdirectories when sharded).  Results are unchanged — spilled groups
+    fold back in exactly at query time — and restarts recover from the
+    store manifest instead of the blob checkpoint.
     """
     if shards < 0:
         raise ParameterError(f"shards must be >= 0, got {shards!r}")
@@ -214,6 +260,8 @@ def build_backend(
         two_level=two_level,
         low_table_size=low_table_size,
         registry_params=dict(registry_params or {}),
+        store_dir=store_dir,
+        store_hot_groups=store_hot_groups,
     )
     if shards == 0:
         return SingleEngineBackend(plan)

@@ -258,14 +258,19 @@ class StreamServer:
         return path
 
     def write_checkpoint(self) -> str | None:
-        """Persist every backend partial state to ``state_dir`` (atomic)."""
+        """Persist every backend partial state to ``state_dir`` (atomic).
+
+        Store-backed backends checkpoint through their segment manifest
+        (``checkpoint_blobs`` publishes it and returns no blobs); the
+        envelope written here then only marks that a checkpoint ran.
+        """
         path = self.checkpoint_path
         if path is None:
             return None
         envelope = dump_partials_checkpoint(
             self.backend.sql,
             self.backend.schema.names(),
-            self.backend.partial_blobs(),
+            self.backend.checkpoint_blobs(),
         )
         os.makedirs(self.state_dir, exist_ok=True)
         tmp = path + ".tmp"

@@ -1,0 +1,43 @@
+"""Tiered group-state storage: hot RAM tier + cold on-disk segments.
+
+The millions-of-groups answer to the paper's fixed-numerator observation
+(Sections IV, VI-B): because a group's partial state under forward decay
+is a mergeable, location-independent blob, cold groups can live on disk
+and fault back in exactly — tiered query results are byte-identical to
+the all-RAM engine.
+
+* :class:`TieredStore` — attach to one
+  :class:`~repro.dsms.engine.QueryEngine` via its ``store=`` argument;
+  bounds hot groups, spills by decayed touch weight, checkpoints via
+  segment references.
+* :class:`TenantStore` — per-tenant stores with per-tenant decay and a
+  scheduled Section VI-A renormalization + compaction sweep.
+* :class:`SegmentWriter` / :class:`SegmentReader` — the append-only,
+  CRC-checked segment format itself.
+* :class:`StoreError` — structured corruption/inconsistency failures,
+  carrying the offending segment and offset.
+"""
+
+from repro.core.errors import StoreError
+from repro.store.segment import (
+    SEGMENT_VERSION,
+    SegmentReader,
+    SegmentWriter,
+    canonical_key,
+    read_record_at,
+)
+from repro.store.tenant import TenantStore
+from repro.store.tiered import MANIFEST_NAME, MANIFEST_VERSION, TieredStore
+
+__all__ = [
+    "TieredStore",
+    "TenantStore",
+    "SegmentReader",
+    "SegmentWriter",
+    "SEGMENT_VERSION",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "StoreError",
+    "canonical_key",
+    "read_record_at",
+]

@@ -1,0 +1,278 @@
+"""Append-only segment files: the cold tier's on-disk record format.
+
+A segment holds serialized group states — the same versioned serde
+payloads that :meth:`~repro.dsms.engine.QueryEngine.partial_state`
+ships between shards — in a crash-evident, random-access layout:
+
+``header``
+    ``b"RSEG"`` magic plus one format-version byte.
+``records``
+    Each record is ``<u32 body length> <u32 CRC32(body)> <body>``; the
+    body is compact UTF-8 JSON ``{"k": tagged-key, "s": encoded-states,
+    "g": generation}``.  Keys use :func:`repro.core.protocol.tag_key`,
+    states use the ``partial_state`` group encoding (``["plain", ...]``
+    scalars or ``["summary", ...]`` serde envelopes), so a record folds
+    into any engine running the same query with zero re-encoding.
+``footer``
+    A length+CRC framed JSON index mapping the canonical key string of
+    every record to ``[offset, length]`` — one seek resolves any group.
+``trailer``
+    ``<u64 footer offset> b"GESR"`` — fixed-size, so a reader finds the
+    footer from the end of the file.
+
+Writers stage to ``<name>.tmp`` and publish with an atomic
+``os.replace`` (the serve checkpointer's write-then-rename discipline),
+so a finalized segment is either completely present or absent.  Every
+read re-validates lengths and CRCs; violations raise a structured
+:class:`~repro.core.errors.StoreError` naming the segment and offset —
+never a crash, never silently wrong bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Iterator
+
+from repro.core.errors import StoreError
+
+__all__ = [
+    "SEGMENT_VERSION",
+    "SegmentWriter",
+    "SegmentReader",
+    "canonical_key",
+    "read_record_at",
+]
+
+SEGMENT_VERSION = 1
+
+_HEADER_MAGIC = b"RSEG"
+_TRAILER_MAGIC = b"GESR"
+_HEADER = _HEADER_MAGIC + bytes([SEGMENT_VERSION])
+_REC = struct.Struct("<II")  # body length, CRC32(body)
+_TRAILER = struct.Struct("<Q4s")  # footer offset, magic
+
+
+def canonical_key(tagged_key: list) -> str:
+    """The canonical string form of a tagged group key.
+
+    Used as the footer-index key and as the manifest-directory key, so
+    every layer that names a group on disk names it identically.
+    """
+    return json.dumps(tagged_key, separators=(",", ":"))
+
+
+def _encode_record(tagged_key: list, encoded_states: list, generation: int) -> bytes:
+    body = json.dumps(
+        {"k": tagged_key, "s": encoded_states, "g": generation},
+        separators=(",", ":"),
+        allow_nan=False,
+    ).encode("utf-8")
+    return _REC.pack(len(body), zlib.crc32(body)) + body
+
+
+def _decode_json(body: bytes, segment: str, offset: int) -> dict:
+    try:
+        record = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreError(
+            f"segment {segment}: undecodable record at offset {offset}: {exc}",
+            segment=segment, offset=offset,
+        ) from exc
+    if not isinstance(record, dict):
+        raise StoreError(
+            f"segment {segment}: malformed record at offset {offset}",
+            segment=segment, offset=offset,
+        )
+    return record
+
+
+def _decode_body(body: bytes, segment: str, offset: int) -> dict:
+    record = _decode_json(body, segment, offset)
+    if "k" not in record or "s" not in record:
+        raise StoreError(
+            f"segment {segment}: malformed record at offset {offset}",
+            segment=segment, offset=offset,
+        )
+    return record
+
+
+def read_record_at(path: str, offset: int, length: int) -> dict:
+    """Read and CRC-check one record from ``path`` at ``offset``.
+
+    ``length`` is the full framed record length (header + body) as
+    returned by :meth:`SegmentWriter.append`; a record that is shorter,
+    longer, or fails its CRC raises :class:`StoreError` with the exact
+    location.  Works on finalized segments and on a writer's staging
+    file alike (the store reads its own open segment through this).
+    """
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        framed = handle.read(length)
+    if len(framed) < _REC.size:
+        raise StoreError(
+            f"segment {path}: truncated record header at offset {offset} "
+            f"({len(framed)} of {_REC.size} bytes)",
+            segment=path, offset=offset,
+        )
+    body_len, crc = _REC.unpack_from(framed)
+    body = framed[_REC.size:]
+    if body_len != len(body):
+        raise StoreError(
+            f"segment {path}: truncated record at offset {offset} "
+            f"(expected {body_len} body bytes, read {len(body)})",
+            segment=path, offset=offset,
+        )
+    if zlib.crc32(body) != crc:
+        raise StoreError(
+            f"segment {path}: CRC mismatch at offset {offset}",
+            segment=path, offset=offset,
+        )
+    return _decode_body(body, path, offset)
+
+
+class SegmentWriter:
+    """Append records to a staging file; publish atomically on finalize."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.staging_path = path + ".tmp"
+        self._index: dict[str, list[int]] = {}
+        self.records = 0
+        self._handle = open(self.staging_path, "wb")
+        self._handle.write(_HEADER)
+        self._offset = len(_HEADER)
+        self.finalized = False
+
+    @property
+    def bytes_written(self) -> int:
+        """Bytes staged so far (records only, before footer/trailer)."""
+        return self._offset
+
+    def append(
+        self, tagged_key: list, encoded_states: list, generation: int = 0
+    ) -> tuple[int, int]:
+        """Stage one record; returns its ``(offset, framed length)``."""
+        framed = _encode_record(tagged_key, encoded_states, generation)
+        offset = self._offset
+        self._handle.write(framed)
+        self._offset += len(framed)
+        self._index[canonical_key(tagged_key)] = [offset, len(framed)]
+        self.records += 1
+        return offset, len(framed)
+
+    def flush(self) -> None:
+        """Push staged bytes to the OS so :func:`read_record_at` sees them."""
+        self._handle.flush()
+
+    def finalize(self) -> str:
+        """Write footer + trailer, fsync, and atomically publish.
+
+        Returns the final path.  After this the writer is closed.
+        """
+        index_body = json.dumps(
+            {"version": SEGMENT_VERSION, "records": self.records,
+             "index": self._index},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        footer_offset = self._offset
+        self._handle.write(
+            _REC.pack(len(index_body), zlib.crc32(index_body)) + index_body
+        )
+        self._handle.write(_TRAILER.pack(footer_offset, _TRAILER_MAGIC))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        os.replace(self.staging_path, self.path)
+        self.finalized = True
+        return self.path
+
+    def abort(self) -> None:
+        """Discard the staging file (crash-equivalent: nothing published)."""
+        if not self._handle.closed:
+            self._handle.close()
+        if os.path.exists(self.staging_path):
+            os.unlink(self.staging_path)
+
+
+class SegmentReader:
+    """Random and sequential access to one finalized segment.
+
+    Opening validates the header, trailer, and footer CRC up front, so a
+    truncated or bit-flipped segment fails fast with a located
+    :class:`StoreError` instead of yielding garbage groups later.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        try:
+            size = os.path.getsize(path)
+        except OSError as exc:
+            raise StoreError(
+                f"segment {path}: unreadable: {exc}", segment=path
+            ) from exc
+        if size < len(_HEADER) + _REC.size + _TRAILER.size:
+            raise StoreError(
+                f"segment {path}: too short to be a segment ({size} bytes)",
+                segment=path, offset=0,
+            )
+        with open(path, "rb") as handle:
+            header = handle.read(len(_HEADER))
+            if header[:4] != _HEADER_MAGIC:
+                raise StoreError(
+                    f"segment {path}: bad magic {header[:4]!r}",
+                    segment=path, offset=0,
+                )
+            if header[4] != SEGMENT_VERSION:
+                raise StoreError(
+                    f"segment {path}: unsupported version {header[4]}",
+                    segment=path, offset=4,
+                )
+            handle.seek(size - _TRAILER.size)
+            footer_offset, magic = _TRAILER.unpack(handle.read(_TRAILER.size))
+            if magic != _TRAILER_MAGIC:
+                raise StoreError(
+                    f"segment {path}: bad trailer magic (truncated "
+                    "finalize?)", segment=path, offset=size - _TRAILER.size,
+                )
+            if not len(_HEADER) <= footer_offset <= size - _TRAILER.size - _REC.size:
+                raise StoreError(
+                    f"segment {path}: footer offset {footer_offset} outside "
+                    f"file of {size} bytes", segment=path, offset=footer_offset,
+                )
+            handle.seek(footer_offset)
+            frame = handle.read(_REC.size)
+            body_len, crc = _REC.unpack(frame)
+            body = handle.read(body_len)
+            if len(body) != body_len or zlib.crc32(body) != crc:
+                raise StoreError(
+                    f"segment {path}: corrupt footer at offset "
+                    f"{footer_offset}", segment=path, offset=footer_offset,
+                )
+        footer = _decode_json(body, path, footer_offset)
+        if "index" not in footer:
+            raise StoreError(
+                f"segment {path}: footer carries no index",
+                segment=path, offset=footer_offset,
+            )
+        self.footer_offset = footer_offset
+        self.records = int(footer.get("records", len(footer["index"])))
+        #: canonical key string -> [offset, framed length]
+        self.index: dict[str, list[int]] = footer["index"]
+
+    def read(self, canonical: str) -> dict:
+        """Read the record for one canonical key (KeyError if absent)."""
+        offset, length = self.index[canonical]
+        return read_record_at(self.path, offset, length)
+
+    def iter_records(self) -> Iterator[tuple[int, dict]]:
+        """Yield ``(offset, record)`` for every record, in file order.
+
+        CRC-checks each record; corruption raises :class:`StoreError`
+        at the offending offset.
+        """
+        for canonical in sorted(self.index, key=lambda k: self.index[k][0]):
+            offset, length = self.index[canonical]
+            yield offset, read_record_at(self.path, offset, length)

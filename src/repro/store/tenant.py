@@ -1,0 +1,159 @@
+"""Per-tenant tiered stores: one decay regime and store directory each.
+
+A multi-tenant deployment runs many independent queries over shared
+infrastructure, each tenant with its own notion of staleness — its own
+forward-decay function and landmark (Section III-B: the landmark is a
+per-query choice).  :class:`TenantStore` scopes one
+:class:`~repro.store.tiered.TieredStore` per tenant under a common root::
+
+    root/
+      tenants/
+        alice/   segments/ ... MANIFEST.json
+        bob/     segments/ ... MANIFEST.json
+
+and schedules the Section VI-A renormalization sweep across all of them:
+every ``sweep_every`` arrivals (summed across tenants), each tenant's
+eviction priorities are re-anchored at its current arrival index and its
+segments are force-compacted — the on-disk rewrite that drops dead
+generations and keeps the cold tier's footprint proportional to live
+groups.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from repro.core.decay import ForwardDecay
+from repro.core.errors import ParameterError
+from repro.store.tiered import TieredStore
+
+__all__ = ["TenantStore"]
+
+_TENANT_NAME = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+class TenantStore:
+    """A family of :class:`TieredStore` instances, one per tenant.
+
+    Parameters mirror :class:`TieredStore` and act as defaults for every
+    tenant; :meth:`tenant` accepts per-tenant overrides (most importantly
+    ``decay`` — each tenant evicts under its own decay function and
+    landmark).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        hot_groups: int = 4096,
+        segment_bytes: int = 4 << 20,
+        decay: ForwardDecay | None = None,
+        sweep_every: int = 1_000_000,
+        metrics=None,
+    ):
+        if sweep_every < 1:
+            raise ParameterError(
+                f"sweep_every must be >= 1, got {sweep_every!r}"
+            )
+        self.root = root
+        self.hot_groups = hot_groups
+        self.segment_bytes = segment_bytes
+        self.decay = decay
+        self.sweep_every = sweep_every
+        self.metrics = metrics
+        self._tenants: dict[str, TieredStore] = {}
+        self._swept_at = 0
+        self.sweeps = 0
+
+    def tenant(
+        self,
+        name: str,
+        decay: ForwardDecay | None = None,
+        hot_groups: int | None = None,
+    ) -> TieredStore:
+        """The named tenant's store, created on first use.
+
+        ``decay`` fixes the tenant's eviction decay (function + landmark)
+        at creation; asking again with a different one is an error, not a
+        silent reconfiguration.
+        """
+        existing = self._tenants.get(name)
+        if existing is not None:
+            if decay is not None and decay != existing._decay:
+                raise ParameterError(
+                    f"tenant {name!r} already uses decay {existing._decay}; "
+                    "close and recreate it to change decay regimes"
+                )
+            return existing
+        if not _TENANT_NAME.match(name):
+            raise ParameterError(
+                f"invalid tenant name {name!r}; use 1-64 characters from "
+                "[A-Za-z0-9._-]"
+            )
+        store = TieredStore(
+            os.path.join(self.root, "tenants", name),
+            hot_groups=self.hot_groups if hot_groups is None else hot_groups,
+            segment_bytes=self.segment_bytes,
+            decay=decay if decay is not None else self.decay,
+            metrics=self.metrics,
+            metrics_name=f"tenant.{name}",
+        )
+        self._tenants[name] = store
+        return store
+
+    def tenants(self) -> list[str]:
+        """Names of the tenants opened so far, sorted."""
+        return sorted(self._tenants)
+
+    def _total_arrivals(self) -> int:
+        return sum(store._arrivals for store in self._tenants.values())
+
+    def maybe_sweep(self) -> bool:
+        """Run :meth:`sweep` once ``sweep_every`` arrivals have accrued
+        since the last sweep (across all tenants); returns True if swept.
+        """
+        if self._total_arrivals() - self._swept_at < self.sweep_every:
+            return False
+        self.sweep()
+        return True
+
+    def sweep(self) -> None:
+        """Renormalize every tenant and force-compact its segments.
+
+        The per-tenant half of Section VI-A at the storage layer:
+        priorities re-anchor at the tenant's current arrival index, and a
+        forced compaction rewrites each tenant's sealed segments so dead
+        record generations stop occupying disk.
+        """
+        for store in self._tenants.values():
+            store.renormalize()
+            store.compact(force=True)
+        self._swept_at = self._total_arrivals()
+        self.sweeps += 1
+
+    def checkpoint(self) -> list[str]:
+        """Checkpoint every tenant; returns the manifest paths."""
+        return [
+            self._tenants[name].checkpoint() for name in sorted(self._tenants)
+        ]
+
+    def stats(self) -> dict:
+        """Per-tenant occupancy plus totals, JSON-compatible."""
+        per_tenant = {
+            name: self._tenants[name].stats() for name in sorted(self._tenants)
+        }
+        return {
+            "tenants": per_tenant,
+            "tenant_count": len(per_tenant),
+            "sweeps": self.sweeps,
+            "hot_groups": sum(s["hot_groups"] for s in per_tenant.values()),
+            "cold_groups": sum(s["cold_groups"] for s in per_tenant.values()),
+            "segment_bytes": sum(
+                s["segment_bytes"] for s in per_tenant.values()
+            ),
+        }
+
+    def close(self) -> None:
+        """Close every tenant store."""
+        for store in self._tenants.values():
+            store.close()

@@ -1,0 +1,841 @@
+"""The two-tier group-state manager: hot RAM map + cold on-disk segments.
+
+:class:`TieredStore` attaches to one :class:`~repro.dsms.engine.QueryEngine`
+and bounds how many groups live in RAM.  The **hot tier** is the engine's
+own high-level table; when it exceeds the configured group budget, the
+store evicts the groups with the smallest *decayed touch weight* — forward
+decay (Definition 3) over the store's arrival index, so "coldest" is the
+paper's own notion of staleness: the group whose recent activity,
+``g``-weighted toward the present, is lowest.  Evicted state is serialized
+with the exact ``partial_state`` encodings and appended to the **cold
+tier**, an append-only :mod:`~repro.store.segment` file.
+
+Exactness comes from the *write-back / fault-in* discipline, not from
+merging: a group's state is always a single live object — either hot, or a
+serialized blob on disk.  Any code path that would touch a cold group
+(high-table miss, low-table merge-up, partial-state merge, bucket close,
+flush) loads the exact serialized state back first, so every accumulator
+sees the identical update sequence as the all-RAM engine and results are
+byte-identical — sketches, samplers and their RNG streams included (the
+Section VI-B fixed-numerator property is what makes the serialized partial
+states location-independent in the first place).
+
+The rest is mechanics: segments rotate at a byte threshold, compaction
+rewrites segments dominated by dead records (earlier generations of groups
+that faulted back in), corruption quarantines the offending segment and
+keeps serving from the rest, and :meth:`checkpoint` persists a manifest
+that references cold records *in place* — only hot state is re-serialized.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import math
+import os
+import time
+
+from repro.core.decay import ForwardDecay
+from repro.core.errors import ParameterError, StoreError
+from repro.core.functions import ExponentialG, PolynomialG
+from repro.core.protocol import (
+    StreamSummary,
+    decode_number,
+    encode_number,
+    tag_key,
+    untag_key,
+)
+from repro.store.segment import (
+    SegmentReader,
+    SegmentWriter,
+    canonical_key,
+    read_record_at,
+)
+
+__all__ = ["TieredStore", "MANIFEST_NAME", "MANIFEST_VERSION"]
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+
+#: Renormalize eviction priorities before ``g(arrivals - L)`` reaches this
+#: (the Section VI-A overflow guard, applied to the store's own decay).
+_PRIORITY_CEILING = 1e100
+
+
+class _FaultingTable(dict):
+    """The engine's high table, with cold groups faulted in on ``get``.
+
+    Every hot-path miss check in the engine goes through ``high.get``;
+    overriding it is the single hook that covers group creation, low-table
+    merge-up, and partial-state merges.  Iteration, ``pop`` and
+    ``popitem`` stay plain ``dict`` operations — eviction and flushing
+    must *not* fault (the store reads through ``dict.get`` directly).
+    """
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "TieredStore", items=()):
+        super().__init__(items)
+        self.store = store
+
+    def get(self, key, default=None):
+        states = dict.get(self, key)
+        if states is not None:
+            return states
+        states = self.store.fault_in(key)
+        if states is None:
+            return default
+        self[key] = states
+        return states
+
+
+class TieredStore:
+    """Tiered storage for one engine's group state.
+
+    Parameters
+    ----------
+    directory:
+        Root directory for this store (created if missing).  Segments live
+        under ``<directory>/segments/``; the checkpoint manifest is
+        ``<directory>/MANIFEST.json``.
+    hot_groups:
+        Hot-tier budget: the maximum number of groups kept in the engine's
+        high-level table.  The low-level table is already bounded by the
+        engine's ``low_table_size``.
+    segment_bytes:
+        Rotate the open spill segment once it exceeds this many bytes.
+    decay:
+        :class:`~repro.core.decay.ForwardDecay` used for eviction
+        priorities (over the store's arrival index, not event time).
+        Defaults to quadratic forward decay.  Exactness of query results
+        never depends on this — it only ranks eviction victims.
+    compact_min_segments:
+        Opportunistic compaction considers rewriting once at least this
+        many sealed segments exist.
+    compact_garbage_ratio:
+        A sealed segment is rewritten when more than this fraction of its
+        records are dead (superseded by fault-in or later spills).
+    metrics / metrics_name:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when
+        enabled, the store records under ``store.<metrics_name>.``.
+        Disabled or absent registries cost nothing on the ingest path —
+        the store only acts per batch, never per tuple.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        hot_groups: int = 4096,
+        segment_bytes: int = 4 << 20,
+        decay: ForwardDecay | None = None,
+        compact_min_segments: int = 4,
+        compact_garbage_ratio: float = 0.5,
+        metrics=None,
+        metrics_name: str = "store",
+    ):
+        if hot_groups < 1:
+            raise ParameterError(f"hot_groups must be >= 1, got {hot_groups!r}")
+        if segment_bytes < 1:
+            raise ParameterError(
+                f"segment_bytes must be >= 1, got {segment_bytes!r}"
+            )
+        if not 0.0 < compact_garbage_ratio <= 1.0:
+            raise ParameterError(
+                "compact_garbage_ratio must be in (0, 1], got "
+                f"{compact_garbage_ratio!r}"
+            )
+        self.directory = directory
+        self.hot_groups = hot_groups
+        self.segment_bytes = segment_bytes
+        self.compact_min_segments = compact_min_segments
+        self.compact_garbage_ratio = compact_garbage_ratio
+        self._decay = decay if decay is not None else ForwardDecay(PolynomialG(2.0))
+        self._segments_dir = os.path.join(directory, "segments")
+        self._engine = None
+        # group key -> (segment name, record offset, framed length)
+        self._cold: dict[tuple, tuple[str, int, int]] = {}
+        self._seg_total: dict[str, int] = {}
+        self._seg_live: dict[str, int] = {}
+        self._writer: SegmentWriter | None = None
+        self._writer_name: str | None = None
+        self._writer_dirty = False
+        self._next_seg = 0
+        self._retired: list[str] = []
+        self._ckpt_names: list[str] = []
+        # Eviction priorities: decayed touch weight per group over the
+        # arrival index (lazy-deletion min-heap; priorities only grow).
+        self._prio: dict[tuple, float] = {}
+        self._heap: list[tuple[float, int, tuple]] = []
+        self._seq = 0
+        self._arrivals = 0
+        self._prio_landmark = 0.0
+        # Lifetime counters (exact, independent of the decayed metrics).
+        self._evictions = 0
+        self._fault_ins = 0
+        self._spilled_bytes = 0
+        self._quarantined = 0
+        self._compactions = 0
+        self._renormalizations = 0
+        name = f"store.{metrics_name}"
+        if metrics is not None and getattr(metrics, "enabled", False):
+            self._m_evictions = metrics.counter(f"{name}.evictions")
+            self._m_fault_ins = metrics.counter(f"{name}.fault_ins")
+            self._m_spilled = metrics.counter(f"{name}.spilled_bytes")
+            self._m_quarantined = metrics.counter(f"{name}.quarantined")
+            self._m_cold_read = metrics.latency(f"{name}.cold_read_us")
+            self._m_hot = metrics.gauge(f"{name}.hot_groups")
+            self._m_cold = metrics.gauge(f"{name}.cold_groups")
+            self._m_segments = metrics.gauge(f"{name}.segments")
+            self._m_seg_bytes = metrics.gauge(f"{name}.segment_bytes")
+            self._metrics_on = True
+        else:
+            from repro.obs.registry import NULL_METRIC
+
+            self._m_evictions = self._m_fault_ins = NULL_METRIC
+            self._m_spilled = self._m_quarantined = NULL_METRIC
+            self._m_cold_read = NULL_METRIC
+            self._m_hot = self._m_cold = NULL_METRIC
+            self._m_segments = self._m_seg_bytes = NULL_METRIC
+            self._metrics_on = False
+
+    # -- attachment and recovery --------------------------------------------------
+
+    def attach(self, engine) -> None:
+        """Bind this store to a fresh engine and recover any checkpoint.
+
+        Replaces the engine's high table with a fault-in view and shadows
+        its per-tuple ``process`` (the batched paths notify the store
+        explicitly).  With a manifest present, the engine resumes from the
+        checkpoint with every group cold; without one, leftover segment
+        files are wiped — no manifest means no durable state.
+        """
+        if self._engine is not None:
+            raise ParameterError("store is already attached to an engine")
+        if getattr(engine, "_store", None) is not None:
+            raise ParameterError("engine already has a store attached")
+        if engine.tuples_processed:
+            raise ParameterError("a store must attach to a fresh engine")
+        os.makedirs(self._segments_dir, exist_ok=True)
+        self._engine = engine
+        engine._store = self
+        engine._high = _FaultingTable(self, engine._high)
+        self._shadow_process(engine)
+        manifest_path = os.path.join(self.directory, MANIFEST_NAME)
+        if os.path.exists(manifest_path):
+            self._recover(engine, manifest_path)
+        else:
+            self._wipe_segments()
+
+    def _shadow_process(self, engine) -> None:
+        # Instance-level shadow, same trick as repro.obs.instrument: the
+        # default engine never pays a per-tuple store check.  The wrapper
+        # re-derives the group key; per-tuple ingest on a store-backed
+        # engine trades that for bounded memory (the batched paths hand
+        # the store their key lists instead).
+        original = engine.process
+        where_fn = engine._where_fn
+        group_fns = engine._group_fns
+        store = self
+
+        def process(row: tuple) -> None:
+            original(row)
+            if where_fn is None or where_fn(row):
+                store.observe_batch([tuple(fn(row) for fn in group_fns)])
+
+        engine.process = process
+
+    def _wipe_segments(self) -> None:
+        for entry in os.listdir(self._segments_dir):
+            if entry.endswith((".seg", ".tmp", ".quarantined")):
+                _unlink_quiet(os.path.join(self._segments_dir, entry))
+
+    def _recover(self, engine, manifest_path: str) -> None:
+        try:
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(
+                f"unreadable store manifest {manifest_path}: {exc}",
+                segment=manifest_path,
+            ) from exc
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise StoreError(
+                f"unsupported store manifest version "
+                f"{manifest.get('version')!r}", segment=manifest_path,
+            )
+        if manifest.get("query") != engine.query.sql():
+            raise StoreError(
+                "store manifest is for a different query: "
+                f"{manifest.get('query')!r} vs {engine.query.sql()!r}",
+                segment=manifest_path,
+            )
+        if manifest.get("schema") != engine.schema.names():
+            raise StoreError(
+                "store manifest is for a different schema: "
+                f"{manifest.get('schema')!r} vs {engine.schema.names()!r}",
+                segment=manifest_path,
+            )
+        referenced = set(manifest["segments"])
+        for seg_name in sorted(referenced):
+            reader = SegmentReader(self._segment_path(seg_name))
+            self._seg_total[seg_name] = reader.records
+            self._seg_live[seg_name] = 0
+        cold = {}
+        for canon, (seg_name, offset, length) in manifest["directory"].items():
+            if seg_name not in referenced:
+                raise StoreError(
+                    f"store manifest references unknown segment {seg_name!r}",
+                    segment=manifest_path,
+                )
+            key = tuple(untag_key(tag) for tag in json.loads(canon))
+            cold[key] = (seg_name, offset, length)
+            self._seg_live[seg_name] += 1
+        self._cold = cold
+        self._ckpt_names = [n for n in referenced if n.startswith("ckpt-")]
+        numbers = [_segment_number(n) for n in referenced]
+        self._next_seg = max(numbers, default=-1) + 1
+        # Anything on disk the manifest does not reference — stale spill
+        # segments, aborted staging files, old quarantines — is garbage
+        # from after the checkpoint; recovery means the manifest's world.
+        for entry in os.listdir(self._segments_dir):
+            if entry in referenced:
+                continue
+            if entry.endswith((".seg", ".tmp", ".quarantined")):
+                _unlink_quiet(os.path.join(self._segments_dir, entry))
+        engine._tuples_in = manifest["tuples_in"]
+        engine._tuples_selected = manifest["tuples_selected"]
+        engine._low_evictions = manifest["low_evictions"]
+        bucket = manifest.get("bucket")
+        if bucket is not None:
+            engine._current_bucket = untag_key(bucket[0])
+        self._arrivals = manifest.get("arrivals", 0)
+        self._prio_landmark = manifest.get("prio_landmark", 0.0)
+        counters = manifest.get("udaf_counters") or []
+        for plan, counter in zip(engine._agg_plans, counters):
+            if counter is not None:
+                plan.udaf._counter = counter
+
+    # -- ingest-side hooks --------------------------------------------------------
+
+    def observe_batch(self, keys: list[tuple]) -> None:
+        """Account one batch of touched group keys, then enforce budgets.
+
+        ``keys`` carries one entry per selected row (repeats included), in
+        stream order.  Each unique key's priority grows by ``count *
+        g(arrivals - L)`` — decayed touch frequency over the store's
+        arrival index, so long-idle groups sort first for eviction.
+        """
+        if keys:
+            counts: dict[tuple, int] = {}
+            counts_get = counts.get
+            for key in keys:
+                counts[key] = counts_get(key, 0) + 1
+            self._arrivals += len(keys)
+            weight = self._touch_weight()
+            prio = self._prio
+            heap = self._heap
+            push = heapq.heappush
+            seq = self._seq
+            for key, count in counts.items():
+                value = prio.get(key, 0.0) + count * weight
+                prio[key] = value
+                seq += 1
+                push(heap, (value, seq, key))
+            self._seq = seq
+        self.maintain()
+
+    def _touch_weight(self) -> float:
+        offset = self._arrivals - self._prio_landmark
+        try:
+            weight = self._decay.g(offset)
+        except OverflowError:
+            weight = math.inf
+        if weight > _PRIORITY_CEILING:
+            self.renormalize()
+            weight = self._decay.g(self._arrivals - self._prio_landmark)
+        return weight
+
+    def renormalize(self) -> None:
+        """Re-anchor eviction priorities at the current arrival index.
+
+        The Section VI-A sweep applied to the store's own forward decay:
+        exponential priorities rescale by the closed form
+        ``exp(-alpha * (L' - L))`` (exact); other ``g`` divide by
+        ``g(L' - L)`` — a ranking-preserving rescale, which is all an
+        eviction policy needs.
+        """
+        new_landmark = float(self._arrivals)
+        delta = new_landmark - self._prio_landmark
+        if delta <= 0:
+            return
+        g = self._decay.g
+        if isinstance(g, ExponentialG):
+            scale = math.exp(-g.alpha * delta)
+        else:
+            denom = g(delta)
+            scale = 1.0 / denom if denom > 0 else 1.0
+        self._prio = {key: value * scale for key, value in self._prio.items()}
+        self._prio_landmark = new_landmark
+        self._renormalizations += 1
+        self._reseed_heap()
+
+    def _reseed_heap(self) -> None:
+        prio = self._prio
+        heap = []
+        seq = self._seq
+        for key in self._engine._high:
+            seq += 1
+            heap.append((prio.get(key, 0.0), seq, key))
+        self._seq = seq
+        heapq.heapify(heap)
+        self._heap = heap
+
+    def maintain(self) -> None:
+        """Enforce the hot budget: evict, rotate, opportunistically compact."""
+        engine = self._engine
+        high = engine._high
+        budget = self.hot_groups
+        if len(high) > budget:
+            prio = self._prio
+            requeue = []
+            while len(high) > budget:
+                if not self._heap:
+                    self._reseed_heap()
+                    if not self._heap:
+                        break
+                value, seq, key = heapq.heappop(self._heap)
+                if prio.get(key, 0.0) != value:
+                    continue  # stale entry; a newer one is still queued
+                states = dict.get(high, key)
+                if states is None:
+                    # Touched but currently only in the low table; keep
+                    # the entry for when its partial merges upward.
+                    requeue.append((value, seq, key))
+                    continue
+                del high[key]
+                self._spill(key, states)
+            for entry in requeue:
+                heapq.heappush(self._heap, entry)
+        if len(self._prio) > 4 * budget + len(engine._low):
+            # Priorities for departed groups (flushed buckets, spilled
+            # keys) are dead weight; keep only what can still be evicted.
+            live = set(high)
+            live.update(engine._low)
+            self._prio = {
+                key: value for key, value in self._prio.items() if key in live
+            }
+        if (
+            self._writer is not None
+            and self._writer.bytes_written >= self.segment_bytes
+        ):
+            self._seal_writer()
+        self._maybe_compact()
+        if self._metrics_on:
+            self._m_hot.set(len(high))
+            self._m_cold.set(len(self._cold))
+            self._m_segments.set(self.segment_count)
+            self._m_seg_bytes.set(self.segment_bytes_on_disk())
+
+    # -- spill / fault-in ---------------------------------------------------------
+
+    def _encode_states(self, states: list) -> list:
+        from repro.core.serde import dump_summary
+
+        encoded = []
+        for state in states:
+            if isinstance(state, StreamSummary):
+                encoded.append(["summary", dump_summary(state)])
+            else:
+                encoded.append(["plain", [encode_number(v) for v in state]])
+        return encoded
+
+    def _decode_states(self, encoded: list) -> list:
+        from repro.core.serde import load_summary
+
+        return [
+            load_summary(payload) if kind == "summary"
+            else [decode_number(v) for v in payload]
+            for kind, payload in encoded
+        ]
+
+    def _spill(self, key: tuple, states: list) -> None:
+        writer = self._writer
+        if writer is None:
+            writer = self._open_writer()
+        tagged = [tag_key(part) for part in key]
+        offset, length = writer.append(
+            tagged, self._encode_states(states), generation=self._evictions
+        )
+        self._writer_dirty = True
+        self._cold[key] = (self._writer_name, offset, length)
+        self._seg_live[self._writer_name] += 1
+        self._seg_total[self._writer_name] += 1
+        # Spilled groups restart their touch history on fault-in; this
+        # also bounds the priority map by the hot tier, not the keyspace.
+        self._prio.pop(key, None)
+        self._evictions += 1
+        self._spilled_bytes += length
+        self._m_evictions.add(1)
+        self._m_spilled.add(length)
+
+    def fault_in(self, key: tuple) -> list | None:
+        """Load a cold group's exact state back, removing its cold entry.
+
+        Returns None when the key is not cold.  Corruption quarantines the
+        segment and raises :class:`StoreError` — by then every cold entry
+        into that segment (this key included) is gone, so subsequent
+        queries serve from the remaining state.
+        """
+        location = self._cold.get(key)
+        if location is None:
+            return None
+        record = self._read_record(location, key)
+        del self._cold[key]
+        self._seg_live[location[0]] -= 1
+        self._fault_ins += 1
+        self._m_fault_ins.add(1)
+        return self._decode_states(record["s"])
+
+    def encoded_states(self, key: tuple) -> list:
+        """A cold group's stored encodings, read without faulting it in.
+
+        Used by ``partial_state`` to splice cold groups into the snapshot
+        with zero decode/re-encode work.
+        """
+        return self._read_record(self._cold[key], key)["s"]
+
+    def _read_record(self, location: tuple[str, int, int], key: tuple) -> dict:
+        seg_name, offset, length = location
+        if seg_name == self._writer_name:
+            if self._writer_dirty:
+                self._writer.flush()
+                self._writer_dirty = False
+            path = self._writer.staging_path
+        else:
+            path = self._segment_path(seg_name)
+        start = time.perf_counter_ns()
+        try:
+            record = read_record_at(path, offset, length)
+        except StoreError:
+            self._quarantine(seg_name)
+            raise
+        self._m_cold_read.observe((time.perf_counter_ns() - start) / 1e3)
+        if record["k"] != [tag_key(part) for part in key]:
+            # The bytes are intact but belong to another group: the index
+            # or manifest is inconsistent.  Same containment as a CRC hit.
+            self._quarantine(seg_name)
+            raise StoreError(
+                f"segment {path}: record at offset {offset} holds group "
+                f"{record['k']!r}, expected {canonical_key([tag_key(p) for p in key])}",
+                segment=path, offset=offset,
+            )
+        return record
+
+    def _quarantine(self, seg_name: str) -> None:
+        """Retire a bad segment and every cold entry pointing into it."""
+        if seg_name == self._writer_name and self._writer is not None:
+            self._writer.abort()
+            self._writer = None
+            self._writer_name = None
+            self._writer_dirty = False
+        else:
+            path = self._segment_path(seg_name)
+            try:
+                os.rename(path, path + ".quarantined")
+            except OSError:
+                _unlink_quiet(path)
+        self._cold = {
+            key: location
+            for key, location in self._cold.items()
+            if location[0] != seg_name
+        }
+        self._seg_total.pop(seg_name, None)
+        self._seg_live.pop(seg_name, None)
+        self._quarantined += 1
+        self._m_quarantined.add(1)
+
+    # -- segment lifecycle --------------------------------------------------------
+
+    def _segment_path(self, seg_name: str) -> str:
+        return os.path.join(self._segments_dir, seg_name)
+
+    def _next_name(self, prefix: str = "") -> str:
+        name = f"{prefix}{self._next_seg:06d}.seg"
+        self._next_seg += 1
+        return name
+
+    def _open_writer(self) -> SegmentWriter:
+        name = self._next_name()
+        self._writer = SegmentWriter(self._segment_path(name))
+        self._writer_name = name
+        self._writer_dirty = False
+        self._seg_total[name] = 0
+        self._seg_live[name] = 0
+        return self._writer
+
+    def _seal_writer(self) -> None:
+        writer = self._writer
+        if writer is None:
+            return
+        name = self._writer_name
+        self._writer = None
+        self._writer_name = None
+        self._writer_dirty = False
+        if writer.records == 0:
+            writer.abort()
+            self._seg_total.pop(name, None)
+            self._seg_live.pop(name, None)
+            return
+        writer.finalize()
+
+    def _sealed_names(self) -> list[str]:
+        return sorted(
+            name for name in self._seg_total if name != self._writer_name
+        )
+
+    def _maybe_compact(self) -> None:
+        if len(self._sealed_names()) < self.compact_min_segments:
+            return
+        self.compact()
+
+    def compact(self, force: bool = False) -> int:
+        """Rewrite garbage-heavy sealed segments; returns segments retired.
+
+        A segment's garbage is its dead records — groups that faulted back
+        in (and may have been re-spilled elsewhere) or were dropped at
+        flush.  Live records are re-appended to a fresh segment and the
+        cold directory is repointed; old files are only deleted at the
+        next :meth:`checkpoint`, because the current manifest may still
+        reference them for crash recovery.
+        """
+        threshold = 1.0 - self.compact_garbage_ratio
+        victims = []
+        for name in self._sealed_names():
+            total = self._seg_total.get(name, 0)
+            live = self._seg_live.get(name, 0)
+            if force or live == 0 or (total and live / total < threshold):
+                victims.append(name)
+        if not victims:
+            return 0
+        by_segment: dict[str, list[tuple]] = {name: [] for name in victims}
+        for key, location in self._cold.items():
+            if location[0] in by_segment:
+                by_segment[location[0]].append(key)
+        writer = None
+        new_name = None
+        for name in victims:
+            for key in by_segment[name]:
+                try:
+                    record = self._read_record(self._cold[key], key)
+                except StoreError:
+                    # _read_record already quarantined the source; its
+                    # surviving siblings were dropped with it.  Keep
+                    # compacting the other victims.
+                    break
+                if writer is None:
+                    new_name = self._next_name()
+                    writer = SegmentWriter(self._segment_path(new_name))
+                offset, length = writer.append(
+                    record["k"], record["s"], record.get("g", 0)
+                )
+                self._cold[key] = (new_name, offset, length)
+        if writer is not None:
+            writer.finalize()
+            self._seg_total[new_name] = writer.records
+            self._seg_live[new_name] = writer.records
+        retired = 0
+        for name in victims:
+            if name not in self._seg_total:
+                continue  # quarantined mid-compaction
+            self._seg_total.pop(name)
+            self._seg_live.pop(name)
+            self._retired.append(self._segment_path(name))
+            retired += 1
+        if retired:
+            self._compactions += 1
+        return retired
+
+    # -- query-side hooks ---------------------------------------------------------
+
+    def cold_key_set(self):
+        """The cold tier's group keys (live view; do not mutate)."""
+        return self._cold.keys()
+
+    def load_bucket(self, bucket: object) -> None:
+        """Fault every cold group of one time bucket into the hot table.
+
+        Called before a bucket close so the flush sees all of the
+        bucket's groups; the hot budget is re-enforced afterwards by the
+        next :meth:`maintain`.
+        """
+        matches = [key for key in self._cold if key and key[0] == bucket]
+        high = self._engine._high
+        for key in matches:
+            states = self.fault_in(key)
+            if states is not None:
+                dict.__setitem__(high, key, states)
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def checkpoint(self) -> str:
+        """Write a manifest checkpoint; returns the manifest path.
+
+        Hot groups are serialized once into a fresh ``ckpt-`` segment;
+        cold groups are referenced *in place* — their records are already
+        durable, which is the point of using segments as the checkpoint
+        substrate.  The manifest is published atomically; only then are
+        segments retired by compaction (and the previous checkpoint's
+        ``ckpt-`` segment) actually deleted, so a crash at any point
+        leaves a recoverable store.
+        """
+        from repro.dsms.engine import _NO_BUCKET
+
+        engine = self._engine
+        if engine is None:
+            raise ParameterError("store is not attached to an engine")
+        engine._drain_low()
+        self._seal_writer()
+        high = engine._high
+        directory = {}
+        for key, (seg_name, offset, length) in self._cold.items():
+            canon = canonical_key([tag_key(part) for part in key])
+            directory[canon] = [seg_name, offset, length]
+        ckpt_name = None
+        if high:
+            ckpt_name = self._next_name("ckpt-")
+            writer = SegmentWriter(self._segment_path(ckpt_name))
+            for key in sorted(high, key=repr):
+                tagged = [tag_key(part) for part in key]
+                offset, length = writer.append(
+                    tagged, self._encode_states(high[key])
+                )
+                directory[canonical_key(tagged)] = [ckpt_name, offset, length]
+            writer.finalize()
+        referenced = sorted({location[0] for location in directory.values()})
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "query": engine.query.sql(),
+            "schema": engine.schema.names(),
+            "tuples_in": engine.tuples_processed,
+            "tuples_selected": engine.tuples_selected,
+            "low_evictions": engine.low_evictions,
+            "bucket": (
+                None if engine._current_bucket is _NO_BUCKET
+                else [tag_key(engine._current_bucket)]
+            ),
+            "segments": referenced,
+            "directory": directory,
+            "arrivals": self._arrivals,
+            "prio_landmark": self._prio_landmark,
+            # Sampler UDAFs assign each *new* group an RNG stream from a
+            # per-UDAF creation counter; a resumed engine must continue
+            # that sequence or groups first seen after the restart would
+            # draw different streams than an uninterrupted run.
+            "udaf_counters": [
+                getattr(plan.udaf, "_counter", None)
+                for plan in engine._agg_plans
+            ],
+        }
+        manifest_path = os.path.join(self.directory, MANIFEST_NAME)
+        staging = manifest_path + ".tmp"
+        with open(staging, "w") as handle:
+            json.dump(manifest, handle, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(staging, manifest_path)
+        # The new manifest is durable: previous-generation files are now
+        # safe to drop.
+        for path in self._retired:
+            _unlink_quiet(path)
+        self._retired = []
+        referenced_set = set(referenced)
+        for old in self._ckpt_names:
+            if old not in referenced_set:
+                _unlink_quiet(self._segment_path(old))
+                self._seg_total.pop(old, None)
+                self._seg_live.pop(old, None)
+        self._ckpt_names = [ckpt_name] if ckpt_name else []
+        if ckpt_name:
+            # The ckpt segment is sealed but holds no cold entries; track
+            # totals so inspect/compaction accounting stays consistent.
+            self._seg_total[ckpt_name] = len(high)
+            self._seg_live[ckpt_name] = 0
+        return manifest_path
+
+    # -- statistics ---------------------------------------------------------------
+
+    @property
+    def hot_count(self) -> int:
+        """Groups currently resident in the engine's high table."""
+        return len(self._engine._high) if self._engine is not None else 0
+
+    @property
+    def cold_count(self) -> int:
+        """Groups currently resident only on disk."""
+        return len(self._cold)
+
+    @property
+    def segment_count(self) -> int:
+        """Sealed segments plus the open spill segment, if any."""
+        return len(self._seg_total)
+
+    def segment_bytes_on_disk(self) -> int:
+        """Total bytes across live segment files (open writer included)."""
+        total = 0
+        for name in self._seg_total:
+            if name == self._writer_name:
+                total += self._writer.bytes_written
+                continue
+            try:
+                total += os.path.getsize(self._segment_path(name))
+            except OSError:
+                pass
+        return total
+
+    def stats(self) -> dict:
+        """Occupancy and lifetime activity, JSON-compatible."""
+        return {
+            "hot_groups": self.hot_count,
+            "hot_budget": self.hot_groups,
+            "cold_groups": self.cold_count,
+            "segments": self.segment_count,
+            "segment_bytes": self.segment_bytes_on_disk(),
+            "evictions": self._evictions,
+            "fault_ins": self._fault_ins,
+            "spilled_bytes": self._spilled_bytes,
+            "compactions": self._compactions,
+            "quarantined": self._quarantined,
+            "renormalizations": self._renormalizations,
+        }
+
+    def close(self) -> None:
+        """Discard the open spill segment's staging file and detach.
+
+        Sealed segments and any manifest stay on disk; state not covered
+        by a :meth:`checkpoint` is gone, exactly like an engine that was
+        never persisted.
+        """
+        if self._writer is not None:
+            name = self._writer_name
+            self._writer.abort()
+            self._writer = None
+            self._writer_name = None
+            self._seg_total.pop(name, None)
+            self._seg_live.pop(name, None)
+
+
+def _segment_number(seg_name: str) -> int:
+    stem = seg_name.rsplit(".", 1)[0]
+    if "-" in stem:
+        stem = stem.rsplit("-", 1)[1]
+    try:
+        return int(stem)
+    except ValueError:
+        return -1
+
+
+def _unlink_quiet(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass

@@ -387,3 +387,66 @@ class TestClusterSuite:
             run_cluster_suite(repeats=0)
         with pytest.raises(ParameterError):
             run_cluster_suite(nodes=1)
+
+
+class TestStateSuite:
+    @pytest.fixture(scope="class")
+    def state_artifact(self):
+        from repro.bench.state import run_state_suite
+
+        # Inline (no subprocesses) and tiny: enough groups that the 5%
+        # hot tier forces spilling and fault-ins under pytest.
+        return run_state_suite(
+            name="test-state",
+            groups=1_500,
+            batch_size=500,
+            inline=True,
+        )
+
+    def test_envelope_and_entries(self, state_artifact):
+        assert state_artifact["version"] == ARTIFACT_VERSION
+        entries = state_artifact["entries"]
+        assert entries["state.groups"]["value"] == 1_500.0
+        assert entries["state.cold.groups"]["value"] > 0
+        assert entries["state.store.fault_ins"]["value"] > 0
+        assert entries["state.ingest.store_rows_per_sec"]["value"] > 0
+        assert entries["state.ingest.overhead"]["value"] > 0
+
+    def test_store_flush_matches_ram_exactly(self, state_artifact):
+        assert state_artifact["entries"]["state.match_ram"] == {
+            "value": 1.0,
+            "unit": "bool",
+            "gate": True,
+            "higher_is_better": True,
+            "exact": True,
+        }
+
+    def test_hot_fraction_carries_the_ceiling(self, state_artifact):
+        hot = state_artifact["entries"]["state.hot.fraction"]
+        assert hot["gate"]
+        assert hot["limit"] == 0.10
+        assert hot["value"] <= 0.10
+
+    def test_rss_ratio_report_only_below_contractual_scale(
+        self, state_artifact
+    ):
+        assert not state_artifact["entries"]["state.rss.ratio"]["gate"]
+
+    def test_timing_entries_ungated(self, state_artifact):
+        for name, entry in state_artifact["entries"].items():
+            if name.endswith("rows_per_sec") or name.endswith("_ms"):
+                assert not entry["gate"], name
+
+    def test_self_comparison_passes_gate(self, state_artifact):
+        report = compare_artifacts(state_artifact, state_artifact)
+        assert report["regressions"] == []
+
+    def test_rejects_bad_parameters(self):
+        from repro.bench.state import run_state_suite
+
+        with pytest.raises(ParameterError):
+            run_state_suite(scale=0.0)
+        with pytest.raises(ParameterError):
+            run_state_suite(groups=100, hot_fraction=0.0)
+        with pytest.raises(ParameterError):
+            run_state_suite(groups=100, rows_per_group=0)

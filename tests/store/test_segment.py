@@ -1,0 +1,165 @@
+"""Segment file format: framing, atomic publish, and corruption evidence.
+
+Every byte the cold tier trusts is covered here: CRC-framed records, the
+footer index, the fixed trailer, and the write-then-rename publish.  The
+corruption tests are the contract the chaos tests build on — a damaged
+segment must raise a :class:`StoreError` that *names the segment and
+offset*, never return wrong bytes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.errors import StoreError
+from repro.store import (
+    SEGMENT_VERSION,
+    SegmentReader,
+    SegmentWriter,
+    canonical_key,
+    read_record_at,
+)
+
+KEY_A = [["int", 1], ["str", "h1"]]
+KEY_B = [["int", 2], ["str", "h2"]]
+STATES = [["plain", [3, 120.0]], ["plain", [7]]]
+
+
+def write_segment(path: str, keys=(KEY_A, KEY_B)) -> dict[str, list[int]]:
+    writer = SegmentWriter(path)
+    locations = {}
+    for i, key in enumerate(keys):
+        offset, length = writer.append(key, STATES, generation=i)
+        locations[canonical_key(key)] = [offset, length]
+    writer.finalize()
+    return locations
+
+
+class TestWriterReader:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "000000.seg")
+        locations = write_segment(path)
+        reader = SegmentReader(path)
+        assert reader.records == 2
+        assert reader.index == locations
+        record = reader.read(canonical_key(KEY_A))
+        assert record["k"] == KEY_A
+        assert record["s"] == STATES
+        assert record["g"] == 0
+
+    def test_iter_records_in_file_order(self, tmp_path):
+        path = str(tmp_path / "s.seg")
+        write_segment(path)
+        offsets = [offset for offset, _ in SegmentReader(path).iter_records()]
+        assert offsets == sorted(offsets)
+
+    def test_finalize_is_atomic(self, tmp_path):
+        path = str(tmp_path / "s.seg")
+        writer = SegmentWriter(path)
+        writer.append(KEY_A, STATES)
+        # Nothing at the final path until finalize; staging file exists.
+        assert not os.path.exists(path)
+        assert os.path.exists(writer.staging_path)
+        writer.finalize()
+        assert os.path.exists(path)
+        assert not os.path.exists(writer.staging_path)
+
+    def test_abort_removes_staging(self, tmp_path):
+        path = str(tmp_path / "s.seg")
+        writer = SegmentWriter(path)
+        writer.append(KEY_A, STATES)
+        writer.abort()
+        assert not os.path.exists(path)
+        assert not os.path.exists(writer.staging_path)
+
+    def test_open_writer_readable_after_flush(self, tmp_path):
+        # The store reads spilled groups back out of its *open* segment;
+        # a flushed staging file must serve exact records.
+        path = str(tmp_path / "s.seg")
+        writer = SegmentWriter(path)
+        offset, length = writer.append(KEY_A, STATES)
+        writer.flush()
+        record = read_record_at(writer.staging_path, offset, length)
+        assert record["k"] == KEY_A and record["s"] == STATES
+        writer.abort()
+
+    def test_bytes_written_tracks_records(self, tmp_path):
+        writer = SegmentWriter(str(tmp_path / "s.seg"))
+        before = writer.bytes_written
+        writer.append(KEY_A, STATES)
+        assert writer.bytes_written > before
+        writer.abort()
+
+
+class TestCorruptionEvidence:
+    def corrupt(self, path: str, offset: int, xor: int = 0xFF) -> None:
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ xor]))
+
+    def test_record_bit_flip_names_segment_and_offset(self, tmp_path):
+        path = str(tmp_path / "000003.seg")
+        locations = write_segment(path)
+        offset, length = locations[canonical_key(KEY_A)]
+        self.corrupt(path, offset + 8 + 2)  # inside the record body
+        with pytest.raises(StoreError, match="CRC mismatch") as excinfo:
+            read_record_at(path, offset, length)
+        assert excinfo.value.segment == path
+        assert excinfo.value.offset == offset
+        assert "000003.seg" in str(excinfo.value)
+
+    def test_truncated_record_read(self, tmp_path):
+        path = str(tmp_path / "s.seg")
+        locations = write_segment(path)
+        canon = sorted(
+            locations, key=lambda k: locations[k][0], reverse=True
+        )[0]
+        offset, length = locations[canon]
+        with open(path, "r+b") as handle:
+            handle.truncate(offset + 4)
+        with pytest.raises(StoreError, match="truncated"):
+            read_record_at(path, offset, length)
+
+    def test_bad_magic(self, tmp_path):
+        path = str(tmp_path / "s.seg")
+        write_segment(path)
+        self.corrupt(path, 0)
+        with pytest.raises(StoreError, match="bad magic"):
+            SegmentReader(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = str(tmp_path / "s.seg")
+        write_segment(path)
+        with open(path, "r+b") as handle:
+            handle.seek(4)
+            handle.write(bytes([SEGMENT_VERSION + 9]))
+        with pytest.raises(StoreError, match="unsupported version"):
+            SegmentReader(path)
+
+    def test_truncated_finalize(self, tmp_path):
+        path = str(tmp_path / "s.seg")
+        write_segment(path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 7)  # rips through the trailer
+        with pytest.raises(StoreError):
+            SegmentReader(path)
+
+    def test_corrupt_footer(self, tmp_path):
+        path = str(tmp_path / "s.seg")
+        write_segment(path)
+        reader = SegmentReader(path)
+        self.corrupt(path, reader.footer_offset + 8 + 3)
+        with pytest.raises(StoreError, match="footer"):
+            SegmentReader(path)
+
+    def test_too_short_file(self, tmp_path):
+        path = str(tmp_path / "s.seg")
+        with open(path, "wb") as handle:
+            handle.write(b"RSEG\x01")
+        with pytest.raises(StoreError, match="too short"):
+            SegmentReader(path)

@@ -1,0 +1,123 @@
+"""Per-tenant store isolation and the cross-tenant renormalization sweep."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.decay import ForwardDecay
+from repro.core.errors import ParameterError
+from repro.core.functions import ExponentialG, PolynomialG
+from repro.store import TenantStore
+
+from tests.store.test_tiered import (
+    BUILTIN_SQL,
+    build_engine,
+    make_rows,
+    reference_flush,
+)
+
+
+class TestTenantIsolation:
+    def test_tenants_get_separate_directories(self, tmp_path):
+        tenants = TenantStore(str(tmp_path), hot_groups=8)
+        alice = tenants.tenant("alice")
+        bob = tenants.tenant("bob")
+        assert alice is not bob
+        assert alice.directory != bob.directory
+        assert os.path.basename(alice.directory) == "alice"
+        assert "tenants" in alice.directory
+        assert tenants.tenants() == ["alice", "bob"]
+
+    def test_same_name_returns_same_store(self, tmp_path):
+        tenants = TenantStore(str(tmp_path))
+        assert tenants.tenant("alice") is tenants.tenant("alice")
+
+    def test_results_are_independent_per_tenant(self, tmp_path):
+        tenants = TenantStore(str(tmp_path), hot_groups=4)
+        rows_a = make_rows(500, groups=60, seed=1)
+        rows_b = make_rows(500, groups=60, seed=2)
+        engine_a = build_engine(store=tenants.tenant("alice"))
+        engine_b = build_engine(store=tenants.tenant("bob"))
+        engine_a.insert_many(rows_a)
+        engine_b.insert_many(rows_b)
+        assert engine_a.flush() == reference_flush(BUILTIN_SQL, rows_a)
+        assert engine_b.flush() == reference_flush(BUILTIN_SQL, rows_b)
+
+    def test_invalid_names_rejected(self, tmp_path):
+        tenants = TenantStore(str(tmp_path))
+        for bad in ("", "a/b", "../escape", "x" * 65, "sp ace"):
+            with pytest.raises(ParameterError, match="tenant name"):
+                tenants.tenant(bad)
+
+    def test_decay_conflict_rejected(self, tmp_path):
+        tenants = TenantStore(str(tmp_path))
+        tenants.tenant("alice", decay=ForwardDecay(PolynomialG(2.0)))
+        with pytest.raises(ParameterError, match="decay"):
+            tenants.tenant("alice", decay=ForwardDecay(ExponentialG(0.5)))
+
+    def test_per_tenant_decay_and_budget(self, tmp_path):
+        tenants = TenantStore(str(tmp_path), hot_groups=64)
+        small = tenants.tenant(
+            "small", decay=ForwardDecay(ExponentialG(0.1)), hot_groups=2
+        )
+        assert small.hot_groups == 2
+        assert tenants.tenant("dflt").hot_groups == 64
+
+
+class TestSweep:
+    def test_sweep_renormalizes_and_compacts(self, tmp_path):
+        tenants = TenantStore(str(tmp_path), hot_groups=4, sweep_every=200)
+        engine = build_engine(store=tenants.tenant("alice"))
+        rows = make_rows(600, groups=80)
+        for i in range(0, len(rows), 100):
+            engine.insert_many(rows[i : i + 100])
+            tenants.maybe_sweep()
+        assert tenants.sweeps >= 2
+        stats = tenants.stats()
+        assert stats["tenants"]["alice"]["renormalizations"] >= tenants.sweeps
+        assert engine.flush() == reference_flush(BUILTIN_SQL, rows)
+
+    def test_maybe_sweep_respects_interval(self, tmp_path):
+        tenants = TenantStore(str(tmp_path), sweep_every=10_000)
+        engine = build_engine(store=tenants.tenant("alice"))
+        engine.insert_many(make_rows(200))
+        assert tenants.maybe_sweep() is False
+        assert tenants.sweeps == 0
+
+    def test_sweep_every_validated(self, tmp_path):
+        with pytest.raises(ParameterError, match="sweep_every"):
+            TenantStore(str(tmp_path), sweep_every=0)
+
+
+class TestLifecycle:
+    def test_checkpoint_every_tenant(self, tmp_path):
+        tenants = TenantStore(str(tmp_path), hot_groups=4)
+        for name, seed in (("alice", 1), ("bob", 2)):
+            engine = build_engine(store=tenants.tenant(name))
+            engine.insert_many(make_rows(300, groups=40, seed=seed))
+        paths = tenants.checkpoint()
+        assert len(paths) == 2
+        assert all(os.path.exists(path) for path in paths)
+        tenants.close()
+
+        # Each tenant resumes independently from its own manifest.
+        resumed = TenantStore(str(tmp_path), hot_groups=4)
+        engine = build_engine(store=resumed.tenant("alice"))
+        assert engine.flush() == reference_flush(
+            BUILTIN_SQL, make_rows(300, groups=40, seed=1)
+        )
+
+    def test_stats_totals(self, tmp_path):
+        tenants = TenantStore(str(tmp_path), hot_groups=4)
+        for name in ("alice", "bob"):
+            engine = build_engine(store=tenants.tenant(name))
+            engine.insert_many(make_rows(300, groups=50))
+        stats = tenants.stats()
+        assert stats["tenant_count"] == 2
+        per_tenant = stats["tenants"]
+        assert stats["hot_groups"] == sum(
+            s["hot_groups"] for s in per_tenant.values()
+        )
+        assert stats["cold_groups"] > 0

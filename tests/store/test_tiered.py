@@ -1,0 +1,421 @@
+"""Tiered store correctness: exact results, durability, and containment.
+
+The load-bearing guarantee is *byte-identity*: a store-backed engine —
+whatever got evicted, compacted, checkpointed, or faulted back in along
+the way — must produce results equal to an all-RAM engine fed the same
+stream.  Forward decay makes this possible (spilled partial states have
+fixed numerators, so they fold back in exactly); these tests make it
+mandatory, including for sketch and sampler UDAFs whose state includes
+RNG positions.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.core.decay import ForwardDecay
+from repro.core.errors import ParameterError, QueryError, StoreError
+from repro.core.functions import ExponentialG
+from repro.dsms.engine import QueryEngine
+from repro.dsms.parser import parse_query
+from repro.dsms.schema import Field, FieldType, Schema
+from repro.dsms.udaf import default_registry
+from repro.obs.registry import MetricsRegistry
+from repro.store import MANIFEST_NAME, TieredStore
+
+SCHEMA = Schema(
+    [
+        Field("time", FieldType.INT),
+        Field("srcIP", FieldType.STR),
+        Field("destIP", FieldType.STR),
+        Field("destPort", FieldType.INT),
+        Field("len", FieldType.INT),
+        Field("proto", FieldType.STR),
+    ]
+)
+
+BUILTIN_SQL = (
+    "select tb, destIP, count(*) as c, sum(len) as s, min(len) as lo, "
+    "max(len) as hi, avg(len) as mean from TCP "
+    "group by time/60 as tb, destIP"
+)
+
+#: Sketches and samplers carry the hard state: GK summaries, SpaceSaving
+#: counters, and the priority sampler's per-group RNG stream.
+SKETCH_SQL = (
+    "select tb, destIP, count(*) as c, fwd_hh(destPort, len) as hh, "
+    "fwd_quantiles(len, 0.5) as med, prisamp(srcIP, len) as samp "
+    "from TCP group by time/60 as tb, destIP"
+)
+
+
+def make_rows(n: int = 1_500, groups: int = 200, seed: int = 11) -> list[tuple]:
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        rows.append(
+            (
+                i // 3,
+                f"s{rng.randrange(40)}",
+                f"h{rng.randrange(groups)}",
+                rng.choice((80, 443, 53)),
+                40 + rng.randrange(1_400),
+                "tcp" if rng.random() < 0.85 else "udp",
+            )
+        )
+    return rows
+
+
+def build_engine(
+    sql: str = BUILTIN_SQL, store: TieredStore | None = None, **kwargs
+) -> QueryEngine:
+    # A small low table forces groups up into the (tiered) high table
+    # quickly — the store only manages the high tier, so tests want the
+    # traffic there.  Byte-identity claims hold for any size; reference
+    # engines use the same value so flush order internals line up.
+    kwargs.setdefault("low_table_size", 32)
+    query = parse_query(sql, default_registry())
+    return QueryEngine(query, SCHEMA, store=store, **kwargs)
+
+
+def reference_flush(sql: str, rows: list[tuple], **kwargs) -> list:
+    engine = build_engine(sql, **kwargs)
+    engine.insert_many(rows)
+    return engine.flush()
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("sql", [BUILTIN_SQL, SKETCH_SQL],
+                             ids=["builtins", "sketches"])
+    @pytest.mark.parametrize("hot", [1, 8, 50])
+    def test_flush_equals_all_ram(self, tmp_path, sql, hot):
+        rows = make_rows()
+        store = TieredStore(str(tmp_path / "s"), hot_groups=hot)
+        engine = build_engine(sql, store=store)
+        engine.insert_many(rows)
+        assert store.cold_count > 0  # the budget actually bit
+        assert engine.flush() == reference_flush(sql, rows)
+
+    def test_hot_tier_respects_budget(self, tmp_path):
+        rows = make_rows()
+        store = TieredStore(str(tmp_path / "s"), hot_groups=16)
+        engine = build_engine(store=store)
+        engine.insert_many(rows)
+        assert store.hot_count <= 16
+        # Hot and cold key sets are disjoint; together with the low tier
+        # they cover every group the reference engine knows.
+        high_keys = set(dict.keys(engine._high))
+        assert not high_keys & store.cold_key_set()
+        assert engine.group_count == len(reference_flush(BUILTIN_SQL, rows))
+
+    def test_per_row_process_path(self, tmp_path):
+        rows = make_rows(400, groups=60)
+        store = TieredStore(str(tmp_path / "s"), hot_groups=8)
+        engine = build_engine(SKETCH_SQL, store=store)
+        for row in rows:
+            engine.process(row)
+        assert store.cold_count > 0
+        assert engine.flush() == reference_flush(SKETCH_SQL, rows)
+
+    def test_open_time_buckets_emit_identically(self, tmp_path):
+        rows = sorted(make_rows(900, groups=50), key=lambda r: r[0])
+        store = TieredStore(str(tmp_path / "s"), hot_groups=6)
+        engine = build_engine(
+            SKETCH_SQL, store=store, emit_on_bucket_change=True
+        )
+        reference = build_engine(SKETCH_SQL, emit_on_bucket_change=True)
+        emitted, ref_emitted = [], []
+        for i in range(0, len(rows), 128):
+            batch = rows[i : i + 128]
+            engine.insert_many(batch)
+            reference.insert_many(batch)
+            emitted.extend(engine.drain())
+            ref_emitted.extend(reference.drain())
+        assert emitted == ref_emitted
+        assert engine.flush() == reference.flush()
+
+    def test_partial_state_splices_cold_groups(self, tmp_path):
+        rows = make_rows()
+        store = TieredStore(str(tmp_path / "s"), hot_groups=10)
+        engine = build_engine(SKETCH_SQL, store=store)
+        engine.insert_many(rows)
+        blob = engine.partial_state_bytes()
+        # Snapshot is non-destructive: nothing faulted in, nothing lost.
+        assert store.hot_count <= 10
+        collector = build_engine(SKETCH_SQL)
+        collector.merge_partial(blob)
+        assert collector.flush() == reference_flush(SKETCH_SQL, rows)
+        assert engine.flush() == reference_flush(SKETCH_SQL, rows)
+
+    def test_merge_partial_faults_cold_groups_in(self, tmp_path):
+        # Half the stream arrives as a merged partial *after* eviction
+        # has pushed overlapping groups cold: the faulting table must
+        # bring them back so same-group summaries merge exactly.
+        # (prisamp is excluded: PrioritySampler has no same-group merge
+        # rule anywhere, store-backed or not.)
+        sql = (
+            "select tb, destIP, count(*) as c, fwd_hh(destPort, len) as hh, "
+            "fwd_quantiles(len, 0.5) as med from TCP "
+            "group by time/60 as tb, destIP"
+        )
+        rows = make_rows(1_200, groups=80)
+        half = len(rows) // 2
+        donor = build_engine(sql)
+        donor.insert_many(rows[half:])
+        store = TieredStore(str(tmp_path / "s"), hot_groups=5)
+        engine = build_engine(sql, store=store)
+        engine.insert_many(rows[:half])
+        assert store.cold_count > 0
+        engine.merge_partial(donor.partial_state())
+
+        reference = build_engine(sql)
+        reference.insert_many(rows[:half])
+        reference.merge_partial(donor.partial_state())
+        assert engine.flush() == reference.flush()
+
+    def test_compaction_preserves_results(self, tmp_path):
+        rows = make_rows(2_000, groups=300)
+        store = TieredStore(
+            str(tmp_path / "s"), hot_groups=4, segment_bytes=4 << 10,
+            compact_garbage_ratio=0.1,  # modest churn must still qualify
+        )
+        engine = build_engine(store=store)
+        # Small batches churn groups hot<->cold, leaving dead records in
+        # sealed segments — the garbage compaction exists to reclaim.
+        for i in range(0, len(rows), 50):
+            engine.insert_many(rows[i : i + 50])
+        assert store.stats()["compactions"] > 0
+        store.compact(force=True)
+        assert engine.flush() == reference_flush(BUILTIN_SQL, rows)
+
+
+class TestRandomizedSchedules:
+    """Property-style: random ingest/eviction schedules never change results."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_schedule_byte_identity(self, tmp_path, seed):
+        rng = random.Random(seed)
+        rows = make_rows(
+            rng.randrange(400, 1_200), groups=rng.randrange(30, 250), seed=seed
+        )
+        store = TieredStore(
+            str(tmp_path / f"s{seed}"),
+            hot_groups=rng.choice((1, 3, 17, 64)),
+            segment_bytes=rng.choice((2 << 10, 64 << 10, 4 << 20)),
+        )
+        engine = build_engine(SKETCH_SQL, store=store)
+        i = 0
+        while i < len(rows):
+            step = rng.randrange(1, 200)
+            engine.insert_many(rows[i : i + step])
+            i += step
+            if rng.random() < 0.2:
+                store.compact(force=rng.random() < 0.5)
+            if rng.random() < 0.1:
+                # Mid-stream snapshots must not perturb later results.
+                engine.partial_state_bytes()
+        assert engine.flush() == reference_flush(SKETCH_SQL, rows)
+
+
+class TestEvictionPolicy:
+    def test_hot_group_survives_one_shot_flood(self, tmp_path):
+        # One group touched every batch; hundreds touched once.  The
+        # decayed-touch priority must keep the regular at the bottom of
+        # no eviction order — it stays hot while one-shots spill.
+        store = TieredStore(str(tmp_path / "s"), hot_groups=32)
+        engine = build_engine(store=store, two_level=False)
+        hot_key = (0, "h-regular")
+        for i in range(300):
+            batch = [(1, "s0", "h-regular", 80, 100, "tcp")]
+            batch.extend(
+                (1, "s0", f"cold{i}-{j}", 80, 100, "tcp") for j in range(4)
+            )
+            engine.insert_many(batch)
+        assert store.cold_count > 0
+        assert hot_key in engine._high
+        assert hot_key not in store.cold_key_set()
+
+    def test_renormalization_is_transparent(self, tmp_path):
+        # exp(arrivals) blows through the priority ceiling within a few
+        # hundred touches; the Section VI-A rescale must fire and change
+        # nothing observable.
+        rows = make_rows(800, groups=120)
+        store = TieredStore(
+            str(tmp_path / "s"),
+            hot_groups=10,
+            decay=ForwardDecay(ExponentialG(alpha=1.0)),
+        )
+        engine = build_engine(store=store)
+        engine.insert_many(rows)
+        assert store.stats()["renormalizations"] > 0
+        assert engine.flush() == reference_flush(BUILTIN_SQL, rows)
+
+
+class TestCheckpointRestore:
+    def test_resume_equals_uninterrupted(self, tmp_path):
+        rows = make_rows(1_400, groups=150)
+        half = len(rows) // 2
+        directory = str(tmp_path / "s")
+
+        store = TieredStore(directory, hot_groups=12)
+        engine = build_engine(SKETCH_SQL, store=store)
+        engine.insert_many(rows[:half])
+        manifest_path = engine.store_checkpoint()
+        assert os.path.basename(manifest_path) == MANIFEST_NAME
+        store.close()
+
+        resumed_store = TieredStore(directory, hot_groups=12)
+        resumed = build_engine(SKETCH_SQL, store=resumed_store)
+        assert resumed.tuples_processed == half
+        resumed.insert_many(rows[half:])
+        assert resumed.flush() == reference_flush(SKETCH_SQL, rows)
+
+    def test_checkpoint_then_crash_discards_tail_only(self, tmp_path):
+        rows = make_rows(900, groups=90)
+        directory = str(tmp_path / "s")
+        store = TieredStore(directory, hot_groups=8)
+        engine = build_engine(store=store)
+        engine.insert_many(rows[:600])
+        engine.store_checkpoint()
+        engine.insert_many(rows[600:])  # never checkpointed
+        del engine  # crash: no close, no second checkpoint
+
+        resumed = build_engine(store=TieredStore(directory, hot_groups=8))
+        assert resumed.flush() == reference_flush(BUILTIN_SQL, rows[:600])
+
+    def test_restore_rejects_different_query(self, tmp_path):
+        directory = str(tmp_path / "s")
+        engine = build_engine(store=TieredStore(directory, hot_groups=4))
+        engine.insert_many(make_rows(200))
+        engine.store_checkpoint()
+        engine.store.close()
+        with pytest.raises(StoreError, match="different query"):
+            build_engine(SKETCH_SQL, store=TieredStore(directory))
+
+    def test_unckpointed_dir_starts_fresh(self, tmp_path):
+        directory = str(tmp_path / "s")
+        engine = build_engine(store=TieredStore(directory, hot_groups=4))
+        engine.insert_many(make_rows(400, groups=60))
+        engine.store.close()  # no checkpoint: leftover segments, no manifest
+        fresh = build_engine(store=TieredStore(directory, hot_groups=4))
+        assert fresh.group_count == 0
+        assert fresh.flush() == []
+
+
+class TestEngineContract:
+    def test_attach_requires_fresh_engine(self, tmp_path):
+        engine = build_engine()
+        engine.insert_many(make_rows(50))
+        with pytest.raises(ParameterError, match="fresh"):
+            TieredStore(str(tmp_path / "s")).attach(engine)
+
+    def test_checkpoint_redirects_to_store_checkpoint(self, tmp_path):
+        engine = build_engine(store=TieredStore(str(tmp_path / "s")))
+        with pytest.raises(QueryError, match="store_checkpoint"):
+            engine.checkpoint()
+        with pytest.raises(QueryError):
+            engine.restore({})
+
+    def test_sketch_checkpoint_message_names_partial_state_route(self):
+        # Satellite fix: the rejection must tell users where to go —
+        # partial_state_bytes()/merge_partial() cover every UDAF.
+        engine = build_engine(SKETCH_SQL)
+        engine.process((1, "s0", "h0", 80, 100, "tcp"))
+        with pytest.raises(QueryError, match="partial_state_bytes"):
+            engine.checkpoint()
+
+    def test_store_checkpoint_requires_store(self):
+        with pytest.raises(QueryError, match="store"):
+            build_engine().store_checkpoint()
+
+
+@pytest.mark.chaos
+class TestCorruptionContainment:
+    def corrupt_one_sealed_segment(self, store: TieredStore) -> str:
+        seg_dir = os.path.join(store.directory, "segments")
+        sealed = sorted(
+            name for name in os.listdir(seg_dir) if name.endswith(".seg")
+        )
+        assert sealed, "test needs at least one sealed segment"
+        victim = sealed[0]
+        path = os.path.join(seg_dir, victim)
+        # Flip one byte inside a record body (past header magic).
+        with open(path, "r+b") as handle:
+            handle.seek(40)
+            byte = handle.read(1)
+            handle.seek(40)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        return victim
+
+    def test_bit_flip_quarantines_and_keeps_serving(self, tmp_path):
+        rows = make_rows(1_500, groups=250)
+        store = TieredStore(
+            str(tmp_path / "s"), hot_groups=8, segment_bytes=8 << 10,
+            compact_min_segments=10_000,  # keep sealed segments around
+        )
+        engine = build_engine(store=store)
+        engine.insert_many(rows)
+        victim = self.corrupt_one_sealed_segment(store)
+
+        with pytest.raises(StoreError) as excinfo:
+            engine.flush()
+        # The error names the damaged segment and offset...
+        assert victim in str(excinfo.value)
+        assert excinfo.value.segment is not None
+        assert excinfo.value.offset is not None
+        # ...the segment is renamed aside, not left in the read path...
+        seg_dir = os.path.join(store.directory, "segments")
+        assert victim not in os.listdir(seg_dir)
+        assert (victim + ".quarantined") in os.listdir(seg_dir)
+        assert store.stats()["quarantined"] == 1
+        # ...and the store keeps serving everything else.
+        survivors = engine.flush()
+        reference = reference_flush(BUILTIN_SQL, rows)
+        assert 0 < len(survivors) < len(reference)
+        by_key = {(r["tb"], r["destIP"]): r for r in reference}
+        for row in survivors:
+            assert row == by_key[(row["tb"], row["destIP"])]
+
+
+class TestObservability:
+    def run(self, tmp_path, tag: str, metrics) -> tuple[list, MetricsRegistry]:
+        store = TieredStore(
+            str(tmp_path / tag), hot_groups=8, metrics=metrics
+        )
+        engine = build_engine(SKETCH_SQL, store=store)
+        engine.insert_many(make_rows(600, groups=80))
+        return engine.flush(), metrics
+
+    def test_metrics_are_observers_not_participants(self, tmp_path):
+        # PR 2 convention: enabled, disabled, and absent registries must
+        # be bit-identical in results — metrics observe, never steer.
+        baseline, _ = self.run(tmp_path, "none", None)
+        enabled, registry = self.run(
+            tmp_path, "on", MetricsRegistry(enabled=True)
+        )
+        disabled, _ = self.run(
+            tmp_path, "off", MetricsRegistry(enabled=False)
+        )
+        assert enabled == baseline
+        assert disabled == baseline
+        metrics = registry.snapshot()["metrics"]
+        assert metrics["store.store.hot_groups"]["value"] <= 8
+        assert metrics["store.store.cold_groups"]["value"] > 0
+        assert metrics["store.store.evictions"]["raw_total"] > 0
+
+    def test_stats_shape(self, tmp_path):
+        _, _ = self.run(tmp_path, "shape", None)
+        store = TieredStore(str(tmp_path / "shape2"), hot_groups=4)
+        engine = build_engine(store=store)
+        engine.insert_many(make_rows(300, groups=50))
+        stats = store.stats()
+        for key in (
+            "hot_groups", "hot_budget", "cold_groups", "segments",
+            "segment_bytes", "evictions", "fault_ins", "spilled_bytes",
+            "compactions", "quarantined", "renormalizations",
+        ):
+            assert key in stats
+        assert stats["hot_groups"] <= stats["hot_budget"] == 4
