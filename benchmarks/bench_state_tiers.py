@@ -82,6 +82,9 @@ def main(argv=None) -> int:
         ("all-RAM ingest RSS delta", "state.rss.ram_delta_kb", "kB"),
         ("store ingest RSS delta", "state.rss.store_delta_kb", "kB"),
         ("segment bytes on disk", "state.store.segment_bytes", "B"),
+        ("segment bytes per group", "state.store.bytes_per_group", "B"),
+        ("key-directory bytes", "state.store.directory_bytes", "B"),
+        ("store pressure at end", "state.store.pressure", ""),
         ("segments", "state.store.segments", ""),
         ("evictions", "state.store.evictions", ""),
         ("fault-ins", "state.store.fault_ins", ""),
@@ -111,6 +114,15 @@ def main(argv=None) -> int:
         )
     elif not rss["gate"]:
         print("  (RSS ratio report-only at this scale)")
+    bpg = entries["state.store.bytes_per_group"]
+    if bpg["gate"] and bpg["value"] > bpg["limit"]:
+        failures.append(
+            f"segments cost {bpg['value']:.0f} B/group "
+            f"(ceiling {bpg['limit']:.0f} B — the v1 JSON format "
+            "measured ~324 B)"
+        )
+    elif not bpg["gate"]:
+        print("  (bytes/group ceiling report-only at this scale)")
 
     print(f"\nartifact written to {args.out}")
     for failure in failures:

@@ -73,6 +73,11 @@ _HOT_FRACTION_CEILING = 0.10
 #: core-count-conditional speedup gate).
 _RSS_GATE_MIN_GROUPS = 200_000
 _RSS_RATIO_CEILING = 0.9
+#: Absolute ceiling on segment bytes per cold group.  The v1 JSON
+#: format measured ~324 B/group on this workload; the v2 binary format
+#: must stay clearly below it (measured ~160 B/group; the ceiling
+#: leaves headroom for state-shape drift without readmitting JSON).
+_BYTES_PER_GROUP_CEILING = 250.0
 _DIGEST_MODULUS = 1 << 256
 
 
@@ -330,6 +335,30 @@ def run_state_suite(
     # not a flake.
     entries["state.store.segment_bytes"] = _entry(
         float(st["segment_bytes"]), "bytes", gate=True
+    )
+    # Per-cold-group segment footprint, with an absolute ceiling: the
+    # binary record format (v2) must stay well under the JSON format's
+    # ~324 B/group — a regression past the ceiling means the encoding
+    # got fatter, regardless of which baseline artifact is checked in.
+    # Only gated at contractual scale: below it the run is a handful of
+    # giant batches, segments never rotate, and compaction never gets to
+    # reclaim the multi-pass garbage the ceiling assumes.
+    cold = max(1, int(st["cold_groups"]))
+    bpg_gated = groups >= _RSS_GATE_MIN_GROUPS
+    entries["state.store.bytes_per_group"] = _entry(
+        float(st["segment_bytes"]) / cold, "B/group", gate=bpg_gated,
+        limit=_BYTES_PER_GROUP_CEILING if bpg_gated else None,
+    )
+    # The spill-to-disk key directory is the 10M-groups enabler: its
+    # mmap footprint replaces a per-key Python dict and must scale as a
+    # few dozen bytes per slot.  Threshold-gated like segment_bytes.
+    entries["state.store.directory_bytes"] = _entry(
+        float(st["directory_bytes"]), "bytes", gate=True
+    )
+    # Eviction pressure after a full ingest (report-only: the serve
+    # layer's credit tests gate the behavior; here it is a health gauge).
+    entries["state.store.pressure"] = _entry(
+        float(st["pressure"]), "fraction", gate=False
     )
     entries["state.store.segments"] = _entry(
         float(st["segments"]), "segments", gate=False

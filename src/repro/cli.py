@@ -458,21 +458,47 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
     report: dict = {"directory": directory}
     manifest_path = os.path.join(directory, MANIFEST_NAME)
     manifest = None
+    live_by_segment: dict[str, int] = {}
+    groups = 0
     if os.path.exists(manifest_path):
         with open(manifest_path) as handle:
             manifest = json.load(handle)
-        live_by_segment: dict[str, int] = {}
-        for seg, _off, _len in manifest.get("directory", {}).values():
-            live_by_segment[seg] = live_by_segment.get(seg, 0) + 1
+        if "directory" in manifest:
+            # Manifest v1: the cold directory is embedded JSON.
+            groups = len(manifest["directory"])
+            for seg, _off, _len in manifest["directory"].values():
+                live_by_segment[seg] = live_by_segment.get(seg, 0) + 1
+        elif manifest.get("directory_file"):
+            # Manifest v2: the directory is a KeyDirectory snapshot file.
+            from repro.store.directory import KeyDirectory
+            from repro.store.tiered import _segment_number
+
+            name_by_id = {
+                _segment_number(name): name
+                for name in manifest.get("segments", [])
+            }
+            snap_path = os.path.join(directory, manifest["directory_file"])
+            try:
+                snap = KeyDirectory(snap_path)
+            except StoreError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            try:
+                groups = len(snap)
+                for _h, seg_id, _off, _len in snap.items():
+                    seg = name_by_id.get(seg_id, f"#{seg_id}")
+                    live_by_segment[seg] = live_by_segment.get(seg, 0) + 1
+            finally:
+                snap.close()
         report["manifest"] = {
             "version": manifest.get("version"),
             "query": manifest.get("query"),
             "tuples_in": manifest.get("tuples_in"),
-            "groups": len(manifest.get("directory", {})),
+            "groups": groups,
             "segments": manifest.get("segments", []),
+            "directory_file": manifest.get("directory_file"),
         }
     else:
-        live_by_segment = {}
         report["manifest"] = None
     segments = []
     seg_dir = os.path.join(directory, "segments")
@@ -492,6 +518,7 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
                 for _offset, _record in reader.iter_records():
                     pass
                 entry["status"] = "ok"
+                entry["format"] = f"v{reader.version}"
                 entry["records"] = reader.records
                 entry["live"] = live_by_segment.get(name, 0)
             except StoreError as error:
@@ -513,6 +540,8 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
         print(f"query: {m['query']}")
     for entry in segments:
         line = f"  {entry['name']:<28} {entry['bytes']:>12,} B  {entry['status']}"
+        if getattr(args, "format", False) and "format" in entry:
+            line += f"  {entry['format']}"
         if "records" in entry:
             line += f"  ({entry['records']:,} records, {entry['live']:,} live)"
         print(line)
@@ -756,6 +785,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "shard<i> subdirectory)")
     store_inspect.add_argument("--json", action="store_true",
                                help="emit the report as JSON")
+    store_inspect.add_argument("--format", action="store_true",
+                               help="show each segment's detected record "
+                               "format (v1 JSON / v2 binary)")
     store_inspect.set_defaults(handler=_cmd_store_inspect)
 
     stats = commands.add_parser(

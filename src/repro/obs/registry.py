@@ -308,7 +308,14 @@ def format_snapshot(snap: dict) -> str:
                 lines.append(f"{name:<44} (empty)")
     # Store tier gauges render as one occupancy line per store instead of
     # four scattered gauge rows; everything else stays in the gauge table.
-    _TIER_SUFFIXES = ("hot_groups", "cold_groups", "segments", "segment_bytes")
+    _TIER_SUFFIXES = (
+        "hot_groups",
+        "cold_groups",
+        "segments",
+        "segment_bytes",
+        "directory_bytes",
+        "pressure",
+    )
     tiers: dict[str, dict[str, float]] = {}
     plain_gauges = []
     for name, entry in by_type.get("gauge", []):
@@ -328,7 +335,9 @@ def format_snapshot(snap: dict) -> str:
             lines.append(
                 f"{prefix:<44} hot={hot:,.0f} cold={cold:,.0f} "
                 f"({hot_pct:.1f}% hot, {t.get('segments', 0):,.0f} segments, "
-                f"{t.get('segment_bytes', 0):,.0f} bytes on disk)"
+                f"{t.get('segment_bytes', 0):,.0f} bytes on disk, "
+                f"{t.get('directory_bytes', 0):,.0f} directory bytes, "
+                f"pressure={t.get('pressure', 0):.2f})"
             )
     if plain_gauges:
         section("gauges")

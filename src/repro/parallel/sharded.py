@@ -728,6 +728,24 @@ class ShardedEngine:
             blobs.append(reply[1])
         return blobs
 
+    def store_pressure(self) -> float:
+        """The worst inline shard store's eviction pressure in ``[0, 1]``.
+
+        Multiprocess shards report 0.0 — their stores live in the worker
+        processes and the signal is not worth a round-trip per credit
+        grant.  Storeless shards are never pressured.
+        """
+        if not self.inline:
+            return 0.0
+        return max(
+            (
+                engine.store.pressure()
+                for engine in self._engines
+                if engine.store is not None
+            ),
+            default=0.0,
+        )
+
     def checkpoint(self) -> dict:
         """Refresh every shard's recovery point; returns per-shard info.
 

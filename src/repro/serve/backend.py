@@ -60,6 +60,16 @@ class _BackendBase:
         """
         return self.partial_blobs()
 
+    def pressure(self) -> float:
+        """Backend overload signal in ``[0, 1]`` for ingest backpressure.
+
+        Storeless backends are never pressured (0.0).  Store-backed
+        backends surface :meth:`~repro.store.tiered.TieredStore.pressure`
+        so the server can shrink ingest credit windows when the hot tier
+        thrashes instead of letting clients pile more batches on.
+        """
+        return 0.0
+
 
 class SingleEngineBackend(_BackendBase):
     """One in-process :class:`QueryEngine` behind the server.
@@ -119,6 +129,11 @@ class SingleEngineBackend(_BackendBase):
             self._engine.store_checkpoint()
             return []
         return self.partial_blobs()
+
+    def pressure(self) -> float:
+        """The attached store's eviction pressure (0.0 when storeless)."""
+        store = self._engine.store
+        return store.pressure() if store is not None else 0.0
 
     def stats(self) -> dict:
         """Backend statistics: tuples, groups, state volume."""
@@ -207,6 +222,10 @@ class ShardedBackend(_BackendBase):
     @property
     def tuples_in(self) -> int:
         return self._sharded.rows_routed
+
+    def pressure(self) -> float:
+        """The worst shard store's eviction pressure (inline shards only)."""
+        return self._sharded.store_pressure()
 
     def stats(self) -> dict:
         """Backend statistics: per-shard routing counts plus totals."""

@@ -185,6 +185,11 @@ class _ClientCore:
                 # Pre-seq server: credits return in send order, so the
                 # oldest outstanding batch is the one acknowledged.
                 self._unacked.pop(next(iter(self._unacked)))
+            # The server may grant 0 or 2 credits per batch to shrink or
+            # grow the window under backend pressure; track the implied
+            # window so flush's drain target follows it instead of
+            # waiting forever for credits the server withheld.
+            self.window = self.credits + len(self._unacked)
             return None
         if frame.ftype == protocol.RESULT and "sub" in frame.payload:
             self._pushes.append(frame)

@@ -69,6 +69,7 @@ class _Connection:
         self.hello_done = False
         self.wire_version = protocol.WIRE_VERSION  # negotiated at HELLO
         self.tuples_in = 0
+        self.window = 0  # credits outstanding client-side (server's view)
         self.subscriptions: list[asyncio.Task] = []
         self._next_sub = 1
         self._write_lock = asyncio.Lock()
@@ -294,6 +295,7 @@ class StreamServer:
                 time.time() - self.started_at if self.started_at else 0.0
             ),
             "credit_window": self.credit_window,
+            "pressure": self.backend.pressure(),
             "restored_blobs": self.restored_blobs,
             "checkpoint_path": self.checkpoint_path,
             "checkpoint_interval_s": self.checkpoint_interval_s,
@@ -428,6 +430,7 @@ class StreamServer:
             )
             return
         conn.hello_done = True
+        conn.window = self.credit_window
         await conn.send(
             protocol.WELCOME,
             {
@@ -440,6 +443,34 @@ class StreamServer:
                 "max_frame_bytes": self.max_frame_bytes,
             },
         )
+
+    def _credit_grant(self, conn: _Connection) -> int:
+        """Credits to return for one consumed batch: 0, 1, or 2.
+
+        The steady-state grant is 1 (one batch in, one credit back), which
+        holds the connection's window where it is.  Under backend pressure
+        (hot-tier thrash in a tiered store) the target window shrinks
+        toward 1, and the server withholds a credit per batch (grant 0)
+        until the window meets the target; when pressure subsides it
+        grants doubles (2) to grow the window back.  The window never
+        drops below 1, so ingest degrades to lock-step rather than
+        deadlocking — and the client's flush logic tracks the shrunken
+        window from the credits themselves, with no protocol change.
+        """
+        target = max(
+            1, round(self.credit_window * (1.0 - self.backend.pressure()))
+        )
+        if conn.window > target:
+            conn.window -= 1
+            return 0
+        if conn.window < target:
+            conn.window += 1
+            return 2
+        return 1
+
+    async def _send_credit(self, conn: _Connection, credit: dict) -> None:
+        credit["credits"] = self._credit_grant(conn)
+        await conn.send(protocol.CREDIT, credit)
 
     def _checked_rows(self, payload: dict) -> list[tuple]:
         rows = protocol.decode_rows(payload.get("rows", []))
@@ -462,13 +493,13 @@ class StreamServer:
             # The batch was rejected wholesale (validation happens before
             # ingest), so state is untouched; the credit is still returned.
             await self._error(conn, "bad-rows", str(error))
-            await conn.send(protocol.CREDIT, credit)
+            await self._send_credit(conn, credit)
             return
         conn.tuples_in += len(rows)
         self.rows_total += len(rows)
         if self._obs:
             self.metrics.rate("serve.ingest.rows").observe(float(len(rows)))
-        await conn.send(protocol.CREDIT, credit)
+        await self._send_credit(conn, credit)
 
     async def _handle_insert_cols(self, conn: _Connection, payload: dict) -> None:
         # Columnar twin of _handle_insert: the frame body was already
@@ -484,7 +515,7 @@ class StreamServer:
                 "INSERT_COLS requires wire version >= 2; this connection "
                 f"negotiated {conn.wire_version}",
             )
-            await conn.send(protocol.CREDIT, credit)
+            await self._send_credit(conn, credit)
             return
         cols = payload.get("cols", [])
         try:
@@ -493,13 +524,13 @@ class StreamServer:
         except DecayError as error:
             # Rejected wholesale before ingest; the credit still returns.
             await self._error(conn, "bad-rows", str(error))
-            await conn.send(protocol.CREDIT, credit)
+            await self._send_credit(conn, credit)
             return
         conn.tuples_in += count
         self.rows_total += count
         if self._obs:
             self.metrics.rate("serve.ingest.rows").observe(float(count))
-        await conn.send(protocol.CREDIT, credit)
+        await self._send_credit(conn, credit)
 
     async def _handle_heartbeat(self, conn: _Connection, payload: dict) -> None:
         row = payload.get("row")

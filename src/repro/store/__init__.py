@@ -19,6 +19,7 @@ the all-RAM engine.
 """
 
 from repro.core.errors import StoreError
+from repro.store.directory import KeyDirectory
 from repro.store.segment import (
     SEGMENT_VERSION,
     SegmentReader,
@@ -32,6 +33,7 @@ from repro.store.tiered import MANIFEST_NAME, MANIFEST_VERSION, TieredStore
 __all__ = [
     "TieredStore",
     "TenantStore",
+    "KeyDirectory",
     "SegmentReader",
     "SegmentWriter",
     "SEGMENT_VERSION",

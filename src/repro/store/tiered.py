@@ -20,11 +20,25 @@ byte-identical — sketches, samplers and their RNG streams included (the
 Section VI-B fixed-numerator property is what makes the serialized partial
 states location-independent in the first place).
 
+Scaling past a few million groups, no per-group Python object survives in
+RAM: cold locations live in an mmap-backed
+:class:`~repro.store.directory.KeyDirectory` keyed by 64-bit key hash.
+Hashes may collide, so every cold read verifies the record's full key and
+tries the next candidate on a mismatch — collisions cost an extra read,
+never a wrong group.  Cold-key enumeration (flush, ``partial_state``,
+``group_count``) walks the directory and reads each record's key block
+back from its segment; that is the deliberate trade — enumeration pays
+O(cold) reads so steady-state ingest pays O(1) RAM.
+
 The rest is mechanics: segments rotate at a byte threshold, compaction
-rewrites segments dominated by dead records (earlier generations of groups
-that faulted back in), corruption quarantines the offending segment and
-keeps serving from the rest, and :meth:`checkpoint` persists a manifest
-that references cold records *in place* — only hot state is re-serialized.
+rewrites segments dominated by dead records (optionally on a background
+thread so the sweep never stalls ingest), corruption quarantines the
+offending segment and keeps serving from the rest, and :meth:`checkpoint`
+publishes a manifest plus a directory snapshot that reference cold records
+*in place* — only hot state is re-serialized.  The store also exposes
+:meth:`pressure` — an EWMA of eviction/fault-in churn and cold-read
+latency — which the serve layer uses to shrink ingest credit windows
+instead of letting an overloaded store thrash segments.
 """
 
 from __future__ import annotations
@@ -33,6 +47,7 @@ import heapq
 import json
 import math
 import os
+import threading
 import time
 
 from repro.core.decay import ForwardDecay
@@ -45,21 +60,37 @@ from repro.core.protocol import (
     tag_key,
     untag_key,
 )
+from repro.store.directory import KeyDirectory
 from repro.store.segment import (
     SegmentReader,
     SegmentWriter,
     canonical_key,
+    fsync_dir,
+    key_hash,
+    read_record,
     read_record_at,
 )
 
 __all__ = ["TieredStore", "MANIFEST_NAME", "MANIFEST_VERSION"]
 
 MANIFEST_NAME = "MANIFEST.json"
-MANIFEST_VERSION = 1
+#: Current manifest format.  Version 1 embedded the whole cold directory
+#: as JSON inside the manifest; version 2 references an mmap-ready
+#: :class:`KeyDirectory` snapshot file instead.  Both recover.
+MANIFEST_VERSION = 2
+
+#: Working key-directory file (a cache; recovery never reads it).
+_DIRECTORY_NAME = "keys.dir"
 
 #: Renormalize eviction priorities before ``g(arrivals - L)`` reaches this
 #: (the Section VI-A overflow guard, applied to the store's own decay).
 _PRIORITY_CEILING = 1e100
+
+#: Directory slots examined per lock acquisition during enumeration.
+_SCAN_CHUNK = 8192
+
+#: Open segment file handles kept for the fault-in hot path.
+_HANDLE_CACHE = 64
 
 
 class _FaultingTable(dict):
@@ -96,8 +127,10 @@ class TieredStore:
     ----------
     directory:
         Root directory for this store (created if missing).  Segments live
-        under ``<directory>/segments/``; the checkpoint manifest is
-        ``<directory>/MANIFEST.json``.
+        under ``<directory>/segments/``; the working key directory is
+        ``<directory>/keys.dir``; the checkpoint manifest is
+        ``<directory>/MANIFEST.json`` next to its ``keys-NNNNNN.dir``
+        directory snapshot.
     hot_groups:
         Hot-tier budget: the maximum number of groups kept in the engine's
         high-level table.  The low-level table is already bounded by the
@@ -115,6 +148,17 @@ class TieredStore:
     compact_garbage_ratio:
         A sealed segment is rewritten when more than this fraction of its
         records are dead (superseded by fault-in or later spills).
+    background_compaction / compact_interval:
+        With ``background_compaction`` the sweep runs on a daemon thread
+        every ``compact_interval`` seconds instead of inline from
+        :meth:`maintain`, so ingest never stalls behind a rewrite.  The
+        thread only mutates shared state under the store lock; segment
+        files themselves are immutable once sealed.
+    pressure_churn_limit / pressure_latency_limit_us:
+        Normalization points for :meth:`pressure`: churn (evictions +
+        fault-ins per selected row) at or above ``pressure_churn_limit``,
+        or smoothed cold-read latency at or above
+        ``pressure_latency_limit_us``, reads as pressure 1.0.
     metrics / metrics_name:
         Optional :class:`~repro.obs.registry.MetricsRegistry`; when
         enabled, the store records under ``store.<metrics_name>.``.
@@ -130,6 +174,10 @@ class TieredStore:
         decay: ForwardDecay | None = None,
         compact_min_segments: int = 4,
         compact_garbage_ratio: float = 0.5,
+        background_compaction: bool = False,
+        compact_interval: float = 0.25,
+        pressure_churn_limit: float = 1.0,
+        pressure_latency_limit_us: float = 5000.0,
         metrics=None,
         metrics_name: str = "store",
     ):
@@ -144,24 +192,51 @@ class TieredStore:
                 "compact_garbage_ratio must be in (0, 1], got "
                 f"{compact_garbage_ratio!r}"
             )
+        if compact_interval <= 0:
+            raise ParameterError(
+                f"compact_interval must be > 0, got {compact_interval!r}"
+            )
+        if pressure_churn_limit <= 0 or pressure_latency_limit_us <= 0:
+            raise ParameterError("pressure limits must be > 0")
         self.directory = directory
         self.hot_groups = hot_groups
         self.segment_bytes = segment_bytes
         self.compact_min_segments = compact_min_segments
         self.compact_garbage_ratio = compact_garbage_ratio
+        self.background_compaction = background_compaction
+        self.compact_interval = compact_interval
+        self.pressure_churn_limit = pressure_churn_limit
+        self.pressure_latency_limit_us = pressure_latency_limit_us
         self._decay = decay if decay is not None else ForwardDecay(PolynomialG(2.0))
         self._segments_dir = os.path.join(directory, "segments")
+        self._dir_path = os.path.join(directory, _DIRECTORY_NAME)
         self._engine = None
-        # group key -> (segment name, record offset, framed length)
-        self._cold: dict[tuple, tuple[str, int, int]] = {}
-        self._seg_total: dict[str, int] = {}
-        self._seg_live: dict[str, int] = {}
+        # One lock serializes every mutation of the shared cold-tier
+        # state (key directory, segment maps, retired list) between the
+        # engine thread and the background compactor.  Record *reads*
+        # happen outside it — sealed segment files are immutable.
+        self._lock = threading.RLock()
+        self._dir: KeyDirectory | None = None
+        # segment id <-> name; ids are the number embedded in the name,
+        # so they survive recovery and fit the directory's u32 field.
+        self._seg_by_id: dict[int, str] = {}
+        self._seg_total: dict[int, int] = {}
+        self._seg_live: dict[int, int] = {}
         self._writer: SegmentWriter | None = None
-        self._writer_name: str | None = None
+        self._writer_id: int | None = None
         self._writer_dirty = False
         self._next_seg = 0
-        self._retired: list[str] = []
+        self._retired: list[tuple[int, str]] = []
+        #: Segment names the on-disk manifest references.  Compacted
+        #: victims in this set must survive until the next checkpoint
+        #: (crash recovery may need them); victims outside it are
+        #: unreferenced and deleted as soon as their records are copied.
+        self._manifest_segments: set[str] = set()
         self._ckpt_names: list[str] = []
+        self._dir_snapshots: list[str] = []
+        self._handles: dict[int, object] = {}
+        self._compactor: threading.Thread | None = None
+        self._stop_compactor = threading.Event()
         # Eviction priorities: decayed touch weight per group over the
         # arrival index (lazy-deletion min-heap; priorities only grow).
         self._prio: dict[tuple, float] = {}
@@ -176,6 +251,11 @@ class TieredStore:
         self._quarantined = 0
         self._compactions = 0
         self._renormalizations = 0
+        # Pressure EWMAs: churn per selected row, cold-read latency.
+        self._churn_ema = 0.0
+        self._lat_ema = 0.0
+        self._p_events_mark = 0
+        self._p_arrivals_mark = 0
         name = f"store.{metrics_name}"
         if metrics is not None and getattr(metrics, "enabled", False):
             self._m_evictions = metrics.counter(f"{name}.evictions")
@@ -187,6 +267,8 @@ class TieredStore:
             self._m_cold = metrics.gauge(f"{name}.cold_groups")
             self._m_segments = metrics.gauge(f"{name}.segments")
             self._m_seg_bytes = metrics.gauge(f"{name}.segment_bytes")
+            self._m_dir_bytes = metrics.gauge(f"{name}.directory_bytes")
+            self._m_pressure = metrics.gauge(f"{name}.pressure")
             self._metrics_on = True
         else:
             from repro.obs.registry import NULL_METRIC
@@ -196,6 +278,7 @@ class TieredStore:
             self._m_cold_read = NULL_METRIC
             self._m_hot = self._m_cold = NULL_METRIC
             self._m_segments = self._m_seg_bytes = NULL_METRIC
+            self._m_dir_bytes = self._m_pressure = NULL_METRIC
             self._metrics_on = False
 
     # -- attachment and recovery --------------------------------------------------
@@ -207,7 +290,8 @@ class TieredStore:
         its per-tuple ``process`` (the batched paths notify the store
         explicitly).  With a manifest present, the engine resumes from the
         checkpoint with every group cold; without one, leftover segment
-        files are wiped — no manifest means no durable state.
+        and directory files are wiped — no manifest means no durable
+        state.  Starts the background compactor, if configured.
         """
         if self._engine is not None:
             raise ParameterError("store is already attached to an engine")
@@ -225,6 +309,15 @@ class TieredStore:
             self._recover(engine, manifest_path)
         else:
             self._wipe_segments()
+            self._dir = KeyDirectory(self._dir_path)
+        if self.background_compaction:
+            self._stop_compactor.clear()
+            self._compactor = threading.Thread(
+                target=self._compaction_loop,
+                name="tiered-store-compactor",
+                daemon=True,
+            )
+            self._compactor.start()
 
     def _shadow_process(self, engine) -> None:
         # Instance-level shadow, same trick as repro.obs.instrument: the
@@ -248,6 +341,9 @@ class TieredStore:
         for entry in os.listdir(self._segments_dir):
             if entry.endswith((".seg", ".tmp", ".quarantined")):
                 _unlink_quiet(os.path.join(self._segments_dir, entry))
+        for entry in os.listdir(self.directory):
+            if entry.startswith("keys") and ".dir" in entry:
+                _unlink_quiet(os.path.join(self.directory, entry))
 
     def _recover(self, engine, manifest_path: str) -> None:
         try:
@@ -258,10 +354,11 @@ class TieredStore:
                 f"unreadable store manifest {manifest_path}: {exc}",
                 segment=manifest_path,
             ) from exc
-        if manifest.get("version") != MANIFEST_VERSION:
+        version = manifest.get("version")
+        if version not in (1, MANIFEST_VERSION):
             raise StoreError(
-                f"unsupported store manifest version "
-                f"{manifest.get('version')!r}", segment=manifest_path,
+                f"unsupported store manifest version {version!r}",
+                segment=manifest_path,
             )
         if manifest.get("query") != engine.query.sql():
             raise StoreError(
@@ -278,30 +375,67 @@ class TieredStore:
         referenced = set(manifest["segments"])
         for seg_name in sorted(referenced):
             reader = SegmentReader(self._segment_path(seg_name))
-            self._seg_total[seg_name] = reader.records
-            self._seg_live[seg_name] = 0
-        cold = {}
-        for canon, (seg_name, offset, length) in manifest["directory"].items():
-            if seg_name not in referenced:
+            seg_id = _segment_number(seg_name)
+            self._seg_by_id[seg_id] = seg_name
+            self._seg_total[seg_id] = reader.records
+            self._seg_live[seg_id] = 0
+        id_set = set(self._seg_by_id)
+        keep_files = {_DIRECTORY_NAME}
+        if version == 1:
+            # Legacy manifest: the cold directory is embedded JSON.
+            # Import it into a fresh on-disk directory.
+            embedded = manifest["directory"]
+            _unlink_quiet(self._dir_path)
+            self._dir = KeyDirectory(
+                self._dir_path, capacity=max(4096, 4 * len(embedded))
+            )
+            for canon, (seg_name, offset, length) in embedded.items():
+                seg_id = _segment_number(seg_name)
+                if seg_id not in id_set:
+                    raise StoreError(
+                        "store manifest references unknown segment "
+                        f"{seg_name!r}", segment=manifest_path,
+                    )
+                self._dir.put(key_hash(canon), seg_id, offset, length)
+                self._seg_live[seg_id] += 1
+        else:
+            snap_name = manifest["directory_file"]
+            snap_path = os.path.join(self.directory, snap_name)
+            self._dir = KeyDirectory.open_snapshot(snap_path, self._dir_path)
+            declared = manifest.get("directory_entries")
+            if declared is not None and declared != len(self._dir):
                 raise StoreError(
-                    f"store manifest references unknown segment {seg_name!r}",
-                    segment=manifest_path,
+                    f"directory snapshot {snap_path} holds "
+                    f"{len(self._dir)} entries, manifest says {declared}",
+                    segment=snap_path,
                 )
-            key = tuple(untag_key(tag) for tag in json.loads(canon))
-            cold[key] = (seg_name, offset, length)
-            self._seg_live[seg_name] += 1
-        self._cold = cold
+            for _h, seg_id, _offset, _length in self._dir.items():
+                if seg_id not in id_set:
+                    raise StoreError(
+                        "directory snapshot references unknown segment id "
+                        f"{seg_id}", segment=snap_path,
+                    )
+                self._seg_live[seg_id] += 1
+            self._dir_snapshots = [snap_name]
+            keep_files.add(snap_name)
+        self._manifest_segments = set(referenced)
         self._ckpt_names = [n for n in referenced if n.startswith("ckpt-")]
         numbers = [_segment_number(n) for n in referenced]
+        numbers += [_segment_number(n) for n in self._dir_snapshots]
         self._next_seg = max(numbers, default=-1) + 1
         # Anything on disk the manifest does not reference — stale spill
-        # segments, aborted staging files, old quarantines — is garbage
-        # from after the checkpoint; recovery means the manifest's world.
+        # segments, aborted staging files, old quarantines, superseded
+        # directory snapshots — is garbage from after the checkpoint;
+        # recovery means the manifest's world.
         for entry in os.listdir(self._segments_dir):
             if entry in referenced:
                 continue
             if entry.endswith((".seg", ".tmp", ".quarantined")):
                 _unlink_quiet(os.path.join(self._segments_dir, entry))
+        for entry in os.listdir(self.directory):
+            if (entry.startswith("keys") and ".dir" in entry
+                    and entry not in keep_files):
+                _unlink_quiet(os.path.join(self.directory, entry))
         engine._tuples_in = manifest["tuples_in"]
         engine._tuples_selected = manifest["tuples_selected"]
         engine._low_evictions = manifest["low_evictions"]
@@ -429,12 +563,38 @@ class TieredStore:
             and self._writer.bytes_written >= self.segment_bytes
         ):
             self._seal_writer()
-        self._maybe_compact()
+        if self._compactor is None:
+            self._maybe_compact()
+        # Churn EWMA: evictions + fault-ins per selected row since the
+        # last maintain — sustained > pressure_churn_limit means the hot
+        # tier is thrashing (every arrival displaces a group).
+        events = self._evictions + self._fault_ins
+        darrivals = self._arrivals - self._p_arrivals_mark
+        if darrivals > 0:
+            churn = (events - self._p_events_mark) / darrivals
+            self._churn_ema += 0.2 * (churn - self._churn_ema)
+            self._p_arrivals_mark = self._arrivals
+            self._p_events_mark = events
         if self._metrics_on:
             self._m_hot.set(len(high))
-            self._m_cold.set(len(self._cold))
+            self._m_cold.set(self.cold_count)
             self._m_segments.set(self.segment_count)
             self._m_seg_bytes.set(self.segment_bytes_on_disk())
+            self._m_dir_bytes.set(self.directory_bytes)
+            self._m_pressure.set(self.pressure())
+
+    def pressure(self) -> float:
+        """Store overload signal in ``[0, 1]`` for ingest backpressure.
+
+        The max of two normalized EWMAs: hot-tier churn (evictions plus
+        fault-ins per selected row) against ``pressure_churn_limit``, and
+        cold-read latency against ``pressure_latency_limit_us``.  The
+        serve layer shrinks granted credit windows proportionally, so an
+        overloaded store sheds load instead of thrashing segments.
+        """
+        churn = self._churn_ema / self.pressure_churn_limit
+        latency = self._lat_ema / self.pressure_latency_limit_us
+        return min(1.0, max(0.0, churn, latency))
 
     # -- spill / fault-in ---------------------------------------------------------
 
@@ -467,9 +627,12 @@ class TieredStore:
             tagged, self._encode_states(states), generation=self._evictions
         )
         self._writer_dirty = True
-        self._cold[key] = (self._writer_name, offset, length)
-        self._seg_live[self._writer_name] += 1
-        self._seg_total[self._writer_name] += 1
+        with self._lock:
+            self._dir.put(
+                key_hash(canonical_key(tagged)), self._writer_id, offset, length
+            )
+            self._seg_live[self._writer_id] += 1
+            self._seg_total[self._writer_id] += 1
         # Spilled groups restart their touch history on fault-in; this
         # also bounds the priority map by the hot tier, not the keyspace.
         self._prio.pop(key, None)
@@ -481,185 +644,406 @@ class TieredStore:
     def fault_in(self, key: tuple) -> list | None:
         """Load a cold group's exact state back, removing its cold entry.
 
-        Returns None when the key is not cold.  Corruption quarantines the
+        Returns None when the key is not cold.  The directory indexes by
+        64-bit key hash, so every candidate record is read and its full
+        key verified — a collision is another group's record and just
+        means trying the next candidate.  Corruption quarantines the
         segment and raises :class:`StoreError` — by then every cold entry
         into that segment (this key included) is gone, so subsequent
         queries serve from the remaining state.
         """
-        location = self._cold.get(key)
-        if location is None:
-            return None
-        record = self._read_record(location, key)
-        del self._cold[key]
-        self._seg_live[location[0]] -= 1
-        self._fault_ins += 1
-        self._m_fault_ins.add(1)
-        return self._decode_states(record["s"])
+        tagged = [tag_key(part) for part in key]
+        h = key_hash(canonical_key(tagged))
+        while True:
+            with self._lock:
+                candidates = self._dir.lookup(h)
+            if not candidates:
+                return None
+            retry = False
+            for seg_id, offset, length in candidates:
+                record = self._read_location(seg_id, offset, length)
+                if record is None:
+                    if self._segment_vanished(seg_id):
+                        # Compaction deleted the segment between our
+                        # lookup and the read; the entry was repointed
+                        # first, so a fresh lookup finds the copy.
+                        retry = True
+                    continue
+                if record["k"] != tagged:
+                    continue
+                with self._lock:
+                    if not self._dir.delete(h, seg_id, offset):
+                        # Compaction repointed this entry between our read
+                        # and the delete; the copy holds identical bytes —
+                        # retry against the fresh location.
+                        retry = True
+                        break
+                    if seg_id in self._seg_live:
+                        self._seg_live[seg_id] -= 1
+                self._fault_ins += 1
+                self._m_fault_ins.add(1)
+                return self._decode_states(record["s"])
+            if not retry:
+                return None
 
     def encoded_states(self, key: tuple) -> list:
         """A cold group's stored encodings, read without faulting it in.
 
         Used by ``partial_state`` to splice cold groups into the snapshot
-        with zero decode/re-encode work.
+        with zero decode/re-encode work.  Raises ``KeyError`` when the
+        key is not cold.
         """
-        return self._read_record(self._cold[key], key)["s"]
+        tagged = [tag_key(part) for part in key]
+        h = key_hash(canonical_key(tagged))
+        while True:
+            with self._lock:
+                candidates = self._dir.lookup(h)
+            retry = False
+            for seg_id, offset, length in candidates:
+                record = self._read_location(seg_id, offset, length)
+                if record is None:
+                    retry = retry or self._segment_vanished(seg_id)
+                    continue
+                if record["k"] == tagged:
+                    return record["s"]
+            if not retry:
+                raise KeyError(key)
 
-    def _read_record(self, location: tuple[str, int, int], key: tuple) -> dict:
-        seg_name, offset, length = location
-        if seg_name == self._writer_name:
-            if self._writer_dirty:
-                self._writer.flush()
-                self._writer_dirty = False
-            path = self._writer.staging_path
-        else:
-            path = self._segment_path(seg_name)
+    def _segment_vanished(self, seg_id: int) -> bool:
+        """True if a segment id no longer maps to a file.
+
+        Distinguishes "compaction deleted it under us — its records were
+        repointed first, so re-resolve through the directory" from "the
+        read failed on a file that is still mapped" (a racing quarantine:
+        those entries are gone from the directory and must NOT be
+        retried, or readers would spin).
+        """
+        with self._lock:
+            return (
+                seg_id != self._writer_id
+                and self._seg_by_id.get(seg_id) is None
+            )
+
+    def _read_location(
+        self, seg_id: int, offset: int, length: int, key_only: bool = False
+    ):
+        """Read one record by directory entry; None if the segment is gone.
+
+        Corruption quarantines the segment and re-raises the located
+        :class:`StoreError`.  A missing segment (quarantined or deleted
+        concurrently) is not corruption — its entries were intentionally
+        dropped — so it reads as None.
+        """
+        with self._lock:
+            if seg_id == self._writer_id and self._writer is not None:
+                if self._writer_dirty:
+                    self._writer.flush()
+                    self._writer_dirty = False
+                path = self._writer.staging_path
+                handle = None
+            else:
+                name = self._seg_by_id.get(seg_id)
+                if name is None:
+                    return None
+                path = self._segment_path(name)
+                handle = self._handle(seg_id, path)
+                if handle is None:
+                    return None
         start = time.perf_counter_ns()
         try:
-            record = read_record_at(path, offset, length)
+            if handle is not None:
+                record = read_record(handle, path, offset, length, key_only)
+            else:
+                record = read_record_at(path, offset, length)
         except StoreError:
-            self._quarantine(seg_name)
+            self._quarantine(seg_id)
             raise
-        self._m_cold_read.observe((time.perf_counter_ns() - start) / 1e3)
-        if record["k"] != [tag_key(part) for part in key]:
-            # The bytes are intact but belong to another group: the index
-            # or manifest is inconsistent.  Same containment as a CRC hit.
-            self._quarantine(seg_name)
-            raise StoreError(
-                f"segment {path}: record at offset {offset} holds group "
-                f"{record['k']!r}, expected {canonical_key([tag_key(p) for p in key])}",
-                segment=path, offset=offset,
-            )
+        except (OSError, ValueError):
+            # The file (or its cached handle) vanished under us — a
+            # concurrent quarantine.  Those entries are already dropped.
+            self._handles.pop(seg_id, None)
+            return None
+        if not key_only:
+            elapsed = (time.perf_counter_ns() - start) / 1e3
+            self._lat_ema += 0.05 * (elapsed - self._lat_ema)
+            self._m_cold_read.observe(elapsed)
         return record
 
-    def _quarantine(self, seg_name: str) -> None:
-        """Retire a bad segment and every cold entry pointing into it."""
-        if seg_name == self._writer_name and self._writer is not None:
-            self._writer.abort()
-            self._writer = None
-            self._writer_name = None
-            self._writer_dirty = False
-        else:
-            path = self._segment_path(seg_name)
+    def _handle(self, seg_id: int, path: str):
+        """A cached read handle for a sealed segment (engine thread only)."""
+        handle = self._handles.get(seg_id)
+        if handle is not None:
+            return handle
+        try:
+            handle = open(path, "rb")
+        except OSError:
+            return None
+        while len(self._handles) >= _HANDLE_CACHE:
+            _old_id, old = self._handles.popitem()
             try:
-                os.rename(path, path + ".quarantined")
-            except OSError:
-                _unlink_quiet(path)
-        self._cold = {
-            key: location
-            for key, location in self._cold.items()
-            if location[0] != seg_name
-        }
-        self._seg_total.pop(seg_name, None)
-        self._seg_live.pop(seg_name, None)
-        self._quarantined += 1
-        self._m_quarantined.add(1)
+                old.close()
+            except OSError:  # pragma: no cover - close is best effort
+                pass
+        self._handles[seg_id] = handle
+        return handle
+
+    def _drop_handle(self, seg_id: int) -> None:
+        handle = self._handles.pop(seg_id, None)
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - close is best effort
+                pass
+
+    def _quarantine(self, seg_id: int) -> None:
+        """Retire a bad segment and every cold entry pointing into it."""
+        with self._lock:
+            name = self._seg_by_id.get(seg_id)
+            if seg_id == self._writer_id and self._writer is not None:
+                self._writer.abort()
+                self._writer = None
+                self._writer_id = None
+                self._writer_dirty = False
+            elif name is not None:
+                path = self._segment_path(name)
+                try:
+                    os.rename(path, path + ".quarantined")
+                except OSError:
+                    _unlink_quiet(path)
+            if name is not None:
+                self._dir.drop_segment(seg_id)
+                self._seg_by_id.pop(seg_id, None)
+                self._seg_total.pop(seg_id, None)
+                self._seg_live.pop(seg_id, None)
+            self._drop_handle(seg_id)
+            self._quarantined += 1
+            self._m_quarantined.add(1)
 
     # -- segment lifecycle --------------------------------------------------------
 
     def _segment_path(self, seg_name: str) -> str:
         return os.path.join(self._segments_dir, seg_name)
 
-    def _next_name(self, prefix: str = "") -> str:
-        name = f"{prefix}{self._next_seg:06d}.seg"
-        self._next_seg += 1
-        return name
+    def _next_name(self, prefix: str = "", suffix: str = ".seg") -> str:
+        with self._lock:
+            name = f"{prefix}{self._next_seg:06d}{suffix}"
+            self._next_seg += 1
+            return name
 
     def _open_writer(self) -> SegmentWriter:
         name = self._next_name()
-        self._writer = SegmentWriter(self._segment_path(name))
-        self._writer_name = name
-        self._writer_dirty = False
-        self._seg_total[name] = 0
-        self._seg_live[name] = 0
-        return self._writer
+        seg_id = _segment_number(name)
+        writer = SegmentWriter(self._segment_path(name))
+        with self._lock:
+            self._writer = writer
+            self._writer_id = seg_id
+            self._writer_dirty = False
+            self._seg_by_id[seg_id] = name
+            self._seg_total[seg_id] = 0
+            self._seg_live[seg_id] = 0
+        return writer
 
     def _seal_writer(self) -> None:
         writer = self._writer
         if writer is None:
             return
-        name = self._writer_name
-        self._writer = None
-        self._writer_name = None
-        self._writer_dirty = False
+        with self._lock:
+            seg_id = self._writer_id
+            self._writer = None
+            self._writer_id = None
+            self._writer_dirty = False
+            if writer.records == 0:
+                self._seg_by_id.pop(seg_id, None)
+                self._seg_total.pop(seg_id, None)
+                self._seg_live.pop(seg_id, None)
         if writer.records == 0:
             writer.abort()
-            self._seg_total.pop(name, None)
-            self._seg_live.pop(name, None)
             return
         writer.finalize()
 
+    def _sealed_ids(self) -> list[int]:
+        with self._lock:
+            return sorted(
+                seg_id for seg_id in self._seg_total
+                if seg_id != self._writer_id
+            )
+
     def _sealed_names(self) -> list[str]:
-        return sorted(
-            name for name in self._seg_total if name != self._writer_name
-        )
+        with self._lock:
+            return sorted(
+                self._seg_by_id[seg_id] for seg_id in self._seg_total
+                if seg_id != self._writer_id
+            )
 
     def _maybe_compact(self) -> None:
-        if len(self._sealed_names()) < self.compact_min_segments:
+        if len(self._sealed_ids()) < self.compact_min_segments:
             return
         self.compact()
+
+    def _compaction_loop(self) -> None:
+        while not self._stop_compactor.wait(self.compact_interval):
+            if len(self._sealed_ids()) < self.compact_min_segments:
+                continue
+            try:
+                self.compact()
+            except StoreError:
+                # The offending segment is already quarantined; the next
+                # sweep works with what survives.
+                continue
 
     def compact(self, force: bool = False) -> int:
         """Rewrite garbage-heavy sealed segments; returns segments retired.
 
         A segment's garbage is its dead records — groups that faulted back
         in (and may have been re-spilled elsewhere) or were dropped at
-        flush.  Live records are re-appended to a fresh segment and the
-        cold directory is repointed; old files are only deleted at the
-        next :meth:`checkpoint`, because the current manifest may still
-        reference them for crash recovery.
+        flush.  Liveness comes from the victim's own footer checked
+        against the key directory, so the sweep costs O(victim records),
+        not a directory scan.  Live records are re-appended to a fresh
+        segment and the directory is repointed entry-by-entry; a repoint
+        that loses the race to a concurrent fault-in simply leaves a dead
+        copy.  Old files are only deleted at the next :meth:`checkpoint`,
+        because the current manifest may still reference them for crash
+        recovery.  Safe to call from the background compactor: shared
+        state is only touched under the store lock.
         """
         threshold = 1.0 - self.compact_garbage_ratio
-        victims = []
-        for name in self._sealed_names():
-            total = self._seg_total.get(name, 0)
-            live = self._seg_live.get(name, 0)
-            if force or live == 0 or (total and live / total < threshold):
-                victims.append(name)
+        with self._lock:
+            victims: dict[int, str] = {}
+            for seg_id, total in self._seg_total.items():
+                if seg_id == self._writer_id:
+                    continue
+                live = self._seg_live.get(seg_id, 0)
+                if force or live == 0 or (total and live / total < threshold):
+                    victims[seg_id] = self._seg_by_id[seg_id]
         if not victims:
             return 0
-        by_segment: dict[str, list[tuple]] = {name: [] for name in victims}
-        for key, location in self._cold.items():
-            if location[0] in by_segment:
-                by_segment[location[0]].append(key)
-        writer = None
+        writer: SegmentWriter | None = None
         new_name = None
-        for name in victims:
-            for key in by_segment[name]:
-                try:
-                    record = self._read_record(self._cold[key], key)
-                except StoreError:
-                    # _read_record already quarantined the source; its
-                    # surviving siblings were dropped with it.  Keep
-                    # compacting the other victims.
-                    break
-                if writer is None:
-                    new_name = self._next_name()
-                    writer = SegmentWriter(self._segment_path(new_name))
-                offset, length = writer.append(
-                    record["k"], record["s"], record.get("g", 0)
-                )
-                self._cold[key] = (new_name, offset, length)
+        copies: list[tuple[int, int, int, int, int]] = []
+        lost: set[int] = set()
+        for seg_id, name in victims.items():
+            path = self._segment_path(name)
+            try:
+                reader = SegmentReader(path)
+                for h, offset, length in reader.entries:
+                    with self._lock:
+                        alive = any(
+                            s == seg_id and o == offset
+                            for s, o, _l in self._dir.lookup(h)
+                        )
+                    if not alive:
+                        continue
+                    record = read_record_at(path, offset, length)
+                    if writer is None:
+                        new_name = self._next_name()
+                        writer = SegmentWriter(self._segment_path(new_name))
+                    new_off, new_len = writer.append(
+                        record["k"], record["s"], record.get("g", 0)
+                    )
+                    copies.append((h, seg_id, offset, new_off, new_len))
+            except FileNotFoundError:
+                lost.add(seg_id)
+                continue
+            except StoreError:
+                self._quarantine(seg_id)
+                lost.add(seg_id)
+                continue
+        new_id = None
         if writer is not None:
-            writer.finalize()
-            self._seg_total[new_name] = writer.records
-            self._seg_live[new_name] = writer.records
+            if writer.records:
+                writer.finalize()
+                new_id = _segment_number(new_name)
+            else:  # pragma: no cover - every copy raced away
+                writer.abort()
         retired = 0
-        for name in victims:
-            if name not in self._seg_total:
-                continue  # quarantined mid-compaction
-            self._seg_total.pop(name)
-            self._seg_live.pop(name)
-            self._retired.append(self._segment_path(name))
-            retired += 1
-        if retired:
-            self._compactions += 1
+        with self._lock:
+            if new_id is not None:
+                self._seg_by_id[new_id] = new_name
+                self._seg_total[new_id] = writer.records
+                self._seg_live[new_id] = 0
+                for h, old_seg, old_off, new_off, new_len in copies:
+                    if old_seg in lost:
+                        continue
+                    if self._dir.delete(h, old_seg, old_off):
+                        self._dir.put(h, new_id, new_off, new_len)
+                        self._seg_live[new_id] += 1
+                        if old_seg in self._seg_live:
+                            self._seg_live[old_seg] -= 1
+            for seg_id, name in victims.items():
+                if seg_id in lost or seg_id not in self._seg_total:
+                    continue  # quarantined mid-compaction
+                self._seg_total.pop(seg_id)
+                self._seg_live.pop(seg_id)
+                if name in self._manifest_segments:
+                    # The current manifest references this file for crash
+                    # recovery: keep the id -> name mapping (stale
+                    # enumeration snapshots still resolve reads against
+                    # it) and delete only after the next checkpoint.
+                    self._retired.append((seg_id, self._segment_path(name)))
+                else:
+                    # No checkpoint ever referenced it: delete now, or a
+                    # churning store that never checkpoints hoards every
+                    # dead copy it ever wrote.  Readers holding stale
+                    # entries get None and re-resolve via the directory
+                    # (cached handles keep serving until evicted).
+                    _unlink_quiet(self._segment_path(name))
+                    self._seg_by_id.pop(seg_id, None)
+                retired += 1
+            if retired:
+                self._compactions += 1
         return retired
 
     # -- query-side hooks ---------------------------------------------------------
 
+    def _scan_entries(self):
+        """Every live directory entry, in bounded-lock chunks.
+
+        A rebuild (growth/tombstone purge) mid-scan restarts it: entries
+        may then repeat, which every consumer tolerates (sets, or
+        fault-in that no-ops on the second sight of a key).
+        """
+        idx = 0
+        with self._lock:
+            generation = self._dir.generation
+        while True:
+            with self._lock:
+                if self._dir.generation != generation:
+                    generation = self._dir.generation
+                    idx = 0
+                    continue
+                chunk, idx = self._dir.scan_chunk(idx, _SCAN_CHUNK)
+                done = idx >= self._dir.capacity
+            yield from chunk
+            if done:
+                return
+
     def cold_key_set(self):
-        """The cold tier's group keys (live view; do not mutate)."""
-        return self._cold.keys()
+        """Iterate the cold tier's group keys (a generator).
+
+        Costs one key-only record read per cold group — the price of not
+        holding ten million key tuples in RAM.  May yield a key twice if
+        the directory rebuilds mid-scan, or if a concurrent compaction
+        forces a re-resolve; consumers are set-like.
+        """
+        for h, seg_id, offset, length in self._scan_entries():
+            record = self._read_location(seg_id, offset, length, key_only=True)
+            if record is None:
+                if not self._segment_vanished(seg_id):
+                    continue  # quarantined: entries intentionally dropped
+                # Compaction deleted the scanned location mid-iteration.
+                # Its keys are still live in the directory under the same
+                # hash — yield from the fresh entries instead (hash
+                # collisions resolve to other live cold keys: harmless).
+                with self._lock:
+                    fresh = self._dir.lookup(h)
+                for f_seg, f_off, f_len in fresh:
+                    record = self._read_location(
+                        f_seg, f_off, f_len, key_only=True
+                    )
+                    if record is not None:
+                        yield tuple(untag_key(tag) for tag in record["k"])
+                continue
+            yield tuple(untag_key(tag) for tag in record["k"])
 
     def load_bucket(self, bucket: object) -> None:
         """Fault every cold group of one time bucket into the hot table.
@@ -668,7 +1052,9 @@ class TieredStore:
         bucket's groups; the hot budget is re-enforced afterwards by the
         next :meth:`maintain`.
         """
-        matches = [key for key in self._cold if key and key[0] == bucket]
+        matches = [
+            key for key in self.cold_key_set() if key and key[0] == bucket
+        ]
         high = self._engine._high
         for key in matches:
             states = self.fault_in(key)
@@ -683,10 +1069,16 @@ class TieredStore:
         Hot groups are serialized once into a fresh ``ckpt-`` segment;
         cold groups are referenced *in place* — their records are already
         durable, which is the point of using segments as the checkpoint
-        substrate.  The manifest is published atomically; only then are
-        segments retired by compaction (and the previous checkpoint's
-        ``ckpt-`` segment) actually deleted, so a crash at any point
-        leaves a recoverable store.
+        substrate.  The key directory is published as a ``keys-NNNNNN.dir``
+        snapshot (a staged copy of the working table plus the hot groups'
+        ckpt entries) so the manifest stays a few hundred bytes at any
+        group count.  Snapshot, then manifest, are each fsynced and
+        renamed into place, followed by a parent-directory fsync — the
+        rename is directory metadata, and without that sync a power loss
+        can forget a checkpoint that was already acknowledged.  Only then
+        are files retired by compaction (and the previous checkpoint's
+        ``ckpt-`` segment and snapshot) actually deleted, so a crash at
+        any point leaves a recoverable store.
         """
         from repro.dsms.engine import _NO_BUCKET
 
@@ -694,73 +1086,114 @@ class TieredStore:
         if engine is None:
             raise ParameterError("store is not attached to an engine")
         engine._drain_low()
-        self._seal_writer()
-        high = engine._high
-        directory = {}
-        for key, (seg_name, offset, length) in self._cold.items():
-            canon = canonical_key([tag_key(part) for part in key])
-            directory[canon] = [seg_name, offset, length]
-        ckpt_name = None
-        if high:
-            ckpt_name = self._next_name("ckpt-")
-            writer = SegmentWriter(self._segment_path(ckpt_name))
-            for key in sorted(high, key=repr):
-                tagged = [tag_key(part) for part in key]
-                offset, length = writer.append(
-                    tagged, self._encode_states(high[key])
-                )
-                directory[canonical_key(tagged)] = [ckpt_name, offset, length]
-            writer.finalize()
-        referenced = sorted({location[0] for location in directory.values()})
-        manifest = {
-            "version": MANIFEST_VERSION,
-            "query": engine.query.sql(),
-            "schema": engine.schema.names(),
-            "tuples_in": engine.tuples_processed,
-            "tuples_selected": engine.tuples_selected,
-            "low_evictions": engine.low_evictions,
-            "bucket": (
-                None if engine._current_bucket is _NO_BUCKET
-                else [tag_key(engine._current_bucket)]
-            ),
-            "segments": referenced,
-            "directory": directory,
-            "arrivals": self._arrivals,
-            "prio_landmark": self._prio_landmark,
-            # Sampler UDAFs assign each *new* group an RNG stream from a
-            # per-UDAF creation counter; a resumed engine must continue
-            # that sequence or groups first seen after the restart would
-            # draw different streams than an uninterrupted run.
-            "udaf_counters": [
-                getattr(plan.udaf, "_counter", None)
-                for plan in engine._agg_plans
-            ],
-        }
-        manifest_path = os.path.join(self.directory, MANIFEST_NAME)
-        staging = manifest_path + ".tmp"
-        with open(staging, "w") as handle:
-            json.dump(manifest, handle, separators=(",", ":"))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(staging, manifest_path)
-        # The new manifest is durable: previous-generation files are now
-        # safe to drop.
-        for path in self._retired:
-            _unlink_quiet(path)
-        self._retired = []
-        referenced_set = set(referenced)
-        for old in self._ckpt_names:
-            if old not in referenced_set:
-                _unlink_quiet(self._segment_path(old))
-                self._seg_total.pop(old, None)
-                self._seg_live.pop(old, None)
-        self._ckpt_names = [ckpt_name] if ckpt_name else []
-        if ckpt_name:
-            # The ckpt segment is sealed but holds no cold entries; track
-            # totals so inspect/compaction accounting stays consistent.
-            self._seg_total[ckpt_name] = len(high)
-            self._seg_live[ckpt_name] = 0
-        return manifest_path
+        with self._lock:
+            self._seal_writer()
+            high = engine._high
+            ckpt_name = None
+            ckpt_id = None
+            ckpt_entries: list[tuple[int, int, int]] = []
+            if high:
+                ckpt_name = self._next_name("ckpt-")
+                ckpt_id = _segment_number(ckpt_name)
+                writer = SegmentWriter(self._segment_path(ckpt_name))
+                for key in sorted(high, key=repr):
+                    tagged = [tag_key(part) for part in key]
+                    offset, length = writer.append(
+                        tagged, self._encode_states(high[key])
+                    )
+                    ckpt_entries.append(
+                        (key_hash(canonical_key(tagged)), offset, length)
+                    )
+                writer.finalize()
+            # Directory snapshot: stage a copy of the working table,
+            # splice in the hot tier's ckpt entries, publish durably.
+            snap_name = self._next_name("keys-", ".dir")
+            snap_path = os.path.join(self.directory, snap_name)
+            staging = snap_path + ".tmp"
+            self._dir.write_copy(staging)
+            snap = KeyDirectory(staging)
+            for h, offset, length in ckpt_entries:
+                snap.put(h, ckpt_id, offset, length)
+            directory_entries = len(snap)
+            snap.close()
+            fd = os.open(staging, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            os.replace(staging, snap_path)
+            fsync_dir(self.directory)
+            referenced_ids = {
+                seg_id for seg_id, live in self._seg_live.items() if live > 0
+            }
+            referenced = sorted(
+                {self._seg_by_id[seg_id] for seg_id in referenced_ids}
+                | ({ckpt_name} if ckpt_name else set())
+            )
+            manifest = {
+                "version": MANIFEST_VERSION,
+                "query": engine.query.sql(),
+                "schema": engine.schema.names(),
+                "tuples_in": engine.tuples_processed,
+                "tuples_selected": engine.tuples_selected,
+                "low_evictions": engine.low_evictions,
+                "bucket": (
+                    None if engine._current_bucket is _NO_BUCKET
+                    else [tag_key(engine._current_bucket)]
+                ),
+                "segments": referenced,
+                "directory_file": snap_name,
+                "directory_entries": directory_entries,
+                "arrivals": self._arrivals,
+                "prio_landmark": self._prio_landmark,
+                # Sampler UDAFs assign each *new* group an RNG stream from
+                # a per-UDAF creation counter; a resumed engine must
+                # continue that sequence or groups first seen after the
+                # restart would draw different streams than an
+                # uninterrupted run.
+                "udaf_counters": [
+                    getattr(plan.udaf, "_counter", None)
+                    for plan in engine._agg_plans
+                ],
+            }
+            manifest_path = os.path.join(self.directory, MANIFEST_NAME)
+            m_staging = manifest_path + ".tmp"
+            with open(m_staging, "w") as handle:
+                json.dump(manifest, handle, separators=(",", ":"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(m_staging, manifest_path)
+            fsync_dir(os.path.dirname(os.path.abspath(manifest_path)))
+            # The new manifest is durable: previous-generation files are
+            # now safe to drop.
+            for seg_id, path in self._retired:
+                _unlink_quiet(path)
+                self._seg_by_id.pop(seg_id, None)
+                self._drop_handle(seg_id)
+            self._retired = []
+            referenced_set = set(referenced)
+            self._manifest_segments = referenced_set
+            for old in self._ckpt_names:
+                if old not in referenced_set:
+                    old_id = _segment_number(old)
+                    _unlink_quiet(self._segment_path(old))
+                    self._seg_by_id.pop(old_id, None)
+                    self._seg_total.pop(old_id, None)
+                    self._seg_live.pop(old_id, None)
+                    self._drop_handle(old_id)
+            self._ckpt_names = [ckpt_name] if ckpt_name else []
+            for old in self._dir_snapshots:
+                if old != snap_name:
+                    _unlink_quiet(os.path.join(self.directory, old))
+            self._dir_snapshots = [snap_name]
+            if ckpt_name:
+                # The ckpt segment is sealed but holds no cold entries;
+                # track totals so inspect/compaction accounting stays
+                # consistent.
+                self._seg_by_id[ckpt_id] = ckpt_name
+                self._seg_total[ckpt_id] = len(high)
+                self._seg_live[ckpt_id] = 0
+            return manifest_path
 
     # -- statistics ---------------------------------------------------------------
 
@@ -772,19 +1205,35 @@ class TieredStore:
     @property
     def cold_count(self) -> int:
         """Groups currently resident only on disk."""
-        return len(self._cold)
+        with self._lock:
+            return len(self._dir) if self._dir is not None else 0
 
     @property
     def segment_count(self) -> int:
         """Sealed segments plus the open spill segment, if any."""
-        return len(self._seg_total)
+        with self._lock:
+            return len(self._seg_total)
+
+    @property
+    def directory_bytes(self) -> int:
+        """On-disk footprint of the key directory's working table."""
+        with self._lock:
+            return self._dir.size_bytes if self._dir is not None else 0
 
     def segment_bytes_on_disk(self) -> int:
         """Total bytes across live segment files (open writer included)."""
+        with self._lock:
+            names = [
+                (seg_id, self._seg_by_id[seg_id]) for seg_id in self._seg_total
+            ]
+            writer_id = self._writer_id
+            writer_bytes = (
+                self._writer.bytes_written if self._writer is not None else 0
+            )
         total = 0
-        for name in self._seg_total:
-            if name == self._writer_name:
-                total += self._writer.bytes_written
+        for seg_id, name in names:
+            if seg_id == writer_id:
+                total += writer_bytes
                 continue
             try:
                 total += os.path.getsize(self._segment_path(name))
@@ -800,6 +1249,8 @@ class TieredStore:
             "cold_groups": self.cold_count,
             "segments": self.segment_count,
             "segment_bytes": self.segment_bytes_on_disk(),
+            "directory_bytes": self.directory_bytes,
+            "pressure": self.pressure(),
             "evictions": self._evictions,
             "fault_ins": self._fault_ins,
             "spilled_bytes": self._spilled_bytes,
@@ -809,19 +1260,30 @@ class TieredStore:
         }
 
     def close(self) -> None:
-        """Discard the open spill segment's staging file and detach.
+        """Stop the compactor, discard the open spill segment, detach.
 
         Sealed segments and any manifest stay on disk; state not covered
         by a :meth:`checkpoint` is gone, exactly like an engine that was
         never persisted.
         """
-        if self._writer is not None:
-            name = self._writer_name
-            self._writer.abort()
-            self._writer = None
-            self._writer_name = None
-            self._seg_total.pop(name, None)
-            self._seg_live.pop(name, None)
+        if self._compactor is not None:
+            self._stop_compactor.set()
+            self._compactor.join(timeout=10.0)
+            self._compactor = None
+        with self._lock:
+            if self._writer is not None:
+                seg_id = self._writer_id
+                self._writer.abort()
+                self._writer = None
+                self._writer_id = None
+                self._seg_by_id.pop(seg_id, None)
+                self._seg_total.pop(seg_id, None)
+                self._seg_live.pop(seg_id, None)
+            for seg_id in list(self._handles):
+                self._drop_handle(seg_id)
+            if self._dir is not None:
+                self._dir.close()
+                self._dir = None
 
 
 def _segment_number(seg_name: str) -> int:

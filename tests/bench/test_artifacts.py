@@ -432,6 +432,18 @@ class TestStateSuite:
     ):
         assert not state_artifact["entries"]["state.rss.ratio"]["gate"]
 
+    def test_directory_and_format_entries(self, state_artifact):
+        entries = state_artifact["entries"]
+        assert entries["state.store.directory_bytes"]["value"] > 0
+        assert entries["state.store.directory_bytes"]["gate"]
+        assert 0.0 <= entries["state.store.pressure"]["value"] <= 1.0
+        assert not entries["state.store.pressure"]["gate"]
+        bpg = entries["state.store.bytes_per_group"]
+        assert bpg["value"] > 0
+        # Below contractual scale segments never rotate, so the absolute
+        # B/group ceiling is report-only (mirrors the RSS ratio).
+        assert not bpg["gate"]
+
     def test_timing_entries_ungated(self, state_artifact):
         for name, entry in state_artifact["entries"].items():
             if name.endswith("rows_per_sec") or name.endswith("_ms"):

@@ -1,0 +1,49 @@
+"""Contractual-scale state-tier run — slow, opt-in via REPRO_RUN_SLOW.
+
+The fast artifact tests (test_artifacts.py) run the suite inline at a
+few thousand groups where the RSS and bytes-per-group gates are
+report-only.  This module runs the real paired-subprocess suite at the
+contractual gating scale (200k groups by default) and asserts every
+gate actually holds.  The nightly CI job exports ``REPRO_RUN_SLOW=1``
+and may push the scale to ten million groups with
+``REPRO_SLOW_GROUPS=10000000``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        not os.environ.get("REPRO_RUN_SLOW"),
+        reason="set REPRO_RUN_SLOW=1 to run contractual-scale state suite",
+    ),
+]
+
+
+def test_state_suite_gates_hold_at_contractual_scale():
+    from repro.bench.state import _RSS_GATE_MIN_GROUPS, run_state_suite
+
+    groups = int(os.environ.get("REPRO_SLOW_GROUPS", _RSS_GATE_MIN_GROUPS))
+    artifact = run_state_suite(groups=groups)
+    entries = artifact["entries"]
+
+    assert entries["state.match_ram"]["value"] == 1.0
+
+    hot = entries["state.hot.fraction"]
+    assert hot["value"] <= hot["limit"]
+
+    # At >= 200k groups both resource gates are armed, not report-only.
+    rss = entries["state.rss.ratio"]
+    assert rss["gate"]
+    assert rss["value"] < rss["limit"]
+
+    bpg = entries["state.store.bytes_per_group"]
+    assert bpg["gate"]
+    assert bpg["value"] <= bpg["limit"]
+
+    assert entries["state.store.directory_bytes"]["value"] > 0
+    assert 0.0 <= entries["state.store.pressure"]["value"] <= 1.0

@@ -246,9 +246,17 @@ class TestStoreInspectCommand:
         directory = self._make_store(tmp_path)
         assert main(["store", "inspect", directory]) == 0
         out = capsys.readouterr().out
-        assert "manifest: v1" in out
+        assert "manifest: v2" in out
         assert "group(s)" in out
         assert ".seg" in out and "ok" in out
+
+    def test_inspect_format_detects_record_versions(self, tmp_path, capsys):
+        directory = self._make_store(tmp_path)
+        assert main(["store", "inspect", directory, "--format"]) == 0
+        out = capsys.readouterr().out
+        assert "v2" in out.split("manifest:", 1)[1]
+        report_lines = [ln for ln in out.splitlines() if ".seg" in ln]
+        assert report_lines and all("v2" in ln for ln in report_lines)
 
     def test_inspect_json(self, tmp_path, capsys):
         import json
@@ -256,9 +264,11 @@ class TestStoreInspectCommand:
         directory = self._make_store(tmp_path)
         assert main(["store", "inspect", directory, "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
-        assert report["manifest"]["version"] == 1
+        assert report["manifest"]["version"] == 2
         assert report["manifest"]["groups"] > 0
+        assert report["manifest"]["directory_file"].endswith(".dir")
         assert all(s["status"] == "ok" for s in report["segments"])
+        assert all(s["format"] == "v2" for s in report["segments"])
 
     def test_inspect_flags_corruption(self, tmp_path, capsys):
         import os

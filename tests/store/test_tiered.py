@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import os
 import random
+import time
 
 import pytest
 
@@ -108,7 +109,7 @@ class TestByteIdentity:
         # Hot and cold key sets are disjoint; together with the low tier
         # they cover every group the reference engine knows.
         high_keys = set(dict.keys(engine._high))
-        assert not high_keys & store.cold_key_set()
+        assert not high_keys & set(store.cold_key_set())
         assert engine.group_count == len(reference_flush(BUILTIN_SQL, rows))
 
     def test_per_row_process_path(self, tmp_path):
@@ -286,6 +287,47 @@ class TestCheckpointRestore:
         resumed = build_engine(store=TieredStore(directory, hot_groups=8))
         assert resumed.flush() == reference_flush(BUILTIN_SQL, rows[:600])
 
+    def test_checkpoint_fsyncs_directory_after_manifest_publish(
+        self, tmp_path, monkeypatch
+    ):
+        # Satellite fix: ``os.replace`` makes the manifest atomic but not
+        # durable — without a parent-directory fsync a power loss can
+        # roll the rename back and resurrect the previous checkpoint
+        # while its segments are already deleted.
+        import repro.store.tiered as tiered_mod
+
+        directory = str(tmp_path / "s")
+        store = TieredStore(directory, hot_groups=8)
+        engine = build_engine(store=store)
+        engine.insert_many(make_rows(400, groups=60))
+
+        events: list[tuple[str, str]] = []
+        real_replace = os.replace
+
+        def spy_replace(src, dst):
+            real_replace(src, dst)
+            events.append(("replace", os.path.abspath(dst)))
+
+        monkeypatch.setattr(
+            tiered_mod, "fsync_dir",
+            lambda d: events.append(("fsync", os.path.abspath(d))),
+        )
+        monkeypatch.setattr("os.replace", spy_replace)
+        manifest_path = engine.store_checkpoint()
+
+        root = os.path.abspath(directory)
+        published = events.index(("replace", os.path.abspath(manifest_path)))
+        assert ("fsync", root) in events[published + 1:], (
+            "manifest publish must be followed by a directory fsync"
+        )
+        # The directory snapshot rename needs the same treatment.
+        snap_publishes = [
+            i for i, (kind, path) in enumerate(events)
+            if kind == "replace" and path.endswith(".dir")
+        ]
+        assert snap_publishes
+        assert ("fsync", root) in events[snap_publishes[-1] + 1:]
+
     def test_restore_rejects_different_query(self, tmp_path):
         directory = str(tmp_path / "s")
         engine = build_engine(store=TieredStore(directory, hot_groups=4))
@@ -303,6 +345,36 @@ class TestCheckpointRestore:
         fresh = build_engine(store=TieredStore(directory, hot_groups=4))
         assert fresh.group_count == 0
         assert fresh.flush() == []
+
+
+class TestBackgroundCompaction:
+    def test_concurrent_with_ingest_preserves_results(self, tmp_path):
+        rows = make_rows(2_000, groups=300)
+        store = TieredStore(
+            str(tmp_path / "s"), hot_groups=4, segment_bytes=4 << 10,
+            compact_garbage_ratio=0.1,
+            background_compaction=True, compact_interval=0.002,
+        )
+        engine = build_engine(SKETCH_SQL, store=store)
+        for i in range(0, len(rows), 40):
+            engine.insert_many(rows[i : i + 40])
+        deadline = time.time() + 5.0
+        while store.stats()["compactions"] == 0 and time.time() < deadline:
+            time.sleep(0.01)
+        assert store.stats()["compactions"] > 0
+        # Flush faults every cold group in *while the compactor may be
+        # repointing them* — the retry on a lost directory entry makes
+        # this race invisible.
+        assert engine.flush() == reference_flush(SKETCH_SQL, rows)
+        compactor = store._compactor
+        store.close()
+        assert compactor is not None and not compactor.is_alive()
+
+    def test_background_compactor_off_by_default(self, tmp_path):
+        store = TieredStore(str(tmp_path / "s"), hot_groups=4)
+        build_engine(store=store)
+        assert store._compactor is None
+        store.close()
 
 
 class TestEngineContract:
